@@ -1,0 +1,55 @@
+//! Microbenchmarks of the paper's fused binary blocks and aggregators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddnn_core::{AggregationScheme, ConvPBlock, ExitHead, FeatureAggregator, Precision, VectorAggregator};
+use ddnn_nn::{Layer, Mode};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0);
+    let mut convp = ConvPBlock::new(3, 4, Precision::Binary, &mut rng);
+    let x = Tensor::rand_uniform([1, 3, 32, 32], 0.0, 1.0, &mut rng);
+    c.bench_function("convp/device forward (1 sample)", |b| {
+        b.iter(|| convp.forward(black_box(&x), Mode::Eval).unwrap())
+    });
+
+    let mut head = ExitHead::new(4 * 16 * 16, 3, Precision::Binary, &mut rng);
+    let map = Tensor::rand_signs([1, 4, 16, 16], &mut rng);
+    c.bench_function("exit-head/device forward (1 sample)", |b| {
+        b.iter(|| head.forward(black_box(&map), Mode::Eval).unwrap())
+    });
+
+    // Training-step shape: a 50-sample batch through the device block.
+    let xb = Tensor::rand_uniform([50, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let mut convp_b = ConvPBlock::new(3, 4, Precision::Binary, &mut rng);
+    c.bench_function("convp/device forward+backward (batch 50)", |b| {
+        b.iter(|| {
+            let y = convp_b.forward(black_box(&xb), Mode::Train).unwrap();
+            convp_b.backward(&Tensor::ones(y.dims().to_vec())).unwrap()
+        })
+    });
+}
+
+fn bench_aggregators(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    let scores: Vec<Tensor> =
+        (0..6).map(|_| Tensor::rand_uniform([1, 3], -2.0, 2.0, &mut rng)).collect();
+    for scheme in AggregationScheme::ALL {
+        let mut agg = VectorAggregator::new(scheme, 6, 3, &mut rng);
+        c.bench_function(&format!("local-aggregate/{scheme} 6 devices"), |b| {
+            b.iter(|| agg.forward(black_box(&scores), Mode::Eval).unwrap())
+        });
+    }
+    let maps: Vec<Tensor> = (0..6).map(|_| Tensor::rand_signs([1, 4, 16, 16], &mut rng)).collect();
+    for scheme in AggregationScheme::ALL {
+        let mut agg = FeatureAggregator::new(scheme, 6);
+        c.bench_function(&format!("cloud-aggregate/{scheme} 6 devices"), |b| {
+            b.iter(|| agg.forward(black_box(&maps)).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_blocks, bench_aggregators);
+criterion_main!(benches);

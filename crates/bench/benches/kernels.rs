@@ -1,0 +1,54 @@
+//! Microbenchmarks of the tensor kernels that dominate DDNN compute: the
+//! device-scale and cloud-scale convolutions, pooling, and matmul.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddnn_tensor::conv::{conv2d, conv2d_backward, max_pool2d, Conv2dSpec};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0);
+    let spec = Conv2dSpec::paper_conv();
+
+    // Device-scale: 3 -> 4 filters on a 32x32 input (one sample).
+    let dev_in = Tensor::rand_uniform([1, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let dev_w = Tensor::rand_signs([4, 3, 3, 3], &mut rng);
+    c.bench_function("conv2d/device 3->4 @32x32", |b| {
+        b.iter(|| conv2d(black_box(&dev_in), black_box(&dev_w), &spec).unwrap())
+    });
+
+    // Cloud-scale: 24 -> 16 filters on the CC-aggregated 16x16 maps.
+    let cloud_in = Tensor::rand_signs([1, 24, 16, 16], &mut rng);
+    let cloud_w = Tensor::rand_signs([16, 24, 3, 3], &mut rng);
+    c.bench_function("conv2d/cloud 24->16 @16x16", |b| {
+        b.iter(|| conv2d(black_box(&cloud_in), black_box(&cloud_w), &spec).unwrap())
+    });
+
+    let out = conv2d(&cloud_in, &cloud_w, &spec).unwrap();
+    let gout = Tensor::ones(out.dims().to_vec());
+    c.bench_function("conv2d_backward/cloud 24->16 @16x16", |b| {
+        b.iter(|| {
+            conv2d_backward(black_box(&cloud_in), black_box(&cloud_w), black_box(&gout), &spec)
+                .unwrap()
+        })
+    });
+
+    let pool_in = Tensor::rand_uniform([1, 4, 32, 32], -1.0, 1.0, &mut rng);
+    c.bench_function("max_pool2d/4ch @32x32", |b| {
+        b.iter(|| max_pool2d(black_box(&pool_in), &Conv2dSpec::paper_pool()).unwrap())
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    // The exit-head shape: (batch 50, 1024) x (1024, 3)^T.
+    let x = Tensor::rand_signs([50, 1024], &mut rng);
+    let w = Tensor::rand_signs([1024, 3], &mut rng);
+    c.bench_function("matmul/exit-head 50x1024x3", |b| {
+        b.iter(|| x.matmul(black_box(&w)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_conv, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! End-to-end benchmarks: a training step, staged inference, and one
+//! full sample round-trip through the distributed hierarchy simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddnn_core::{train, Ddnn, DdnnConfig, ExitThreshold, TrainConfig};
+use ddnn_runtime::{run_distributed_inference, HierarchyConfig};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::Tensor;
+use std::hint::black_box;
+
+fn views(n: usize, devices: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = rng_from_seed(seed);
+    (0..devices).map(|_| Tensor::rand_uniform([n, 3, 32, 32], 0.0, 1.0, &mut rng)).collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let v = views(50, 6, 0);
+    let labels: Vec<usize> = (0..50).map(|i| i % 3).collect();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.bench_function("one epoch, paper model, 50 samples", |b| {
+        b.iter(|| {
+            let mut model = Ddnn::new(DdnnConfig::paper());
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 50,
+                stat_refresh_passes: 0,
+                ..TrainConfig::default()
+            };
+            train(&mut model, black_box(&v), black_box(&labels), &cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut model = Ddnn::new(DdnnConfig::paper());
+    let v = views(32, 6, 1);
+    c.bench_function("infer/staged batch of 32 (in-process)", |b| {
+        b.iter(|| model.infer(black_box(&v), ExitThreshold::new(0.8), None).unwrap())
+    });
+
+    let model = Ddnn::new(DdnnConfig::paper());
+    let partition = model.partition();
+    let v1 = views(1, 6, 2);
+    let labels = vec![0usize];
+    let mut group = c.benchmark_group("distributed");
+    group.sample_size(10);
+    group.bench_function("one sample round-trip (6 device threads)", |b| {
+        b.iter(|| {
+            run_distributed_inference(
+                black_box(&partition),
+                &v1,
+                &labels,
+                &HierarchyConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

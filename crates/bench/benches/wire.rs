@@ -1,0 +1,50 @@
+//! Benchmarks of the wire path: entropy computation, bit-packing and frame
+//! encode/decode — the per-sample overhead every exit decision pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddnn_core::normalized_entropy;
+use ddnn_runtime::{Frame, NodeId, Payload};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::{bits, Tensor};
+use std::hint::black_box;
+
+fn bench_entropy(c: &mut Criterion) {
+    let p = Tensor::from_vec(vec![0.7, 0.2, 0.1], [3]).unwrap();
+    c.bench_function("normalized_entropy/3 classes", |b| {
+        b.iter(|| normalized_entropy(black_box(&p)).unwrap())
+    });
+}
+
+fn bench_bits(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0);
+    let map = Tensor::rand_signs([4, 16, 16], &mut rng);
+    c.bench_function("bits/pack 4x16x16 feature map", |b| {
+        b.iter(|| bits::pack_signs(black_box(&map)))
+    });
+    let packed = bits::pack_signs(&map);
+    c.bench_function("bits/unpack 4x16x16 feature map", |b| {
+        b.iter(|| bits::unpack_signs(black_box(&packed), [4, 16, 16]).unwrap())
+    });
+}
+
+fn bench_frames(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    let map = Tensor::rand_signs([4, 16, 16], &mut rng);
+    let frame = Frame::new(
+        42,
+        NodeId::Device(3),
+        ddnn_runtime::message::features_payload(&map).unwrap(),
+    );
+    c.bench_function("frame/encode features", |b| b.iter(|| black_box(&frame).encode()));
+    let encoded = frame.encode();
+    c.bench_function("frame/decode features", |b| {
+        b.iter(|| Frame::decode(black_box(encoded.clone())).unwrap())
+    });
+    let scores = Frame::new(7, NodeId::Device(0), Payload::Scores { scores: vec![0.1, 0.5, 0.4] });
+    c.bench_function("frame/encode+decode scores", |b| {
+        b.iter(|| Frame::decode(black_box(&scores).encode()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_entropy, bench_bits, bench_frames);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! **Ablation (DESIGN.md §6 / paper §VI)**: binary vs float weights in the
+//! cloud section — the mixed-precision scheme the paper proposes as future
+//! work ("the end devices use binary NN layers and the cloud uses
+//! mixed-precision or floating-point NN layers").
+//!
+//! Devices stay binary (they must fit in 2 KB); only the cloud section's
+//! weight precision changes. Expectation: float cloud weights match or
+//! beat the all-binary cloud at a 32x weight-memory cost that the cloud
+//! can afford.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{DdnnConfig, ExitThreshold, Precision, TrainConfig};
+
+fn main() {
+    let epochs = epochs_from_args(40);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let train_cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    let mut rows = Vec::new();
+    for (name, precision) in
+        [("all-binary (paper)", Precision::Binary), ("binary devices + float cloud", Precision::Float)]
+    {
+        let cfg = DdnnConfig { cloud_precision: precision, ..DdnnConfig::paper() };
+        let trained = train_and_evaluate(&ctx, cfg, &train_cfg, ExitThreshold::default())
+            .expect("training");
+        rows.push(vec![
+            name.to_string(),
+            pct(trained.exit_accuracies.local),
+            pct(trained.exit_accuracies.cloud),
+            pct(trained.overall.accuracy),
+        ]);
+    }
+    println!("Ablation — cloud weight precision ({epochs} epochs)");
+    println!(
+        "{}",
+        format_table(&["Configuration", "Local (%)", "Cloud (%)", "Overall (%)"], &rows)
+    );
+}

@@ -1,0 +1,49 @@
+//! **Ablation (DESIGN.md §6)**: failure encoding — blank-grey substitution
+//! (the dataset's "object not present" value, what DDNN trains on) vs a
+//! zero image (a regime the aggregators never saw).
+//!
+//! Expectation: blank substitution degrades gracefully (the paper's
+//! automatic fault tolerance); zero substitution is measurably worse,
+//! showing the fault tolerance comes from the *encoding match*, not luck.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{
+    evaluate_overall, fail_devices_with, DdnnConfig, ExitThreshold, TrainConfig,
+    BLANK_INPUT_VALUE,
+};
+
+fn main() {
+    let epochs = epochs_from_args(40);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let mut trained = train_and_evaluate(
+        &ctx,
+        DdnnConfig::paper(),
+        &TrainConfig { epochs, ..TrainConfig::default() },
+        ExitThreshold::default(),
+    )
+    .expect("training");
+    let t = ExitThreshold::default();
+    let healthy = evaluate_overall(&mut trained.model, &ctx.test_views, &ctx.test_labels, t, None)
+        .expect("evaluation");
+    println!("No failure: overall {:.1}%", healthy.accuracy * 100.0);
+
+    let mut rows = Vec::new();
+    for (name, value) in [("blank grey (trained encoding)", BLANK_INPUT_VALUE), ("zeros (mismatched)", 0.0)] {
+        for failed in [vec![5usize], vec![5, 4], vec![5, 4, 3]] {
+            let views = fail_devices_with(&ctx.test_views, &failed, value).expect("injection");
+            let e = evaluate_overall(&mut trained.model, &views, &ctx.test_labels, t, None)
+                .expect("evaluation");
+            rows.push(vec![
+                name.to_string(),
+                failed.iter().map(|d| (d + 1).to_string()).collect::<Vec<_>>().join(","),
+                pct(e.accuracy),
+                pct(e.local_exit_fraction),
+            ]);
+        }
+    }
+    println!("\nAblation — failure encoding ({epochs} epochs, T=0.8)");
+    println!(
+        "{}",
+        format_table(&["Substitution", "Failed devices", "Overall (%)", "Local exit (%)"], &rows)
+    );
+}

@@ -1,0 +1,71 @@
+//! **E9 — Fig. 2 (d)/(e)**: vertical scaling with an edge (fog) tier — a
+//! three-exit DDNN (device / edge / cloud) trained jointly and run on the
+//! distributed hierarchy simulator with the §III-D three-stage protocol.
+//!
+//! Shape criteria: all three exits train to useful accuracy, ordered
+//! local ≤ edge ≤ cloud; staged inference splits traffic across tiers;
+//! samples exiting lower in the hierarchy see lower simulated latency.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, ExperimentContext};
+use ddnn_core::{
+    evaluate_exit_accuracies, train, AggregationScheme, Ddnn, DdnnConfig, EdgeConfig, ExitPoint,
+    ExitThreshold, TrainConfig,
+};
+use ddnn_runtime::{run_distributed_inference, HierarchyConfig};
+
+fn main() {
+    let epochs = epochs_from_args(60);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let cfg = DdnnConfig {
+        edge: Some(EdgeConfig { filters: 16, agg: AggregationScheme::Concat }),
+        ..DdnnConfig::paper()
+    };
+    let mut model = Ddnn::new(cfg);
+    train(
+        &mut model,
+        &ctx.train_views,
+        &ctx.train_labels,
+        &TrainConfig { epochs, ..TrainConfig::default() },
+    )
+    .expect("training");
+    let exits = evaluate_exit_accuracies(&mut model, &ctx.test_views, &ctx.test_labels)
+        .expect("evaluation");
+    println!("Edge hierarchy (device -> edge -> cloud), {epochs} epochs");
+    println!(
+        "Forced-exit accuracy: local {:.1}% | edge {:.1}% | cloud {:.1}%",
+        exits.local * 100.0,
+        exits.edge.unwrap_or(0.0) * 100.0,
+        exits.cloud * 100.0
+    );
+
+    let partition = model.partition();
+    let mut rows = Vec::new();
+    for (tl, te) in [(0.5, 0.8), (0.8, 0.8), (0.3, 0.6)] {
+        let report = run_distributed_inference(
+            &partition,
+            &ctx.test_views,
+            &ctx.test_labels,
+            &HierarchyConfig {
+                local_threshold: ExitThreshold::new(tl),
+                edge_threshold: ExitThreshold::new(te),
+                ..HierarchyConfig::default()
+            },
+        )
+        .expect("distributed inference");
+        rows.push(vec![
+            format!("{tl:.1}/{te:.1}"),
+            pct(report.exit_fraction(ExitPoint::Local)),
+            pct(report.exit_fraction(ExitPoint::Edge)),
+            pct(report.exit_fraction(ExitPoint::Cloud)),
+            pct(report.accuracy),
+            format!("{:.1}", report.mean_latency_ms),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["T local/edge", "Local (%)", "Edge (%)", "Cloud (%)", "Overall (%)", "Latency (ms)"],
+            &rows
+        )
+    );
+}

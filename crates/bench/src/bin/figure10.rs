@@ -1,0 +1,70 @@
+//! **E7 — Figure 10**: fault tolerance — system accuracy when any single
+//! end device fails, plus the progressive-failure reading of §IV-G.
+//!
+//! Shape criteria: overall accuracy stays high (paper: >95%) under any
+//! single failure; losing even the best device costs only a few points;
+//! accuracy degrades gracefully as more devices fail.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{
+    evaluate_exit_accuracies, evaluate_overall, fail_devices, single_failures, DdnnConfig,
+    ExitThreshold, TrainConfig,
+};
+
+fn main() {
+    let epochs = epochs_from_args(60);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let mut trained = train_and_evaluate(
+        &ctx,
+        DdnnConfig::paper(),
+        &TrainConfig { epochs, ..TrainConfig::default() },
+        ExitThreshold::default(),
+    )
+    .expect("training");
+    let t = ExitThreshold::default();
+
+    let baseline = evaluate_overall(&mut trained.model, &ctx.test_views, &ctx.test_labels, t, None)
+        .expect("evaluation");
+    println!(
+        "No failure: overall {:.1}% (local {:.1}%, cloud {:.1}%)",
+        baseline.accuracy * 100.0,
+        trained.exit_accuracies.local * 100.0,
+        trained.exit_accuracies.cloud * 100.0
+    );
+
+    let mut rows = Vec::new();
+    for failure in single_failures(ctx.num_devices()) {
+        let views = fail_devices(&ctx.test_views, &failure).expect("failure injection");
+        let exits = evaluate_exit_accuracies(&mut trained.model, &views, &ctx.test_labels)
+            .expect("evaluation");
+        let overall = evaluate_overall(&mut trained.model, &views, &ctx.test_labels, t, None)
+            .expect("evaluation");
+        rows.push(vec![
+            format!("{}", failure[0] + 1),
+            pct(exits.local),
+            pct(exits.cloud),
+            pct(overall.accuracy),
+        ]);
+    }
+    println!("\nFigure 10 — Single-device failure ({epochs} epochs, T=0.8)");
+    println!(
+        "{}",
+        format_table(&["Failed device", "Local (%)", "Cloud (%)", "Overall (%)"], &rows)
+    );
+
+    // Progressive failure: drop best devices first (hardest case).
+    let order = [5usize, 4, 3, 2, 1];
+    let mut rows = Vec::new();
+    for k in 1..=order.len() {
+        let failed: Vec<usize> = order[..k].to_vec();
+        let views = fail_devices(&ctx.test_views, &failed).expect("failure injection");
+        let overall = evaluate_overall(&mut trained.model, &views, &ctx.test_labels, t, None)
+            .expect("evaluation");
+        rows.push(vec![
+            failed.iter().map(|d| (d + 1).to_string()).collect::<Vec<_>>().join(","),
+            pct(overall.accuracy),
+        ]);
+    }
+    println!("\nProgressive failure (best devices first)");
+    println!("{}", format_table(&["Failed devices", "Overall (%)"], &rows));
+}

@@ -1,0 +1,36 @@
+//! **E4 — Figure 7**: overall accuracy and local-exit percentage as the
+//! local exit threshold T sweeps 0 → 1 (the curve form of Table II).
+//!
+//! Shape criteria: local exit % rises monotonically with T; overall
+//! accuracy is flat or slightly rising through intermediate T (the "sweet
+//! spot" where easy samples exit locally) and declines as T → 1.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{evaluate_overall, DdnnConfig, ExitThreshold, TrainConfig};
+
+fn main() {
+    let epochs = epochs_from_args(60);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let mut trained = train_and_evaluate(
+        &ctx,
+        DdnnConfig::paper(),
+        &TrainConfig { epochs, ..TrainConfig::default() },
+        ExitThreshold::default(),
+    )
+    .expect("training");
+    let mut rows = Vec::new();
+    for i in 0..=20 {
+        let t = i as f32 / 20.0;
+        let e = evaluate_overall(
+            &mut trained.model,
+            &ctx.test_views,
+            &ctx.test_labels,
+            ExitThreshold::new(t),
+            None,
+        )
+        .expect("evaluation");
+        rows.push(vec![format!("{t:.2}"), pct(e.accuracy), pct(e.local_exit_fraction)]);
+    }
+    println!("Figure 7 — Impact of exit threshold ({epochs} epochs)");
+    println!("{}", format_table(&["T", "Overall Acc. (%)", "Local Exit (%)"], &rows));
+}

@@ -1,0 +1,64 @@
+//! **E5 — Figure 8**: accuracy of the DDNN system as end devices are added
+//! one at a time, ordered from the worst individual device to the best.
+//!
+//! For each device count k, a fresh DDNN is trained on the k selected
+//! devices; "Individual" is the standalone single-device model of §III-F.
+//! Shape criteria: the cloud exit beats the local exit at every count;
+//! both rise with more devices; the fused system beats the best individual
+//! device by a wide margin; overall ≈ cloud accuracy at T = 0.8.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{accuracy, DdnnConfig, ExitThreshold, IndividualModel, TrainConfig};
+
+fn main() {
+    let epochs = epochs_from_args(40);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let train_cfg = TrainConfig { epochs, ..TrainConfig::default() };
+
+    // Individual accuracy per device (paper "Individual" curve).
+    let mut individual = Vec::new();
+    for d in 0..ctx.num_devices() {
+        let mut m = IndividualModel::new(4, 3, 1000 + d as u64);
+        m.train(&ctx.train_views[d], &ctx.train_labels, &train_cfg).expect("individual training");
+        let acc = accuracy(&m.predict(&ctx.test_views[d]).expect("predict"), &ctx.test_labels);
+        eprintln!("individual device {}: {:.1}%", d + 1, acc * 100.0);
+        individual.push((d, acc));
+    }
+    // Worst-to-best device order, as the paper plots.
+    let mut order: Vec<(usize, f32)> = individual.clone();
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    let mut rows = Vec::new();
+    for k in 1..=order.len() {
+        let devices: Vec<usize> = order[..k].iter().map(|&(d, _)| d).collect();
+        let sub = ctx.subset_devices(&devices);
+        let cfg = DdnnConfig { num_devices: k, seed: 42 + k as u64, ..DdnnConfig::paper() };
+        let trained =
+            train_and_evaluate(&sub, cfg, &train_cfg, ExitThreshold::default()).expect("training");
+        let added = order[k - 1];
+        eprintln!(
+            "k={k} (added device {}): local {:.1}% cloud {:.1}% overall {:.1}%",
+            added.0 + 1,
+            trained.exit_accuracies.local * 100.0,
+            trained.exit_accuracies.cloud * 100.0,
+            trained.overall.accuracy * 100.0
+        );
+        rows.push(vec![
+            k.to_string(),
+            format!("{}", added.0 + 1),
+            pct(added.1),
+            pct(trained.exit_accuracies.local),
+            pct(trained.exit_accuracies.cloud),
+            pct(trained.overall.accuracy),
+            pct(trained.overall.local_exit_fraction),
+        ]);
+    }
+    println!("Figure 8 — Scaling end devices, worst-to-best ({epochs} epochs, T=0.8)");
+    println!(
+        "{}",
+        format_table(
+            &["#Devices", "Added", "Individual (%)", "Local (%)", "Cloud (%)", "Overall (%)", "Local Exit (%)"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,60 @@
+//! **E6 — Figure 9**: accuracy vs communication as the end devices get
+//! more filters (f = 1..4), with the exit threshold tuned so that ~75% of
+//! samples exit locally (the paper's §IV-F setup).
+//!
+//! Shape criteria: all device models stay under 2 KB; accuracy rises with
+//! f; the cloud/overall exits beat the local exit by ~5% at every size
+//! (the benefit of offloading hard samples); communication grows with f.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{evaluate_overall, CommCostModel, DdnnConfig, ExitThreshold, TrainConfig};
+
+fn main() {
+    let epochs = epochs_from_args(40);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let train_cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    let mut rows = Vec::new();
+    for f in 1..=4 {
+        let cfg = DdnnConfig { device_filters: f, ..DdnnConfig::paper() };
+        let mut trained =
+            train_and_evaluate(&ctx, cfg, &train_cfg, ExitThreshold::default()).expect("training");
+        // Tune T so ~75% of samples exit locally, as the paper does.
+        let mut best = (ExitThreshold::new(0.8), f32::INFINITY, None);
+        for i in 0..=40 {
+            let t = ExitThreshold::new(i as f32 / 40.0);
+            let e = evaluate_overall(&mut trained.model, &ctx.test_views, &ctx.test_labels, t, None)
+                .expect("evaluation");
+            let gap = (e.local_exit_fraction - 0.75).abs();
+            if gap < best.1 {
+                best = (t, gap, Some(e));
+            }
+        }
+        let e = best.2.expect("at least one threshold evaluated");
+        let comm = CommCostModel::from_config(trained.model.config());
+        let bytes = comm.bytes_per_sample(e.local_exit_fraction);
+        let mem = trained.model.device_memory_bytes();
+        eprintln!(
+            "f={f}: mem {mem} B, T={:.3}, local exit {:.1}%, overall {:.1}%",
+            best.0.value(),
+            e.local_exit_fraction * 100.0,
+            e.accuracy * 100.0
+        );
+        rows.push(vec![
+            f.to_string(),
+            mem.to_string(),
+            format!("{bytes:.0}"),
+            pct(trained.exit_accuracies.local),
+            pct(trained.exit_accuracies.cloud),
+            pct(e.accuracy),
+            pct(e.local_exit_fraction),
+        ]);
+    }
+    println!("Figure 9 — Accuracy vs communication as device filters scale ({epochs} epochs, ~75% local exit)");
+    println!(
+        "{}",
+        format_table(
+            &["f", "Device mem (B)", "Comm (B)", "Local (%)", "Cloud (%)", "Overall (%)", "Local Exit (%)"],
+            &rows
+        )
+    );
+}

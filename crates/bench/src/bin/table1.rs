@@ -1,0 +1,52 @@
+//! **E1 — Table I**: accuracy of the nine aggregation-scheme pairs
+//! (MP/AP/CC at the local aggregator × MP/AP/CC at the cloud aggregator).
+//!
+//! Paper reference values (local %, cloud %): MP-MP 95/91, MP-CC 98/98,
+//! AP-AP 86/98, AP-CC 75/96, CC-CC 85/94, AP-MP 88/93, MP-AP 89/97,
+//! CC-MP 77/87, CC-AP 80/94. Shape criteria: MP-CC is the best pair; MP
+//! beats AP locally; CC is the strongest cloud aggregator.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{AggregationScheme, DdnnConfig, ExitThreshold, TrainConfig};
+
+fn main() {
+    let epochs = epochs_from_args(40);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let train_cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    // The paper's Table I row order.
+    let pairs = [
+        (AggregationScheme::MaxPool, AggregationScheme::MaxPool),
+        (AggregationScheme::MaxPool, AggregationScheme::Concat),
+        (AggregationScheme::AvgPool, AggregationScheme::AvgPool),
+        (AggregationScheme::AvgPool, AggregationScheme::Concat),
+        (AggregationScheme::Concat, AggregationScheme::Concat),
+        (AggregationScheme::AvgPool, AggregationScheme::MaxPool),
+        (AggregationScheme::MaxPool, AggregationScheme::AvgPool),
+        (AggregationScheme::Concat, AggregationScheme::MaxPool),
+        (AggregationScheme::Concat, AggregationScheme::AvgPool),
+    ];
+    let mut rows = Vec::new();
+    for (local, cloud) in pairs {
+        let trained = train_and_evaluate(
+            &ctx,
+            DdnnConfig::with_aggregation(local, cloud),
+            &train_cfg,
+            ExitThreshold::default(),
+        )
+        .expect("training");
+        eprintln!(
+            "{}-{}: local {:.1}% cloud {:.1}%",
+            local,
+            cloud,
+            trained.exit_accuracies.local * 100.0,
+            trained.exit_accuracies.cloud * 100.0
+        );
+        rows.push(vec![
+            format!("{local}-{cloud}"),
+            pct(trained.exit_accuracies.local),
+            pct(trained.exit_accuracies.cloud),
+        ]);
+    }
+    println!("Table I — Accuracy of aggregation schemes ({epochs} epochs)");
+    println!("{}", format_table(&["Schemes", "Local Acc. (%)", "Cloud Acc. (%)"], &rows));
+}

@@ -1,0 +1,46 @@
+//! **E2 — Table II**: effect of the local exit threshold T on local exit
+//! rate, overall accuracy and per-device communication (Eq. 1).
+//!
+//! Paper reference: T=0.1 → 0% exit, 96%, 140 B; T=0.8 → 60.82% exit, 97%,
+//! 62 B (the chosen operating point); T=1.0 → 100% exit, 92%, 12 B. Shape
+//! criteria: comm falls monotonically from 140 B to 12 B; overall accuracy
+//! peaks at an intermediate T before dropping when everything exits
+//! locally.
+
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_core::{CommCostModel, DdnnConfig, ExitThreshold, TrainConfig, evaluate_overall};
+
+fn main() {
+    let epochs = epochs_from_args(60);
+    let ctx = ExperimentContext::paper().expect("dataset generation");
+    let mut trained = train_and_evaluate(
+        &ctx,
+        DdnnConfig::paper(),
+        &TrainConfig { epochs, ..TrainConfig::default() },
+        ExitThreshold::default(),
+    )
+    .expect("training");
+    let comm = CommCostModel::from_config(trained.model.config());
+    let mut rows = Vec::new();
+    for t in [0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let e = evaluate_overall(
+            &mut trained.model,
+            &ctx.test_views,
+            &ctx.test_labels,
+            ExitThreshold::new(t),
+            None,
+        )
+        .expect("evaluation");
+        rows.push(vec![
+            format!("{t:.1}"),
+            pct(e.local_exit_fraction),
+            pct(e.accuracy),
+            format!("{:.0}", comm.bytes_per_sample(e.local_exit_fraction)),
+        ]);
+    }
+    println!("Table II — Exit threshold sweep ({epochs} epochs)");
+    println!(
+        "{}",
+        format_table(&["T", "Local Exit (%)", "Overall Acc. (%)", "Comm. (B)"], &rows)
+    );
+}

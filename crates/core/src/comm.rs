@@ -1,0 +1,132 @@
+//! The communication-cost model of paper §III-E (Eq. 1) and the raw-offload
+//! baseline of §IV-H.
+
+use crate::model::DdnnConfig;
+
+/// Bytes of one raw 32×32 RGB view — what the cloud-offload baseline sends
+/// per sample (paper §IV-H: 3072 bytes).
+pub const RAW_IMAGE_BYTES: usize = 3 * 32 * 32;
+
+/// Eq. 1 of the paper: the average per-sample communication cost of one end
+/// device,
+///
+/// `c = 4·|C| + (1 − l)·f·o/8` bytes,
+///
+/// where `l` is the fraction of samples exited locally, `|C|` the number of
+/// classes, `f` the device's filter count and `o` the bits per filter of
+/// its final layer output. The first term is the float class-score vector
+/// sent to the local aggregator for *every* sample; the second is the
+/// bit-packed binary feature map sent to the cloud for the `(1 − l)`
+/// fraction that is offloaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommCostModel {
+    /// Number of classes `|C|`.
+    pub num_classes: usize,
+    /// Device filters `f`.
+    pub filters: usize,
+    /// Output bits per filter `o` (16×16 = 256 for one ConvP on 32×32).
+    pub bits_per_filter: usize,
+}
+
+impl CommCostModel {
+    /// Builds the cost model for a DDNN configuration.
+    pub fn from_config(config: &DdnnConfig) -> Self {
+        CommCostModel {
+            num_classes: config.num_classes,
+            filters: config.device_filters,
+            bits_per_filter: config.output_bits_per_filter(),
+        }
+    }
+
+    /// Bytes of the always-sent class-score vector (`4·|C|`).
+    pub fn summary_bytes(&self) -> usize {
+        4 * self.num_classes
+    }
+
+    /// Bytes of one bit-packed feature map (`f·o/8`).
+    pub fn feature_map_bytes(&self) -> usize {
+        (self.filters * self.bits_per_filter).div_ceil(8)
+    }
+
+    /// Eq. 1: expected per-sample bytes for one device, given the local
+    /// exit rate `l ∈ [0, 1]`.
+    pub fn bytes_per_sample(&self, local_exit_fraction: f32) -> f32 {
+        let l = local_exit_fraction.clamp(0.0, 1.0);
+        self.summary_bytes() as f32 + (1.0 - l) * self.feature_map_bytes() as f32
+    }
+
+    /// The §IV-H headline: how many times cheaper DDNN is than offloading
+    /// the raw view to the cloud.
+    pub fn reduction_factor(&self, local_exit_fraction: f32) -> f32 {
+        RAW_IMAGE_BYTES as f32 / self.bytes_per_sample(local_exit_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> CommCostModel {
+        CommCostModel::from_config(&DdnnConfig::paper())
+    }
+
+    #[test]
+    fn paper_constants() {
+        let m = paper_model();
+        assert_eq!(m.summary_bytes(), 12); // 4 bytes x 3 classes
+        assert_eq!(m.feature_map_bytes(), 128); // 4 filters x 256 bits / 8
+        assert_eq!(RAW_IMAGE_BYTES, 3072);
+    }
+
+    #[test]
+    fn table2_endpoints() {
+        // Table II: T=0.1 -> l=0 -> 140 B; T=1.0 -> l=1 -> 12 B.
+        let m = paper_model();
+        assert_eq!(m.bytes_per_sample(0.0), 140.0);
+        assert_eq!(m.bytes_per_sample(1.0), 12.0);
+    }
+
+    #[test]
+    fn table2_operating_point() {
+        // T=0.8 -> l=60.82% -> ~62 B (paper Table II).
+        let m = paper_model();
+        let c = m.bytes_per_sample(0.6082);
+        assert!((c - 62.0).abs() < 1.0, "c={c}");
+    }
+
+    #[test]
+    fn cost_is_monotone_decreasing_in_local_exit_rate() {
+        let m = paper_model();
+        let mut prev = f32::INFINITY;
+        for i in 0..=10 {
+            let c = m.bytes_per_sample(i as f32 / 10.0);
+            assert!(c <= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn reduction_exceeds_20x_even_with_no_local_exits() {
+        // §IV-H: 3072 / 140 > 20 — the paper's headline holds already at
+        // l = 0 for the largest device model.
+        let m = paper_model();
+        assert!(m.reduction_factor(0.0) > 20.0);
+        assert!(m.reduction_factor(0.6082) > 49.0);
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let m = paper_model();
+        assert_eq!(m.bytes_per_sample(-1.0), m.bytes_per_sample(0.0));
+        assert_eq!(m.bytes_per_sample(2.0), m.bytes_per_sample(1.0));
+    }
+
+    #[test]
+    fn scales_with_filters() {
+        let mut cfg = DdnnConfig::paper();
+        cfg.device_filters = 1;
+        let m1 = CommCostModel::from_config(&cfg);
+        assert_eq!(m1.feature_map_bytes(), 32);
+        assert_eq!(m1.bytes_per_sample(0.0), 44.0);
+    }
+}

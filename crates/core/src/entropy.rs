@@ -1,0 +1,203 @@
+//! Exit confidence: normalized entropy and threshold policies (paper §III-D).
+
+use ddnn_tensor::{Result, Tensor, TensorError};
+
+/// Normalized entropy of a probability vector:
+///
+/// `η(x) = − Σᵢ xᵢ·log(xᵢ) / log(|C|)` ∈ `[0, 1]`.
+///
+/// `η ≈ 0` means the predictor is confident, `η ≈ 1` means maximally
+/// uncertain. The paper uses this (rather than raw entropy as in
+/// BranchyNet) because the `[0, 1]` range makes thresholds interpretable
+/// and searchable.
+///
+/// # Errors
+///
+/// Returns an error if `probs` is not rank 1 or has fewer than 2 entries.
+pub fn normalized_entropy(probs: &Tensor) -> Result<f32> {
+    if probs.rank() != 1 {
+        return Err(TensorError::RankMismatch { expected: 1, actual: probs.rank() });
+    }
+    let c = probs.len();
+    if c < 2 {
+        return Err(TensorError::Empty { op: "normalized_entropy needs >=2 classes" });
+    }
+    let mut h = 0.0f32;
+    for &p in probs.data() {
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    Ok((h / (c as f32).ln()).clamp(0.0, 1.0))
+}
+
+/// Normalized entropy of each row of an `(n, classes)` probability matrix.
+///
+/// # Errors
+///
+/// Returns an error if `probs` is not rank 2 with at least 2 columns.
+pub fn normalized_entropy_rows(probs: &Tensor) -> Result<Vec<f32>> {
+    if probs.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: probs.rank() });
+    }
+    (0..probs.dims()[0]).map(|i| normalized_entropy(&probs.row(i)?)).collect()
+}
+
+/// An exit decision policy: exit when `η(x) ≤ T` (paper: "if the predictor
+/// is not confident, i.e. η > T, the system falls back to a higher exit").
+///
+/// `T = 0` exits nothing; `T = 1` exits everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitThreshold(f32);
+
+impl ExitThreshold {
+    /// Creates a threshold, clamping into `[0, 1]`.
+    pub fn new(t: f32) -> Self {
+        ExitThreshold(t.clamp(0.0, 1.0))
+    }
+
+    /// The threshold value.
+    pub fn value(&self) -> f32 {
+        self.0
+    }
+
+    /// Whether a sample with normalized entropy `eta` exits at this point.
+    pub fn should_exit(&self, eta: f32) -> bool {
+        eta <= self.0
+    }
+}
+
+impl Default for ExitThreshold {
+    /// The paper's operating point `T = 0.8` (§IV-D).
+    fn default() -> Self {
+        ExitThreshold(0.8)
+    }
+}
+
+impl std::fmt::Display for ExitThreshold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T={}", self.0)
+    }
+}
+
+/// Searches a threshold grid for the best overall accuracy, the procedure
+/// the paper describes for picking `T` on a validation set (§III-D).
+///
+/// `local_entropy[i]`/`local_correct[i]`/`fallback_correct[i]` describe each
+/// validation sample: its local-exit confidence, and whether the local and
+/// fallback (cloud) classifiers get it right. Returns `(threshold,
+/// accuracy)` of the best grid point, preferring higher local-exit rates on
+/// accuracy ties (cheaper communication at equal accuracy).
+pub fn search_threshold(
+    local_entropy: &[f32],
+    local_correct: &[bool],
+    fallback_correct: &[bool],
+    grid: &[f32],
+) -> (ExitThreshold, f32) {
+    assert_eq!(local_entropy.len(), local_correct.len());
+    assert_eq!(local_entropy.len(), fallback_correct.len());
+    let n = local_entropy.len().max(1) as f32;
+    let mut best = (ExitThreshold::new(0.0), -1.0f32);
+    for &t in grid {
+        let th = ExitThreshold::new(t);
+        let correct = local_entropy
+            .iter()
+            .zip(local_correct.iter().zip(fallback_correct))
+            .filter(|(&eta, (&lc, &fc))| if th.should_exit(eta) { lc } else { fc })
+            .count() as f32;
+        let acc = correct / n;
+        if acc > best.1 {
+            best = (th, acc);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_has_entropy_one() {
+        let p = Tensor::full([4], 0.25);
+        assert!((normalized_entropy(&p).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_hot_has_entropy_zero() {
+        let p = Tensor::from_vec(vec![1.0, 0.0, 0.0], [3]).unwrap();
+        assert_eq!(normalized_entropy(&p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn entropy_is_monotone_in_uncertainty() {
+        let confident = Tensor::from_vec(vec![0.9, 0.05, 0.05], [3]).unwrap();
+        let unsure = Tensor::from_vec(vec![0.5, 0.3, 0.2], [3]).unwrap();
+        assert!(
+            normalized_entropy(&confident).unwrap() < normalized_entropy(&unsure).unwrap()
+        );
+    }
+
+    #[test]
+    fn entropy_in_unit_interval_for_any_simplex_point() {
+        for seed in 0..20u64 {
+            let mut rng = ddnn_tensor::rng::rng_from_seed(seed);
+            let raw = Tensor::rand_uniform([3], 0.01, 1.0, &mut rng);
+            let total = raw.sum();
+            let p = raw.scale(1.0 / total);
+            let eta = normalized_entropy(&p).unwrap();
+            assert!((0.0..=1.0).contains(&eta));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(normalized_entropy(&Tensor::zeros([2, 2])).is_err());
+        assert!(normalized_entropy(&Tensor::ones([1])).is_err());
+    }
+
+    #[test]
+    fn rows_variant_matches_scalar() {
+        let m = Tensor::from_vec(vec![1.0, 0.0, 0.5, 0.5], [2, 2]).unwrap();
+        let rows = normalized_entropy_rows(&m).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], 0.0);
+        assert!((rows[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        let t = ExitThreshold::new(0.8);
+        assert!(t.should_exit(0.8));
+        assert!(t.should_exit(0.1));
+        assert!(!t.should_exit(0.81));
+        assert_eq!(ExitThreshold::new(0.0).value(), 0.0);
+        assert_eq!(ExitThreshold::new(2.0).value(), 1.0);
+        assert_eq!(ExitThreshold::default().value(), 0.8);
+    }
+
+    #[test]
+    fn threshold_zero_exits_nothing_threshold_one_exits_all() {
+        // η is strictly positive for non-degenerate predictions, so T=0
+        // keeps everything in the cloud; T=1 exits every sample locally.
+        let t0 = ExitThreshold::new(0.0);
+        let t1 = ExitThreshold::new(1.0);
+        for eta in [0.001f32, 0.4, 0.999] {
+            assert!(!t0.should_exit(eta) || eta == 0.0);
+            assert!(t1.should_exit(eta));
+        }
+    }
+
+    #[test]
+    fn search_picks_accuracy_maximising_threshold() {
+        // Sample 0: confident local & correct; sample 1: unsure, local
+        // wrong but cloud right; sample 2: medium, both right.
+        let eta = [0.1, 0.9, 0.5];
+        let local = [true, false, true];
+        let cloud = [true, true, true];
+        let grid = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let (t, acc) = search_threshold(&eta, &local, &cloud, &grid);
+        assert_eq!(acc, 1.0);
+        assert!(t.value() < 0.9, "must not exit the bad sample locally");
+    }
+}

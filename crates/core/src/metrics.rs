@@ -1,0 +1,144 @@
+//! Accuracy measures (paper §III-F): local / edge / cloud / overall.
+
+use crate::entropy::ExitThreshold;
+use crate::model::{Ddnn, ExitPoint};
+use ddnn_tensor::{Result, Tensor};
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Accuracy when 100% of samples exit at each point (paper §III-F "Local /
+/// Edge / Cloud Accuracy").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitAccuracies {
+    /// Accuracy exiting everything at the local aggregator.
+    pub local: f32,
+    /// Accuracy exiting everything at the edge (if the model has one).
+    pub edge: Option<f32>,
+    /// Accuracy exiting everything in the cloud.
+    pub cloud: f32,
+}
+
+/// Evaluates the forced-exit accuracies on a labeled set.
+///
+/// # Errors
+///
+/// Returns an error on malformed views.
+pub fn evaluate_exit_accuracies(
+    model: &mut Ddnn,
+    views: &[Tensor],
+    labels: &[usize],
+) -> Result<ExitAccuracies> {
+    let local = accuracy(&model.predict_at(views, ExitPoint::Local)?, labels);
+    let cloud = accuracy(&model.predict_at(views, ExitPoint::Cloud)?, labels);
+    let edge = if model.num_exits() == 3 {
+        Some(accuracy(&model.predict_at(views, ExitPoint::Edge)?, labels))
+    } else {
+        None
+    };
+    Ok(ExitAccuracies { local, edge, cloud })
+}
+
+/// The paper's "Overall Accuracy": staged inference with entropy
+/// thresholds, plus where samples exited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverallEvaluation {
+    /// Accuracy of the staged system.
+    pub accuracy: f32,
+    /// Fraction of samples exited locally (`l` in Eq. 1).
+    pub local_exit_fraction: f32,
+    /// Fraction exited at the edge.
+    pub edge_exit_fraction: f32,
+    /// Fraction exited in the cloud.
+    pub cloud_exit_fraction: f32,
+}
+
+/// Runs staged inference and scores it.
+///
+/// # Errors
+///
+/// Returns an error on malformed views.
+pub fn evaluate_overall(
+    model: &mut Ddnn,
+    views: &[Tensor],
+    labels: &[usize],
+    local_threshold: ExitThreshold,
+    edge_threshold: Option<ExitThreshold>,
+) -> Result<OverallEvaluation> {
+    let out = model.infer(views, local_threshold, edge_threshold)?;
+    Ok(OverallEvaluation {
+        accuracy: accuracy(&out.predictions, labels),
+        local_exit_fraction: out.exit_fraction(ExitPoint::Local),
+        edge_exit_fraction: out.exit_fraction(ExitPoint::Edge),
+        cloud_exit_fraction: out.exit_fraction(ExitPoint::Cloud),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DdnnConfig;
+    use ddnn_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[0, 1, 2]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn exit_fractions_sum_to_one() {
+        let mut rng = rng_from_seed(0);
+        let mut model = Ddnn::new(DdnnConfig {
+            num_devices: 2,
+            device_filters: 2,
+            cloud_filters: [4, 8],
+            ..DdnnConfig::default()
+        });
+        let views: Vec<Tensor> =
+            (0..2).map(|_| Tensor::rand_uniform([10, 3, 32, 32], 0.0, 1.0, &mut rng)).collect();
+        let labels = vec![0usize; 10];
+        let eval =
+            evaluate_overall(&mut model, &views, &labels, ExitThreshold::new(0.5), None).unwrap();
+        let total =
+            eval.local_exit_fraction + eval.edge_exit_fraction + eval.cloud_exit_fraction;
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!((0.0..=1.0).contains(&eval.accuracy));
+    }
+
+    #[test]
+    fn forced_exit_accuracies_are_probabilities() {
+        let mut rng = rng_from_seed(1);
+        let mut model = Ddnn::new(DdnnConfig {
+            num_devices: 2,
+            device_filters: 2,
+            cloud_filters: [4, 8],
+            ..DdnnConfig::default()
+        });
+        let views: Vec<Tensor> =
+            (0..2).map(|_| Tensor::rand_uniform([6, 3, 32, 32], 0.0, 1.0, &mut rng)).collect();
+        let labels = vec![1usize; 6];
+        let accs = evaluate_exit_accuracies(&mut model, &views, &labels).unwrap();
+        assert!((0.0..=1.0).contains(&accs.local));
+        assert!((0.0..=1.0).contains(&accs.cloud));
+        assert!(accs.edge.is_none());
+    }
+}

@@ -1,0 +1,839 @@
+//! The distributed deep neural network model (paper §III, Fig. 2 and
+//! Fig. 4): per-device sections, a local exit, an optional edge tier, and a
+//! cloud exit, jointly trainable end to end.
+
+use crate::aggregation::{AggregationScheme, FeatureAggregator, VectorAggregator};
+use crate::block::{ConvPBlock, ExitHead, Precision};
+use crate::entropy::{normalized_entropy_rows, ExitThreshold};
+use ddnn_nn::{Layer, Mode, Param};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::{Result, Tensor, TensorError};
+
+/// Input image geometry: the MVMC crops are 32×32 RGB.
+pub const INPUT_CHANNELS: usize = 3;
+/// Input spatial edge length.
+pub const INPUT_SIZE: usize = 32;
+/// Spatial edge length of a device's ConvP output (one pool halving).
+pub const DEVICE_MAP_SIZE: usize = INPUT_SIZE / 2;
+/// Pixel value substituted for the view of a failed or absent device — the
+/// dataset's blank-grey encoding, which is what gives DDNN its automatic
+/// fault tolerance (paper §IV-G).
+pub const BLANK_INPUT_VALUE: f32 = 0.5;
+
+/// Configuration of an optional edge (fog) tier between devices and cloud
+/// (configurations (d)/(e) of Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeConfig {
+    /// Filters in the edge ConvP block.
+    pub filters: usize,
+    /// How the edge aggregates per-device feature maps.
+    pub agg: AggregationScheme,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig { filters: 16, agg: AggregationScheme::Concat }
+    }
+}
+
+/// Full DDNN architecture configuration.
+///
+/// The default matches the paper's evaluation system (Fig. 4): six end
+/// devices with 4-filter binary ConvP blocks, MP local aggregation, CC
+/// cloud aggregation, no edge tier, and a two-ConvP cloud section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdnnConfig {
+    /// Number of end devices `n`.
+    pub num_devices: usize,
+    /// Number of classes `|C|` (paper: 3).
+    pub num_classes: usize,
+    /// Filters `f` in each device's ConvP block (paper sweeps 1..=4).
+    pub device_filters: usize,
+    /// Local aggregation scheme over per-device class scores.
+    pub local_agg: AggregationScheme,
+    /// Cloud aggregation scheme over per-device feature maps.
+    pub cloud_agg: AggregationScheme,
+    /// Optional edge tier.
+    pub edge: Option<EdgeConfig>,
+    /// Filters of the two cloud ConvP blocks.
+    pub cloud_filters: [usize; 2],
+    /// Weight precision of the cloud section ([`Precision::Binary`] in the
+    /// paper; [`Precision::Float`] for the §VI mixed-precision ablation).
+    pub cloud_precision: Precision,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for DdnnConfig {
+    fn default() -> Self {
+        DdnnConfig {
+            num_devices: 6,
+            num_classes: 3,
+            device_filters: 4,
+            local_agg: AggregationScheme::MaxPool,
+            cloud_agg: AggregationScheme::Concat,
+            edge: None,
+            cloud_filters: [16, 32],
+            cloud_precision: Precision::Binary,
+            seed: 42,
+        }
+    }
+}
+
+impl DdnnConfig {
+    /// The paper's evaluated system (MP-CC, 6 devices, f = 4).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Paper system with a different local/cloud aggregation pair (the
+    /// Table I sweep).
+    pub fn with_aggregation(local: AggregationScheme, cloud: AggregationScheme) -> Self {
+        DdnnConfig { local_agg: local, cloud_agg: cloud, ..Self::default() }
+    }
+
+    /// Flattened width of one device's feature map.
+    pub fn device_map_elems(&self) -> usize {
+        self.device_filters * DEVICE_MAP_SIZE * DEVICE_MAP_SIZE
+    }
+
+    /// Bits per filter of the device output (`o` in the paper's Eq. 1).
+    pub fn output_bits_per_filter(&self) -> usize {
+        DEVICE_MAP_SIZE * DEVICE_MAP_SIZE
+    }
+}
+
+/// Where a sample exits the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitPoint {
+    /// Classified by the local aggregator from device summaries only.
+    Local,
+    /// Classified at the edge tier.
+    Edge,
+    /// Classified in the cloud (the final exit: always classifies).
+    Cloud,
+}
+
+/// Logits produced at each exit for a batch.
+#[derive(Debug, Clone)]
+pub struct ExitLogits {
+    /// Local-exit logits `(n, classes)`.
+    pub local: Tensor,
+    /// Edge-exit logits, present when the model has an edge tier.
+    pub edge: Option<Tensor>,
+    /// Cloud-exit logits `(n, classes)`.
+    pub cloud: Tensor,
+}
+
+/// Upstream gradients for each exit (same shapes as [`ExitLogits`]).
+#[derive(Debug, Clone)]
+pub struct ExitGrads {
+    /// Gradient w.r.t. local logits.
+    pub local: Tensor,
+    /// Gradient w.r.t. edge logits (required iff the model has an edge).
+    pub edge: Option<Tensor>,
+    /// Gradient w.r.t. cloud logits.
+    pub cloud: Tensor,
+}
+
+/// Per-sample result of staged DDNN inference.
+#[derive(Debug, Clone)]
+pub struct InferenceOutput {
+    /// Predicted class per sample (from whichever exit classified it).
+    pub predictions: Vec<usize>,
+    /// The exit each sample took.
+    pub exits: Vec<ExitPoint>,
+    /// Normalized entropy at the local exit per sample.
+    pub local_entropy: Vec<f32>,
+    /// All exit logits (useful for analysis).
+    pub logits: ExitLogits,
+}
+
+impl InferenceOutput {
+    /// Fraction of samples exited at `point`.
+    pub fn exit_fraction(&self, point: ExitPoint) -> f32 {
+        if self.exits.is_empty() {
+            return 0.0;
+        }
+        self.exits.iter().filter(|&&e| e == point).count() as f32 / self.exits.len() as f32
+    }
+}
+
+#[derive(Clone)]
+struct EdgeSection {
+    agg: FeatureAggregator,
+    conv: ConvPBlock,
+    exit: ExitHead,
+}
+
+/// The jointly trained DDNN over `n` end devices and the cloud, with an
+/// optional edge tier.
+///
+/// Structure (Fig. 4): each device runs a binary ConvP block producing a
+/// ±1 feature map and a binary-weight exit head producing float class
+/// scores. The local aggregator combines the score vectors for the local
+/// exit. When a sample is offloaded, the (edge and) cloud aggregates the
+/// per-device binary feature maps and runs further ConvP blocks before its
+/// own exit.
+pub struct Ddnn {
+    config: DdnnConfig,
+    device_convs: Vec<ConvPBlock>,
+    device_exits: Vec<ExitHead>,
+    local_agg: VectorAggregator,
+    edge: Option<EdgeSection>,
+    cloud_agg: FeatureAggregator,
+    cloud_convs: Vec<ConvPBlock>,
+    cloud_exit: ExitHead,
+}
+
+impl std::fmt::Debug for Ddnn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ddnn").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl Ddnn {
+    /// Builds a DDNN from a configuration (weights seeded by
+    /// `config.seed`).
+    pub fn new(config: DdnnConfig) -> Self {
+        let mut rng = rng_from_seed(config.seed);
+        let f = config.device_filters;
+        let c = config.num_classes;
+        let n = config.num_devices;
+        let map_elems = config.device_map_elems();
+
+        let device_convs: Vec<ConvPBlock> = (0..n)
+            .map(|_| ConvPBlock::new(INPUT_CHANNELS, f, Precision::Binary, &mut rng))
+            .collect();
+        let device_exits: Vec<ExitHead> =
+            (0..n).map(|_| ExitHead::new(map_elems, c, Precision::Binary, &mut rng)).collect();
+        let local_agg = VectorAggregator::new(config.local_agg, n, c, &mut rng);
+
+        let half = DEVICE_MAP_SIZE / 2; // 8
+        let quarter = half / 2; // 4
+        let (edge, cloud_agg, cloud_convs, cloud_head_in) = if let Some(ec) = config.edge {
+            let mut edge_agg = FeatureAggregator::new(ec.agg, n);
+            let edge_in = edge_agg.output_channels(f);
+            let _ = &mut edge_agg;
+            let edge_conv = ConvPBlock::new(edge_in, ec.filters, config.cloud_precision, &mut rng);
+            let edge_exit =
+                ExitHead::new(ec.filters * half * half, c, config.cloud_precision, &mut rng);
+            // Cloud consumes the single edge's output; no cross-device
+            // aggregation remains at the cloud in configuration (d)/(e).
+            let cloud_agg = FeatureAggregator::new(AggregationScheme::AvgPool, 1);
+            let cloud_conv = ConvPBlock::new(
+                ec.filters,
+                config.cloud_filters[1],
+                config.cloud_precision,
+                &mut rng,
+            );
+            (
+                Some(EdgeSection { agg: edge_agg, conv: edge_conv, exit: edge_exit }),
+                cloud_agg,
+                vec![cloud_conv],
+                config.cloud_filters[1] * quarter * quarter,
+            )
+        } else {
+            let mut cloud_agg = FeatureAggregator::new(config.cloud_agg, n);
+            let cloud_in = cloud_agg.output_channels(f);
+            let _ = &mut cloud_agg;
+            let conv1 =
+                ConvPBlock::new(cloud_in, config.cloud_filters[0], config.cloud_precision, &mut rng);
+            let conv2 = ConvPBlock::new(
+                config.cloud_filters[0],
+                config.cloud_filters[1],
+                config.cloud_precision,
+                &mut rng,
+            );
+            (None, cloud_agg, vec![conv1, conv2], config.cloud_filters[1] * quarter * quarter)
+        };
+        let cloud_exit = ExitHead::new(cloud_head_in, c, config.cloud_precision, &mut rng);
+
+        Ddnn { config, device_convs, device_exits, local_agg, edge, cloud_agg, cloud_convs, cloud_exit }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DdnnConfig {
+        &self.config
+    }
+
+    /// Number of exit points (2, or 3 with an edge tier).
+    pub fn num_exits(&self) -> usize {
+        if self.edge.is_some() {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// Serialized parameter bytes of one device's section (ConvP block +
+    /// exit head) — must stay under the paper's 2 KB budget.
+    pub fn device_memory_bytes(&self) -> usize {
+        self.device_convs[0].memory_bytes() + self.device_exits[0].memory_bytes()
+    }
+
+    fn check_views(&self, views: &[Tensor]) -> Result<usize> {
+        if views.len() != self.config.num_devices {
+            return Err(TensorError::LengthMismatch {
+                expected: self.config.num_devices,
+                actual: views.len(),
+            });
+        }
+        let n = views[0].dims()[0];
+        for v in views {
+            if v.rank() != 4
+                || v.dims() != [n, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE]
+            {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: v.dims().to_vec(),
+                    rhs: vec![n, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE],
+                    op: "ddnn.forward views",
+                });
+            }
+        }
+        Ok(n)
+    }
+
+    /// Runs all exits for a batch: `views[d]` is device `d`'s
+    /// `(n, 3, 32, 32)` input batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the view count or any view shape is wrong.
+    pub fn forward(&mut self, views: &[Tensor], mode: Mode) -> Result<ExitLogits> {
+        self.check_views(views)?;
+        // Device sections: binary feature maps + per-device class scores.
+        let mut maps = Vec::with_capacity(views.len());
+        let mut scores = Vec::with_capacity(views.len());
+        for ((conv, exit), view) in
+            self.device_convs.iter_mut().zip(&mut self.device_exits).zip(views)
+        {
+            let map = conv.forward(view, mode)?;
+            scores.push(exit.forward(&map, mode)?);
+            maps.push(map);
+        }
+        // Local exit.
+        let local = self.local_agg.forward(&scores, mode)?;
+        // Edge (optional) and cloud.
+        let (edge_logits, mut x) = if let Some(edge) = &mut self.edge {
+            let agg = edge.agg.forward(&maps)?;
+            let e = edge.conv.forward(&agg, mode)?;
+            let logits = edge.exit.forward(&e, mode)?;
+            let cloud_in = self.cloud_agg.forward(&[e])?;
+            (Some(logits), cloud_in)
+        } else {
+            (None, self.cloud_agg.forward(&maps)?)
+        };
+        for conv in &mut self.cloud_convs {
+            x = conv.forward(&x, mode)?;
+        }
+        let cloud = self.cloud_exit.forward(&x, mode)?;
+        Ok(ExitLogits { local, edge: edge_logits, cloud })
+    }
+
+    /// Backpropagates the joint multi-exit loss (paper §III-C): callers
+    /// supply the gradient at each exit (already weighted), and this method
+    /// sums the gradient contributions where branches share layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes are inconsistent with the last `forward`,
+    /// or if an edge gradient is missing/spurious for this architecture.
+    pub fn backward(&mut self, grads: &ExitGrads) -> Result<()> {
+        if grads.edge.is_some() != self.edge.is_some() {
+            return Err(TensorError::Empty { op: "ddnn.backward edge gradient arity" });
+        }
+        // Cloud branch down to the cloud aggregator input.
+        let mut g = self.cloud_exit.backward(&grads.cloud)?;
+        for conv in self.cloud_convs.iter_mut().rev() {
+            // Exit heads flatten; restore the conv output shape first.
+            g = reshape_like_output(&g, conv)?;
+            g = conv.backward(&g)?;
+        }
+        // Gradient arriving at each device's feature map.
+        let mut map_grads: Vec<Tensor> = if let Some(edge) = &mut self.edge {
+            let g_edge_from_cloud = self.cloud_agg.backward(&g)?.remove(0);
+            let edge_grad =
+                grads.edge.as_ref().expect("checked above: edge gradient present");
+            let mut g_e = edge.exit.backward(edge_grad)?;
+            g_e = reshape_like_output(&g_e, &edge.conv)?;
+            g_e.add_assign(&g_edge_from_cloud)?;
+            let g_agg = edge.conv.backward(&g_e)?;
+            edge.agg.backward(&g_agg)?
+        } else {
+            self.cloud_agg.backward(&g)?
+        };
+        // Local branch: aggregator → per-device exit heads.
+        let score_grads = self.local_agg.backward(&grads.local)?;
+        for ((exit, sg), mg) in
+            self.device_exits.iter_mut().zip(&score_grads).zip(&mut map_grads)
+        {
+            let g_map_flat = exit.backward(sg)?;
+            let g_map = g_map_flat.reshape(mg.dims().to_vec())?;
+            mg.add_assign(&g_map)?;
+        }
+        // Shared trunks: each device's ConvP gets the summed gradient.
+        for (conv, mg) in self.device_convs.iter_mut().zip(&map_grads) {
+            conv.backward(mg)?;
+        }
+        Ok(())
+    }
+
+    /// All stateful blocks in a stable order (for checkpointing of
+    /// batch-norm running statistics).
+    pub(crate) fn blocks_mut(&mut self) -> Vec<&mut dyn Layer> {
+        let mut bs: Vec<&mut dyn Layer> = Vec::new();
+        for c in &mut self.device_convs {
+            bs.push(c);
+        }
+        for e in &mut self.device_exits {
+            bs.push(e);
+        }
+        if let Some(edge) = &mut self.edge {
+            bs.push(&mut edge.conv);
+            bs.push(&mut edge.exit);
+        }
+        for c in &mut self.cloud_convs {
+            bs.push(c);
+        }
+        bs.push(&mut self.cloud_exit);
+        bs
+    }
+
+    /// All trainable parameters in a stable order (for the optimizer).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps: Vec<&mut Param> = Vec::new();
+        for c in &mut self.device_convs {
+            ps.extend(c.params_mut());
+        }
+        for e in &mut self.device_exits {
+            ps.extend(e.params_mut());
+        }
+        ps.extend(self.local_agg.params_mut());
+        if let Some(edge) = &mut self.edge {
+            ps.extend(edge.conv.params_mut());
+            ps.extend(edge.exit.params_mut());
+        }
+        for c in &mut self.cloud_convs {
+            ps.extend(c.params_mut());
+        }
+        ps.extend(self.cloud_exit.params_mut());
+        ps
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Re-estimates every batch-norm layer's running statistics by running
+    /// forward passes (no parameter updates) over the given data with the
+    /// *final* weights.
+    ///
+    /// Binarized networks need this: `sign(W)` flips discretely during
+    /// training, so exponential running statistics collected along the
+    /// trajectory describe a different network than the one that finished
+    /// training; without a refresh, eval-mode accuracy collapses. The
+    /// trainer calls this automatically after the last epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed views.
+    pub fn refresh_batch_norm_stats(
+        &mut self,
+        views: &[Tensor],
+        batch_size: usize,
+        passes: usize,
+    ) -> Result<()> {
+        let n = self.check_views(views)?;
+        let bs = batch_size.max(1);
+        for _ in 0..passes {
+            let mut start = 0;
+            while start < n {
+                let idx: Vec<usize> = (start..(start + bs).min(n)).collect();
+                let batch: Vec<Tensor> =
+                    views.iter().map(|v| v.select_axis0(&idx)).collect::<Result<_>>()?;
+                self.forward(&batch, Mode::Train)?;
+                start += bs;
+            }
+        }
+        Ok(())
+    }
+
+    /// Staged inference (paper §III-D): classify each sample at the
+    /// earliest exit whose normalized entropy is within its threshold; the
+    /// cloud always classifies what reaches it.
+    ///
+    /// `edge_threshold` is ignored for models without an edge tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed views.
+    pub fn infer(
+        &mut self,
+        views: &[Tensor],
+        local_threshold: ExitThreshold,
+        edge_threshold: Option<ExitThreshold>,
+    ) -> Result<InferenceOutput> {
+        let logits = self.forward(views, Mode::Eval)?;
+        let local_probs = logits.local.softmax_rows()?;
+        let local_eta = normalized_entropy_rows(&local_probs)?;
+        let local_pred = local_probs.argmax_rows()?;
+        let cloud_pred = logits.cloud.softmax_rows()?.argmax_rows()?;
+        let edge_info = match (&logits.edge, edge_threshold) {
+            (Some(e), t) => {
+                let probs = e.softmax_rows()?;
+                let eta = normalized_entropy_rows(&probs)?;
+                let pred = probs.argmax_rows()?;
+                Some((eta, pred, t.unwrap_or_default()))
+            }
+            _ => None,
+        };
+        let n = local_pred.len();
+        let mut predictions = Vec::with_capacity(n);
+        let mut exits = Vec::with_capacity(n);
+        for i in 0..n {
+            if local_threshold.should_exit(local_eta[i]) {
+                predictions.push(local_pred[i]);
+                exits.push(ExitPoint::Local);
+            } else if let Some((eta, pred, t)) = &edge_info {
+                if t.should_exit(eta[i]) {
+                    predictions.push(pred[i]);
+                    exits.push(ExitPoint::Edge);
+                } else {
+                    predictions.push(cloud_pred[i]);
+                    exits.push(ExitPoint::Cloud);
+                }
+            } else {
+                predictions.push(cloud_pred[i]);
+                exits.push(ExitPoint::Cloud);
+            }
+        }
+        Ok(InferenceOutput { predictions, exits, local_entropy: local_eta, logits })
+    }
+
+    /// Predictions when *all* samples exit at the given point (the paper's
+    /// "Local/Edge/Cloud Accuracy" measures, §III-F).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed views, or when asking for the edge
+    /// exit of an edge-less model.
+    pub fn predict_at(&mut self, views: &[Tensor], point: ExitPoint) -> Result<Vec<usize>> {
+        let logits = self.forward(views, Mode::Eval)?;
+        let t = match point {
+            ExitPoint::Local => logits.local,
+            ExitPoint::Cloud => logits.cloud,
+            ExitPoint::Edge => logits.edge.ok_or(TensorError::Empty {
+                op: "predict_at(Edge) on a model without an edge tier",
+            })?,
+        };
+        t.softmax_rows()?.argmax_rows()
+    }
+
+    /// The binary feature maps each device would transmit for this batch —
+    /// used by the runtime simulator and the communication accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed views.
+    pub fn device_feature_maps(&mut self, views: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.check_views(views)?;
+        self.device_convs
+            .iter_mut()
+            .zip(views)
+            .map(|(conv, v)| conv.forward(v, Mode::Eval))
+            .collect()
+    }
+
+    /// Per-device class scores (what each device sends to the local
+    /// aggregator).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed views.
+    pub fn device_scores(&mut self, views: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.check_views(views)?;
+        self.device_convs
+            .iter_mut()
+            .zip(&mut self.device_exits)
+            .zip(views)
+            .map(|((conv, exit), v)| {
+                let m = conv.forward(v, Mode::Eval)?;
+                exit.forward(&m, Mode::Eval)
+            })
+            .collect()
+    }
+}
+
+/// The portion of a DDNN deployed on one end device: its ConvP block and
+/// exit classifier — together under 2 KB of weights (paper §IV-F).
+#[derive(Debug, Clone)]
+pub struct DevicePart {
+    /// The device's fused binary convolution-pool block.
+    pub conv: ConvPBlock,
+    /// The device's exit classifier producing float class scores.
+    pub exit: ExitHead,
+}
+
+/// The local aggregator deployed on the gateway between the devices and
+/// the rest of the hierarchy.
+#[derive(Debug, Clone)]
+pub struct GatewayPart {
+    /// Aggregates the per-device class-score vectors for the local exit.
+    pub agg: VectorAggregator,
+}
+
+/// The edge (fog) tier section, if the architecture has one.
+#[derive(Debug, Clone)]
+pub struct EdgePart {
+    /// Aggregates per-device binary feature maps.
+    pub agg: FeatureAggregator,
+    /// The edge's ConvP block.
+    pub conv: ConvPBlock,
+    /// The edge's exit classifier.
+    pub exit: ExitHead,
+}
+
+/// The cloud section: feature aggregation, further ConvP blocks, final
+/// exit.
+#[derive(Debug, Clone)]
+pub struct CloudPart {
+    /// Aggregates incoming feature maps (per-device, or the single edge
+    /// output for edge architectures).
+    pub agg: FeatureAggregator,
+    /// The cloud ConvP stack.
+    pub convs: Vec<ConvPBlock>,
+    /// The final exit classifier (always classifies).
+    pub exit: ExitHead,
+}
+
+/// A DDNN split along its physical deployment boundaries, ready to be
+/// placed on separate nodes of a distributed hierarchy (what the
+/// `ddnn-runtime` simulator executes).
+#[derive(Debug, Clone)]
+pub struct DdnnPartition {
+    /// Architecture configuration the partition came from.
+    pub config: DdnnConfig,
+    /// One part per end device.
+    pub devices: Vec<DevicePart>,
+    /// The local aggregator.
+    pub gateway: GatewayPart,
+    /// The edge tier (if configured).
+    pub edge: Option<EdgePart>,
+    /// The cloud section.
+    pub cloud: CloudPart,
+}
+
+impl Ddnn {
+    /// Splits the (trained) model along its deployment boundaries: one
+    /// [`DevicePart`] per end device, the gateway's local aggregator, the
+    /// optional edge section and the cloud section.
+    ///
+    /// The parts are deep copies; the original model remains usable.
+    pub fn partition(&self) -> DdnnPartition {
+        DdnnPartition {
+            config: self.config.clone(),
+            devices: self
+                .device_convs
+                .iter()
+                .zip(&self.device_exits)
+                .map(|(conv, exit)| DevicePart { conv: conv.clone(), exit: exit.clone() })
+                .collect(),
+            gateway: GatewayPart { agg: self.local_agg.clone() },
+            edge: self.edge.as_ref().map(|e| EdgePart {
+                agg: e.agg.clone(),
+                conv: e.conv.clone(),
+                exit: e.exit.clone(),
+            }),
+            cloud: CloudPart {
+                agg: self.cloud_agg.clone(),
+                convs: self.cloud_convs.clone(),
+                exit: self.cloud_exit.clone(),
+            },
+        }
+    }
+}
+
+/// Restores a flattened gradient `(n, c*h*w)` to the NCHW shape a ConvP
+/// block produced — the glue between exit heads (which flatten) and conv
+/// blocks.
+fn reshape_like_output(g: &Tensor, conv: &ConvPBlock) -> Result<Tensor> {
+    if g.rank() == 4 {
+        return Ok(g.clone());
+    }
+    let n = g.dims()[0];
+    let c = conv.filters();
+    let hw = g.len() / (n * c);
+    let side = (hw as f32).sqrt().round() as usize;
+    g.reshape([n, c, side, side])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddnn_tensor::rng::rng_from_seed;
+
+    fn small_config() -> DdnnConfig {
+        DdnnConfig { num_devices: 2, device_filters: 2, cloud_filters: [4, 8], ..DdnnConfig::default() }
+    }
+
+    fn random_views(n: usize, devices: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = rng_from_seed(seed);
+        (0..devices).map(|_| Tensor::rand_uniform([n, 3, 32, 32], 0.0, 1.0, &mut rng)).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(3, 2, 0);
+        let out = m.forward(&views, Mode::Train).unwrap();
+        assert_eq!(out.local.dims(), &[3, 3]);
+        assert_eq!(out.cloud.dims(), &[3, 3]);
+        assert!(out.edge.is_none());
+        assert_eq!(m.num_exits(), 2);
+    }
+
+    #[test]
+    fn forward_rejects_bad_views() {
+        let mut m = Ddnn::new(small_config());
+        assert!(m.forward(&random_views(3, 1, 0), Mode::Train).is_err());
+        let bad = vec![Tensor::zeros([3, 3, 16, 16]), Tensor::zeros([3, 3, 16, 16])];
+        assert!(m.forward(&bad, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_runs_and_produces_grads() {
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(2, 2, 1);
+        let out = m.forward(&views, Mode::Train).unwrap();
+        m.zero_grad();
+        m.backward(&ExitGrads {
+            local: Tensor::ones(out.local.dims().to_vec()),
+            edge: None,
+            cloud: Tensor::ones(out.cloud.dims().to_vec()),
+        })
+        .unwrap();
+        let total_grad: f32 = m.params_mut().iter().map(|p| p.grad.norm_sq()).sum();
+        assert!(total_grad > 0.0, "joint backward must reach parameters");
+        assert!(m.params_mut().iter().all(|p| p.grad.all_finite()));
+    }
+
+    #[test]
+    fn backward_edge_arity_checked() {
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(2, 2, 1);
+        let out = m.forward(&views, Mode::Train).unwrap();
+        let bad = ExitGrads {
+            local: Tensor::ones(out.local.dims().to_vec()),
+            edge: Some(Tensor::ones([2, 3])),
+            cloud: Tensor::ones(out.cloud.dims().to_vec()),
+        };
+        assert!(m.backward(&bad).is_err());
+    }
+
+    #[test]
+    fn edge_model_has_three_exits() {
+        let cfg = DdnnConfig {
+            edge: Some(EdgeConfig { filters: 4, agg: AggregationScheme::Concat }),
+            ..small_config()
+        };
+        let mut m = Ddnn::new(cfg);
+        assert_eq!(m.num_exits(), 3);
+        let views = random_views(2, 2, 2);
+        let out = m.forward(&views, Mode::Train).unwrap();
+        let e = out.edge.as_ref().expect("edge logits present");
+        assert_eq!(e.dims(), &[2, 3]);
+        m.zero_grad();
+        m.backward(&ExitGrads {
+            local: Tensor::ones([2, 3]),
+            edge: Some(Tensor::ones([2, 3])),
+            cloud: Tensor::ones([2, 3]),
+        })
+        .unwrap();
+        assert!(m.params_mut().iter().all(|p| p.grad.all_finite()));
+    }
+
+    #[test]
+    fn paper_config_device_memory_under_2kb() {
+        let mut m = Ddnn::new(DdnnConfig::paper());
+        assert!(m.device_memory_bytes() < 2048, "{} bytes", m.device_memory_bytes());
+        assert!(m.param_count() > 0);
+    }
+
+    #[test]
+    fn infer_partitions_batch_between_exits() {
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(8, 2, 3);
+        // T=1: everything exits locally. T=0: everything goes to cloud.
+        let all_local = m.infer(&views, ExitThreshold::new(1.0), None).unwrap();
+        assert_eq!(all_local.exit_fraction(ExitPoint::Local), 1.0);
+        let all_cloud = m.infer(&views, ExitThreshold::new(0.0), None).unwrap();
+        assert!(all_cloud.exit_fraction(ExitPoint::Cloud) > 0.99);
+        assert_eq!(all_cloud.predictions.len(), 8);
+        assert!(all_cloud.local_entropy.iter().all(|&e| (0.0..=1.0).contains(&e)));
+    }
+
+    #[test]
+    fn infer_predictions_match_exit_choice() {
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(6, 2, 4);
+        let out = m.infer(&views, ExitThreshold::new(0.5), None).unwrap();
+        let local_pred = m.predict_at(&views, ExitPoint::Local).unwrap();
+        let cloud_pred = m.predict_at(&views, ExitPoint::Cloud).unwrap();
+        for i in 0..6 {
+            match out.exits[i] {
+                ExitPoint::Local => assert_eq!(out.predictions[i], local_pred[i]),
+                ExitPoint::Cloud => assert_eq!(out.predictions[i], cloud_pred[i]),
+                ExitPoint::Edge => unreachable!("no edge in this model"),
+            }
+        }
+    }
+
+    #[test]
+    fn predict_at_edge_requires_edge() {
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(2, 2, 5);
+        assert!(m.predict_at(&views, ExitPoint::Edge).is_err());
+    }
+
+    #[test]
+    fn feature_maps_are_binary_and_correct_shape() {
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(2, 2, 6);
+        let maps = m.device_feature_maps(&views).unwrap();
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].dims(), &[2, 2, 16, 16]);
+        assert!(maps[0].data().iter().all(|&v| v == 1.0 || v == -1.0));
+        let scores = m.device_scores(&views).unwrap();
+        assert_eq!(scores[0].dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let mut a = Ddnn::new(small_config());
+        let mut b = Ddnn::new(small_config());
+        let views = random_views(2, 2, 7);
+        let oa = a.forward(&views, Mode::Eval).unwrap();
+        let ob = b.forward(&views, Mode::Eval).unwrap();
+        assert_eq!(oa.cloud, ob.cloud);
+    }
+
+    #[test]
+    fn cc_cloud_aggregation_changes_cloud_input_width() {
+        let cc = DdnnConfig::with_aggregation(AggregationScheme::MaxPool, AggregationScheme::Concat);
+        let mp = DdnnConfig::with_aggregation(AggregationScheme::MaxPool, AggregationScheme::MaxPool);
+        // Parameter counts differ because CC's first cloud conv consumes
+        // n*f channels instead of f.
+        let mut mcc = Ddnn::new(cc);
+        let mut mmp = Ddnn::new(mp);
+        assert!(mcc.param_count() > mmp.param_count());
+    }
+}

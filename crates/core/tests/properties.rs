@@ -1,0 +1,135 @@
+//! Property-based tests of DDNN core invariants: aggregation algebra,
+//! exit-policy monotonicity and the communication model.
+
+use ddnn_core::{
+    normalized_entropy, AggregationScheme, CommCostModel, DdnnConfig, ExitThreshold,
+    FeatureAggregator, VectorAggregator,
+};
+use ddnn_nn::Mode;
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normalized_entropy_is_in_unit_interval(data in prop::collection::vec(0.001f32..1.0, 2..8)) {
+        let n = data.len();
+        let raw = Tensor::from_vec(data, [n]).unwrap();
+        let p = raw.scale(1.0 / raw.sum());
+        let eta = normalized_entropy(&p).unwrap();
+        prop_assert!((0.0..=1.0).contains(&eta));
+    }
+
+    #[test]
+    fn entropy_maximized_by_uniform(c in 2usize..8, seed in 0u64..50) {
+        let uniform = Tensor::full([c], 1.0 / c as f32);
+        let eta_u = normalized_entropy(&uniform).unwrap();
+        prop_assert!((eta_u - 1.0).abs() < 1e-5);
+        let mut rng = rng_from_seed(seed);
+        let raw = Tensor::rand_uniform([c], 0.01, 1.0, &mut rng);
+        let p = raw.scale(1.0 / raw.sum());
+        prop_assert!(normalized_entropy(&p).unwrap() <= eta_u + 1e-6);
+    }
+
+    #[test]
+    fn exit_sets_are_monotone_in_threshold(eta in 0.0f32..1.0, t1 in 0.0f32..1.0, t2 in 0.0f32..1.0) {
+        // If a sample exits at threshold t1 and t2 >= t1, it also exits at t2.
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        if ExitThreshold::new(lo).should_exit(eta) {
+            prop_assert!(ExitThreshold::new(hi).should_exit(eta));
+        }
+    }
+
+    #[test]
+    fn mp_dominates_ap_pointwise(seed in 0u64..100, n_inputs in 2usize..5) {
+        let mut rng = rng_from_seed(seed);
+        let inputs: Vec<Tensor> =
+            (0..n_inputs).map(|_| Tensor::rand_uniform([2, 3], -4.0, 4.0, &mut rng)).collect();
+        let mut mp = VectorAggregator::new(AggregationScheme::MaxPool, n_inputs, 3, &mut rng);
+        let mut ap = VectorAggregator::new(AggregationScheme::AvgPool, n_inputs, 3, &mut rng);
+        let vmax = mp.forward(&inputs, Mode::Eval).unwrap();
+        let vavg = ap.forward(&inputs, Mode::Eval).unwrap();
+        for (m, a) in vmax.data().iter().zip(vavg.data()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn mp_backward_conserves_gradient_mass(seed in 0u64..100) {
+        let mut rng = rng_from_seed(seed);
+        let inputs: Vec<Tensor> =
+            (0..3).map(|_| Tensor::rand_uniform([1, 4], -1.0, 1.0, &mut rng)).collect();
+        let mut mp = VectorAggregator::new(AggregationScheme::MaxPool, 3, 4, &mut rng);
+        mp.forward(&inputs, Mode::Eval).unwrap();
+        let g = Tensor::rand_uniform([1, 4], 0.0, 1.0, &mut rng);
+        let grads = mp.backward(&g).unwrap();
+        let total: f32 = grads.iter().map(|t| t.sum()).sum();
+        prop_assert!((total - g.sum()).abs() < 1e-5);
+        // Exactly one device receives each component.
+        for j in 0..4 {
+            let nonzero = grads.iter().filter(|t| t.data()[j] != 0.0).count();
+            prop_assert!(nonzero <= 1);
+        }
+    }
+
+    #[test]
+    fn feature_cc_width_is_sum_of_inputs(n_inputs in 1usize..6, f in 1usize..5) {
+        let agg = FeatureAggregator::new(AggregationScheme::Concat, n_inputs);
+        prop_assert_eq!(agg.output_channels(f), n_inputs * f);
+        let mp = FeatureAggregator::new(AggregationScheme::MaxPool, n_inputs);
+        prop_assert_eq!(mp.output_channels(f), f);
+    }
+
+    #[test]
+    fn comm_cost_is_monotone_and_bounded(f in 1usize..8, l1 in 0.0f32..1.0, l2 in 0.0f32..1.0) {
+        let cfg = DdnnConfig { device_filters: f, ..DdnnConfig::paper() };
+        let m = CommCostModel::from_config(&cfg);
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        prop_assert!(m.bytes_per_sample(hi) <= m.bytes_per_sample(lo));
+        prop_assert!(m.bytes_per_sample(lo) <= m.bytes_per_sample(0.0));
+        prop_assert!(m.bytes_per_sample(hi) >= m.summary_bytes() as f32);
+    }
+
+    #[test]
+    fn aggregators_are_deterministic(seed in 0u64..50) {
+        let mut rng = rng_from_seed(seed);
+        let inputs: Vec<Tensor> =
+            (0..4).map(|_| Tensor::rand_uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng)).collect();
+        for scheme in AggregationScheme::ALL {
+            let mut a = FeatureAggregator::new(scheme, 4);
+            let mut b = FeatureAggregator::new(scheme, 4);
+            prop_assert_eq!(a.forward(&inputs).unwrap(), b.forward(&inputs).unwrap());
+        }
+    }
+}
+
+#[test]
+fn mp_and_ap_local_aggregation_differ_in_training() {
+    // Regression guard: Table I rows for MP-CC and AP-CC must come from
+    // genuinely different gradient routing, visible after a few steps.
+    use ddnn_core::{train, Ddnn, TrainConfig};
+    let mut rng = rng_from_seed(99);
+    let views: Vec<Tensor> =
+        (0..2).map(|_| Tensor::rand_uniform([12, 3, 32, 32], 0.0, 1.0, &mut rng)).collect();
+    let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+    let mut build = |local| {
+        Ddnn::new(DdnnConfig {
+            num_devices: 2,
+            device_filters: 2,
+            cloud_filters: [4, 8],
+            local_agg: local,
+            ..DdnnConfig::default()
+        })
+    };
+    let cfg = TrainConfig { epochs: 2, batch_size: 12, stat_refresh_passes: 0, ..TrainConfig::default() };
+    let mut mp = build(AggregationScheme::MaxPool);
+    let mut ap = build(AggregationScheme::AvgPool);
+    train(&mut mp, &views, &labels, &cfg).unwrap();
+    train(&mut ap, &views, &labels, &cfg).unwrap();
+    let lm = mp.forward(&views, Mode::Eval).unwrap();
+    let la = ap.forward(&views, Mode::Eval).unwrap();
+    assert!(
+        lm.local.max_abs_diff(&la.local).unwrap() > 1e-4,
+        "MP and AP local aggregation trained to identical logits"
+    );
+}

@@ -1,0 +1,40 @@
+//! # ddnn-data
+//!
+//! Synthetic multi-view multi-camera (MVMC) dataset for DDNN-RS.
+//!
+//! The paper evaluates DDNN on 32x32 RGB crops from six cameras observing
+//! the same area (Roig et al. 2011); the processed `.npz` it links to is
+//! no longer downloadable, so this crate *synthesizes* an equivalent
+//! dataset (see `DESIGN.md` section 3 for the substitution argument). The
+//! properties DDNN exploits are preserved:
+//!
+//! * six cameras with fixed, very different viewpoints (scale, angle,
+//!   lighting, noise, occlusion) observing the *same* object per sample;
+//! * three imbalanced classes (car/bus/person);
+//! * objects absent from many views — a blank grey frame, the paper's
+//!   label -1;
+//! * the paper's 680-train / 171-test split.
+//!
+//! ```
+//! use ddnn_data::{MvmcDataset, MvmcConfig, device_batch, labels};
+//!
+//! # fn main() -> Result<(), ddnn_tensor::TensorError> {
+//! let ds = MvmcDataset::generate(MvmcConfig::tiny(32, 8, 42));
+//! let device0 = device_batch(&ds.train, 0)?; // (32, 3, 32, 32)
+//! assert_eq!(device0.dims(), &[32, 3, 32, 32]);
+//! assert_eq!(labels(&ds.train).len(), 32);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mvmc;
+pub mod render;
+
+pub use mvmc::{
+    all_device_batches, device_batch, device_stats, labels, DeviceProfile, DeviceStats,
+    MvmcConfig, MvmcDataset, MvmcSample, NUM_CLASSES, NUM_DEVICES, RAW_VIEW_BYTES, TEST_SAMPLES,
+    TRAIN_SAMPLES,
+};
+pub use render::{blank_frame, is_blank, ObjectClass, Viewpoint, CHANNELS, IMAGE_SIZE};

@@ -1,0 +1,411 @@
+//! The synthetic multi-view multi-camera (MVMC) dataset.
+//!
+//! Reproduces the structure of the dataset used in the paper's evaluation
+//! (§IV-B): six cameras observe the same scene; each *sample* is one object
+//! (car, bus or person) captured simultaneously by the subset of cameras it
+//! is visible to; cameras where the object is absent contribute a blank
+//! grey frame. The paper's split of 680 training and 171 test samples, the
+//! heavy per-device class imbalance (Fig. 6) and the wide spread of
+//! per-device informativeness (Fig. 8 "Individual" curve) are all modeled.
+
+use crate::render::{
+    blank_frame, render_view, ObjectClass, ObjectInstance, Viewpoint, CHANNELS, IMAGE_SIZE,
+};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::{Result, Tensor};
+use rand::Rng;
+
+/// Number of end devices (cameras) in the paper's evaluation.
+pub const NUM_DEVICES: usize = 6;
+/// Number of object classes.
+pub const NUM_CLASSES: usize = 3;
+/// Paper's training-set size.
+pub const TRAIN_SAMPLES: usize = 680;
+/// Paper's test-set size.
+pub const TEST_SAMPLES: usize = 171;
+
+/// A camera/device profile: viewpoint plus how often objects are visible
+/// to it.
+///
+/// The six defaults are calibrated so the per-device *individual* accuracy
+/// spread matches the paper's Fig. 8: device 2 worst (rarely sees the
+/// object, oblique and noisy) through device 6 best (frontal, close,
+/// clean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Base probability that an object is visible to this camera.
+    pub presence: f32,
+    /// The camera's viewpoint transform.
+    pub viewpoint: Viewpoint,
+}
+
+impl DeviceProfile {
+    /// The six calibrated camera profiles, in device order 1..=6.
+    pub fn paper_devices() -> Vec<DeviceProfile> {
+        // (presence, scale, shear, brightness, noise, occlusion)
+        let raw: [(f32, f32, f32, f32, f32, f32); NUM_DEVICES] = [
+            (0.55, 0.80, 0.35, 0.75, 0.22, 0.35), // device 1: distant, dim
+            (0.40, 0.70, 0.50, 0.60, 0.28, 0.45), // device 2: worst view
+            (0.70, 0.95, 0.20, 0.90, 0.12, 0.20), // device 3
+            (0.62, 0.85, 0.30, 0.80, 0.18, 0.30), // device 4
+            (0.78, 0.95, 0.15, 0.90, 0.16, 0.22), // device 5
+            (0.88, 1.00, 0.08, 0.92, 0.14, 0.18), // device 6: frontal, clear
+        ];
+        raw.iter()
+            .map(|&(presence, scale, shear, brightness, noise_std, occlusion_prob)| {
+                DeviceProfile {
+                    presence,
+                    viewpoint: Viewpoint { scale, shear, brightness, noise_std, occlusion_prob },
+                }
+            })
+            .collect()
+    }
+}
+
+/// One multi-view sample: the views captured by every device (blank frames
+/// where the object is absent), presence flags, and the class label.
+#[derive(Debug, Clone)]
+pub struct MvmcSample {
+    /// One `(3, 32, 32)` view per device.
+    pub views: Vec<Tensor>,
+    /// Whether the object is actually visible to each device (paper label
+    /// −1 ↦ `false`).
+    pub present: Vec<bool>,
+    /// Class label: car = 0, bus = 1, person = 2.
+    pub label: usize,
+}
+
+impl MvmcSample {
+    /// The object class of this sample.
+    pub fn class(&self) -> ObjectClass {
+        ObjectClass::from_label(self.label)
+    }
+
+    /// Number of devices that can see the object.
+    pub fn visible_count(&self) -> usize {
+        self.present.iter().filter(|&&p| p).count()
+    }
+}
+
+/// Configuration for dataset synthesis.
+#[derive(Debug, Clone)]
+pub struct MvmcConfig {
+    /// Number of training samples (paper: 680).
+    pub train_samples: usize,
+    /// Number of test samples (paper: 171).
+    pub test_samples: usize,
+    /// RNG seed; two datasets with equal configs are identical.
+    pub seed: u64,
+    /// Camera profiles; their count sets the number of devices.
+    pub devices: Vec<DeviceProfile>,
+    /// Class sampling probabilities `[car, bus, person]`; the paper's
+    /// dataset is imbalanced towards cars.
+    pub class_probs: [f32; NUM_CLASSES],
+}
+
+impl Default for MvmcConfig {
+    fn default() -> Self {
+        MvmcConfig {
+            train_samples: TRAIN_SAMPLES,
+            test_samples: TEST_SAMPLES,
+            seed: 7,
+            devices: DeviceProfile::paper_devices(),
+            class_probs: [0.45, 0.25, 0.30],
+        }
+    }
+}
+
+impl MvmcConfig {
+    /// Paper-shaped configuration (680/171 split, six calibrated cameras).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Smaller configuration for fast tests.
+    pub fn tiny(train: usize, test: usize, seed: u64) -> Self {
+        MvmcConfig { train_samples: train, test_samples: test, seed, ..Self::default() }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+/// A generated MVMC dataset with train/test splits.
+#[derive(Debug, Clone)]
+pub struct MvmcDataset {
+    /// Training samples.
+    pub train: Vec<MvmcSample>,
+    /// Held-out test samples.
+    pub test: Vec<MvmcSample>,
+    config: MvmcConfig,
+}
+
+/// How visible each class is relative to the base presence probability: a
+/// bus is large (seen by more cameras), a person small.
+fn class_visibility(class: ObjectClass) -> f32 {
+    match class {
+        ObjectClass::Car => 1.0,
+        ObjectClass::Bus => 1.15,
+        ObjectClass::Person => 0.85,
+    }
+}
+
+fn sample_class(probs: &[f32; NUM_CLASSES], rng: &mut impl Rng) -> ObjectClass {
+    let r: f32 = rng.gen::<f32>() * probs.iter().sum::<f32>();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return ObjectClass::from_label(i);
+        }
+    }
+    ObjectClass::Person
+}
+
+fn generate_sample(config: &MvmcConfig, rng: &mut impl Rng) -> MvmcSample {
+    let class = sample_class(&config.class_probs, rng);
+    let obj = ObjectInstance::sample(class, rng);
+    let vis = class_visibility(class);
+    // Roll presence; every sample must be visible somewhere, so re-roll a
+    // fully-absent draw (the real dataset only contains annotated objects).
+    let mut present: Vec<bool> = Vec::new();
+    for _ in 0..16 {
+        present =
+            config.devices.iter().map(|d| rng.gen::<f32>() < (d.presence * vis).min(0.98)).collect();
+        if present.iter().any(|&p| p) {
+            break;
+        }
+    }
+    if !present.iter().any(|&p| p) {
+        // Force the most reliable camera after pathological re-rolls.
+        let best = config
+            .devices
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.presence.total_cmp(&b.1.presence))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        present[best] = true;
+    }
+    let views = config
+        .devices
+        .iter()
+        .zip(&present)
+        .map(|(d, &p)| if p { render_view(&obj, &d.viewpoint, rng) } else { blank_frame() })
+        .collect();
+    MvmcSample { views, present, label: class.label() }
+}
+
+impl MvmcDataset {
+    /// Generates a dataset from a configuration. Deterministic in the seed.
+    pub fn generate(config: MvmcConfig) -> Self {
+        let mut rng = rng_from_seed(config.seed);
+        let train = (0..config.train_samples).map(|_| generate_sample(&config, &mut rng)).collect();
+        let test = (0..config.test_samples).map(|_| generate_sample(&config, &mut rng)).collect();
+        MvmcDataset { train, test, config }
+    }
+
+    /// Generates the paper-shaped dataset (680 train / 171 test, 6 cameras).
+    pub fn paper() -> Self {
+        Self::generate(MvmcConfig::paper())
+    }
+
+    /// The configuration this dataset was generated from.
+    pub fn config(&self) -> &MvmcConfig {
+        &self.config
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.config.num_devices()
+    }
+}
+
+/// Stacks the views of one device across samples into an `(n, 3, 32, 32)`
+/// batch tensor.
+///
+/// # Errors
+///
+/// Returns an error if `device` is out of range for the samples.
+pub fn device_batch(samples: &[MvmcSample], device: usize) -> Result<Tensor> {
+    let views: Vec<Tensor> = samples
+        .iter()
+        .map(|s| {
+            s.views.get(device).cloned().ok_or(ddnn_tensor::TensorError::IndexOutOfBounds {
+                index: vec![device],
+                shape: vec![s.views.len()],
+            })
+        })
+        .collect::<Result<_>>()?;
+    Tensor::stack(&views)
+}
+
+/// Stacks all devices: one `(n, 3, 32, 32)` batch per device.
+///
+/// # Errors
+///
+/// Returns an error if samples disagree on device count.
+pub fn all_device_batches(samples: &[MvmcSample], num_devices: usize) -> Result<Vec<Tensor>> {
+    (0..num_devices).map(|d| device_batch(samples, d)).collect()
+}
+
+/// The labels of a sample slice.
+pub fn labels(samples: &[MvmcSample]) -> Vec<usize> {
+    samples.iter().map(|s| s.label).collect()
+}
+
+/// Per-device sample statistics — the data behind the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStats {
+    /// Number of samples of each class visible to this device.
+    pub per_class: [usize; NUM_CLASSES],
+    /// Number of samples where the object is not in this device's frame.
+    pub not_present: usize,
+}
+
+impl DeviceStats {
+    /// Total samples counted (visible + not present).
+    pub fn total(&self) -> usize {
+        self.per_class.iter().sum::<usize>() + self.not_present
+    }
+}
+
+/// Computes per-device class distributions over a sample slice (Fig. 6).
+#[allow(clippy::needless_range_loop)] // device index addresses two parallel arrays
+pub fn device_stats(samples: &[MvmcSample], num_devices: usize) -> Vec<DeviceStats> {
+    let mut stats = vec![DeviceStats::default(); num_devices];
+    for s in samples {
+        for d in 0..num_devices.min(s.present.len()) {
+            if s.present[d] {
+                stats[d].per_class[s.label] += 1;
+            } else {
+                stats[d].not_present += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Size in bytes of one raw view — what the cloud-only baseline transmits
+/// per sample per device (paper §IV-H: 32·32·3 = 3072 bytes).
+pub const RAW_VIEW_BYTES: usize = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MvmcDataset {
+        MvmcDataset::generate(MvmcConfig::tiny(40, 10, 11))
+    }
+
+    #[test]
+    fn split_sizes_match_config() {
+        let ds = tiny();
+        assert_eq!(ds.train.len(), 40);
+        assert_eq!(ds.test.len(), 10);
+        assert_eq!(ds.num_devices(), 6);
+    }
+
+    #[test]
+    fn paper_config_matches_paper_sizes() {
+        let c = MvmcConfig::paper();
+        assert_eq!(c.train_samples, 680);
+        assert_eq!(c.test_samples, 171);
+        assert_eq!(c.num_devices(), 6);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MvmcDataset::generate(MvmcConfig::tiny(10, 5, 42));
+        let b = MvmcDataset::generate(MvmcConfig::tiny(10, 5, 42));
+        for (sa, sb) in a.train.iter().zip(&b.train) {
+            assert_eq!(sa.label, sb.label);
+            assert_eq!(sa.present, sb.present);
+            assert_eq!(sa.views[0], sb.views[0]);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MvmcDataset::generate(MvmcConfig::tiny(10, 5, 1));
+        let b = MvmcDataset::generate(MvmcConfig::tiny(10, 5, 2));
+        let same = a.train.iter().zip(&b.train).all(|(x, y)| x.label == y.label);
+        assert!(!same || a.train[0].views[0] != b.train[0].views[0]);
+    }
+
+    #[test]
+    fn every_sample_visible_somewhere() {
+        let ds = tiny();
+        for s in ds.train.iter().chain(&ds.test) {
+            assert!(s.visible_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn absent_views_are_blank_and_present_views_are_not() {
+        let ds = tiny();
+        for s in &ds.train {
+            for (v, &p) in s.views.iter().zip(&s.present) {
+                assert_eq!(crate::render::is_blank(v), !p);
+            }
+        }
+    }
+
+    #[test]
+    fn presence_ordering_follows_profiles() {
+        // Device 6 (index 5) must see far more objects than device 2
+        // (index 1) — the driver of the Fig. 8 individual-accuracy spread.
+        let ds = MvmcDataset::generate(MvmcConfig::tiny(300, 0, 3));
+        let stats = device_stats(&ds.train, 6);
+        let visible =
+            |d: usize| stats[d].per_class.iter().sum::<usize>() as f32 / ds.train.len() as f32;
+        assert!(visible(5) > 0.85, "device 6 visibility {}", visible(5));
+        assert!(visible(1) < 0.60, "device 2 visibility {}", visible(1));
+        assert!(visible(5) > visible(1) + 0.3);
+    }
+
+    #[test]
+    fn class_mix_is_imbalanced_towards_cars() {
+        let ds = MvmcDataset::generate(MvmcConfig::tiny(600, 0, 5));
+        let mut counts = [0usize; 3];
+        for s in &ds.train {
+            counts[s.label] += 1;
+        }
+        assert!(counts[0] > counts[1], "cars {} vs buses {}", counts[0], counts[1]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn device_batch_shapes() {
+        let ds = tiny();
+        let b = device_batch(&ds.train, 0).unwrap();
+        assert_eq!(b.dims(), &[40, 3, 32, 32]);
+        let all = all_device_batches(&ds.train, 6).unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(device_batch(&ds.train, 6).is_err());
+    }
+
+    #[test]
+    fn labels_align_with_samples() {
+        let ds = tiny();
+        let l = labels(&ds.train);
+        assert_eq!(l.len(), 40);
+        assert!(l.iter().all(|&x| x < NUM_CLASSES));
+        assert_eq!(l[3], ds.train[3].label);
+    }
+
+    #[test]
+    fn stats_total_is_sample_count() {
+        let ds = tiny();
+        for st in device_stats(&ds.train, 6) {
+            assert_eq!(st.total(), 40);
+        }
+    }
+
+    #[test]
+    fn raw_view_bytes_matches_paper() {
+        assert_eq!(RAW_VIEW_BYTES, 3072);
+    }
+}

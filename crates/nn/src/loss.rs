@@ -1,0 +1,167 @@
+//! Softmax cross-entropy loss — the optimization objective at every DDNN
+//! exit point (paper §III-C).
+
+use ddnn_tensor::{Result, Tensor, TensorError};
+
+/// Everything the loss computation produces in one pass: the scalar loss,
+/// the gradient w.r.t. the logits, and the softmax probabilities (reused by
+/// exit-confidence computations so the softmax is not recomputed).
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, shape `(n, classes)`.
+    pub grad: Tensor,
+    /// Softmax probabilities, shape `(n, classes)`.
+    pub probs: Tensor,
+}
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// The paper writes the per-exit objective as
+/// `L(ŷ, y; θ) = −(1/|C|) Σ_c y_c log ŷ_c`; the `1/|C|` class normalization
+/// is retained here (it only rescales the effective learning rate but we
+/// match the paper exactly).
+#[derive(Debug, Clone, Copy)]
+pub struct SoftmaxCrossEntropy {
+    /// Whether to divide by the number of classes, as the paper's Eq. does.
+    pub normalize_by_classes: bool,
+}
+
+impl Default for SoftmaxCrossEntropy {
+    fn default() -> Self {
+        SoftmaxCrossEntropy { normalize_by_classes: true }
+    }
+}
+
+impl SoftmaxCrossEntropy {
+    /// Creates the paper's loss (with `1/|C|` normalization).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes loss, logits gradient and probabilities for a batch.
+    ///
+    /// `targets[i]` is the class index of sample `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `logits` is not rank 2, if `targets.len()`
+    /// differs from the batch size, or if any target is out of range.
+    pub fn forward(&self, logits: &Tensor, targets: &[usize]) -> Result<LossOutput> {
+        if logits.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: logits.rank() });
+        }
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        if targets.len() != n {
+            return Err(TensorError::LengthMismatch { expected: n, actual: targets.len() });
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![bad],
+                shape: vec![n, c],
+            });
+        }
+        let probs = logits.softmax_rows()?;
+        let norm = if self.normalize_by_classes { c as f32 } else { 1.0 };
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        let scale = 1.0 / (n as f32 * norm);
+        for (i, &t) in targets.iter().enumerate() {
+            let p = probs.data()[i * c + t].max(1e-12);
+            loss -= p.ln();
+            grad.data_mut()[i * c + t] -= 1.0;
+        }
+        loss *= scale;
+        grad.scale_in_place(scale);
+        Ok(LossOutput { loss, grad, probs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_over_c() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros([2, 3]);
+        let out = loss.forward(&logits, &[0, 2]).unwrap();
+        // -ln(1/3) / 3 per sample.
+        let expected = (3.0f32).ln() / 3.0;
+        assert!((out.loss - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], [1, 3]).unwrap();
+        let out = loss.forward(&logits, &[0]).unwrap();
+        assert!(out.loss < 1e-3);
+        let wrong = loss.forward(&logits, &[1]).unwrap();
+        assert!(wrong.loss > 1.0);
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // Σ_c (p_c - y_c) = 0, a structural invariant of softmax CE.
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5, -1.0, 0.0, 3.0], [2, 3]).unwrap();
+        let out = loss.forward(&logits, &[1, 0]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad.row(i).unwrap().sum();
+            assert!(s.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4], [2, 3]).unwrap();
+        let targets = [2usize, 0];
+        let out = loss.forward(&logits, &targets).unwrap();
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let fp = loss.forward(&lp, &targets).unwrap().loss;
+            let fm = loss.forward(&lm, &targets).unwrap().loss;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - out.grad.data()[idx]).abs() < 1e-4,
+                "d[{idx}]: num={num} got={}",
+                out.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let loss = SoftmaxCrossEntropy::new();
+        assert!(loss.forward(&Tensor::zeros([3]), &[0]).is_err());
+        assert!(loss.forward(&Tensor::zeros([2, 3]), &[0]).is_err());
+        assert!(loss.forward(&Tensor::zeros([1, 3]), &[3]).is_err());
+    }
+
+    #[test]
+    fn without_class_normalization() {
+        let l = SoftmaxCrossEntropy { normalize_by_classes: false };
+        let logits = Tensor::zeros([1, 4]);
+        let out = l.forward(&logits, &[0]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probs_lie_on_simplex() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_fn([4, 3], |i| (i as f32).sin() * 5.0);
+        let out = loss.forward(&logits, &[0, 1, 2, 0]).unwrap();
+        for i in 0..4 {
+            let row = out.probs.row(i).unwrap();
+            assert!((row.sum() - 1.0).abs() < 1e-5);
+            assert!(row.min().unwrap() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A sequential container of layers — the building unit for the paper's
+//! fused blocks and network sections.
+
+use crate::layer::{Layer, Mode, Param};
+use ddnn_tensor::{Result, Tensor};
+
+/// Runs layers in order on `forward` and in reverse on `backward`.
+///
+/// `Sequential` itself implements [`Layer`], so sections can nest (a DDNN
+/// device section is a `Sequential` of ConvP blocks, each itself a
+/// `Sequential` of conv → pool → batch-norm → binary-activation).
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential").field("layers", &self.describe()).finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer, returning `self` for chaining.
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of contained layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty (an empty `Sequential` is the
+    /// identity function).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("[{}]", parts.join(" -> "))
+    }
+
+    fn extra_state(&self) -> Vec<f32> {
+        self.layers.iter().flat_map(|l| l.extra_state()).collect()
+    }
+
+    fn load_extra_state(&mut self, state: &[f32]) -> Result<()> {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let n = layer.extra_state().len();
+            let end = off + n;
+            let chunk = state.get(off..end).ok_or(
+                ddnn_tensor::TensorError::LengthMismatch { expected: end, actual: state.len() },
+            )?;
+            layer.load_extra_state(chunk)?;
+            off = end;
+        }
+        if off != state.len() {
+            return Err(ddnn_tensor::TensorError::LengthMismatch {
+                expected: off,
+                actual: state.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use ddnn_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut s = Sequential::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0], [1, 2]).unwrap();
+        assert_eq!(s.forward(&x, Mode::Train).unwrap(), x);
+        assert_eq!(s.backward(&x).unwrap(), x);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn chains_layers_in_order() {
+        let mut rng = rng_from_seed(0);
+        let mut l1 = Linear::new(2, 3, false, &mut rng);
+        let mut l2 = Linear::new(3, 1, false, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, -1.0], [1, 2]).unwrap();
+        // Reference: run layers by hand.
+        let expected = {
+            let h = l1.forward(&x, Mode::Train).unwrap();
+            l2.forward(&h, Mode::Train).unwrap()
+        };
+        let mut rng = rng_from_seed(0);
+        let mut s = Sequential::new()
+            .push(Linear::new(2, 3, false, &mut rng))
+            .push(Linear::new(3, 1, false, &mut rng));
+        let got = s.forward(&x, Mode::Train).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn collects_params_from_all_layers() {
+        let mut rng = rng_from_seed(1);
+        let mut s = Sequential::new()
+            .push(Linear::new(2, 2, true, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(2, 2, false, &mut rng));
+        assert_eq!(s.params_mut().len(), 3); // w+b, (none), w
+        assert_eq!(s.param_count(), 4 + 2 + 4);
+    }
+
+    #[test]
+    fn gradient_check_through_stack() {
+        let mut rng = rng_from_seed(2);
+        let mut s = Sequential::new()
+            .push(Linear::new(3, 4, true, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(4, 2, true, &mut rng));
+        let x = Tensor::randn([2, 3], 1.0, &mut rng);
+        let y = s.forward(&x, Mode::Train).unwrap();
+        let gin = s.backward(&Tensor::ones(y.dims().to_vec())).unwrap();
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp = s.forward(&xp, Mode::Train).unwrap().sum();
+            let fm = s.forward(&xm, Mode::Train).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - gin.data()[idx]).abs() < 1e-2, "dX[{idx}]");
+        }
+    }
+
+    #[test]
+    fn describe_joins_layers() {
+        let mut rng = rng_from_seed(3);
+        let s = Sequential::new().push(Linear::new(1, 1, false, &mut rng)).push(Relu::new());
+        assert!(s.describe().contains("->"));
+        assert!(s.describe().contains("relu"));
+    }
+}

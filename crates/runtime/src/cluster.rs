@@ -1,0 +1,840 @@
+//! The simulated distributed hierarchy: device, gateway, edge and cloud
+//! nodes as threads exchanging wire-encoded frames over instrumented links,
+//! executing the staged inference protocol of paper §III-D.
+//!
+//! The protocol, per sample (paper's six-step description for
+//! configuration (e)):
+//!
+//! 1. the orchestrator pushes each device its sensor view (not a network
+//!    transfer);
+//! 2. every device runs its ConvP block + exit head and sends its float
+//!    class-score vector to the gateway (always — Eq. 1's first term);
+//! 3. the gateway aggregates, computes normalized entropy and exits the
+//!    sample locally if confident;
+//! 4. otherwise it broadcasts an offload request; each device sends its
+//!    bit-packed binary feature map to the next tier (edge if present,
+//!    else cloud — Eq. 1's second term);
+//! 5. the edge (if present) aggregates, runs its ConvP block, and exits if
+//!    confident, otherwise forwards its own feature map to the cloud;
+//! 6. the cloud always classifies what reaches it.
+//!
+//! A *failed* device's thread never starts; the aggregating nodes
+//! substitute the device's precomputed blank-input signature, which is the
+//! same encoding the dataset uses for "object not present" — the mechanism
+//! behind the paper's automatic fault tolerance (§IV-G).
+
+use crate::error::{Result, RuntimeError};
+use crate::link::{attach_sender, inbox, LatencyModel, LinkReceiver, LinkSender, LinkStats};
+use crate::message::{features_payload, features_tensor, Frame, NodeId, Payload};
+use ddnn_core::{
+    normalized_entropy, CloudPart, DdnnPartition, DevicePart, EdgePart, ExitPoint, ExitThreshold,
+    GatewayPart, BLANK_INPUT_VALUE,
+};
+use ddnn_nn::{Layer, Mode};
+use ddnn_tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of a simulated hierarchy run.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Local-exit entropy threshold (paper default: 0.8).
+    pub local_threshold: ExitThreshold,
+    /// Edge-exit threshold (used only by edge architectures).
+    pub edge_threshold: ExitThreshold,
+    /// Devices that have failed (never respond).
+    pub failed_devices: Vec<usize>,
+    /// Latency model of the device ↔ gateway hop.
+    pub local_link: LatencyModel,
+    /// Latency model of the hop to the edge/cloud.
+    pub uplink: LatencyModel,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            local_threshold: ExitThreshold::default(),
+            edge_threshold: ExitThreshold::default(),
+            failed_devices: Vec::new(),
+            local_link: LatencyModel::local(),
+            uplink: LatencyModel::wan(),
+        }
+    }
+}
+
+/// Result of a distributed inference run over a labeled test set.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-sample predictions.
+    pub predictions: Vec<usize>,
+    /// Per-sample exit points.
+    pub exits: Vec<ExitPoint>,
+    /// Accuracy against the provided labels.
+    pub accuracy: f32,
+    /// Fraction of samples exited locally.
+    pub local_exit_fraction: f32,
+    /// Named per-link traffic counters.
+    pub links: Vec<(String, LinkStats)>,
+    /// Mean simulated end-to-end latency per sample (ms).
+    pub mean_latency_ms: f32,
+    /// Mean simulated latency of locally exited samples (ms).
+    pub mean_local_latency_ms: f32,
+    /// Mean simulated latency of offloaded samples (ms).
+    pub mean_offload_latency_ms: f32,
+}
+
+impl SimReport {
+    /// Measured *payload* bytes sent by end devices, total across the run
+    /// (class-score vectors plus offloaded feature maps minus their shape
+    /// preambles) — the quantity Eq. 1 models.
+    pub fn device_payload_bytes(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|(name, _)| name.starts_with("device"))
+            .map(|(_, s)| s.payload_bytes)
+            .sum()
+    }
+
+    /// Mean measured device payload bytes per sample *per live device*.
+    pub fn device_payload_per_sample(&self, live_devices: usize) -> f32 {
+        if self.predictions.is_empty() || live_devices == 0 {
+            return 0.0;
+        }
+        self.device_payload_bytes() as f32
+            / (self.predictions.len() * live_devices) as f32
+    }
+
+    /// Fraction of samples exited at `point`.
+    pub fn exit_fraction(&self, point: ExitPoint) -> f32 {
+        if self.exits.is_empty() {
+            return 0.0;
+        }
+        self.exits.iter().filter(|&&e| e == point).count() as f32 / self.exits.len() as f32
+    }
+}
+
+fn blank_view() -> Tensor {
+    Tensor::full([1, 3, 32, 32], BLANK_INPUT_VALUE)
+}
+
+/// Per-device blank-input signature: the scores and feature map the device
+/// would produce for a blank view, substituted by aggregators when the
+/// device has failed.
+#[derive(Debug, Clone)]
+struct BlankSignature {
+    scores: Vec<f32>,
+    map: Tensor, // (f, 16, 16)
+}
+
+fn blank_signature(part: &DevicePart) -> Result<BlankSignature> {
+    let mut conv = part.conv.clone();
+    let mut exit = part.exit.clone();
+    let map = conv.forward(&blank_view(), Mode::Eval)?;
+    let scores = exit.forward(&map, Mode::Eval)?;
+    Ok(BlankSignature { scores: scores.data().to_vec(), map: map.index_axis0(0)? })
+}
+
+/// Runs a device node until shutdown.
+fn device_node(
+    d: usize,
+    part: DevicePart,
+    inbox_rx: LinkReceiver,
+    to_gateway: LinkSender,
+    to_upper: LinkSender,
+) -> Result<()> {
+    let mut conv = part.conv;
+    let mut exit = part.exit;
+    let mut latest: Option<(u64, Tensor)> = None;
+    loop {
+        let frame = inbox_rx.recv()?;
+        match frame.payload {
+            Payload::Capture { view } => {
+                let batch = view.reshape([1, 3, 32, 32])?;
+                let map = conv.forward(&batch, Mode::Eval)?;
+                let scores = exit.forward(&map, Mode::Eval)?;
+                latest = Some((frame.seq, map.index_axis0(0)?));
+                to_gateway.send(&Frame::new(
+                    frame.seq,
+                    NodeId::Device(d as u8),
+                    Payload::Scores { scores: scores.data().to_vec() },
+                ))?;
+            }
+            Payload::OffloadRequest => {
+                let (seq, map) = latest.as_ref().ok_or_else(|| RuntimeError::Protocol {
+                    reason: format!("device {d}: offload request before any capture"),
+                })?;
+                if *seq != frame.seq {
+                    return Err(RuntimeError::Protocol {
+                        reason: format!(
+                            "device {d}: offload for sample {} but latest is {seq}",
+                            frame.seq
+                        ),
+                    });
+                }
+                to_upper.send(&Frame::new(
+                    *seq,
+                    NodeId::Device(d as u8),
+                    features_payload(map)?,
+                ))?;
+            }
+            Payload::Shutdown => return Ok(()),
+            other => {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("device {d}: unexpected payload {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// Runs the gateway (local aggregator) node until shutdown.
+#[allow(clippy::too_many_arguments)]
+fn gateway_node(
+    part: GatewayPart,
+    num_devices: usize,
+    live: Vec<bool>,
+    blanks: Vec<BlankSignature>,
+    threshold: ExitThreshold,
+    inbox_rx: LinkReceiver,
+    to_devices: Vec<Option<LinkSender>>,
+    to_orchestrator: LinkSender,
+) -> Result<()> {
+    let mut agg = part.agg;
+    let live_count = live.iter().filter(|&&l| l).count();
+    let mut pending: HashMap<u64, Vec<Option<Vec<f32>>>> = HashMap::new();
+    loop {
+        let frame = inbox_rx.recv()?;
+        match frame.payload {
+            Payload::Scores { scores } => {
+                let NodeId::Device(d) = frame.from else {
+                    return Err(RuntimeError::Protocol {
+                        reason: format!("gateway: scores from non-device {}", frame.from),
+                    });
+                };
+                let entry =
+                    pending.entry(frame.seq).or_insert_with(|| vec![None; num_devices]);
+                entry[d as usize] = Some(scores);
+                let received = entry.iter().filter(|e| e.is_some()).count();
+                if received < live_count {
+                    continue;
+                }
+                let entry = pending.remove(&frame.seq).expect("entry exists");
+                // Assemble per-device (1, C) score tensors, substituting
+                // blank signatures for failed devices.
+                let inputs: Vec<Tensor> = entry
+                    .iter()
+                    .enumerate()
+                    .map(|(d, s)| {
+                        let v = s.clone().unwrap_or_else(|| blanks[d].scores.clone());
+                        let c = v.len();
+                        Tensor::from_vec(v, [1, c]).map_err(RuntimeError::from)
+                    })
+                    .collect::<Result<_>>()?;
+                let logits = agg.forward(&inputs, Mode::Eval)?;
+                let probs = logits.softmax_rows()?;
+                let eta = normalized_entropy(&probs.row(0)?)?;
+                if threshold.should_exit(eta) {
+                    let pred = probs.argmax_rows()?[0];
+                    to_orchestrator.send(&Frame::new(
+                        frame.seq,
+                        NodeId::Gateway,
+                        Payload::Verdict { prediction: pred as u16, exit_tier: 0 },
+                    ))?;
+                } else {
+                    for sender in to_devices.iter().flatten() {
+                        sender.send(&Frame::new(
+                            frame.seq,
+                            NodeId::Gateway,
+                            Payload::OffloadRequest,
+                        ))?;
+                    }
+                }
+            }
+            Payload::Shutdown => return Ok(()),
+            other => {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("gateway: unexpected payload {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// Shared logic for feature-collecting tiers (edge and cloud): gather one
+/// map per device (blank signature for failed ones), aggregate, return the
+/// `(1, c', h, w)` aggregated tensor.
+struct FeatureCollector {
+    num_devices: usize,
+    live_count: usize,
+    blanks: Vec<Tensor>, // (f,16,16) per device
+    pending: HashMap<u64, Vec<Option<Tensor>>>,
+}
+
+impl FeatureCollector {
+    fn new(num_devices: usize, live: &[bool], blanks: Vec<Tensor>) -> Self {
+        FeatureCollector {
+            num_devices,
+            live_count: live.iter().filter(|&&l| l).count(),
+            blanks,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Records one device's map; returns the full per-device set when
+    /// complete.
+    fn insert(&mut self, seq: u64, device: usize, map: Tensor) -> Option<Vec<Tensor>> {
+        let entry =
+            self.pending.entry(seq).or_insert_with(|| vec![None; self.num_devices]);
+        entry[device] = Some(map);
+        if entry.iter().filter(|e| e.is_some()).count() < self.live_count {
+            return None;
+        }
+        let entry = self.pending.remove(&seq).expect("entry exists");
+        Some(
+            entry
+                .into_iter()
+                .enumerate()
+                .map(|(d, m)| m.unwrap_or_else(|| self.blanks[d].clone()))
+                .collect(),
+        )
+    }
+}
+
+fn batched(maps: Vec<Tensor>) -> Result<Vec<Tensor>> {
+    maps.into_iter()
+        .map(|m| {
+            let mut dims = vec![1];
+            dims.extend_from_slice(m.dims());
+            m.reshape(dims).map_err(RuntimeError::from)
+        })
+        .collect()
+}
+
+/// Runs the cloud node until shutdown. `sources` is the number of feature
+/// inputs it aggregates (devices, or 1 for the edge's output).
+#[allow(clippy::too_many_arguments)]
+fn cloud_node(
+    part: CloudPart,
+    sources: usize,
+    live: Vec<bool>,
+    blanks: Vec<Tensor>,
+    inbox_rx: LinkReceiver,
+    to_orchestrator: LinkSender,
+) -> Result<()> {
+    let mut agg = part.agg;
+    let mut convs = part.convs;
+    let mut exit = part.exit;
+    let mut collector = FeatureCollector::new(sources, &live, blanks);
+    loop {
+        let frame = inbox_rx.recv()?;
+        match frame.payload {
+            Payload::Features { channels, height, width, bits } => {
+                let source = match frame.from {
+                    NodeId::Device(d) => d as usize,
+                    NodeId::Edge => 0,
+                    other => {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!("cloud: features from {other}"),
+                        })
+                    }
+                };
+                let map = features_tensor(channels, height, width, &bits)?;
+                let Some(maps) = collector.insert(frame.seq, source, map) else {
+                    continue;
+                };
+                let mut x = agg.forward(&batched(maps)?)?;
+                for conv in &mut convs {
+                    x = conv.forward(&x, Mode::Eval)?;
+                }
+                let logits = exit.forward(&x, Mode::Eval)?;
+                let pred = logits.softmax_rows()?.argmax_rows()?[0];
+                to_orchestrator.send(&Frame::new(
+                    frame.seq,
+                    NodeId::Cloud,
+                    Payload::Verdict { prediction: pred as u16, exit_tier: 2 },
+                ))?;
+            }
+            Payload::Shutdown => return Ok(()),
+            other => {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("cloud: unexpected payload {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// Runs the edge node until shutdown.
+#[allow(clippy::too_many_arguments)]
+fn edge_node(
+    part: EdgePart,
+    num_devices: usize,
+    live: Vec<bool>,
+    blanks: Vec<Tensor>,
+    threshold: ExitThreshold,
+    inbox_rx: LinkReceiver,
+    to_cloud: LinkSender,
+    to_orchestrator: LinkSender,
+) -> Result<()> {
+    let mut agg = part.agg;
+    let mut conv = part.conv;
+    let mut exit = part.exit;
+    let mut collector = FeatureCollector::new(num_devices, &live, blanks);
+    loop {
+        let frame = inbox_rx.recv()?;
+        match frame.payload {
+            Payload::Features { channels, height, width, bits } => {
+                let NodeId::Device(d) = frame.from else {
+                    return Err(RuntimeError::Protocol {
+                        reason: format!("edge: features from {}", frame.from),
+                    });
+                };
+                let map = features_tensor(channels, height, width, &bits)?;
+                let Some(maps) = collector.insert(frame.seq, d as usize, map) else {
+                    continue;
+                };
+                let x = agg.forward(&batched(maps)?)?;
+                let e_map = conv.forward(&x, Mode::Eval)?;
+                let logits = exit.forward(&e_map, Mode::Eval)?;
+                let probs = logits.softmax_rows()?;
+                let eta = normalized_entropy(&probs.row(0)?)?;
+                if threshold.should_exit(eta) {
+                    let pred = probs.argmax_rows()?[0];
+                    to_orchestrator.send(&Frame::new(
+                        frame.seq,
+                        NodeId::Edge,
+                        Payload::Verdict { prediction: pred as u16, exit_tier: 1 },
+                    ))?;
+                } else {
+                    to_cloud.send(&Frame::new(
+                        frame.seq,
+                        NodeId::Edge,
+                        features_payload(&e_map.index_axis0(0)?)?,
+                    ))?;
+                }
+            }
+            Payload::Shutdown => return Ok(()),
+            other => {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("edge: unexpected payload {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// Executes distributed staged inference of a partitioned DDNN over a test
+/// set: `device_views[d]` is device `d`'s `(n, 3, 32, 32)` batch.
+///
+/// Every node runs on its own thread; every tensor crossing a tier boundary
+/// is serialized to the wire format and counted.
+///
+/// # Errors
+///
+/// Returns an error for malformed inputs, failed-device indices out of
+/// range, or any node/protocol failure.
+#[allow(clippy::needless_range_loop)] // device index addresses several parallel tables
+pub fn run_distributed_inference(
+    partition: &DdnnPartition,
+    device_views: &[Tensor],
+    labels: &[usize],
+    cfg: &HierarchyConfig,
+) -> Result<SimReport> {
+    let num_devices = partition.devices.len();
+    if device_views.len() != num_devices {
+        return Err(RuntimeError::Config {
+            reason: format!(
+                "{} view batches for {num_devices} devices",
+                device_views.len()
+            ),
+        });
+    }
+    if let Some(&bad) = cfg.failed_devices.iter().find(|&&d| d >= num_devices) {
+        return Err(RuntimeError::Config { reason: format!("failed device {bad} out of range") });
+    }
+    let n_samples = labels.len();
+    if device_views.iter().any(|v| v.dims()[0] != n_samples) {
+        return Err(RuntimeError::Config {
+            reason: "device view batch size != label count".to_string(),
+        });
+    }
+    let live: Vec<bool> = (0..num_devices).map(|d| !cfg.failed_devices.contains(&d)).collect();
+    if live.iter().all(|&l| !l) {
+        return Err(RuntimeError::Config { reason: "all devices failed".to_string() });
+    }
+    let has_edge = partition.edge.is_some();
+
+    // Blank signatures for failed-device substitution.
+    let blanks: Vec<BlankSignature> =
+        partition.devices.iter().map(blank_signature).collect::<Result<_>>()?;
+
+    // Wiring.
+    let mut link_stats: Vec<(String, Arc<Mutex<LinkStats>>)> = Vec::new();
+    let mut track = |name: String, stats: Arc<Mutex<LinkStats>>| {
+        link_stats.push((name, stats));
+    };
+
+    let (gateway_tx, gateway_rx) = inbox("gateway");
+    let (cloud_tx, cloud_rx) = inbox("cloud");
+    let (orch_tx, orch_rx) = inbox("orchestrator");
+    let (edge_tx, edge_rx) = if has_edge {
+        let (tx, rx) = inbox("edge");
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
+
+    // Device inboxes + their outbound links.
+    let mut device_rx = Vec::new();
+    let mut capture_tx = Vec::new();
+    let mut gateway_to_device: Vec<Option<LinkSender>> = Vec::new();
+    let mut device_threads_io = Vec::new();
+    for d in 0..num_devices {
+        let (dtx, drx) = inbox(&format!("device{d}"));
+        let (cap, _cap_stats) = attach_sender(&dtx, &format!("sensor->device{d}"));
+        capture_tx.push(cap);
+        let (g2d, g2d_stats) = attach_sender(&dtx, &format!("gateway->device{d}"));
+        track(format!("gateway->device{d}"), g2d_stats);
+        gateway_to_device.push(live[d].then_some(g2d));
+        let (to_gw, gw_stats) = attach_sender(&gateway_tx, &format!("device{d}->gateway"));
+        track(format!("device{d}->gateway"), gw_stats);
+        let upper_name =
+            if has_edge { format!("device{d}->edge") } else { format!("device{d}->cloud") };
+        let upper_tx = edge_tx.as_ref().unwrap_or(&cloud_tx);
+        let (to_upper, upper_stats) = attach_sender(upper_tx, &upper_name);
+        track(upper_name, upper_stats);
+        device_rx.push(drx);
+        device_threads_io.push((to_gw, to_upper));
+    }
+    let (gw_to_orch, s) = attach_sender(&orch_tx, "gateway->orchestrator");
+    track("gateway->orchestrator".to_string(), s);
+    let (cloud_to_orch, s) = attach_sender(&orch_tx, "cloud->orchestrator");
+    track("cloud->orchestrator".to_string(), s);
+    let (edge_to_cloud, s) = attach_sender(&cloud_tx, "edge->cloud");
+    track("edge->cloud".to_string(), s);
+    let (edge_to_orch, s) = attach_sender(&orch_tx, "edge->orchestrator");
+    track("edge->orchestrator".to_string(), s);
+
+    // Cloud collector geometry depends on the architecture.
+    let (cloud_sources, cloud_live, cloud_blanks) = if has_edge {
+        (1, vec![true], vec![Tensor::zeros([1, 1, 1])]) // edge never "fails"
+    } else {
+        (num_devices, live.clone(), blanks.iter().map(|b| b.map.clone()).collect())
+    };
+
+    let mut predictions = vec![0usize; n_samples];
+    let mut exits = vec![ExitPoint::Cloud; n_samples];
+    let mut latencies = vec![0.0f32; n_samples];
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        // Devices.
+        for (d, ((rx, (to_gw, to_upper)), part)) in device_rx
+            .into_iter()
+            .zip(device_threads_io)
+            .zip(partition.devices.iter())
+            .enumerate()
+        {
+            if !live[d] {
+                continue;
+            }
+            let part = part.clone();
+            handles.push(scope.spawn(move || device_node(d, part, rx, to_gw, to_upper)));
+        }
+        // Gateway.
+        {
+            let part = partition.gateway.clone();
+            let live = live.clone();
+            let blanks = blanks.clone();
+            let threshold = cfg.local_threshold;
+            handles.push(scope.spawn(move || {
+                gateway_node(
+                    part,
+                    num_devices,
+                    live,
+                    blanks,
+                    threshold,
+                    gateway_rx,
+                    gateway_to_device,
+                    gw_to_orch,
+                )
+            }));
+        }
+        // Edge.
+        if let (Some(part), Some(rx)) = (partition.edge.clone(), edge_rx) {
+            let live = live.clone();
+            let blanks: Vec<Tensor> = blanks.iter().map(|b| b.map.clone()).collect();
+            let threshold = cfg.edge_threshold;
+            handles.push(scope.spawn(move || {
+                edge_node(
+                    part,
+                    num_devices,
+                    live,
+                    blanks,
+                    threshold,
+                    rx,
+                    edge_to_cloud,
+                    edge_to_orch,
+                )
+            }));
+        } else {
+            drop(edge_to_cloud);
+            drop(edge_to_orch);
+        }
+        // Cloud.
+        {
+            let part = partition.cloud.clone();
+            handles.push(scope.spawn(move || {
+                cloud_node(part, cloud_sources, cloud_live, cloud_blanks, cloud_rx, cloud_to_orch)
+            }));
+        }
+
+        // Orchestrator: drive samples in order, one at a time.
+        let classes = partition.config.num_classes;
+        let summary_bytes = crate::message::HEADER_BYTES + 4 + 4 * classes;
+        let map_bytes = crate::message::HEADER_BYTES
+            + 6
+            + 4
+            + (partition.config.device_map_elems()).div_ceil(8);
+        for (i, latency) in latencies.iter_mut().enumerate() {
+            let seq = i as u64;
+            for d in 0..num_devices {
+                if !live[d] {
+                    continue;
+                }
+                let view = device_views[d].index_axis0(i)?;
+                capture_tx[d].send(&Frame::new(
+                    seq,
+                    NodeId::Orchestrator,
+                    Payload::Capture { view },
+                ))?;
+            }
+            let verdict = orch_rx.recv()?;
+            if verdict.seq != seq {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("verdict for sample {} while running {seq}", verdict.seq),
+                });
+            }
+            let Payload::Verdict { prediction, exit_tier } = verdict.payload else {
+                return Err(RuntimeError::Protocol {
+                    reason: "orchestrator received a non-verdict".to_string(),
+                });
+            };
+            predictions[i] = prediction as usize;
+            exits[i] = match exit_tier {
+                0 => ExitPoint::Local,
+                1 => ExitPoint::Edge,
+                2 => ExitPoint::Cloud,
+                other => {
+                    return Err(RuntimeError::Protocol {
+                        reason: format!("unknown exit tier {other}"),
+                    })
+                }
+            };
+            // Simulated latency: device->gateway hop always happens; each
+            // escalation adds an uplink transfer of the feature map.
+            let mut ms = cfg.local_link.transfer_ms(summary_bytes);
+            if exits[i] != ExitPoint::Local {
+                ms += cfg.uplink.transfer_ms(map_bytes);
+            }
+            if has_edge && exits[i] == ExitPoint::Cloud {
+                ms += cfg.uplink.transfer_ms(map_bytes);
+            }
+            *latency = ms;
+        }
+
+        // Orderly shutdown.
+        for (d, cap) in capture_tx.iter().enumerate() {
+            if live[d] {
+                cap.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+            }
+        }
+        // Gateway/edge/cloud shutdown via fresh attached senders.
+        let (s, _) = attach_sender(&gateway_tx, "orchestrator->gateway");
+        s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+        if let Some(etx) = &edge_tx {
+            let (s, _) = attach_sender(etx, "orchestrator->edge");
+            s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+        }
+        let (s, _) = attach_sender(&cloud_tx, "orchestrator->cloud");
+        s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+
+        for h in handles {
+            h.join().map_err(|_| RuntimeError::Disconnected {
+                node: "panicked node thread".to_string(),
+            })??;
+        }
+        Ok(())
+    })?;
+
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let local_exits = exits.iter().filter(|&&e| e == ExitPoint::Local).count();
+    let mean = |xs: &[f32]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f32>() / xs.len() as f32
+        }
+    };
+    let local_lat: Vec<f32> = latencies
+        .iter()
+        .zip(&exits)
+        .filter(|(_, &e)| e == ExitPoint::Local)
+        .map(|(&l, _)| l)
+        .collect();
+    let offload_lat: Vec<f32> = latencies
+        .iter()
+        .zip(&exits)
+        .filter(|(_, &e)| e != ExitPoint::Local)
+        .map(|(&l, _)| l)
+        .collect();
+
+    Ok(SimReport {
+        accuracy: if n_samples == 0 { 0.0 } else { correct as f32 / n_samples as f32 },
+        local_exit_fraction: if n_samples == 0 {
+            0.0
+        } else {
+            local_exits as f32 / n_samples as f32
+        },
+        links: link_stats.into_iter().map(|(name, s)| (name, *s.lock())).collect(),
+        mean_latency_ms: mean(&latencies),
+        mean_local_latency_ms: mean(&local_lat),
+        mean_offload_latency_ms: mean(&offload_lat),
+        predictions,
+        exits,
+    })
+}
+
+/// Runs the §IV-H cloud-offload baseline: every device sends its raw
+/// (byte-quantized) view to the cloud for every sample; the cloud runs the
+/// entire network and classifies. Returns the report with the raw-image
+/// traffic accounted on the `device*->cloud` links.
+///
+/// # Errors
+///
+/// Returns an error for malformed inputs or node failures.
+pub fn run_cloud_only_baseline(
+    partition: &DdnnPartition,
+    device_views: &[Tensor],
+    labels: &[usize],
+) -> Result<SimReport> {
+    let num_devices = partition.devices.len();
+    if device_views.len() != num_devices {
+        return Err(RuntimeError::Config {
+            reason: format!("{} view batches for {num_devices} devices", device_views.len()),
+        });
+    }
+    let n_samples = labels.len();
+    let (cloud_tx, cloud_rx) = inbox("cloud");
+    let (orch_tx, orch_rx) = inbox("orchestrator");
+    let mut stats = Vec::new();
+    let mut senders = Vec::new();
+    for d in 0..num_devices {
+        let (s, st) = attach_sender(&cloud_tx, &format!("device{d}->cloud"));
+        senders.push(s);
+        stats.push((format!("device{d}->cloud"), st));
+    }
+    let (cloud_to_orch, s) = attach_sender(&orch_tx, "cloud->orchestrator");
+    stats.push(("cloud->orchestrator".to_string(), s));
+
+    let mut predictions = vec![0usize; n_samples];
+
+    std::thread::scope(|scope| -> Result<()> {
+        // Cloud node running the whole network on raw images.
+        let partition = partition.clone();
+        let handle = scope.spawn(move || -> Result<()> {
+            let mut devices = partition.devices;
+            let mut agg = partition.cloud.agg;
+            let mut convs = partition.cloud.convs;
+            let mut exit = partition.cloud.exit;
+            let mut edge = partition.edge;
+            let mut pending: HashMap<u64, Vec<Option<Tensor>>> = HashMap::new();
+            loop {
+                let frame = cloud_rx.recv()?;
+                match frame.payload {
+                    Payload::RawImage { pixels } => {
+                        let NodeId::Device(d) = frame.from else {
+                            return Err(RuntimeError::Protocol {
+                                reason: "raw image from non-device".to_string(),
+                            });
+                        };
+                        let view = crate::message::dequantize_image(&pixels)?;
+                        let entry = pending
+                            .entry(frame.seq)
+                            .or_insert_with(|| vec![None; devices.len()]);
+                        entry[d as usize] = Some(view);
+                        if entry.iter().any(|e| e.is_none()) {
+                            continue;
+                        }
+                        let views = pending.remove(&frame.seq).expect("complete");
+                        // Run the full network in the cloud (config (a)).
+                        let mut maps = Vec::new();
+                        for (part, v) in devices.iter_mut().zip(views) {
+                            let batch = v.expect("complete").reshape([1, 3, 32, 32])?;
+                            maps.push(part.conv.forward(&batch, Mode::Eval)?);
+                        }
+                        let mut x = if let Some(e) = edge.as_mut() {
+                            let a = e.agg.forward(&maps)?;
+                            let m = e.conv.forward(&a, Mode::Eval)?;
+                            agg.forward(&[m])?
+                        } else {
+                            agg.forward(&maps)?
+                        };
+                        for conv in &mut convs {
+                            x = conv.forward(&x, Mode::Eval)?;
+                        }
+                        let logits = exit.forward(&x, Mode::Eval)?;
+                        let pred = logits.softmax_rows()?.argmax_rows()?[0];
+                        cloud_to_orch.send(&Frame::new(
+                            frame.seq,
+                            NodeId::Cloud,
+                            Payload::Verdict { prediction: pred as u16, exit_tier: 2 },
+                        ))?;
+                    }
+                    Payload::Shutdown => return Ok(()),
+                    other => {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!("baseline cloud: unexpected {other:?}"),
+                        })
+                    }
+                }
+            }
+        });
+
+        for (i, pred) in predictions.iter_mut().enumerate() {
+            let seq = i as u64;
+            for (d, sender) in senders.iter().enumerate() {
+                let view = device_views[d].index_axis0(i)?;
+                sender.send(&Frame::new(
+                    seq,
+                    NodeId::Device(d as u8),
+                    Payload::RawImage { pixels: crate::message::quantize_image(&view) },
+                ))?;
+            }
+            let verdict = orch_rx.recv()?;
+            let Payload::Verdict { prediction, .. } = verdict.payload else {
+                return Err(RuntimeError::Protocol { reason: "non-verdict".to_string() });
+            };
+            *pred = prediction as usize;
+        }
+        let (s, _) = attach_sender(&cloud_tx, "orchestrator->cloud");
+        s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+        handle.join().map_err(|_| RuntimeError::Disconnected {
+            node: "baseline cloud thread".to_string(),
+        })??;
+        Ok(())
+    })?;
+
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(SimReport {
+        accuracy: if n_samples == 0 { 0.0 } else { correct as f32 / n_samples as f32 },
+        local_exit_fraction: 0.0,
+        links: stats.into_iter().map(|(name, s)| (name, *s.lock())).collect(),
+        mean_latency_ms: 0.0,
+        mean_local_latency_ms: 0.0,
+        mean_offload_latency_ms: 0.0,
+        predictions,
+        exits: vec![ExitPoint::Cloud; n_samples],
+    })
+}

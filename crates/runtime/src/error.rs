@@ -1,0 +1,78 @@
+//! Error type for the distributed-hierarchy runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the runtime simulator.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A tensor operation inside a node failed.
+    Tensor(ddnn_tensor::TensorError),
+    /// A frame could not be decoded (truncated or wrong type tag).
+    Protocol {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A channel endpoint hung up while the cluster was still running.
+    Disconnected {
+        /// The node whose link broke.
+        node: String,
+    },
+    /// The cluster was configured inconsistently (e.g. failing a device
+    /// that does not exist).
+    Config {
+        /// What is inconsistent.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Tensor(e) => write!(f, "tensor error in node computation: {e}"),
+            RuntimeError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            RuntimeError::Disconnected { node } => write!(f, "link to {node} disconnected"),
+            RuntimeError::Config { reason } => write!(f, "invalid cluster configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ddnn_tensor::TensorError> for RuntimeError {
+    fn from(e: ddnn_tensor::TensorError) -> Self {
+        RuntimeError::Tensor(e)
+    }
+}
+
+/// Convenience alias for runtime results.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RuntimeError::Protocol { reason: "bad tag".into() };
+        assert!(e.to_string().contains("bad tag"));
+        let e = RuntimeError::Disconnected { node: "cloud".into() };
+        assert!(e.to_string().contains("cloud"));
+        let e: RuntimeError = ddnn_tensor::TensorError::Empty { op: "x" }.into();
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

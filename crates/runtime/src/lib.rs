@@ -1,0 +1,50 @@
+//! # ddnn-runtime
+//!
+//! A simulated distributed computing hierarchy for DDNN-RS: end devices,
+//! a gateway (local aggregator), an optional edge tier and the cloud run as
+//! separate threads, exchanging *wire-encoded* frames over instrumented
+//! channels. The crate executes the paper's staged inference protocol
+//! (§III-D) end to end and *measures* the communication that the paper's
+//! Eq. 1 models — integration tests assert that measured payload bytes
+//! match the analytic model, and that distributed verdicts equal
+//! in-process inference bit for bit.
+//!
+//! * [`message`] — the wire protocol (bit-packed binary features, f32
+//!   class scores, raw-image baseline frames);
+//! * [`link`] — instrumented channels with byte accounting and a latency
+//!   model;
+//! * [`cluster`] — node loops and the orchestrator, plus the §IV-H
+//!   cloud-offload baseline.
+//!
+//! ```no_run
+//! use ddnn_core::{Ddnn, DdnnConfig};
+//! use ddnn_runtime::{run_distributed_inference, HierarchyConfig};
+//! use ddnn_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = Ddnn::new(DdnnConfig::paper()); // train first in real use
+//! let views: Vec<Tensor> =
+//!     (0..6).map(|_| Tensor::zeros([4, 3, 32, 32])).collect();
+//! let labels = vec![0usize; 4];
+//! let report = run_distributed_inference(
+//!     &model.partition(),
+//!     &views,
+//!     &labels,
+//!     &HierarchyConfig::default(),
+//! )?;
+//! println!("measured device bytes: {}", report.device_payload_bytes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+mod error;
+pub mod link;
+pub mod message;
+
+pub use cluster::{run_cloud_only_baseline, run_distributed_inference, HierarchyConfig, SimReport};
+pub use error::{Result, RuntimeError};
+pub use link::{LatencyModel, LinkStats};
+pub use message::{Frame, NodeId, Payload, HEADER_BYTES};

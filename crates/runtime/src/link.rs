@@ -1,0 +1,222 @@
+//! Instrumented links between hierarchy nodes: crossbeam channels with
+//! byte accounting and a simulated latency model.
+
+use crate::error::{Result, RuntimeError};
+use crate::message::{Frame, HEADER_BYTES};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Cumulative traffic counters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Frames transferred.
+    pub frames: usize,
+    /// Application payload bytes (the quantity Eq. 1 models).
+    pub payload_bytes: usize,
+    /// Protocol header bytes.
+    pub header_bytes: usize,
+}
+
+impl LinkStats {
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> usize {
+        self.payload_bytes + self.header_bytes
+    }
+}
+
+/// A transfer-time model for a link: fixed propagation delay plus a
+/// bandwidth term.
+///
+/// Used for the *simulated* latency accounting of staged inference; no
+/// wall-clock sleeping is involved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// One-way propagation delay in milliseconds.
+    pub base_ms: f32,
+    /// Link throughput in kilobytes per millisecond (≈ MB/s).
+    pub kb_per_ms: f32,
+}
+
+impl LatencyModel {
+    /// A fast local (device ↔ gateway) wireless hop: 2 ms, ~1 MB/s.
+    pub fn local() -> Self {
+        LatencyModel { base_ms: 2.0, kb_per_ms: 1.0 }
+    }
+
+    /// A WAN hop to the cloud: 50 ms, ~0.5 MB/s.
+    pub fn wan() -> Self {
+        LatencyModel { base_ms: 50.0, kb_per_ms: 0.5 }
+    }
+
+    /// Transfer time of `bytes` over this link, in milliseconds.
+    pub fn transfer_ms(&self, bytes: usize) -> f32 {
+        self.base_ms + (bytes as f32 / 1024.0) / self.kb_per_ms.max(1e-6)
+    }
+}
+
+/// The sending half of an instrumented link. Frames are encoded to wire
+/// bytes, counted, then decoded by the receiver — so anything crossing a
+/// link really does survive serialization.
+#[derive(Debug, Clone)]
+pub struct LinkSender {
+    tx: Sender<bytes::Bytes>,
+    stats: Arc<Mutex<LinkStats>>,
+    name: Arc<str>,
+}
+
+impl LinkSender {
+    /// Sends a frame, accounting its encoded size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Disconnected`] if the receiver hung up.
+    pub fn send(&self, frame: &Frame) -> Result<()> {
+        let encoded = frame.encode();
+        {
+            let mut s = self.stats.lock();
+            s.frames += 1;
+            s.payload_bytes += frame.payload_bytes();
+            s.header_bytes += HEADER_BYTES + (encoded.len() - HEADER_BYTES - frame.payload_bytes());
+        }
+        self.tx
+            .send(encoded)
+            .map_err(|_| RuntimeError::Disconnected { node: self.name.to_string() })
+    }
+
+    /// The link's display name (`from->to`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The receiving half of an instrumented link.
+#[derive(Debug)]
+pub struct LinkReceiver {
+    rx: Receiver<bytes::Bytes>,
+    name: Arc<str>,
+}
+
+impl LinkReceiver {
+    /// Blocks for the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Disconnected`] if all senders hung up, or a
+    /// protocol error if decoding fails.
+    pub fn recv(&self) -> Result<Frame> {
+        let bytes = self
+            .rx
+            .recv()
+            .map_err(|_| RuntimeError::Disconnected { node: self.name.to_string() })?;
+        Frame::decode(bytes)
+    }
+
+    /// Non-blocking receive; `Ok(None)` when the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Disconnected`] if all senders hung up.
+    pub fn try_recv(&self) -> Result<Option<Frame>> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Ok(Some(Frame::decode(bytes)?)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(RuntimeError::Disconnected { node: self.name.to_string() })
+            }
+        }
+    }
+}
+
+/// Creates an instrumented link named `name`, returning sender, receiver
+/// and the shared statistics handle.
+pub fn link(name: &str) -> (LinkSender, LinkReceiver, Arc<Mutex<LinkStats>>) {
+    let (tx, rx) = unbounded();
+    let stats = Arc::new(Mutex::new(LinkStats::default()));
+    let name: Arc<str> = Arc::from(name);
+    (
+        LinkSender { tx, stats: Arc::clone(&stats), name: Arc::clone(&name) },
+        LinkReceiver { rx, name },
+        stats,
+    )
+}
+
+/// Creates a node *inbox*: one receiver that many independently
+/// instrumented senders can feed (see [`attach_sender`]). Returns the raw
+/// channel sender to attach links to, plus the receiver.
+pub fn inbox(name: &str) -> (Sender<bytes::Bytes>, LinkReceiver) {
+    let (tx, rx) = unbounded();
+    (tx, LinkReceiver { rx, name: Arc::from(name) })
+}
+
+/// Attaches a named, separately-instrumented sender to an inbox channel, so
+/// per-sender traffic (e.g. `device3->gateway`) is accounted individually
+/// even though all frames land in the same inbox.
+pub fn attach_sender(
+    tx: &Sender<bytes::Bytes>,
+    name: &str,
+) -> (LinkSender, Arc<Mutex<LinkStats>>) {
+    let stats = Arc::new(Mutex::new(LinkStats::default()));
+    (LinkSender { tx: tx.clone(), stats: Arc::clone(&stats), name: Arc::from(name) }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{NodeId, Payload};
+
+    #[test]
+    fn frames_survive_the_link() {
+        let (tx, rx, stats) = link("device0->gateway");
+        let f = Frame::new(7, NodeId::Device(0), Payload::Scores { scores: vec![1.0, 2.0, 3.0] });
+        tx.send(&f).unwrap();
+        let got = rx.recv().unwrap();
+        assert_eq!(got, f);
+        let s = *stats.lock();
+        assert_eq!(s.frames, 1);
+        assert_eq!(s.payload_bytes, 12);
+        assert!(s.header_bytes >= HEADER_BYTES);
+    }
+
+    #[test]
+    fn try_recv_on_empty_is_none() {
+        let (_tx, rx, _stats) = link("x");
+        assert!(rx.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_after_sender_drop_errors() {
+        let (tx, rx, _stats) = link("gone");
+        drop(tx);
+        assert!(matches!(rx.recv(), Err(RuntimeError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn payload_byte_accounting_accumulates() {
+        let (tx, rx, stats) = link("acc");
+        for i in 0..5 {
+            tx.send(&Frame::new(i, NodeId::Gateway, Payload::OffloadRequest)).unwrap();
+        }
+        for _ in 0..5 {
+            rx.recv().unwrap();
+        }
+        let s = *stats.lock();
+        assert_eq!(s.frames, 5);
+        assert_eq!(s.payload_bytes, 0);
+        assert_eq!(s.header_bytes, 5 * HEADER_BYTES);
+    }
+
+    #[test]
+    fn latency_model_shapes() {
+        let local = LatencyModel::local();
+        let wan = LatencyModel::wan();
+        // WAN is slower for the same transfer.
+        assert!(wan.transfer_ms(128) > local.transfer_ms(128));
+        // Bigger payloads take longer.
+        assert!(local.transfer_ms(3072) > local.transfer_ms(12));
+        // The bandwidth term of a raw image dwarfs a 134-byte feature map.
+        let raw_bw = wan.transfer_ms(3072) - wan.base_ms;
+        let map_bw = wan.transfer_ms(134) - wan.base_ms;
+        assert!(raw_bw > 20.0 * map_bw);
+    }
+}

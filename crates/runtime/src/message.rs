@@ -1,0 +1,402 @@
+//! Wire protocol of the simulated hierarchy.
+//!
+//! Every message is a [`Frame`]: an 11-byte header (sequence number, sender
+//! id, payload tag) followed by a typed payload. Payload encodings are
+//! exactly the units the paper's Eq. 1 counts: class scores as 4-byte
+//! little-endian floats, binary feature maps bit-packed at 1 bit per
+//! activation, raw images as 1 byte per pixel channel (the 3072-byte
+//! baseline of §IV-H).
+
+use crate::error::{Result, RuntimeError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ddnn_tensor::{bits, Tensor};
+
+/// Identifies a node in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    /// End device `d` (0-based).
+    Device(u8),
+    /// The gateway hosting the local aggregator.
+    Gateway,
+    /// The edge (fog) tier.
+    Edge,
+    /// The cloud.
+    Cloud,
+    /// The experiment orchestrator (source of sensor input, sink of
+    /// verdicts).
+    Orchestrator,
+}
+
+impl NodeId {
+    fn encode(self) -> u16 {
+        match self {
+            NodeId::Device(d) => u16::from(d),
+            NodeId::Gateway => 0x100,
+            NodeId::Edge => 0x101,
+            NodeId::Cloud => 0x102,
+            NodeId::Orchestrator => 0x103,
+        }
+    }
+
+    fn decode(v: u16) -> Result<Self> {
+        match v {
+            0x100 => Ok(NodeId::Gateway),
+            0x101 => Ok(NodeId::Edge),
+            0x102 => Ok(NodeId::Cloud),
+            0x103 => Ok(NodeId::Orchestrator),
+            d if d < 0x100 => Ok(NodeId::Device(d as u8)),
+            other => Err(RuntimeError::Protocol { reason: format!("unknown node id {other}") }),
+        }
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Device(d) => write!(f, "device{d}"),
+            NodeId::Gateway => write!(f, "gateway"),
+            NodeId::Edge => write!(f, "edge"),
+            NodeId::Cloud => write!(f, "cloud"),
+            NodeId::Orchestrator => write!(f, "orchestrator"),
+        }
+    }
+}
+
+/// Frame payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Sensor input pushed to a device by the orchestrator (not a network
+    /// transfer; its bytes are not counted against any link).
+    Capture {
+        /// The `(3, 32, 32)` view.
+        view: Tensor,
+    },
+    /// Per-class float scores a device sends to the local aggregator — the
+    /// `4·|C|` term of Eq. 1.
+    Scores {
+        /// Class scores, one `f32` per class.
+        scores: Vec<f32>,
+    },
+    /// Gateway's instruction to offload the current sample upward.
+    OffloadRequest,
+    /// A bit-packed binary feature map — the `f·o/8` term of Eq. 1.
+    Features {
+        /// Channel count of the map.
+        channels: u16,
+        /// Spatial height.
+        height: u16,
+        /// Spatial width.
+        width: u16,
+        /// Bit-packed signs, row-major, MSB first.
+        bits: Bytes,
+    },
+    /// A raw 32×32 RGB image quantized to 1 byte/channel — what the
+    /// cloud-offload baseline transmits (3072 bytes, §IV-H).
+    RawImage {
+        /// Quantized pixels, `(3, 32, 32)` row-major.
+        pixels: Bytes,
+    },
+    /// A final classification decision.
+    Verdict {
+        /// Predicted class.
+        prediction: u16,
+        /// Exit tier: 0 = local, 1 = edge, 2 = cloud.
+        exit_tier: u8,
+    },
+    /// Orderly shutdown of a node at end of experiment.
+    Shutdown,
+}
+
+impl Payload {
+    fn tag(&self) -> u8 {
+        match self {
+            Payload::Capture { .. } => 0,
+            Payload::Scores { .. } => 1,
+            Payload::OffloadRequest => 2,
+            Payload::Features { .. } => 3,
+            Payload::RawImage { .. } => 4,
+            Payload::Verdict { .. } => 5,
+            Payload::Shutdown => 6,
+        }
+    }
+}
+
+/// A protocol frame: header + payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Sample sequence number (one inference per sequence number).
+    pub seq: u64,
+    /// Sending node.
+    pub from: NodeId,
+    /// Typed payload.
+    pub payload: Payload,
+}
+
+/// Bytes of the fixed frame header (seq: u64, from: u16, tag: u8).
+pub const HEADER_BYTES: usize = 8 + 2 + 1;
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(seq: u64, from: NodeId, payload: Payload) -> Self {
+        Frame { seq, from, payload }
+    }
+
+    /// Size of the encoded payload in bytes (excluding the header) — the
+    /// quantity compared against the paper's Eq. 1.
+    pub fn payload_bytes(&self) -> usize {
+        match &self.payload {
+            Payload::Capture { view } => 4 * view.len(),
+            Payload::Scores { scores } => 4 * scores.len(),
+            Payload::OffloadRequest | Payload::Shutdown => 0,
+            Payload::Features { bits, .. } => 6 + bits.len(),
+            Payload::RawImage { pixels } => pixels.len(),
+            Payload::Verdict { .. } => 3,
+        }
+    }
+
+    /// Encodes the frame to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_BYTES + self.payload_bytes() + 4);
+        buf.put_u64_le(self.seq);
+        buf.put_u16_le(self.from.encode());
+        buf.put_u8(self.payload.tag());
+        match &self.payload {
+            Payload::Capture { view } => {
+                buf.put_u32_le(view.len() as u32);
+                for &x in view.data() {
+                    buf.put_f32_le(x);
+                }
+            }
+            Payload::Scores { scores } => {
+                buf.put_u32_le(scores.len() as u32);
+                for &s in scores {
+                    buf.put_f32_le(s);
+                }
+            }
+            Payload::OffloadRequest | Payload::Shutdown => {}
+            Payload::Features { channels, height, width, bits } => {
+                buf.put_u16_le(*channels);
+                buf.put_u16_le(*height);
+                buf.put_u16_le(*width);
+                buf.put_u32_le(bits.len() as u32);
+                buf.put_slice(bits);
+            }
+            Payload::RawImage { pixels } => {
+                buf.put_u32_le(pixels.len() as u32);
+                buf.put_slice(pixels);
+            }
+            Payload::Verdict { prediction, exit_tier } => {
+                buf.put_u16_le(*prediction);
+                buf.put_u8(*exit_tier);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Protocol`] on truncated input or unknown
+    /// tags.
+    pub fn decode(mut buf: Bytes) -> Result<Frame> {
+        let need = |buf: &Bytes, n: usize| -> Result<()> {
+            if buf.remaining() < n {
+                Err(RuntimeError::Protocol { reason: format!("truncated frame: need {n} more bytes") })
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, HEADER_BYTES)?;
+        let seq = buf.get_u64_le();
+        let from = NodeId::decode(buf.get_u16_le())?;
+        let tag = buf.get_u8();
+        let payload = match tag {
+            0 => {
+                need(&buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                need(&buf, 4 * n)?;
+                let data: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
+                let view = Tensor::from_vec(data, [3, 32, 32]).map_err(|e| {
+                    RuntimeError::Protocol { reason: format!("capture payload shape: {e}") }
+                })?;
+                Payload::Capture { view }
+            }
+            1 => {
+                need(&buf, 4)?;
+                let n = buf.get_u32_le() as usize;
+                need(&buf, 4 * n)?;
+                Payload::Scores { scores: (0..n).map(|_| buf.get_f32_le()).collect() }
+            }
+            2 => Payload::OffloadRequest,
+            3 => {
+                need(&buf, 10)?;
+                let channels = buf.get_u16_le();
+                let height = buf.get_u16_le();
+                let width = buf.get_u16_le();
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len)?;
+                Payload::Features { channels, height, width, bits: buf.copy_to_bytes(len) }
+            }
+            4 => {
+                need(&buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len)?;
+                Payload::RawImage { pixels: buf.copy_to_bytes(len) }
+            }
+            5 => {
+                need(&buf, 3)?;
+                Payload::Verdict { prediction: buf.get_u16_le(), exit_tier: buf.get_u8() }
+            }
+            6 => Payload::Shutdown,
+            other => {
+                return Err(RuntimeError::Protocol { reason: format!("unknown payload tag {other}") })
+            }
+        };
+        Ok(Frame { seq, from, payload })
+    }
+}
+
+/// Packs a ±1 feature map tensor `(c, h, w)` into a [`Payload::Features`].
+///
+/// # Errors
+///
+/// Returns an error if the map is not rank 3.
+pub fn features_payload(map: &Tensor) -> Result<Payload> {
+    if map.rank() != 3 {
+        return Err(RuntimeError::Protocol {
+            reason: format!("feature map must be rank 3, got {}", map.rank()),
+        });
+    }
+    Ok(Payload::Features {
+        channels: map.dims()[0] as u16,
+        height: map.dims()[1] as u16,
+        width: map.dims()[2] as u16,
+        bits: bits::pack_signs(map),
+    })
+}
+
+/// Unpacks a [`Payload::Features`] back into a ±1 tensor.
+///
+/// # Errors
+///
+/// Returns an error on inconsistent dimensions.
+pub fn features_tensor(channels: u16, height: u16, width: u16, packed: &[u8]) -> Result<Tensor> {
+    bits::unpack_signs(packed, [channels as usize, height as usize, width as usize])
+        .map_err(RuntimeError::from)
+}
+
+/// Quantizes a float image in `[0, 1]` to 1 byte per channel pixel — the
+/// raw-offload baseline's wire format.
+pub fn quantize_image(view: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(view.len());
+    for &x in view.data() {
+        buf.put_u8((x.clamp(0.0, 1.0) * 255.0).round() as u8);
+    }
+    buf.freeze()
+}
+
+/// Dequantizes a 1-byte-per-channel image back to floats in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if the byte count is not a whole `(3, 32, 32)` image.
+pub fn dequantize_image(pixels: &[u8]) -> Result<Tensor> {
+    if pixels.len() != 3 * 32 * 32 {
+        return Err(RuntimeError::Protocol {
+            reason: format!("raw image must be 3072 bytes, got {}", pixels.len()),
+        });
+    }
+    let data: Vec<f32> = pixels.iter().map(|&b| f32::from(b) / 255.0).collect();
+    Tensor::from_vec(data, [3, 32, 32]).map_err(RuntimeError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        for id in [NodeId::Device(0), NodeId::Device(5), NodeId::Gateway, NodeId::Edge, NodeId::Cloud, NodeId::Orchestrator]
+        {
+            assert_eq!(NodeId::decode(id.encode()).unwrap(), id);
+        }
+        assert!(NodeId::decode(0x2FF).is_err());
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let frames = vec![
+            Frame::new(1, NodeId::Device(2), Payload::Scores { scores: vec![0.5, -1.0, 2.5] }),
+            Frame::new(2, NodeId::Gateway, Payload::OffloadRequest),
+            Frame::new(3, NodeId::Cloud, Payload::Verdict { prediction: 2, exit_tier: 2 }),
+            Frame::new(4, NodeId::Orchestrator, Payload::Shutdown),
+        ];
+        for f in frames {
+            let decoded = Frame::decode(f.encode()).unwrap();
+            assert_eq!(decoded, f);
+        }
+    }
+
+    #[test]
+    fn features_frame_round_trips() {
+        let mut rng = ddnn_tensor::rng::rng_from_seed(0);
+        let map = Tensor::rand_signs([4, 16, 16], &mut rng);
+        let payload = features_payload(&map).unwrap();
+        let f = Frame::new(9, NodeId::Device(0), payload);
+        let decoded = Frame::decode(f.encode()).unwrap();
+        if let Payload::Features { channels, height, width, bits } = decoded.payload {
+            let back = features_tensor(channels, height, width, &bits).unwrap();
+            assert_eq!(back, map);
+        } else {
+            panic!("wrong payload type");
+        }
+    }
+
+    #[test]
+    fn scores_payload_matches_eq1_first_term() {
+        // 3 classes -> 12 bytes, Eq. 1's 4·|C| term.
+        let f = Frame::new(0, NodeId::Device(0), Payload::Scores { scores: vec![0.0; 3] });
+        assert_eq!(f.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn features_payload_matches_eq1_second_term() {
+        // f=4 filters of 16x16 bits -> 128 bytes + 6 bytes shape.
+        let map = Tensor::ones([4, 16, 16]);
+        let f = Frame::new(0, NodeId::Device(0), features_payload(&map).unwrap());
+        assert_eq!(f.payload_bytes(), 134);
+    }
+
+    #[test]
+    fn raw_image_is_3072_bytes() {
+        let img = Tensor::full([3, 32, 32], 0.25);
+        let f = Frame::new(0, NodeId::Device(0), Payload::RawImage { pixels: quantize_image(&img) });
+        assert_eq!(f.payload_bytes(), 3072);
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip_within_half_step() {
+        let img = Tensor::from_fn([3, 32, 32], |i| (i % 256) as f32 / 255.0);
+        let back = dequantize_image(&quantize_image(&img)).unwrap();
+        assert!(img.max_abs_diff(&back).unwrap() <= 0.5 / 255.0 + 1e-6);
+        assert!(dequantize_image(&[0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Frame::decode(Bytes::from_static(&[1, 2, 3])).is_err());
+        let mut good = Frame::new(0, NodeId::Cloud, Payload::OffloadRequest).encode().to_vec();
+        good[10] = 99; // unknown tag
+        assert!(Frame::decode(Bytes::from(good)).is_err());
+    }
+
+    #[test]
+    fn truncated_features_rejected() {
+        let map = Tensor::ones([2, 4, 4]);
+        let f = Frame::new(0, NodeId::Device(1), features_payload(&map).unwrap());
+        let enc = f.encode();
+        let cut = enc.slice(0..enc.len() - 2);
+        assert!(Frame::decode(cut).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # ddnn-tensor
+//!
+//! Dense `f32` tensor library underpinning the DDNN-RS reproduction of
+//! *Distributed Deep Neural Networks over the Cloud, the Edge and End
+//! Devices* (Teerapittayanon, McDanel, Kung — ICDCS 2017).
+//!
+//! The crate provides exactly the numeric substrate that the paper's
+//! networks require, implemented from scratch:
+//!
+//! * [`Tensor`] — contiguous row-major storage with shape bookkeeping,
+//!   elementwise arithmetic, reductions and batch slicing;
+//! * [`Tensor::matmul`] and friends — the linear algebra used by fully
+//!   connected layers;
+//! * [`conv`] — `im2col`-based 2-D convolution and max pooling with exact
+//!   adjoint backward passes (verified against finite differences);
+//! * [`bits`] — 1-bit packing of binarized activations, the wire format the
+//!   paper's communication-cost model (Eq. 1) counts;
+//! * [`rng`] — deterministic, seedable random tensor generation.
+//!
+//! ## Example
+//!
+//! ```
+//! use ddnn_tensor::{Tensor, conv::{conv2d, Conv2dSpec}};
+//!
+//! # fn main() -> Result<(), ddnn_tensor::TensorError> {
+//! // A 32x32 RGB image batch, convolved with 4 binary 3x3 filters exactly
+//! // as the paper's ConvP block does.
+//! let images = Tensor::zeros([1, 3, 32, 32]);
+//! let filters = Tensor::ones([4, 3, 3, 3]);
+//! let features = conv2d(&images, &filters, &Conv2dSpec::paper_conv())?;
+//! assert_eq!(features.dims(), &[1, 4, 32, 32]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod conv;
+mod error;
+mod ops;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,112 @@
+//! Deterministic random tensor generation.
+//!
+//! Every stochastic component of DDNN-RS (weight init, data synthesis,
+//! shuffling) draws from a seeded [`rand::rngs::StdRng`] so that experiments
+//! reproduce bit-for-bit given a seed.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+///
+/// We implement this directly rather than pulling in `rand_distr`; the
+/// quality is equivalent for our purposes (weight init, noise injection).
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+impl Tensor {
+    /// Creates a tensor with i.i.d. `N(0, std²)` entries.
+    pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| sample_standard_normal(rng) * std).collect();
+        Tensor::from_vec(data, shape).expect("generated data matches shape length")
+    }
+
+    /// Creates a tensor with i.i.d. `Uniform(lo, hi)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        assert!(lo <= hi, "uniform bounds must satisfy lo <= hi");
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| rng.gen_range(lo..=hi)).collect();
+        Tensor::from_vec(data, shape).expect("generated data matches shape length")
+    }
+
+    /// Creates a ±1 tensor with i.i.d. fair-coin entries (a random binarized
+    /// activation pattern; useful for tests and synthetic workloads).
+    pub fn rand_signs(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        Tensor::from_vec(data, shape).expect("generated data matches shape length")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        let ta = Tensor::randn([100], 1.0, &mut a);
+        let tb = Tensor::randn([100], 1.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ta = Tensor::randn([100], 1.0, &mut rng_from_seed(1));
+        let tb = Tensor::randn([100], 1.0, &mut rng_from_seed(2));
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = rng_from_seed(7);
+        let t = Tensor::randn([10_000], 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| x * x).mean() - mean * mean;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn randn_respects_std() {
+        let mut rng = rng_from_seed(8);
+        let t = Tensor::randn([10_000], 0.1, &mut rng);
+        let var = t.map(|x| x * x).mean();
+        assert!((var - 0.01).abs() < 0.005, "var={var}");
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = rng_from_seed(9);
+        let t = Tensor::rand_uniform([1000], -0.5, 0.5, &mut rng);
+        assert!(t.max().unwrap() <= 0.5);
+        assert!(t.min().unwrap() >= -0.5);
+    }
+
+    #[test]
+    fn signs_are_plus_minus_one() {
+        let mut rng = rng_from_seed(10);
+        let t = Tensor::rand_signs([1000], &mut rng);
+        assert!(t.data().iter().all(|&x| x == 1.0 || x == -1.0));
+        // Roughly balanced.
+        assert!(t.mean().abs() < 0.15);
+    }
+}

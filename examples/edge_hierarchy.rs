@@ -1,0 +1,66 @@
+//! A three-tier hierarchy (paper Fig. 2 (d)/(e)): devices → edge → cloud,
+//! with an exit at every tier, run on the distributed simulator.
+//!
+//! Easy samples exit at the gateway, moderate ones at the edge, and only
+//! the hardest reach the cloud — each escalation paying another network
+//! hop. The simulator counts real serialized bytes per link and models the
+//! latency of each tier.
+//!
+//! Run with: `cargo run --release --example edge_hierarchy`
+
+use ddnn::core::{
+    train, AggregationScheme, Ddnn, DdnnConfig, EdgeConfig, ExitPoint, ExitThreshold, TrainConfig,
+};
+use ddnn::data::{all_device_batches, labels, MvmcConfig, MvmcDataset};
+use ddnn::runtime::{run_distributed_inference, HierarchyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = MvmcDataset::generate(MvmcConfig::tiny(480, 120, 77));
+    let n_dev = ds.num_devices();
+    let train_views = all_device_batches(&ds.train, n_dev)?;
+    let test_views = all_device_batches(&ds.test, n_dev)?;
+    let test_labels = labels(&ds.test);
+
+    // Three exits: local (gateway), edge, cloud — all jointly trained.
+    let mut model = Ddnn::new(DdnnConfig {
+        edge: Some(EdgeConfig { filters: 16, agg: AggregationScheme::Concat }),
+        ..DdnnConfig::paper()
+    });
+    println!("exits: {}", model.num_exits());
+    train(
+        &mut model,
+        &train_views,
+        &labels(&ds.train),
+        &TrainConfig { epochs: 35, ..TrainConfig::default() },
+    )?;
+
+    let report = run_distributed_inference(
+        &model.partition(),
+        &test_views,
+        &test_labels,
+        &HierarchyConfig {
+            local_threshold: ExitThreshold::new(0.5),
+            edge_threshold: ExitThreshold::new(0.8),
+            ..HierarchyConfig::default()
+        },
+    )?;
+
+    println!("accuracy: {:.1}%", report.accuracy * 100.0);
+    println!("exit split:");
+    for (tier, point) in
+        [("gateway", ExitPoint::Local), ("edge", ExitPoint::Edge), ("cloud", ExitPoint::Cloud)]
+    {
+        println!("  {tier:>8}: {:.1}%", report.exit_fraction(point) * 100.0);
+    }
+    println!(
+        "mean simulated latency: {:.1} ms (local exits {:.1} ms, escalated {:.1} ms)",
+        report.mean_latency_ms, report.mean_local_latency_ms, report.mean_offload_latency_ms
+    );
+    println!("traffic by link (payload bytes):");
+    for (name, stats) in &report.links {
+        if stats.payload_bytes > 0 {
+            println!("  {name:>22}: {:>8} B in {} frames", stats.payload_bytes, stats.frames);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: train a small DDNN on the synthetic multi-view multi-camera
+//! dataset, then run staged inference — most samples exit on-device, hard
+//! ones are offloaded to the cloud.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! (Uses a reduced dataset and epoch budget so it finishes in well under a
+//! minute; see `crates/bench` for full paper-scale runs.)
+
+use ddnn::core::{
+    accuracy, train, CommCostModel, Ddnn, DdnnConfig, ExitPoint, ExitThreshold, TrainConfig,
+};
+use ddnn::data::{all_device_batches, labels, MvmcConfig, MvmcDataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small multi-camera dataset: 6 views per sample, 3 classes.
+    let ds = MvmcDataset::generate(MvmcConfig::tiny(400, 100, 7));
+    let train_views = all_device_batches(&ds.train, ds.num_devices())?;
+    let train_labels = labels(&ds.train);
+
+    // 2. The paper's architecture: binary ConvP blocks on six devices,
+    //    max-pool local aggregation, concatenation at the cloud.
+    let mut model = Ddnn::new(DdnnConfig::paper());
+    println!("device memory footprint: {} bytes (< 2 KB)", model.device_memory_bytes());
+
+    // 3. Joint training: the sum of local-exit and cloud-exit losses.
+    let report = train(
+        &mut model,
+        &train_views,
+        &train_labels,
+        &TrainConfig { epochs: 40, ..TrainConfig::default() },
+    )?;
+    println!("final training loss: {:.4}", report.final_loss());
+
+    // 4. Staged inference on held-out samples with the paper's T = 0.8.
+    let test_views = all_device_batches(&ds.test, ds.num_devices())?;
+    let test_labels = labels(&ds.test);
+    let out = model.infer(&test_views, ExitThreshold::new(0.8), None)?;
+    let acc = accuracy(&out.predictions, &test_labels);
+    let local = out.exit_fraction(ExitPoint::Local);
+    println!("test accuracy: {:.1}%", acc * 100.0);
+    println!("exited locally (no cloud round-trip): {:.1}%", local * 100.0);
+
+    // 5. What that saves on the wire (paper Eq. 1 vs raw offload).
+    let comm = CommCostModel::from_config(model.config());
+    println!(
+        "per-device communication: {:.0} B/sample vs 3072 B raw ({:.0}x reduction)",
+        comm.bytes_per_sample(local),
+        comm.reduction_factor(local)
+    );
+    Ok(())
+}

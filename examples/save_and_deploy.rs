@@ -1,0 +1,65 @@
+//! The deployment story: train in the cloud, checkpoint, ship sections to
+//! the hierarchy (paper §III-C: "the DDNN system can be trained on a
+//! single powerful server ... then mapped onto the distributed computing
+//! hierarchy").
+//!
+//! This example trains a DDNN, saves it to a checkpoint file, restores it
+//! in a "deployment" step, partitions the restored model along physical
+//! boundaries, and serves inference on the simulated hierarchy —
+//! verifying the restored system behaves identically to the trained one.
+//!
+//! Run with: `cargo run --release --example save_and_deploy`
+
+use ddnn::core::{train, Ddnn, DdnnConfig, ExitThreshold, TrainConfig};
+use ddnn::data::{all_device_batches, labels, MvmcConfig, MvmcDataset};
+use ddnn::runtime::{run_distributed_inference, HierarchyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = MvmcDataset::generate(MvmcConfig::tiny(240, 60, 99));
+    let n_dev = ds.num_devices();
+    let train_views = all_device_batches(&ds.train, n_dev)?;
+    let test_views = all_device_batches(&ds.test, n_dev)?;
+    let test_labels = labels(&ds.test);
+
+    // --- Training side (the "single powerful server") -------------------
+    let mut model = Ddnn::new(DdnnConfig::paper());
+    train(
+        &mut model,
+        &train_views,
+        &labels(&ds.train),
+        &TrainConfig { epochs: 20, ..TrainConfig::default() },
+    )?;
+    let expected = model.infer(&test_views, ExitThreshold::new(0.8), None)?;
+
+    let path = std::env::temp_dir().join("ddnn-deploy-example.ckpt");
+    model.save_to(&path)?;
+    println!("checkpoint written: {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+
+    // --- Deployment side -------------------------------------------------
+    let restored = Ddnn::load_from(&path)?;
+    println!(
+        "restored {} devices x {} bytes of on-device weights",
+        restored.config().num_devices,
+        restored.device_memory_bytes()
+    );
+    let partition = restored.partition();
+    let report = run_distributed_inference(
+        &partition,
+        &test_views,
+        &test_labels,
+        &HierarchyConfig::default(),
+    )?;
+    println!(
+        "distributed accuracy {:.1}%, {:.0}% exited locally",
+        report.accuracy * 100.0,
+        report.local_exit_fraction * 100.0
+    );
+
+    assert_eq!(
+        report.predictions, expected.predictions,
+        "restored + distributed must equal trained + in-process"
+    );
+    println!("verified: restored distributed inference is bit-identical to the trained model.");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Picking the exit threshold T (paper §III-D / §IV-D): search a grid on
+//! validation data for the accuracy/communication sweet spot.
+//!
+//! The normalized-entropy threshold trades response latency and
+//! communication against accuracy: low T sends everything to the cloud,
+//! high T classifies everything on-device. The paper searches T on a
+//! validation set; this example reproduces that procedure with
+//! [`ddnn::core::search_threshold`].
+//!
+//! Run with: `cargo run --release --example threshold_tuning`
+
+use ddnn::core::{
+    evaluate_overall, normalized_entropy_rows, search_threshold, train, CommCostModel, Ddnn,
+    DdnnConfig, ExitPoint, ExitThreshold, TrainConfig,
+};
+use ddnn::data::{all_device_batches, labels, MvmcConfig, MvmcDataset};
+use ddnn::nn::Mode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = MvmcDataset::generate(MvmcConfig::tiny(480, 120, 55));
+    let n_dev = ds.num_devices();
+    let train_views = all_device_batches(&ds.train, n_dev)?;
+    let train_labels = labels(&ds.train);
+
+    let mut model = Ddnn::new(DdnnConfig::paper());
+    train(
+        &mut model,
+        &train_views,
+        &train_labels,
+        &TrainConfig { epochs: 35, ..TrainConfig::default() },
+    )?;
+
+    // Hold out the last quarter of the training set as validation for the
+    // threshold search (the test set stays untouched).
+    let n = train_labels.len();
+    let val_idx: Vec<usize> = (3 * n / 4..n).collect();
+    let val_views: Vec<_> = train_views
+        .iter()
+        .map(|v| v.select_axis0(&val_idx))
+        .collect::<Result<_, _>>()?;
+    let val_labels: Vec<usize> = val_idx.iter().map(|&i| train_labels[i]).collect();
+
+    // Per-sample local confidence and correctness on the validation set.
+    let logits = model.forward(&val_views, Mode::Eval)?;
+    let local_probs = logits.local.softmax_rows()?;
+    let eta = normalized_entropy_rows(&local_probs)?;
+    let local_pred = local_probs.argmax_rows()?;
+    let cloud_pred = logits.cloud.softmax_rows()?.argmax_rows()?;
+    let local_ok: Vec<bool> =
+        local_pred.iter().zip(&val_labels).map(|(p, l)| p == l).collect();
+    let cloud_ok: Vec<bool> =
+        cloud_pred.iter().zip(&val_labels).map(|(p, l)| p == l).collect();
+
+    let grid: Vec<f32> = (0..=20).map(|i| i as f32 / 20.0).collect();
+    let (best_t, val_acc) = search_threshold(&eta, &local_ok, &cloud_ok, &grid);
+    println!("validation search picked {best_t} (validation accuracy {:.1}%)", val_acc * 100.0);
+
+    // Apply the chosen threshold to the real test set.
+    let test_views = all_device_batches(&ds.test, n_dev)?;
+    let test_labels = labels(&ds.test);
+    let comm = CommCostModel::from_config(model.config());
+    for t in [ExitThreshold::new(0.0), best_t, ExitThreshold::new(1.0)] {
+        let e = evaluate_overall(&mut model, &test_views, &test_labels, t, None)?;
+        println!(
+            "{t}: accuracy {:.1}%, local exits {:.0}%, {:.0} B/sample/device",
+            e.accuracy * 100.0,
+            e.local_exit_fraction * 100.0,
+            comm.bytes_per_sample(e.local_exit_fraction)
+        );
+        let _ = ExitPoint::Local;
+    }
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! `ddnn` — command-line interface for training, evaluating and simulating
+//! distributed deep neural networks on the synthetic MVMC dataset.
+//!
+//! ```text
+//! ddnn train    [--epochs N] [--filters F] [--edge] [--out model.ckpt]
+//! ddnn eval     --model model.ckpt [--threshold T]
+//! ddnn simulate --model model.ckpt [--threshold T] [--fail D,D,...]
+//! ddnn info     --model model.ckpt
+//! ddnn dataset
+//! ```
+
+use ddnn::core::{
+    evaluate_exit_accuracies, evaluate_overall, train, AggregationScheme, CommCostModel, Ddnn,
+    DdnnConfig, EdgeConfig, ExitThreshold, TrainConfig,
+};
+use ddnn::data::{all_device_batches, device_stats, labels, MvmcDataset};
+use ddnn::runtime::{run_distributed_inference, HierarchyConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ddnn — distributed deep neural networks (ICDCS 2017) over a simulated hierarchy
+
+USAGE:
+    ddnn train    [--epochs N] [--filters F] [--edge] [--seed S] [--out PATH]
+    ddnn eval     --model PATH [--threshold T]
+    ddnn simulate --model PATH [--threshold T] [--fail D,D,...]
+    ddnn info     --model PATH
+    ddnn dataset
+";
+
+fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "edge" {
+                flags.insert(name.to_string(), "true".to_string());
+            } else {
+                i += 1;
+                let value = args.get(i).ok_or(format!("--{name} requires a value"))?;
+                flags.insert(name.to_string(), value.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok((flags, positional))
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+    }
+}
+
+fn dataset_context() -> Result<(Vec<ddnn::tensor::Tensor>, Vec<usize>, Vec<ddnn::tensor::Tensor>, Vec<usize>), String> {
+    let ds = MvmcDataset::paper();
+    let n = ds.num_devices();
+    Ok((
+        all_device_batches(&ds.train, n).map_err(|e| e.to_string())?,
+        labels(&ds.train),
+        all_device_batches(&ds.test, n).map_err(|e| e.to_string())?,
+        labels(&ds.test),
+    ))
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let epochs: usize = get(flags, "epochs", 60)?;
+    let filters: usize = get(flags, "filters", 4)?;
+    let seed: u64 = get(flags, "seed", 42)?;
+    let out = flags.get("out").cloned().unwrap_or_else(|| "ddnn-model.ckpt".to_string());
+    let cfg = DdnnConfig {
+        device_filters: filters,
+        seed,
+        edge: flags
+            .contains_key("edge")
+            .then(|| EdgeConfig { filters: 16, agg: AggregationScheme::Concat }),
+        ..DdnnConfig::paper()
+    };
+    println!("generating the MVMC dataset (680 train / 171 test, 6 cameras)...");
+    let (train_views, train_labels, test_views, test_labels) = dataset_context()?;
+    let mut model = Ddnn::new(cfg);
+    println!(
+        "training {} exits, f={} ({} B/device), {epochs} epochs...",
+        model.num_exits(),
+        filters,
+        model.device_memory_bytes()
+    );
+    let report = train(
+        &mut model,
+        &train_views,
+        &train_labels,
+        &TrainConfig { epochs, ..TrainConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("final loss {:.4}", report.final_loss());
+    let accs = evaluate_exit_accuracies(&mut model, &test_views, &test_labels)
+        .map_err(|e| e.to_string())?;
+    print!("test accuracy: local {:.1}%", accs.local * 100.0);
+    if let Some(e) = accs.edge {
+        print!(", edge {:.1}%", e * 100.0);
+    }
+    println!(", cloud {:.1}%", accs.cloud * 100.0);
+    model.save_to(&out).map_err(|e| e.to_string())?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<Ddnn, String> {
+    let path = flags.get("model").ok_or("--model is required")?;
+    Ddnn::load_from(path).map_err(|e| e.to_string())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut model = load_model(flags)?;
+    let t = ExitThreshold::new(get(flags, "threshold", 0.8)?);
+    let (_, _, test_views, test_labels) = dataset_context()?;
+    let accs = evaluate_exit_accuracies(&mut model, &test_views, &test_labels)
+        .map_err(|e| e.to_string())?;
+    let overall = evaluate_overall(&mut model, &test_views, &test_labels, t, None)
+        .map_err(|e| e.to_string())?;
+    let comm = CommCostModel::from_config(model.config());
+    println!("forced-exit accuracy: local {:.1}%, cloud {:.1}%", accs.local * 100.0, accs.cloud * 100.0);
+    println!(
+        "staged ({t}): overall {:.1}%, local exits {:.1}%, {:.0} B/sample/device (Eq. 1)",
+        overall.accuracy * 100.0,
+        overall.local_exit_fraction * 100.0,
+        comm.bytes_per_sample(overall.local_exit_fraction)
+    );
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = load_model(flags)?;
+    let t = ExitThreshold::new(get(flags, "threshold", 0.8)?);
+    let failed: Vec<usize> = match flags.get("fail") {
+        None => Vec::new(),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid device in --fail: {s}"))
+                    .and_then(|d| {
+                        if d == 0 {
+                            Err("devices are numbered from 1".to_string())
+                        } else {
+                            Ok(d - 1)
+                        }
+                    })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let (_, _, test_views, test_labels) = dataset_context()?;
+    let report = run_distributed_inference(
+        &model.partition(),
+        &test_views,
+        &test_labels,
+        &HierarchyConfig { local_threshold: t, failed_devices: failed.clone(), ..HierarchyConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "distributed run over {} samples ({} device(s) failed):",
+        test_labels.len(),
+        failed.len()
+    );
+    println!("  accuracy: {:.1}%", report.accuracy * 100.0);
+    println!("  local exits: {:.1}%", report.local_exit_fraction * 100.0);
+    println!(
+        "  latency: {:.1} ms mean ({:.1} local / {:.1} offloaded)",
+        report.mean_latency_ms, report.mean_local_latency_ms, report.mean_offload_latency_ms
+    );
+    println!("  traffic by link (payload bytes):");
+    for (name, stats) in &report.links {
+        if stats.payload_bytes > 0 {
+            println!("    {name:>22}: {:>9} B / {} frames", stats.payload_bytes, stats.frames);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut model = load_model(flags)?;
+    let cfg = model.config().clone();
+    println!("DDNN checkpoint");
+    println!("  devices:         {}", cfg.num_devices);
+    println!("  classes:         {}", cfg.num_classes);
+    println!("  device filters:  {}", cfg.device_filters);
+    println!("  aggregation:     {}-{}", cfg.local_agg, cfg.cloud_agg);
+    println!("  edge tier:       {}", cfg.edge.map_or("none".to_string(), |e| format!("{} filters, {}", e.filters, e.agg)));
+    println!("  cloud filters:   {:?} ({:?})", cfg.cloud_filters, cfg.cloud_precision);
+    println!("  exits:           {}", model.num_exits());
+    println!("  parameters:      {}", model.param_count());
+    println!("  bytes/device:    {}", model.device_memory_bytes());
+    Ok(())
+}
+
+fn cmd_dataset() -> Result<(), String> {
+    let ds = MvmcDataset::paper();
+    println!("MVMC (synthetic): {} train / {} test samples, {} devices", ds.train.len(), ds.test.len(), ds.num_devices());
+    for (d, s) in device_stats(&ds.train, ds.num_devices()).iter().enumerate() {
+        println!(
+            "  device {}: car {:>3}  bus {:>3}  person {:>3}  not-present {:>3}",
+            d + 1,
+            s.per_class[0],
+            s.per_class[1],
+            s.per_class[2],
+            s.not_present
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match parse_flags(&args[1..]) {
+        Err(e) => Err(e),
+        Ok((flags, _)) => match cmd.as_str() {
+            "train" => cmd_train(&flags),
+            "eval" => cmd_eval(&flags),
+            "simulate" => cmd_simulate(&flags),
+            "info" => cmd_info(&flags),
+            "dataset" => cmd_dataset(),
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

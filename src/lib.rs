@@ -1,0 +1,56 @@
+//! # ddnn
+//!
+//! A complete Rust implementation of **Distributed Deep Neural Networks
+//! over the Cloud, the Edge and End Devices** (Teerapittayanon, McDanel,
+//! Kung — ICDCS 2017), built from scratch: tensor math, binarized neural
+//! network training, the multi-exit DDNN model, a synthetic multi-view
+//! multi-camera dataset, and a simulated distributed hierarchy with a
+//! measured wire protocol.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`tensor`] ([`ddnn_tensor`]) — dense `f32` tensors, conv/pool
+//!   kernels, bit-packing;
+//! * [`nn`] ([`ddnn_nn`]) — layers with exact explicit backward passes,
+//!   BinaryConnect weights, Adam;
+//! * [`data`] ([`ddnn_data`]) — the synthetic MVMC dataset (680 train /
+//!   171 test, six cameras, three classes);
+//! * [`core`] ([`ddnn_core`]) — the DDNN itself: fused binary blocks,
+//!   MP/AP/CC aggregation, normalized-entropy exits, joint training,
+//!   the Eq. 1 communication model, fault injection;
+//! * [`runtime`] ([`ddnn_runtime`]) — device/gateway/edge/cloud nodes as
+//!   threads exchanging wire-encoded frames, with per-link byte
+//!   accounting.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use ddnn::core::{train, Ddnn, DdnnConfig, ExitThreshold, TrainConfig};
+//! use ddnn::data::{all_device_batches, labels, MvmcDataset};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ds = MvmcDataset::paper();
+//! let views = all_device_batches(&ds.train, 6)?;
+//! let mut model = Ddnn::new(DdnnConfig::paper());
+//! train(&mut model, &views, &labels(&ds.train), &TrainConfig::paper())?;
+//!
+//! let test_views = all_device_batches(&ds.test, 6)?;
+//! let out = model.infer(&test_views, ExitThreshold::new(0.8), None)?;
+//! println!(
+//!     "{:.1}% of samples classified on-device",
+//!     out.exit_fraction(ddnn::core::ExitPoint::Local) * 100.0
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the binaries that regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use ddnn_core as core;
+pub use ddnn_data as data;
+pub use ddnn_nn as nn;
+pub use ddnn_runtime as runtime;
+pub use ddnn_tensor as tensor;

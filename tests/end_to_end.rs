@@ -1,0 +1,125 @@
+//! Workspace integration tests: dataset → training → staged inference,
+//! spanning every crate through the `ddnn` facade.
+//!
+//! These use reduced datasets and epoch budgets so they stay fast in debug
+//! builds; the full paper-scale runs live in `crates/bench`.
+
+use ddnn::core::{
+    accuracy, evaluate_exit_accuracies, evaluate_overall, train, CommCostModel, Ddnn, DdnnConfig,
+    ExitPoint, ExitThreshold, TrainConfig,
+};
+use ddnn::data::{all_device_batches, labels, MvmcConfig, MvmcDataset};
+
+fn small_ctx() -> (Vec<ddnn::tensor::Tensor>, Vec<usize>, Vec<ddnn::tensor::Tensor>, Vec<usize>) {
+    let ds = MvmcDataset::generate(MvmcConfig::tiny(100, 40, 5));
+    (
+        all_device_batches(&ds.train, 6).unwrap(),
+        labels(&ds.train),
+        all_device_batches(&ds.test, 6).unwrap(),
+        labels(&ds.test),
+    )
+}
+
+fn small_model(seed: u64) -> Ddnn {
+    Ddnn::new(DdnnConfig { device_filters: 2, cloud_filters: [4, 8], seed, ..DdnnConfig::paper() })
+}
+
+fn quick_train() -> TrainConfig {
+    TrainConfig { epochs: 6, batch_size: 20, stat_refresh_passes: 2, ..TrainConfig::default() }
+}
+
+#[test]
+fn pipeline_trains_and_infers() {
+    let (train_views, train_labels, test_views, test_labels) = small_ctx();
+    let mut model = small_model(1);
+    let report = train(&mut model, &train_views, &train_labels, &quick_train()).unwrap();
+    assert_eq!(report.epochs.len(), 6);
+    assert!(report.epochs.iter().all(|e| e.loss.is_finite()));
+    assert!(
+        report.epochs.last().unwrap().loss < report.epochs[0].loss,
+        "training loss must decrease"
+    );
+
+    let out = model.infer(&test_views, ExitThreshold::new(0.8), None).unwrap();
+    assert_eq!(out.predictions.len(), test_labels.len());
+    let frac = out.exit_fraction(ExitPoint::Local) + out.exit_fraction(ExitPoint::Cloud);
+    assert!((frac - 1.0).abs() < 1e-6);
+    // A few epochs should beat random guessing on the training split
+    // (the test split is small enough to be noisy at this budget).
+    let train_out = model.infer(&train_views, ExitThreshold::new(0.8), None).unwrap();
+    let train_acc = accuracy(&train_out.predictions, &train_labels);
+    assert!(train_acc > 0.45, "train accuracy {train_acc} is near chance");
+    let acc = accuracy(&out.predictions, &test_labels);
+    assert!(acc > 0.2, "test accuracy {acc} collapsed");
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let (train_views, train_labels, test_views, _) = small_ctx();
+    let run = || {
+        let mut model = small_model(9);
+        train(&mut model, &train_views, &train_labels, &quick_train()).unwrap();
+        model.predict_at(&test_views, ExitPoint::Cloud).unwrap()
+    };
+    assert_eq!(run(), run(), "same seeds must give identical models");
+}
+
+#[test]
+fn forced_exit_and_overall_metrics_are_consistent() {
+    let (train_views, train_labels, test_views, test_labels) = small_ctx();
+    let mut model = small_model(2);
+    train(&mut model, &train_views, &train_labels, &quick_train()).unwrap();
+    let exits = evaluate_exit_accuracies(&mut model, &test_views, &test_labels).unwrap();
+    // T=1 staged == forced local; T=0 staged == forced cloud.
+    let all_local =
+        evaluate_overall(&mut model, &test_views, &test_labels, ExitThreshold::new(1.0), None)
+            .unwrap();
+    assert!((all_local.accuracy - exits.local).abs() < 1e-6);
+    let all_cloud =
+        evaluate_overall(&mut model, &test_views, &test_labels, ExitThreshold::new(0.0), None)
+            .unwrap();
+    assert!((all_cloud.accuracy - exits.cloud).abs() < 1e-6);
+}
+
+#[test]
+fn fault_injection_degrades_gracefully() {
+    let (train_views, train_labels, test_views, test_labels) = small_ctx();
+    let mut model = small_model(3);
+    train(&mut model, &train_views, &train_labels, &quick_train()).unwrap();
+    let t = ExitThreshold::new(0.8);
+    let healthy =
+        evaluate_overall(&mut model, &test_views, &test_labels, t, None).unwrap().accuracy;
+    // Fail one device: the system must still produce predictions for every
+    // sample and not collapse to chance.
+    let views = ddnn::core::fail_devices(&test_views, &[5]).unwrap();
+    let failed = evaluate_overall(&mut model, &views, &test_labels, t, None).unwrap();
+    assert!(
+        failed.accuracy >= healthy - 0.4,
+        "single failure collapsed accuracy from {healthy} to {}",
+        failed.accuracy
+    );
+    // And all devices blank is still well-defined (prior prediction).
+    let all = ddnn::core::fail_devices(&test_views, &[0, 1, 2, 3, 4, 5]).unwrap();
+    let worst = evaluate_overall(&mut model, &all, &test_labels, t, None).unwrap();
+    assert!(worst.accuracy <= healthy + 0.2);
+}
+
+#[test]
+fn comm_model_matches_dataset_raw_size() {
+    let comm = CommCostModel::from_config(&DdnnConfig::paper());
+    assert_eq!(ddnn::data::RAW_VIEW_BYTES, ddnn::core::RAW_IMAGE_BYTES);
+    // Paper Table II endpoints.
+    assert_eq!(comm.bytes_per_sample(0.0), 140.0);
+    assert_eq!(comm.bytes_per_sample(1.0), 12.0);
+    assert!(comm.reduction_factor(0.6) > 20.0);
+}
+
+#[test]
+fn device_sections_fit_the_memory_budget() {
+    for f in 1..=4 {
+        let mut model =
+            Ddnn::new(DdnnConfig { device_filters: f, ..DdnnConfig::paper() });
+        assert!(model.device_memory_bytes() < 2048, "f={f}");
+        assert!(model.param_count() > 0);
+    }
+}
