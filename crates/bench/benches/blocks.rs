@@ -1,7 +1,9 @@
 //! Microbenchmarks of the paper's fused binary blocks and aggregators.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ddnn_core::{AggregationScheme, ConvPBlock, ExitHead, FeatureAggregator, Precision, VectorAggregator};
+use ddnn_core::{
+    AggregationScheme, ConvPBlock, ExitHead, FeatureAggregator, Precision, VectorAggregator,
+};
 use ddnn_nn::{Layer, Mode};
 use ddnn_tensor::rng::rng_from_seed;
 use ddnn_tensor::Tensor;

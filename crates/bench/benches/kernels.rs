@@ -45,9 +45,7 @@ fn bench_matmul(c: &mut Criterion) {
     // The exit-head shape: (batch 50, 1024) x (1024, 3)^T.
     let x = Tensor::rand_signs([50, 1024], &mut rng);
     let w = Tensor::rand_signs([1024, 3], &mut rng);
-    c.bench_function("matmul/exit-head 50x1024x3", |b| {
-        b.iter(|| x.matmul(black_box(&w)).unwrap())
-    });
+    c.bench_function("matmul/exit-head 50x1024x3", |b| b.iter(|| x.matmul(black_box(&w)).unwrap()));
 }
 
 criterion_group!(benches, bench_conv, bench_matmul);

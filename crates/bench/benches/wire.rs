@@ -30,11 +30,8 @@ fn bench_bits(c: &mut Criterion) {
 fn bench_frames(c: &mut Criterion) {
     let mut rng = rng_from_seed(1);
     let map = Tensor::rand_signs([4, 16, 16], &mut rng);
-    let frame = Frame::new(
-        42,
-        NodeId::Device(3),
-        ddnn_runtime::message::features_payload(&map).unwrap(),
-    );
+    let frame =
+        Frame::new(42, NodeId::Device(3), ddnn_runtime::message::features_payload(&map).unwrap());
     c.bench_function("frame/encode features", |b| b.iter(|| black_box(&frame).encode()));
     let encoded = frame.encode();
     c.bench_function("frame/decode features", |b| {

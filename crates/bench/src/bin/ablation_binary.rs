@@ -8,7 +8,9 @@
 //! beat the all-binary cloud at a 32x weight-memory cost that the cloud
 //! can afford.
 
-use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_bench::harness::{
+    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
+};
 use ddnn_core::{DdnnConfig, ExitThreshold, Precision, TrainConfig};
 
 fn main() {
@@ -16,12 +18,13 @@ fn main() {
     let ctx = ExperimentContext::paper().expect("dataset generation");
     let train_cfg = TrainConfig { epochs, ..TrainConfig::default() };
     let mut rows = Vec::new();
-    for (name, precision) in
-        [("all-binary (paper)", Precision::Binary), ("binary devices + float cloud", Precision::Float)]
-    {
+    for (name, precision) in [
+        ("all-binary (paper)", Precision::Binary),
+        ("binary devices + float cloud", Precision::Float),
+    ] {
         let cfg = DdnnConfig { cloud_precision: precision, ..DdnnConfig::paper() };
-        let trained = train_and_evaluate(&ctx, cfg, &train_cfg, ExitThreshold::default())
-            .expect("training");
+        let trained =
+            train_and_evaluate(&ctx, cfg, &train_cfg, ExitThreshold::default()).expect("training");
         rows.push(vec![
             name.to_string(),
             pct(trained.exit_accuracies.local),

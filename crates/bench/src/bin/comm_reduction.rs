@@ -8,7 +8,9 @@
 //! offloaded map).
 
 use ddnn_bench::harness::{epochs_from_args, train_and_evaluate, ExperimentContext};
-use ddnn_core::{CommCostModel, DdnnConfig, ExitPoint, ExitThreshold, TrainConfig, RAW_IMAGE_BYTES};
+use ddnn_core::{
+    CommCostModel, DdnnConfig, ExitPoint, ExitThreshold, TrainConfig, RAW_IMAGE_BYTES,
+};
 use ddnn_runtime::{run_cloud_only_baseline, run_distributed_inference, HierarchyConfig};
 
 fn main() {
@@ -37,8 +39,8 @@ fn main() {
     let modeled = comm.bytes_per_sample(ddnn.local_exit_fraction);
     let offloaded = ddnn.exits.iter().filter(|&&e| e != ExitPoint::Local).count();
 
-    let baseline = run_cloud_only_baseline(&partition, &ctx.test_views, &ctx.test_labels)
-        .expect("baseline");
+    let baseline =
+        run_cloud_only_baseline(&partition, &ctx.test_views, &ctx.test_labels).expect("baseline");
     let raw_per_sample = baseline
         .links
         .iter()
@@ -47,7 +49,9 @@ fn main() {
         .sum::<usize>() as f32
         / (n * devices) as f32;
 
-    println!("Communication reduction (paper §IV-H), measured over {n} test samples x {devices} devices");
+    println!(
+        "Communication reduction (paper §IV-H), measured over {n} test samples x {devices} devices"
+    );
     println!("  DDNN accuracy (distributed, T=0.8):    {:.1}%", ddnn.accuracy * 100.0);
     println!("  Cloud-offload baseline accuracy:       {:.1}%", baseline.accuracy * 100.0);
     println!("  Local exit rate:                       {:.2}%", ddnn.local_exit_fraction * 100.0);
@@ -60,7 +64,10 @@ fn main() {
         offloaded * devices
     );
     println!("  Reduction factor (measured):           {:.1}x", raw_per_sample / measured);
-    println!("  Reduction factor (Eq.1):               {:.1}x", comm.reduction_factor(ddnn.local_exit_fraction));
+    println!(
+        "  Reduction factor (Eq.1):               {:.1}x",
+        comm.reduction_factor(ddnn.local_exit_fraction)
+    );
     println!(
         "  Simulated latency local/offload:       {:.1} ms / {:.1} ms",
         ddnn.mean_local_latency_ms, ddnn.mean_offload_latency_ms

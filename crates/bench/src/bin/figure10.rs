@@ -5,7 +5,9 @@
 //! single failure; losing even the best device costs only a few points;
 //! accuracy degrades gracefully as more devices fail.
 
-use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_bench::harness::{
+    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
+};
 use ddnn_core::{
     evaluate_exit_accuracies, evaluate_overall, fail_devices, single_failures, DdnnConfig,
     ExitThreshold, TrainConfig,

@@ -5,7 +5,9 @@
 //! accuracy is flat or slightly rising through intermediate T (the "sweet
 //! spot" where easy samples exit locally) and declines as T → 1.
 
-use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_bench::harness::{
+    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
+};
 use ddnn_core::{evaluate_overall, DdnnConfig, ExitThreshold, TrainConfig};
 
 fn main() {

@@ -7,7 +7,9 @@
 //! both rise with more devices; the fused system beats the best individual
 //! device by a wide margin; overall ≈ cloud accuracy at T = 0.8.
 
-use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_bench::harness::{
+    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
+};
 use ddnn_core::{accuracy, DdnnConfig, ExitThreshold, IndividualModel, TrainConfig};
 
 fn main() {
@@ -57,7 +59,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["#Devices", "Added", "Individual (%)", "Local (%)", "Cloud (%)", "Overall (%)", "Local Exit (%)"],
+            &[
+                "#Devices",
+                "Added",
+                "Individual (%)",
+                "Local (%)",
+                "Cloud (%)",
+                "Overall (%)",
+                "Local Exit (%)"
+            ],
             &rows
         )
     );

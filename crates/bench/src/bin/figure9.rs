@@ -6,7 +6,9 @@
 //! f; the cloud/overall exits beat the local exit by ~5% at every size
 //! (the benefit of offloading hard samples); communication grows with f.
 
-use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_bench::harness::{
+    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
+};
 use ddnn_core::{evaluate_overall, CommCostModel, DdnnConfig, ExitThreshold, TrainConfig};
 
 fn main() {
@@ -22,8 +24,9 @@ fn main() {
         let mut best = (ExitThreshold::new(0.8), f32::INFINITY, None);
         for i in 0..=40 {
             let t = ExitThreshold::new(i as f32 / 40.0);
-            let e = evaluate_overall(&mut trained.model, &ctx.test_views, &ctx.test_labels, t, None)
-                .expect("evaluation");
+            let e =
+                evaluate_overall(&mut trained.model, &ctx.test_views, &ctx.test_labels, t, None)
+                    .expect("evaluation");
             let gap = (e.local_exit_fraction - 0.75).abs();
             if gap < best.1 {
                 best = (t, gap, Some(e));
@@ -53,7 +56,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["f", "Device mem (B)", "Comm (B)", "Local (%)", "Cloud (%)", "Overall (%)", "Local Exit (%)"],
+            &[
+                "f",
+                "Device mem (B)",
+                "Comm (B)",
+                "Local (%)",
+                "Cloud (%)",
+                "Overall (%)",
+                "Local Exit (%)"
+            ],
             &rows
         )
     );

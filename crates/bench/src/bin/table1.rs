@@ -6,7 +6,9 @@
 //! CC-MP 77/87, CC-AP 80/94. Shape criteria: MP-CC is the best pair; MP
 //! beats AP locally; CC is the strongest cloud aggregator.
 
-use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
+use ddnn_bench::harness::{
+    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
+};
 use ddnn_core::{AggregationScheme, DdnnConfig, ExitThreshold, TrainConfig};
 
 fn main() {

@@ -7,8 +7,10 @@
 //! peaks at an intermediate T before dropping when everything exits
 //! locally.
 
-use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext};
-use ddnn_core::{CommCostModel, DdnnConfig, ExitThreshold, TrainConfig, evaluate_overall};
+use ddnn_bench::harness::{
+    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
+};
+use ddnn_core::{evaluate_overall, CommCostModel, DdnnConfig, ExitThreshold, TrainConfig};
 
 fn main() {
     let epochs = epochs_from_args(60);
@@ -39,8 +41,5 @@ fn main() {
         ]);
     }
     println!("Table II — Exit threshold sweep ({epochs} epochs)");
-    println!(
-        "{}",
-        format_table(&["T", "Local Exit (%)", "Overall Acc. (%)", "Comm. (B)"], &rows)
-    );
+    println!("{}", format_table(&["T", "Local Exit (%)", "Overall Acc. (%)", "Comm. (B)"], &rows));
 }

@@ -96,10 +96,8 @@ pub fn train_and_evaluate(
 ) -> Result<TrainedDdnn> {
     let mut model = Ddnn::new(model_cfg);
     train(&mut model, &ctx.train_views, &ctx.train_labels, train_cfg)?;
-    let exit_accuracies =
-        evaluate_exit_accuracies(&mut model, &ctx.test_views, &ctx.test_labels)?;
-    let overall =
-        evaluate_overall(&mut model, &ctx.test_views, &ctx.test_labels, threshold, None)?;
+    let exit_accuracies = evaluate_exit_accuracies(&mut model, &ctx.test_views, &ctx.test_labels)?;
+    let overall = evaluate_overall(&mut model, &ctx.test_views, &ctx.test_labels, threshold, None)?;
     Ok(TrainedDdnn { model, exit_accuracies, overall })
 }
 
@@ -114,8 +112,7 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
             }
         }
     }
-    let sep: String =
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()

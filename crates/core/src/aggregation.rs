@@ -173,8 +173,7 @@ impl VectorAggregator {
                         actual: grad_output.len(),
                     });
                 }
-                let mut grads =
-                    vec![Tensor::zeros(self.cached_dims.clone()); self.num_inputs];
+                let mut grads = vec![Tensor::zeros(self.cached_dims.clone()); self.num_inputs];
                 for (i, (&g, &w)) in grad_output.data().iter().zip(winner).enumerate() {
                     grads[w as usize].data_mut()[i] = g;
                 }
@@ -284,8 +283,7 @@ impl FeatureAggregator {
                         actual: grad_output.len(),
                     });
                 }
-                let mut grads =
-                    vec![Tensor::zeros(self.cached_dims.clone()); self.num_inputs];
+                let mut grads = vec![Tensor::zeros(self.cached_dims.clone()); self.num_inputs];
                 for (i, (&g, &w)) in grad_output.data().iter().zip(winner).enumerate() {
                     grads[w as usize].data_mut()[i] = g;
                 }

@@ -189,7 +189,12 @@ pub struct ExitHead {
 
 impl ExitHead {
     /// Creates an exit head mapping `in_features` to `classes` scores.
-    pub fn new(in_features: usize, classes: usize, precision: Precision, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        in_features: usize,
+        classes: usize,
+        precision: Precision,
+        rng: &mut impl Rng,
+    ) -> Self {
         let linear = match precision {
             Precision::Binary => Linear::binarized(in_features, classes, rng),
             Precision::Float => Linear::new(in_features, classes, true, rng),

@@ -349,10 +349,7 @@ mod tests {
         let mut model = Ddnn::new(small_config());
         let mut bytes = model.save_bytes().to_vec();
         bytes[4] = 99;
-        assert!(matches!(
-            Ddnn::load_bytes(&bytes),
-            Err(CheckpointError::BadVersion { found: 99 })
-        ));
+        assert!(matches!(Ddnn::load_bytes(&bytes), Err(CheckpointError::BadVersion { found: 99 })));
     }
 
     #[test]
@@ -385,9 +382,6 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            Ddnn::load_from("/nonexistent/ddnn.ckpt"),
-            Err(CheckpointError::Io(_))
-        ));
+        assert!(matches!(Ddnn::load_from("/nonexistent/ddnn.ckpt"), Err(CheckpointError::Io(_))));
     }
 }

@@ -133,9 +133,7 @@ mod tests {
     fn entropy_is_monotone_in_uncertainty() {
         let confident = Tensor::from_vec(vec![0.9, 0.05, 0.05], [3]).unwrap();
         let unsure = Tensor::from_vec(vec![0.5, 0.3, 0.2], [3]).unwrap();
-        assert!(
-            normalized_entropy(&confident).unwrap() < normalized_entropy(&unsure).unwrap()
-        );
+        assert!(normalized_entropy(&confident).unwrap() < normalized_entropy(&unsure).unwrap());
     }
 
     #[test]

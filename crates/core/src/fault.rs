@@ -29,10 +29,7 @@ pub fn fail_devices(views: &[Tensor], failed: &[usize]) -> Result<Vec<Tensor>> {
 pub fn fail_devices_with(views: &[Tensor], failed: &[usize], value: f32) -> Result<Vec<Tensor>> {
     for &d in failed {
         if d >= views.len() {
-            return Err(TensorError::IndexOutOfBounds {
-                index: vec![d],
-                shape: vec![views.len()],
-            });
+            return Err(TensorError::IndexOutOfBounds { index: vec![d], shape: vec![views.len()] });
         }
     }
     Ok(views

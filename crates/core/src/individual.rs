@@ -56,7 +56,12 @@ impl IndividualModel {
     /// # Errors
     ///
     /// Returns an error on mismatched sizes.
-    pub fn train(&mut self, views: &Tensor, labels: &[usize], cfg: &TrainConfig) -> Result<Vec<f32>> {
+    pub fn train(
+        &mut self,
+        views: &Tensor,
+        labels: &[usize],
+        cfg: &TrainConfig,
+    ) -> Result<Vec<f32>> {
         let n = labels.len();
         if views.dims()[0] != n {
             return Err(TensorError::LengthMismatch { expected: n, actual: views.dims()[0] });
@@ -95,8 +100,7 @@ impl IndividualModel {
             for _ in 0..cfg.stat_refresh_passes {
                 let mut start = 0;
                 while start < n {
-                    let idx: Vec<usize> =
-                        (start..(start + cfg.batch_size.max(1)).min(n)).collect();
+                    let idx: Vec<usize> = (start..(start + cfg.batch_size.max(1)).min(n)).collect();
                     let bx = views.select_axis0(&idx)?;
                     self.forward(&bx, Mode::Train)?;
                     start += cfg.batch_size.max(1);

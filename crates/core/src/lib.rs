@@ -60,10 +60,12 @@ pub use comm::{CommCostModel, RAW_IMAGE_BYTES};
 pub use entropy::{normalized_entropy, normalized_entropy_rows, search_threshold, ExitThreshold};
 pub use fault::{fail_devices, fail_devices_with, progressive_failures, single_failures};
 pub use individual::IndividualModel;
-pub use metrics::{accuracy, evaluate_exit_accuracies, evaluate_overall, ExitAccuracies, OverallEvaluation};
+pub use metrics::{
+    accuracy, evaluate_exit_accuracies, evaluate_overall, ExitAccuracies, OverallEvaluation,
+};
 pub use model::{
     CloudPart, Ddnn, DdnnConfig, DdnnPartition, DevicePart, EdgeConfig, EdgePart, ExitGrads,
-    ExitLogits, ExitPoint, GatewayPart, InferenceOutput,
-    BLANK_INPUT_VALUE, DEVICE_MAP_SIZE, INPUT_CHANNELS, INPUT_SIZE,
+    ExitLogits, ExitPoint, GatewayPart, InferenceOutput, BLANK_INPUT_VALUE, DEVICE_MAP_SIZE,
+    INPUT_CHANNELS, INPUT_SIZE,
 };
 pub use train::{train, EpochStats, TrainConfig, TrainReport};

@@ -118,8 +118,7 @@ mod tests {
         let labels = vec![0usize; 10];
         let eval =
             evaluate_overall(&mut model, &views, &labels, ExitThreshold::new(0.5), None).unwrap();
-        let total =
-            eval.local_exit_fraction + eval.edge_exit_fraction + eval.cloud_exit_fraction;
+        let total = eval.local_exit_fraction + eval.edge_exit_fraction + eval.cloud_exit_fraction;
         assert!((total - 1.0).abs() < 1e-6);
         assert!((0.0..=1.0).contains(&eval.accuracy));
     }

@@ -237,8 +237,12 @@ impl Ddnn {
             let mut cloud_agg = FeatureAggregator::new(config.cloud_agg, n);
             let cloud_in = cloud_agg.output_channels(f);
             let _ = &mut cloud_agg;
-            let conv1 =
-                ConvPBlock::new(cloud_in, config.cloud_filters[0], config.cloud_precision, &mut rng);
+            let conv1 = ConvPBlock::new(
+                cloud_in,
+                config.cloud_filters[0],
+                config.cloud_precision,
+                &mut rng,
+            );
             let conv2 = ConvPBlock::new(
                 config.cloud_filters[0],
                 config.cloud_filters[1],
@@ -249,7 +253,16 @@ impl Ddnn {
         };
         let cloud_exit = ExitHead::new(cloud_head_in, c, config.cloud_precision, &mut rng);
 
-        Ddnn { config, device_convs, device_exits, local_agg, edge, cloud_agg, cloud_convs, cloud_exit }
+        Ddnn {
+            config,
+            device_convs,
+            device_exits,
+            local_agg,
+            edge,
+            cloud_agg,
+            cloud_convs,
+            cloud_exit,
+        }
     }
 
     /// The model configuration.
@@ -281,9 +294,7 @@ impl Ddnn {
         }
         let n = views[0].dims()[0];
         for v in views {
-            if v.rank() != 4
-                || v.dims() != [n, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE]
-            {
+            if v.rank() != 4 || v.dims() != [n, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE] {
                 return Err(TensorError::ShapeMismatch {
                     lhs: v.dims().to_vec(),
                     rhs: vec![n, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE],
@@ -353,8 +364,7 @@ impl Ddnn {
         // Gradient arriving at each device's feature map.
         let mut map_grads: Vec<Tensor> = if let Some(edge) = &mut self.edge {
             let g_edge_from_cloud = self.cloud_agg.backward(&g)?.remove(0);
-            let edge_grad =
-                grads.edge.as_ref().expect("checked above: edge gradient present");
+            let edge_grad = grads.edge.as_ref().expect("checked above: edge gradient present");
             let mut g_e = edge.exit.backward(edge_grad)?;
             g_e = reshape_like_output(&g_e, &edge.conv)?;
             g_e.add_assign(&g_edge_from_cloud)?;
@@ -365,9 +375,7 @@ impl Ddnn {
         };
         // Local branch: aggregator → per-device exit heads.
         let score_grads = self.local_agg.backward(&grads.local)?;
-        for ((exit, sg), mg) in
-            self.device_exits.iter_mut().zip(&score_grads).zip(&mut map_grads)
-        {
+        for ((exit, sg), mg) in self.device_exits.iter_mut().zip(&score_grads).zip(&mut map_grads) {
             let g_map_flat = exit.backward(sg)?;
             let g_map = g_map_flat.reshape(mg.dims().to_vec())?;
             mg.add_assign(&g_map)?;
@@ -682,7 +690,12 @@ mod tests {
     use ddnn_tensor::rng::rng_from_seed;
 
     fn small_config() -> DdnnConfig {
-        DdnnConfig { num_devices: 2, device_filters: 2, cloud_filters: [4, 8], ..DdnnConfig::default() }
+        DdnnConfig {
+            num_devices: 2,
+            device_filters: 2,
+            cloud_filters: [4, 8],
+            ..DdnnConfig::default()
+        }
     }
 
     fn random_views(n: usize, devices: usize, seed: u64) -> Vec<Tensor> {
@@ -828,8 +841,10 @@ mod tests {
 
     #[test]
     fn cc_cloud_aggregation_changes_cloud_input_width() {
-        let cc = DdnnConfig::with_aggregation(AggregationScheme::MaxPool, AggregationScheme::Concat);
-        let mp = DdnnConfig::with_aggregation(AggregationScheme::MaxPool, AggregationScheme::MaxPool);
+        let cc =
+            DdnnConfig::with_aggregation(AggregationScheme::MaxPool, AggregationScheme::Concat);
+        let mp =
+            DdnnConfig::with_aggregation(AggregationScheme::MaxPool, AggregationScheme::MaxPool);
         // Parameter counts differ because CC's first cloud conv consumes
         // n*f channels instead of f.
         let mut mcc = Ddnn::new(cc);

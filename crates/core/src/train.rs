@@ -107,11 +107,8 @@ pub fn train(
     }
     let has_edge = model.num_exits() == 3;
     let weight = |i: usize| cfg.exit_weights.get(i).copied().unwrap_or(1.0);
-    let (w_local, w_edge, w_cloud) = if has_edge {
-        (weight(0), weight(1), weight(2))
-    } else {
-        (weight(0), 0.0, weight(1))
-    };
+    let (w_local, w_edge, w_cloud) =
+        if has_edge { (weight(0), weight(1), weight(2)) } else { (weight(0), 0.0, weight(1)) };
 
     let mut opt = Adam::with_lr(cfg.lr);
     let loss_fn = SoftmaxCrossEntropy::new();
@@ -132,11 +129,8 @@ pub fn train(
             let logits = model.forward(&batch_views, Mode::Train)?;
             let local = loss_fn.forward(&logits.local, &batch_labels)?;
             let cloud = loss_fn.forward(&logits.cloud, &batch_labels)?;
-            let edge = logits
-                .edge
-                .as_ref()
-                .map(|e| loss_fn.forward(e, &batch_labels))
-                .transpose()?;
+            let edge =
+                logits.edge.as_ref().map(|e| loss_fn.forward(e, &batch_labels)).transpose()?;
 
             let grads = ExitGrads {
                 local: local.grad.scale(w_local),

@@ -121,7 +121,8 @@ fn mp_and_ap_local_aggregation_differ_in_training() {
             ..DdnnConfig::default()
         })
     };
-    let cfg = TrainConfig { epochs: 2, batch_size: 12, stat_refresh_passes: 0, ..TrainConfig::default() };
+    let cfg =
+        TrainConfig { epochs: 2, batch_size: 12, stat_refresh_passes: 0, ..TrainConfig::default() };
     let mut mp = build(AggregationScheme::MaxPool);
     let mut ap = build(AggregationScheme::AvgPool);
     train(&mut mp, &views, &labels, &cfg).unwrap();

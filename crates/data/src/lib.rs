@@ -33,8 +33,7 @@ pub mod mvmc;
 pub mod render;
 
 pub use mvmc::{
-    all_device_batches, device_batch, device_stats, labels, DeviceProfile, DeviceStats,
-    MvmcConfig, MvmcDataset, MvmcSample, NUM_CLASSES, NUM_DEVICES, RAW_VIEW_BYTES, TEST_SAMPLES,
-    TRAIN_SAMPLES,
+    all_device_batches, device_batch, device_stats, labels, DeviceProfile, DeviceStats, MvmcConfig,
+    MvmcDataset, MvmcSample, NUM_CLASSES, NUM_DEVICES, RAW_VIEW_BYTES, TEST_SAMPLES, TRAIN_SAMPLES,
 };
 pub use render::{blank_frame, is_blank, ObjectClass, Viewpoint, CHANNELS, IMAGE_SIZE};

@@ -52,11 +52,9 @@ impl DeviceProfile {
             (0.88, 1.00, 0.08, 0.92, 0.14, 0.18), // device 6: frontal, clear
         ];
         raw.iter()
-            .map(|&(presence, scale, shear, brightness, noise_std, occlusion_prob)| {
-                DeviceProfile {
-                    presence,
-                    viewpoint: Viewpoint { scale, shear, brightness, noise_std, occlusion_prob },
-                }
+            .map(|&(presence, scale, shear, brightness, noise_std, occlusion_prob)| DeviceProfile {
+                presence,
+                viewpoint: Viewpoint { scale, shear, brightness, noise_std, occlusion_prob },
             })
             .collect()
     }
@@ -172,8 +170,11 @@ fn generate_sample(config: &MvmcConfig, rng: &mut impl Rng) -> MvmcSample {
     // fully-absent draw (the real dataset only contains annotated objects).
     let mut present: Vec<bool> = Vec::new();
     for _ in 0..16 {
-        present =
-            config.devices.iter().map(|d| rng.gen::<f32>() < (d.presence * vis).min(0.98)).collect();
+        present = config
+            .devices
+            .iter()
+            .map(|d| rng.gen::<f32>() < (d.presence * vis).min(0.98))
+            .collect();
         if present.iter().any(|&p| p) {
             break;
         }

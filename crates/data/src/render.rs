@@ -269,8 +269,28 @@ pub fn render_view(obj: &ObjectInstance, view: &Viewpoint, rng: &mut impl Rng) -
                 window,
                 b,
             );
-            fill_ellipse(&mut img, cx - w * 0.55, cy + h + 1.0, 2.4 * s, 2.4 * s, shear, cy, dark, b);
-            fill_ellipse(&mut img, cx + w * 0.55, cy + h + 1.0, 2.4 * s, 2.4 * s, shear, cy, dark, b);
+            fill_ellipse(
+                &mut img,
+                cx - w * 0.55,
+                cy + h + 1.0,
+                2.4 * s,
+                2.4 * s,
+                shear,
+                cy,
+                dark,
+                b,
+            );
+            fill_ellipse(
+                &mut img,
+                cx + w * 0.55,
+                cy + h + 1.0,
+                2.4 * s,
+                2.4 * s,
+                shear,
+                cy,
+                dark,
+                b,
+            );
         }
         ObjectClass::Bus => {
             // Tall boxy body filling much of the frame, window band, wheels.

@@ -31,9 +31,10 @@ impl Layer for BinaryActivation {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
-            op: "binary_activation.backward before forward",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "binary_activation.backward before forward" })?;
         grad_output.zip(input, |g, x| if x.abs() <= 1.0 { g } else { 0.0 })
     }
 
@@ -65,9 +66,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
-            op: "relu.backward before forward",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "relu.backward before forward" })?;
         grad_output.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
     }
 

@@ -143,9 +143,10 @@ impl Layer for BatchNorm {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.as_ref().ok_or(TensorError::Empty {
-            op: "batchnorm.backward before forward(Train)",
-        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "batchnorm.backward before forward(Train)" })?;
         if grad_output.dims() != cache.input_dims.as_slice() {
             return Err(TensorError::ShapeMismatch {
                 lhs: grad_output.dims().to_vec(),
@@ -184,8 +185,7 @@ impl Layer for BatchNorm {
                 let k = g[ch] * cache.inv_std[ch];
                 for i in 0..inner {
                     let idx = base + i;
-                    dx[idx] =
-                        k * (dy[idx] - sum_dy[ch] / m - xh[idx] * sum_dy_xh[ch] / m);
+                    dx[idx] = k * (dy[idx] - sum_dy[ch] / m - xh[idx] * sum_dy_xh[ch] / m);
                 }
             }
         }

@@ -23,12 +23,7 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a float-weight convolution with Glorot-uniform init.
-    pub fn new(
-        in_channels: usize,
-        filters: usize,
-        spec: Conv2dSpec,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(in_channels: usize, filters: usize, spec: Conv2dSpec, rng: &mut impl Rng) -> Self {
         let (fan_in, fan_out) = init::conv_fans(filters, in_channels, spec.kernel_h, spec.kernel_w);
         let w = init::glorot_uniform(
             [filters, in_channels, spec.kernel_h, spec.kernel_w],
@@ -110,9 +105,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
-            op: "conv2d.backward before forward",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "conv2d.backward before forward" })?;
         let w = self.effective_weight();
         let (gin, gw) = conv2d_backward(input, &w, grad_output, &self.spec)?;
         self.weight.grad.add_assign(&gw)?;
@@ -175,9 +171,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let argmax = self.cached_argmax.as_ref().ok_or(TensorError::Empty {
-            op: "max_pool2d.backward before forward",
-        })?;
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "max_pool2d.backward before forward" })?;
         ddnn_tensor::conv::max_pool2d_backward(grad_output, argmax, &self.cached_input_shape)
     }
 

@@ -123,9 +123,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::Empty {
-            op: "linear.backward before forward",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::Empty { op: "linear.backward before forward" })?;
         let w = self.effective_weight();
         // dW += dYᵀ · X   (straight-through to the master weights)
         let gw = grad_output.transpose()?.matmul(input)?;

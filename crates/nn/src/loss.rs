@@ -57,10 +57,7 @@ impl SoftmaxCrossEntropy {
             return Err(TensorError::LengthMismatch { expected: n, actual: targets.len() });
         }
         if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
-            return Err(TensorError::IndexOutOfBounds {
-                index: vec![bad],
-                shape: vec![n, c],
-            });
+            return Err(TensorError::IndexOutOfBounds { index: vec![bad], shape: vec![n, c] });
         }
         let probs = logits.softmax_rows()?;
         let norm = if self.normalize_by_classes { c as f32 } else { 1.0 };

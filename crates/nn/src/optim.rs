@@ -52,8 +52,7 @@ impl Optimizer for Sgd {
         }
         assert_eq!(self.velocity.len(), params.len(), "parameter set changed between steps");
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            for ((x, &g), vi) in
-                p.value.data_mut().iter_mut().zip(p.grad.data()).zip(v.iter_mut())
+            for ((x, &g), vi) in p.value.data_mut().iter_mut().zip(p.grad.data()).zip(v.iter_mut())
             {
                 *vi = self.momentum * *vi - self.lr * g;
                 *x += *vi;
@@ -110,13 +109,8 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            for (((x, &g), mi), vi) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data())
-                .zip(m.iter_mut())
-                .zip(v.iter_mut())
+            for (((x, &g), mi), vi) in
+                p.value.data_mut().iter_mut().zip(p.grad.data()).zip(m.iter_mut()).zip(v.iter_mut())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;

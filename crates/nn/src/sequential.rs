@@ -84,9 +84,10 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             let n = layer.extra_state().len();
             let end = off + n;
-            let chunk = state.get(off..end).ok_or(
-                ddnn_tensor::TensorError::LengthMismatch { expected: end, actual: state.len() },
-            )?;
+            let chunk = state.get(off..end).ok_or(ddnn_tensor::TensorError::LengthMismatch {
+                expected: end,
+                actual: state.len(),
+            })?;
             layer.load_extra_state(chunk)?;
             off = end;
         }

@@ -1,0 +1,68 @@
+//! The simulation clock deadlines are computed against.
+//!
+//! Node threads in this runtime do real compute, so simulated time is
+//! anchored to the wall clock; [`SimClock`] centralizes "now", run-relative
+//! elapsed time and deadline arithmetic behind one seam so every
+//! deadline-bearing component (aggregation waits, the orchestrator
+//! watchdog) measures time the same way — and so a virtual-time
+//! implementation can later replace it without touching the node loops.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic clock started at the beginning of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClock {
+    start: Instant,
+}
+
+impl SimClock {
+    /// Starts the clock at the current instant.
+    pub fn start() -> Self {
+        SimClock { start: Instant::now() }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Milliseconds elapsed since the run started.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// The instant `ms` milliseconds from now — the deadline for a wait
+    /// that begins at this moment.
+    pub fn deadline_in(&self, ms: u64) -> Instant {
+        self.now() + Duration::from_millis(ms)
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_are_in_the_future_and_ordered() {
+        let clock = SimClock::start();
+        let now = clock.now();
+        let near = clock.deadline_in(1);
+        let far = clock.deadline_in(1000);
+        assert!(near >= now);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let clock = SimClock::start();
+        let a = clock.elapsed_ms();
+        let b = clock.elapsed_ms();
+        assert!(b >= a);
+    }
+}

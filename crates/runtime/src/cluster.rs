@@ -23,8 +23,12 @@
 //! same encoding the dataset uses for "object not present" — the mechanism
 //! behind the paper's automatic fault tolerance (§IV-G).
 
+use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
-use crate::link::{attach_sender, inbox, LatencyModel, LinkReceiver, LinkSender, LinkStats};
+use crate::fault::{CrashState, DeadlineConfig, FaultPlan, LinkFault};
+use crate::link::{
+    attach_faulty_sender, attach_sender, inbox, LatencyModel, LinkReceiver, LinkSender, LinkStats,
+};
 use crate::message::{features_payload, features_tensor, Frame, NodeId, Payload};
 use ddnn_core::{
     normalized_entropy, CloudPart, DdnnPartition, DevicePart, EdgePart, ExitPoint, ExitThreshold,
@@ -33,8 +37,9 @@ use ddnn_core::{
 use ddnn_nn::{Layer, Mode};
 use ddnn_tensor::Tensor;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a simulated hierarchy run.
 #[derive(Debug, Clone)]
@@ -43,12 +48,21 @@ pub struct HierarchyConfig {
     pub local_threshold: ExitThreshold,
     /// Edge-exit threshold (used only by edge architectures).
     pub edge_threshold: ExitThreshold,
-    /// Devices that have failed (never respond).
+    /// Devices that have failed before the run starts (never respond) —
+    /// the paper's *static* §IV-G fault model.
     pub failed_devices: Vec<usize>,
     /// Latency model of the device ↔ gateway hop.
     pub local_link: LatencyModel,
     /// Latency model of the hop to the edge/cloud.
     pub uplink: LatencyModel,
+    /// Dynamic faults injected into the links mid-run. The default
+    /// ([`FaultPlan::none`]) injects nothing; an active plan requires
+    /// `deadlines` to be set so the hierarchy degrades instead of hanging.
+    pub fault_plan: FaultPlan,
+    /// Deadline-based graceful degradation. `None` (the default) keeps the
+    /// exact legacy static path: aggregators wait indefinitely for the
+    /// precomputed live set and the orchestrator blocks on each verdict.
+    pub deadlines: Option<DeadlineConfig>,
 }
 
 impl Default for HierarchyConfig {
@@ -59,8 +73,23 @@ impl Default for HierarchyConfig {
             failed_devices: Vec::new(),
             local_link: LatencyModel::local(),
             uplink: LatencyModel::wan(),
+            fault_plan: FaultPlan::none(),
+            deadlines: None,
         }
     }
+}
+
+/// Terminal status of one sample in a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// A verdict arrived; `predictions[i]` holds the class.
+    Classified,
+    /// Every watchdog attempt expired; `predictions[i]` is `usize::MAX`
+    /// and the sample counts as incorrect.
+    TimedOut {
+        /// Total time the orchestrator waited across all attempts (ms).
+        waited_ms: u64,
+    },
 }
 
 /// Result of a distributed inference run over a labeled test set.
@@ -82,6 +111,18 @@ pub struct SimReport {
     pub mean_local_latency_ms: f32,
     /// Mean simulated latency of offloaded samples (ms).
     pub mean_offload_latency_ms: f32,
+    /// Per-sample terminal outcomes (all `Classified` in a fault-free run).
+    pub outcomes: Vec<SampleOutcome>,
+    /// Fraction of samples degraded by *dynamic* faults: finalized with at
+    /// least one deadline-driven blank substitution at some tier, or timed
+    /// out entirely. Statically failed devices do not count — their
+    /// substitution is the paper's intended behavior, not degradation.
+    pub degraded_fraction: f32,
+    /// Deadline substitutions charged to each device, summed across the
+    /// aggregation tiers that waited for it.
+    pub device_timeouts: Vec<usize>,
+    /// Capture retransmissions issued by the orchestrator watchdog.
+    pub capture_retries: usize,
 }
 
 impl SimReport {
@@ -101,8 +142,31 @@ impl SimReport {
         if self.predictions.is_empty() || live_devices == 0 {
             return 0.0;
         }
-        self.device_payload_bytes() as f32
-            / (self.predictions.len() * live_devices) as f32
+        self.device_payload_bytes() as f32 / (self.predictions.len() * live_devices) as f32
+    }
+
+    /// Number of samples the watchdog abandoned.
+    pub fn timed_out_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, SampleOutcome::TimedOut { .. })).count()
+    }
+
+    /// The per-sample result: the predicted class, or the typed timeout
+    /// error for a sample the watchdog abandoned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] for timed-out samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample_result(&self, i: usize) -> Result<usize> {
+        match self.outcomes[i] {
+            SampleOutcome::Classified => Ok(self.predictions[i]),
+            SampleOutcome::TimedOut { waited_ms } => {
+                Err(RuntimeError::Timeout { node: format!("sample {i}"), waited_ms })
+            }
+        }
     }
 
     /// Fraction of samples exited at `point`.
@@ -135,14 +199,28 @@ fn blank_signature(part: &DevicePart) -> Result<BlankSignature> {
     Ok(BlankSignature { scores: scores.data().to_vec(), map: map.index_axis0(0)? })
 }
 
-/// Runs a device node until shutdown.
+/// What a node thread observed about dynamic degradation, merged into the
+/// [`SimReport`] after shutdown.
+#[derive(Debug, Clone, Default)]
+struct NodeReport {
+    /// `(device, substitutions)` pairs this node recorded.
+    device_timeouts: Vec<(usize, usize)>,
+    /// Samples this node finalized with at least one substitution.
+    degraded: Vec<u64>,
+}
+
+/// Runs a device node until shutdown. In `tolerant` mode (deadlines
+/// active) protocol hiccups that faults make possible — duplicated stale
+/// captures, offload requests racing a retried capture — are ignored
+/// instead of aborting the node.
 fn device_node(
     d: usize,
     part: DevicePart,
     inbox_rx: LinkReceiver,
     to_gateway: LinkSender,
     to_upper: LinkSender,
-) -> Result<()> {
+    tolerant: bool,
+) -> Result<NodeReport> {
     let mut conv = part.conv;
     let mut exit = part.exit;
     let mut latest: Option<(u64, Tensor)> = None;
@@ -150,6 +228,15 @@ fn device_node(
         let frame = inbox_rx.recv()?;
         match frame.payload {
             Payload::Capture { view } => {
+                if tolerant {
+                    // A duplicated or jittered capture for an older sample
+                    // must not roll `latest` backwards.
+                    if let Some((seq, _)) = &latest {
+                        if frame.seq < *seq {
+                            continue;
+                        }
+                    }
+                }
                 let batch = view.reshape([1, 3, 32, 32])?;
                 let map = conv.forward(&batch, Mode::Eval)?;
                 let scores = exit.forward(&map, Mode::Eval)?;
@@ -161,24 +248,31 @@ fn device_node(
                 ))?;
             }
             Payload::OffloadRequest => {
-                let (seq, map) = latest.as_ref().ok_or_else(|| RuntimeError::Protocol {
-                    reason: format!("device {d}: offload request before any capture"),
-                })?;
-                if *seq != frame.seq {
-                    return Err(RuntimeError::Protocol {
-                        reason: format!(
-                            "device {d}: offload for sample {} but latest is {seq}",
-                            frame.seq
-                        ),
-                    });
+                match latest.as_ref() {
+                    Some((seq, map)) if *seq == frame.seq => {
+                        to_upper.send(&Frame::new(
+                            *seq,
+                            NodeId::Device(d as u8),
+                            features_payload(map)?,
+                        ))?;
+                    }
+                    _ if tolerant => {} // stale or premature request under faults
+                    None => {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!("device {d}: offload request before any capture"),
+                        })
+                    }
+                    Some((seq, _)) => {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!(
+                                "device {d}: offload for sample {} but latest is {seq}",
+                                frame.seq
+                            ),
+                        })
+                    }
                 }
-                to_upper.send(&Frame::new(
-                    *seq,
-                    NodeId::Device(d as u8),
-                    features_payload(map)?,
-                ))?;
             }
-            Payload::Shutdown => return Ok(()),
+            Payload::Shutdown => return Ok(NodeReport::default()),
             other => {
                 return Err(RuntimeError::Protocol {
                     reason: format!("device {d}: unexpected payload {other:?}"),
@@ -188,116 +282,321 @@ fn device_node(
     }
 }
 
+/// Completion policy of a [`Collector`].
+enum AggPolicy {
+    /// Paper-exact static fault model: the live set is known a priori and
+    /// the node waits indefinitely for all of its members.
+    Static {
+        /// Number of sources that will actually send.
+        required: usize,
+    },
+    /// Dynamic graceful degradation: wait for every source up to a
+    /// per-sample deadline, then substitute blanks. Sources missing
+    /// `suspect_after` consecutive deadlines are presumed dead and no
+    /// longer waited for; they revive on their next frame.
+    Deadline {
+        /// Per-sample aggregation deadline (ms).
+        aggregation_ms: u64,
+        /// Consecutive misses before a source is presumed dead.
+        suspect_after: u32,
+        /// Clock the deadlines are computed against.
+        clock: SimClock,
+    },
+}
+
+/// One sample's partially gathered contributions.
+struct PendingSample<T> {
+    slots: Vec<Option<T>>,
+    deadline: Option<Instant>,
+}
+
+/// What a collector did with one inserted contribution.
+enum Ingest<T> {
+    /// All required contributions present (blanks substituted): act on it.
+    Complete {
+        /// The completed sample.
+        seq: u64,
+        /// Per-source contributions, blanks substituted where missing.
+        items: Vec<T>,
+    },
+    /// Contribution for the most recently completed sample — a duplicate,
+    /// or a retry racing the decision: the node should replay its cached
+    /// decision so a lost downstream frame can be recovered.
+    Replay {
+        /// The already-completed sample.
+        seq: u64,
+    },
+    /// Below the completion watermark (older duplicate): ignore.
+    Stale,
+    /// Still waiting for more contributions.
+    Pending,
+}
+
+/// Gathers one contribution per source for each sample, substituting the
+/// source's blank signature when its contribution misses the deadline (or,
+/// statically, when the source is a priori failed). Completed samples are
+/// guarded by a watermark so late duplicates can never re-open a pending
+/// entry (the pending-map leak), and stale partials are garbage-collected.
+struct Collector<T> {
+    num_sources: usize,
+    blanks: Vec<T>,
+    policy: AggPolicy,
+    /// Source index → device index (`None` when the source is not an end
+    /// device, e.g. the edge feeding the cloud).
+    device_of_source: Vec<Option<usize>>,
+    pending: HashMap<u64, PendingSample<T>>,
+    /// Consecutive deadline misses per source (dynamic mode only).
+    misses: Vec<u32>,
+    /// Total deadline substitutions per source.
+    timeouts: Vec<usize>,
+    /// Samples finalized with at least one substitution.
+    degraded: Vec<u64>,
+    /// Highest completed sample.
+    watermark: Option<u64>,
+}
+
+impl<T: Clone> Collector<T> {
+    fn new(
+        num_sources: usize,
+        blanks: Vec<T>,
+        policy: AggPolicy,
+        device_of_source: Vec<Option<usize>>,
+    ) -> Self {
+        Collector {
+            num_sources,
+            blanks,
+            policy,
+            device_of_source,
+            pending: HashMap::new(),
+            misses: vec![0; num_sources],
+            timeouts: vec![0; num_sources],
+            degraded: Vec::new(),
+            watermark: None,
+        }
+    }
+
+    /// Records one source's contribution for `seq`.
+    fn insert(&mut self, seq: u64, source: usize, item: T) -> Ingest<T> {
+        if matches!(self.policy, AggPolicy::Deadline { .. }) {
+            // Any frame proves the source is alive, whatever its sample.
+            self.misses[source] = 0;
+        }
+        match self.watermark {
+            Some(w) if seq < w => return Ingest::Stale,
+            Some(w) if seq == w => return Ingest::Replay { seq },
+            _ => {}
+        }
+        let deadline = match &self.policy {
+            AggPolicy::Static { .. } => None,
+            AggPolicy::Deadline { aggregation_ms, clock, .. } => {
+                Some(clock.deadline_in(*aggregation_ms))
+            }
+        };
+        let entry = self
+            .pending
+            .entry(seq)
+            .or_insert_with(|| PendingSample { slots: vec![None; self.num_sources], deadline });
+        entry.slots[source] = Some(item);
+        let done = {
+            let entry = &self.pending[&seq];
+            match &self.policy {
+                AggPolicy::Static { required } => {
+                    entry.slots.iter().filter(|s| s.is_some()).count() >= *required
+                }
+                AggPolicy::Deadline { suspect_after, .. } => entry
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .all(|(s, slot)| slot.is_some() || self.misses[s] >= *suspect_after),
+            }
+        };
+        if done {
+            let (seq, items) = self.finalize(seq);
+            Ingest::Complete { seq, items }
+        } else {
+            Ingest::Pending
+        }
+    }
+
+    /// The earliest deadline among pending samples, if any.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.pending.values().filter_map(|p| p.deadline).min()
+    }
+
+    /// Finalizes (with blank substitution) the oldest pending sample whose
+    /// deadline has passed, if any.
+    fn expire(&mut self, now: Instant) -> Option<(u64, Vec<T>)> {
+        let seq = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline.is_some_and(|d| d <= now))
+            .map(|(&k, _)| k)
+            .min()?;
+        Some(self.finalize(seq))
+    }
+
+    /// Removes `seq` from pending, substitutes blanks for missing slots,
+    /// advances the watermark and garbage-collects stale partials.
+    fn finalize(&mut self, seq: u64) -> (u64, Vec<T>) {
+        let entry = self.pending.remove(&seq).expect("finalize of non-pending sample");
+        let dynamic = matches!(self.policy, AggPolicy::Deadline { .. });
+        let mut items = Vec::with_capacity(self.num_sources);
+        let mut missing_any = false;
+        for (s, slot) in entry.slots.into_iter().enumerate() {
+            match slot {
+                Some(item) => items.push(item),
+                None => {
+                    items.push(self.blanks[s].clone());
+                    if dynamic {
+                        self.timeouts[s] += 1;
+                        self.misses[s] = self.misses[s].saturating_add(1);
+                        missing_any = true;
+                    }
+                }
+            }
+        }
+        if missing_any {
+            self.degraded.push(seq);
+        }
+        let watermark = self.watermark.map_or(seq, |w| w.max(seq));
+        self.watermark = Some(watermark);
+        // Partials below the watermark can never complete: their sources
+        // would be classified Stale on arrival.
+        self.pending.retain(|&k, _| k > watermark);
+        (seq, items)
+    }
+
+    fn into_report(self) -> NodeReport {
+        NodeReport {
+            device_timeouts: self
+                .device_of_source
+                .iter()
+                .zip(&self.timeouts)
+                .filter_map(|(d, &c)| d.map(|d| (d, c)))
+                .filter(|&(_, c)| c > 0)
+                .collect(),
+            degraded: self.degraded,
+        }
+    }
+}
+
+/// The gateway's cached decision for a completed sample, replayable when
+/// duplicated or retried frames arrive after completion.
+enum GatewayDecision {
+    /// Exited locally with this verdict frame.
+    Verdict(Frame),
+    /// Escalated: broadcast an offload request to the live devices.
+    Offload,
+}
+
+fn send_gateway_decision(
+    decision: &GatewayDecision,
+    seq: u64,
+    to_devices: &[Option<LinkSender>],
+    to_orchestrator: &LinkSender,
+) -> Result<()> {
+    match decision {
+        GatewayDecision::Verdict(frame) => to_orchestrator.send(frame),
+        GatewayDecision::Offload => {
+            for sender in to_devices.iter().flatten() {
+                sender.send(&Frame::new(seq, NodeId::Gateway, Payload::OffloadRequest))?;
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Runs the gateway (local aggregator) node until shutdown.
-#[allow(clippy::too_many_arguments)]
 fn gateway_node(
     part: GatewayPart,
-    num_devices: usize,
-    live: Vec<bool>,
-    blanks: Vec<BlankSignature>,
     threshold: ExitThreshold,
     inbox_rx: LinkReceiver,
     to_devices: Vec<Option<LinkSender>>,
     to_orchestrator: LinkSender,
-) -> Result<()> {
+    mut collector: Collector<Vec<f32>>,
+) -> Result<NodeReport> {
     let mut agg = part.agg;
-    let live_count = live.iter().filter(|&&l| l).count();
-    let mut pending: HashMap<u64, Vec<Option<Vec<f32>>>> = HashMap::new();
+    let mut last_decision: Option<(u64, GatewayDecision)> = None;
     loop {
-        let frame = inbox_rx.recv()?;
-        match frame.payload {
-            Payload::Scores { scores } => {
-                let NodeId::Device(d) = frame.from else {
-                    return Err(RuntimeError::Protocol {
-                        reason: format!("gateway: scores from non-device {}", frame.from),
-                    });
-                };
-                let entry =
-                    pending.entry(frame.seq).or_insert_with(|| vec![None; num_devices]);
-                entry[d as usize] = Some(scores);
-                let received = entry.iter().filter(|e| e.is_some()).count();
-                if received < live_count {
-                    continue;
-                }
-                let entry = pending.remove(&frame.seq).expect("entry exists");
-                // Assemble per-device (1, C) score tensors, substituting
-                // blank signatures for failed devices.
-                let inputs: Vec<Tensor> = entry
-                    .iter()
-                    .enumerate()
-                    .map(|(d, s)| {
-                        let v = s.clone().unwrap_or_else(|| blanks[d].scores.clone());
-                        let c = v.len();
-                        Tensor::from_vec(v, [1, c]).map_err(RuntimeError::from)
-                    })
-                    .collect::<Result<_>>()?;
-                let logits = agg.forward(&inputs, Mode::Eval)?;
-                let probs = logits.softmax_rows()?;
-                let eta = normalized_entropy(&probs.row(0)?)?;
-                if threshold.should_exit(eta) {
-                    let pred = probs.argmax_rows()?[0];
-                    to_orchestrator.send(&Frame::new(
-                        frame.seq,
-                        NodeId::Gateway,
-                        Payload::Verdict { prediction: pred as u16, exit_tier: 0 },
-                    ))?;
-                } else {
-                    for sender in to_devices.iter().flatten() {
-                        sender.send(&Frame::new(
-                            frame.seq,
-                            NodeId::Gateway,
-                            Payload::OffloadRequest,
-                        ))?;
+        let mut completed: Vec<(u64, Vec<Vec<f32>>)> = Vec::new();
+        while let Some(done) = collector.expire(Instant::now()) {
+            completed.push(done);
+        }
+        if completed.is_empty() {
+            let frame = match collector.next_deadline() {
+                Some(deadline) => match inbox_rx.recv_deadline(deadline)? {
+                    Some(frame) => frame,
+                    None => continue, // a deadline fired; expire on the next pass
+                },
+                None => inbox_rx.recv()?,
+            };
+            match frame.payload {
+                Payload::Scores { scores } => {
+                    let NodeId::Device(d) = frame.from else {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!("gateway: scores from non-device {}", frame.from),
+                        });
+                    };
+                    match collector.insert(frame.seq, d as usize, scores) {
+                        Ingest::Complete { seq, items } => completed.push((seq, items)),
+                        Ingest::Replay { seq } => {
+                            if let Some((s, decision)) = &last_decision {
+                                if *s == seq {
+                                    send_gateway_decision(
+                                        decision,
+                                        seq,
+                                        &to_devices,
+                                        &to_orchestrator,
+                                    )?;
+                                }
+                            }
+                        }
+                        Ingest::Stale | Ingest::Pending => {}
                     }
                 }
+                Payload::Shutdown => return Ok(collector.into_report()),
+                other => {
+                    return Err(RuntimeError::Protocol {
+                        reason: format!("gateway: unexpected payload {other:?}"),
+                    })
+                }
             }
-            Payload::Shutdown => return Ok(()),
-            other => {
-                return Err(RuntimeError::Protocol {
-                    reason: format!("gateway: unexpected payload {other:?}"),
-                })
-            }
         }
-    }
-}
-
-/// Shared logic for feature-collecting tiers (edge and cloud): gather one
-/// map per device (blank signature for failed ones), aggregate, return the
-/// `(1, c', h, w)` aggregated tensor.
-struct FeatureCollector {
-    num_devices: usize,
-    live_count: usize,
-    blanks: Vec<Tensor>, // (f,16,16) per device
-    pending: HashMap<u64, Vec<Option<Tensor>>>,
-}
-
-impl FeatureCollector {
-    fn new(num_devices: usize, live: &[bool], blanks: Vec<Tensor>) -> Self {
-        FeatureCollector {
-            num_devices,
-            live_count: live.iter().filter(|&&l| l).count(),
-            blanks,
-            pending: HashMap::new(),
-        }
-    }
-
-    /// Records one device's map; returns the full per-device set when
-    /// complete.
-    fn insert(&mut self, seq: u64, device: usize, map: Tensor) -> Option<Vec<Tensor>> {
-        let entry =
-            self.pending.entry(seq).or_insert_with(|| vec![None; self.num_devices]);
-        entry[device] = Some(map);
-        if entry.iter().filter(|e| e.is_some()).count() < self.live_count {
-            return None;
-        }
-        let entry = self.pending.remove(&seq).expect("entry exists");
-        Some(
-            entry
+        for (seq, entry) in completed {
+            // Assemble per-device (1, C) score tensors (blanks already
+            // substituted by the collector).
+            let inputs: Vec<Tensor> = entry
                 .into_iter()
-                .enumerate()
-                .map(|(d, m)| m.unwrap_or_else(|| self.blanks[d].clone()))
-                .collect(),
-        )
+                .map(|v| {
+                    let c = v.len();
+                    Tensor::from_vec(v, [1, c]).map_err(RuntimeError::from)
+                })
+                .collect::<Result<_>>()?;
+            let logits = agg.forward(&inputs, Mode::Eval)?;
+            let probs = logits.softmax_rows()?;
+            let eta = normalized_entropy(&probs.row(0)?)?;
+            let decision = if threshold.should_exit(eta) {
+                let pred = probs.argmax_rows()?[0];
+                GatewayDecision::Verdict(Frame::new(
+                    seq,
+                    NodeId::Gateway,
+                    Payload::Verdict { prediction: pred as u16, exit_tier: 0 },
+                ))
+            } else {
+                GatewayDecision::Offload
+            };
+            send_gateway_decision(&decision, seq, &to_devices, &to_orchestrator)?;
+            last_decision = Some((seq, decision));
+        }
+    }
+}
+
+fn exit_point_from_tier(tier: u8) -> Result<ExitPoint> {
+    match tier {
+        0 => Ok(ExitPoint::Local),
+        1 => Ok(ExitPoint::Edge),
+        2 => Ok(ExitPoint::Cloud),
+        other => Err(RuntimeError::Protocol { reason: format!("unknown exit tier {other}") }),
     }
 }
 
@@ -311,115 +610,171 @@ fn batched(maps: Vec<Tensor>) -> Result<Vec<Tensor>> {
         .collect()
 }
 
-/// Runs the cloud node until shutdown. `sources` is the number of feature
-/// inputs it aggregates (devices, or 1 for the edge's output).
-#[allow(clippy::too_many_arguments)]
+/// Runs the cloud node until shutdown. The collector's source space is
+/// either the devices, or the single edge output.
 fn cloud_node(
     part: CloudPart,
-    sources: usize,
-    live: Vec<bool>,
-    blanks: Vec<Tensor>,
     inbox_rx: LinkReceiver,
     to_orchestrator: LinkSender,
-) -> Result<()> {
+    mut collector: Collector<Tensor>,
+) -> Result<NodeReport> {
     let mut agg = part.agg;
     let mut convs = part.convs;
     let mut exit = part.exit;
-    let mut collector = FeatureCollector::new(sources, &live, blanks);
+    let mut last_verdict: Option<Frame> = None;
     loop {
-        let frame = inbox_rx.recv()?;
-        match frame.payload {
-            Payload::Features { channels, height, width, bits } => {
-                let source = match frame.from {
-                    NodeId::Device(d) => d as usize,
-                    NodeId::Edge => 0,
-                    other => {
-                        return Err(RuntimeError::Protocol {
-                            reason: format!("cloud: features from {other}"),
-                        })
+        let mut completed: Vec<(u64, Vec<Tensor>)> = Vec::new();
+        while let Some(done) = collector.expire(Instant::now()) {
+            completed.push(done);
+        }
+        if completed.is_empty() {
+            let frame = match collector.next_deadline() {
+                Some(deadline) => match inbox_rx.recv_deadline(deadline)? {
+                    Some(frame) => frame,
+                    None => continue,
+                },
+                None => inbox_rx.recv()?,
+            };
+            match frame.payload {
+                Payload::Features { channels, height, width, bits } => {
+                    let source = match frame.from {
+                        NodeId::Device(d) => d as usize,
+                        NodeId::Edge => 0,
+                        other => {
+                            return Err(RuntimeError::Protocol {
+                                reason: format!("cloud: features from {other}"),
+                            })
+                        }
+                    };
+                    let map = features_tensor(channels, height, width, &bits)?;
+                    match collector.insert(frame.seq, source, map) {
+                        Ingest::Complete { seq, items } => completed.push((seq, items)),
+                        Ingest::Replay { seq } => {
+                            if let Some(v) = &last_verdict {
+                                if v.seq == seq {
+                                    to_orchestrator.send(v)?;
+                                }
+                            }
+                        }
+                        Ingest::Stale | Ingest::Pending => {}
                     }
-                };
-                let map = features_tensor(channels, height, width, &bits)?;
-                let Some(maps) = collector.insert(frame.seq, source, map) else {
-                    continue;
-                };
-                let mut x = agg.forward(&batched(maps)?)?;
-                for conv in &mut convs {
-                    x = conv.forward(&x, Mode::Eval)?;
                 }
-                let logits = exit.forward(&x, Mode::Eval)?;
-                let pred = logits.softmax_rows()?.argmax_rows()?[0];
-                to_orchestrator.send(&Frame::new(
-                    frame.seq,
-                    NodeId::Cloud,
-                    Payload::Verdict { prediction: pred as u16, exit_tier: 2 },
-                ))?;
+                Payload::Shutdown => return Ok(collector.into_report()),
+                other => {
+                    return Err(RuntimeError::Protocol {
+                        reason: format!("cloud: unexpected payload {other:?}"),
+                    })
+                }
             }
-            Payload::Shutdown => return Ok(()),
-            other => {
-                return Err(RuntimeError::Protocol {
-                    reason: format!("cloud: unexpected payload {other:?}"),
-                })
+        }
+        for (seq, maps) in completed {
+            let mut x = agg.forward(&batched(maps)?)?;
+            for conv in &mut convs {
+                x = conv.forward(&x, Mode::Eval)?;
             }
+            let logits = exit.forward(&x, Mode::Eval)?;
+            let pred = logits.softmax_rows()?.argmax_rows()?[0];
+            let verdict = Frame::new(
+                seq,
+                NodeId::Cloud,
+                Payload::Verdict { prediction: pred as u16, exit_tier: 2 },
+            );
+            to_orchestrator.send(&verdict)?;
+            last_verdict = Some(verdict);
         }
     }
 }
 
+/// The edge's cached decision for a completed sample.
+enum EdgeDecision {
+    /// Exited at the edge with this verdict frame (to the orchestrator).
+    Verdict(Frame),
+    /// Escalated: forward this features frame to the cloud.
+    Forward(Frame),
+}
+
 /// Runs the edge node until shutdown.
-#[allow(clippy::too_many_arguments)]
 fn edge_node(
     part: EdgePart,
-    num_devices: usize,
-    live: Vec<bool>,
-    blanks: Vec<Tensor>,
     threshold: ExitThreshold,
     inbox_rx: LinkReceiver,
     to_cloud: LinkSender,
     to_orchestrator: LinkSender,
-) -> Result<()> {
+    mut collector: Collector<Tensor>,
+) -> Result<NodeReport> {
     let mut agg = part.agg;
     let mut conv = part.conv;
     let mut exit = part.exit;
-    let mut collector = FeatureCollector::new(num_devices, &live, blanks);
+    let mut last_decision: Option<(u64, EdgeDecision)> = None;
     loop {
-        let frame = inbox_rx.recv()?;
-        match frame.payload {
-            Payload::Features { channels, height, width, bits } => {
-                let NodeId::Device(d) = frame.from else {
+        let mut completed: Vec<(u64, Vec<Tensor>)> = Vec::new();
+        while let Some(done) = collector.expire(Instant::now()) {
+            completed.push(done);
+        }
+        if completed.is_empty() {
+            let frame = match collector.next_deadline() {
+                Some(deadline) => match inbox_rx.recv_deadline(deadline)? {
+                    Some(frame) => frame,
+                    None => continue,
+                },
+                None => inbox_rx.recv()?,
+            };
+            match frame.payload {
+                Payload::Features { channels, height, width, bits } => {
+                    let NodeId::Device(d) = frame.from else {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!("edge: features from {}", frame.from),
+                        });
+                    };
+                    let map = features_tensor(channels, height, width, &bits)?;
+                    match collector.insert(frame.seq, d as usize, map) {
+                        Ingest::Complete { seq, items } => completed.push((seq, items)),
+                        Ingest::Replay { seq } => {
+                            if let Some((s, decision)) = &last_decision {
+                                if *s == seq {
+                                    match decision {
+                                        EdgeDecision::Verdict(f) => to_orchestrator.send(f)?,
+                                        EdgeDecision::Forward(f) => to_cloud.send(f)?,
+                                    }
+                                }
+                            }
+                        }
+                        Ingest::Stale | Ingest::Pending => {}
+                    }
+                }
+                Payload::Shutdown => return Ok(collector.into_report()),
+                other => {
                     return Err(RuntimeError::Protocol {
-                        reason: format!("edge: features from {}", frame.from),
-                    });
-                };
-                let map = features_tensor(channels, height, width, &bits)?;
-                let Some(maps) = collector.insert(frame.seq, d as usize, map) else {
-                    continue;
-                };
-                let x = agg.forward(&batched(maps)?)?;
-                let e_map = conv.forward(&x, Mode::Eval)?;
-                let logits = exit.forward(&e_map, Mode::Eval)?;
-                let probs = logits.softmax_rows()?;
-                let eta = normalized_entropy(&probs.row(0)?)?;
-                if threshold.should_exit(eta) {
-                    let pred = probs.argmax_rows()?[0];
-                    to_orchestrator.send(&Frame::new(
-                        frame.seq,
-                        NodeId::Edge,
-                        Payload::Verdict { prediction: pred as u16, exit_tier: 1 },
-                    ))?;
-                } else {
-                    to_cloud.send(&Frame::new(
-                        frame.seq,
-                        NodeId::Edge,
-                        features_payload(&e_map.index_axis0(0)?)?,
-                    ))?;
+                        reason: format!("edge: unexpected payload {other:?}"),
+                    })
                 }
             }
-            Payload::Shutdown => return Ok(()),
-            other => {
-                return Err(RuntimeError::Protocol {
-                    reason: format!("edge: unexpected payload {other:?}"),
-                })
+        }
+        for (seq, maps) in completed {
+            let x = agg.forward(&batched(maps)?)?;
+            let e_map = conv.forward(&x, Mode::Eval)?;
+            let logits = exit.forward(&e_map, Mode::Eval)?;
+            let probs = logits.softmax_rows()?;
+            let eta = normalized_entropy(&probs.row(0)?)?;
+            let decision = if threshold.should_exit(eta) {
+                let pred = probs.argmax_rows()?[0];
+                EdgeDecision::Verdict(Frame::new(
+                    seq,
+                    NodeId::Edge,
+                    Payload::Verdict { prediction: pred as u16, exit_tier: 1 },
+                ))
+            } else {
+                EdgeDecision::Forward(Frame::new(
+                    seq,
+                    NodeId::Edge,
+                    features_payload(&e_map.index_axis0(0)?)?,
+                ))
+            };
+            match &decision {
+                EdgeDecision::Verdict(f) => to_orchestrator.send(f)?,
+                EdgeDecision::Forward(f) => to_cloud.send(f)?,
             }
+            last_decision = Some((seq, decision));
         }
     }
 }
@@ -444,10 +799,7 @@ pub fn run_distributed_inference(
     let num_devices = partition.devices.len();
     if device_views.len() != num_devices {
         return Err(RuntimeError::Config {
-            reason: format!(
-                "{} view batches for {num_devices} devices",
-                device_views.len()
-            ),
+            reason: format!("{} view batches for {num_devices} devices", device_views.len()),
         });
     }
     if let Some(&bad) = cfg.failed_devices.iter().find(|&&d| d >= num_devices) {
@@ -463,11 +815,33 @@ pub fn run_distributed_inference(
     if live.iter().all(|&l| !l) {
         return Err(RuntimeError::Config { reason: "all devices failed".to_string() });
     }
+    cfg.fault_plan.validate(num_devices)?;
+    if cfg.fault_plan.is_active() && cfg.deadlines.is_none() {
+        return Err(RuntimeError::Config {
+            reason: "an active fault plan requires deadlines (set cfg.deadlines)".to_string(),
+        });
+    }
     let has_edge = partition.edge.is_some();
+    let tolerant = cfg.deadlines.is_some();
+    let clock = SimClock::start();
 
     // Blank signatures for failed-device substitution.
     let blanks: Vec<BlankSignature> =
         partition.devices.iter().map(blank_signature).collect::<Result<_>>()?;
+
+    // Per-device crash counters and the per-link fault layers (None when
+    // the plan is inactive, which leaves every link on its exact legacy
+    // path).
+    let fault_active = cfg.fault_plan.is_active();
+    let crash_states: HashMap<usize, Arc<CrashState>> = cfg
+        .fault_plan
+        .crash_after
+        .iter()
+        .map(|c| (c.device, CrashState::new(c.after_frames)))
+        .collect();
+    let fault_for = |name: &str, crash: Option<Arc<CrashState>>| -> Option<Arc<LinkFault>> {
+        fault_active.then(|| Arc::new(LinkFault::new(&cfg.fault_plan, name, crash)))
+    };
 
     // Wiring.
     let mut link_stats: Vec<(String, Arc<Mutex<LinkStats>>)> = Vec::new();
@@ -485,98 +859,153 @@ pub fn run_distributed_inference(
         (None, None)
     };
 
-    // Device inboxes + their outbound links.
+    // Device inboxes + their outbound links. A crashing device's outbound
+    // links share one crash counter, so the N-th transmitted frame kills
+    // both its score and its feature path at once.
     let mut device_rx = Vec::new();
     let mut capture_tx = Vec::new();
     let mut gateway_to_device: Vec<Option<LinkSender>> = Vec::new();
     let mut device_threads_io = Vec::new();
     for d in 0..num_devices {
+        let crash = crash_states.get(&d);
         let (dtx, drx) = inbox(&format!("device{d}"));
-        let (cap, _cap_stats) = attach_sender(&dtx, &format!("sensor->device{d}"));
+        let cap_name = format!("sensor->device{d}");
+        let (cap, _cap_stats) =
+            attach_faulty_sender(&dtx, &cap_name, fault_for(&cap_name, None), tolerant);
         capture_tx.push(cap);
-        let (g2d, g2d_stats) = attach_sender(&dtx, &format!("gateway->device{d}"));
-        track(format!("gateway->device{d}"), g2d_stats);
+        let g2d_name = format!("gateway->device{d}");
+        let (g2d, g2d_stats) =
+            attach_faulty_sender(&dtx, &g2d_name, fault_for(&g2d_name, None), tolerant);
+        track(g2d_name, g2d_stats);
         gateway_to_device.push(live[d].then_some(g2d));
-        let (to_gw, gw_stats) = attach_sender(&gateway_tx, &format!("device{d}->gateway"));
-        track(format!("device{d}->gateway"), gw_stats);
+        let gw_name = format!("device{d}->gateway");
+        let (to_gw, gw_stats) = attach_faulty_sender(
+            &gateway_tx,
+            &gw_name,
+            fault_for(&gw_name, crash.cloned()),
+            tolerant,
+        );
+        track(gw_name, gw_stats);
         let upper_name =
             if has_edge { format!("device{d}->edge") } else { format!("device{d}->cloud") };
         let upper_tx = edge_tx.as_ref().unwrap_or(&cloud_tx);
-        let (to_upper, upper_stats) = attach_sender(upper_tx, &upper_name);
+        let (to_upper, upper_stats) = attach_faulty_sender(
+            upper_tx,
+            &upper_name,
+            fault_for(&upper_name, crash.cloned()),
+            tolerant,
+        );
         track(upper_name, upper_stats);
         device_rx.push(drx);
         device_threads_io.push((to_gw, to_upper));
     }
-    let (gw_to_orch, s) = attach_sender(&orch_tx, "gateway->orchestrator");
+    let (gw_to_orch, s) = attach_faulty_sender(
+        &orch_tx,
+        "gateway->orchestrator",
+        fault_for("gateway->orchestrator", None),
+        tolerant,
+    );
     track("gateway->orchestrator".to_string(), s);
-    let (cloud_to_orch, s) = attach_sender(&orch_tx, "cloud->orchestrator");
+    let (cloud_to_orch, s) = attach_faulty_sender(
+        &orch_tx,
+        "cloud->orchestrator",
+        fault_for("cloud->orchestrator", None),
+        tolerant,
+    );
     track("cloud->orchestrator".to_string(), s);
-    let (edge_to_cloud, s) = attach_sender(&cloud_tx, "edge->cloud");
+    let (edge_to_cloud, s) =
+        attach_faulty_sender(&cloud_tx, "edge->cloud", fault_for("edge->cloud", None), tolerant);
     track("edge->cloud".to_string(), s);
-    let (edge_to_orch, s) = attach_sender(&orch_tx, "edge->orchestrator");
+    let (edge_to_orch, s) = attach_faulty_sender(
+        &orch_tx,
+        "edge->orchestrator",
+        fault_for("edge->orchestrator", None),
+        tolerant,
+    );
     track("edge->orchestrator".to_string(), s);
 
-    // Cloud collector geometry depends on the architecture.
-    let (cloud_sources, cloud_live, cloud_blanks) = if has_edge {
-        (1, vec![true], vec![Tensor::zeros([1, 1, 1])]) // edge never "fails"
-    } else {
-        (num_devices, live.clone(), blanks.iter().map(|b| b.map.clone()).collect())
+    // Aggregation policy shared by every collector: static waits for the
+    // precomputed live count; dynamic waits up to the deadline.
+    let make_policy = |live: &[bool]| match cfg.deadlines {
+        None => AggPolicy::Static { required: live.iter().filter(|&&l| l).count() },
+        Some(dl) => AggPolicy::Deadline {
+            aggregation_ms: dl.aggregation_ms,
+            suspect_after: dl.suspect_after,
+            clock,
+        },
     };
+    let identity_sources: Vec<Option<usize>> = (0..num_devices).map(Some).collect();
+
+    let gateway_collector = Collector::new(
+        num_devices,
+        blanks.iter().map(|b| b.scores.clone()).collect(),
+        make_policy(&live),
+        identity_sources.clone(),
+    );
+
+    // Cloud collector geometry depends on the architecture. Behind an
+    // edge, the cloud's single source is the edge itself; its blank is the
+    // edge's own output for an all-blank device set, so a silent edge
+    // degrades to "nothing was seen" rather than garbage.
+    let cloud_collector = if has_edge {
+        let edge = partition.edge.as_ref().expect("has_edge");
+        let mut agg = edge.agg.clone();
+        let mut conv = edge.conv.clone();
+        let all_blank = batched(blanks.iter().map(|b| b.map.clone()).collect())?;
+        let edge_blank = conv.forward(&agg.forward(&all_blank)?, Mode::Eval)?.index_axis0(0)?;
+        Collector::new(1, vec![edge_blank], make_policy(&[true]), vec![None])
+    } else {
+        Collector::new(
+            num_devices,
+            blanks.iter().map(|b| b.map.clone()).collect(),
+            make_policy(&live),
+            identity_sources.clone(),
+        )
+    };
+    let edge_collector = has_edge.then(|| {
+        Collector::new(
+            num_devices,
+            blanks.iter().map(|b| b.map.clone()).collect(),
+            make_policy(&live),
+            identity_sources,
+        )
+    });
 
     let mut predictions = vec![0usize; n_samples];
     let mut exits = vec![ExitPoint::Cloud; n_samples];
     let mut latencies = vec![0.0f32; n_samples];
+    let mut outcomes = vec![SampleOutcome::Classified; n_samples];
+    let mut capture_retries = 0usize;
+    let mut node_reports: Vec<NodeReport> = Vec::new();
 
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         // Devices.
-        for (d, ((rx, (to_gw, to_upper)), part)) in device_rx
-            .into_iter()
-            .zip(device_threads_io)
-            .zip(partition.devices.iter())
-            .enumerate()
+        for (d, ((rx, (to_gw, to_upper)), part)) in
+            device_rx.into_iter().zip(device_threads_io).zip(partition.devices.iter()).enumerate()
         {
             if !live[d] {
                 continue;
             }
             let part = part.clone();
-            handles.push(scope.spawn(move || device_node(d, part, rx, to_gw, to_upper)));
+            handles.push(scope.spawn(move || device_node(d, part, rx, to_gw, to_upper, tolerant)));
         }
         // Gateway.
         {
             let part = partition.gateway.clone();
-            let live = live.clone();
-            let blanks = blanks.clone();
             let threshold = cfg.local_threshold;
+            let collector = gateway_collector;
             handles.push(scope.spawn(move || {
-                gateway_node(
-                    part,
-                    num_devices,
-                    live,
-                    blanks,
-                    threshold,
-                    gateway_rx,
-                    gateway_to_device,
-                    gw_to_orch,
-                )
+                gateway_node(part, threshold, gateway_rx, gateway_to_device, gw_to_orch, collector)
             }));
         }
         // Edge.
-        if let (Some(part), Some(rx)) = (partition.edge.clone(), edge_rx) {
-            let live = live.clone();
-            let blanks: Vec<Tensor> = blanks.iter().map(|b| b.map.clone()).collect();
+        if let (Some(part), Some(rx), Some(collector)) =
+            (partition.edge.clone(), edge_rx, edge_collector)
+        {
             let threshold = cfg.edge_threshold;
             handles.push(scope.spawn(move || {
-                edge_node(
-                    part,
-                    num_devices,
-                    live,
-                    blanks,
-                    threshold,
-                    rx,
-                    edge_to_cloud,
-                    edge_to_orch,
-                )
+                edge_node(part, threshold, rx, edge_to_cloud, edge_to_orch, collector)
             }));
         } else {
             drop(edge_to_cloud);
@@ -585,9 +1014,8 @@ pub fn run_distributed_inference(
         // Cloud.
         {
             let part = partition.cloud.clone();
-            handles.push(scope.spawn(move || {
-                cloud_node(part, cloud_sources, cloud_live, cloud_blanks, cloud_rx, cloud_to_orch)
-            }));
+            let collector = cloud_collector;
+            handles.push(scope.spawn(move || cloud_node(part, cloud_rx, cloud_to_orch, collector)));
         }
 
         // Orchestrator: drive samples in order, one at a time.
@@ -597,51 +1025,104 @@ pub fn run_distributed_inference(
             + 6
             + 4
             + (partition.config.device_map_elems()).div_ceil(8);
-        for (i, latency) in latencies.iter_mut().enumerate() {
-            let seq = i as u64;
+        // Simulated latency: device->gateway hop always happens; each
+        // escalation adds an uplink transfer of the feature map.
+        let latency_of = |exit: ExitPoint| {
+            let mut ms = cfg.local_link.transfer_ms(summary_bytes);
+            if exit != ExitPoint::Local {
+                ms += cfg.uplink.transfer_ms(map_bytes);
+            }
+            if has_edge && exit == ExitPoint::Cloud {
+                ms += cfg.uplink.transfer_ms(map_bytes);
+            }
+            ms
+        };
+        let send_captures = |i: usize| -> Result<()> {
             for d in 0..num_devices {
                 if !live[d] {
                     continue;
                 }
                 let view = device_views[d].index_axis0(i)?;
                 capture_tx[d].send(&Frame::new(
-                    seq,
+                    i as u64,
                     NodeId::Orchestrator,
                     Payload::Capture { view },
                 ))?;
             }
-            let verdict = orch_rx.recv()?;
-            if verdict.seq != seq {
-                return Err(RuntimeError::Protocol {
-                    reason: format!("verdict for sample {} while running {seq}", verdict.seq),
-                });
-            }
-            let Payload::Verdict { prediction, exit_tier } = verdict.payload else {
-                return Err(RuntimeError::Protocol {
-                    reason: "orchestrator received a non-verdict".to_string(),
-                });
-            };
-            predictions[i] = prediction as usize;
-            exits[i] = match exit_tier {
-                0 => ExitPoint::Local,
-                1 => ExitPoint::Edge,
-                2 => ExitPoint::Cloud,
-                other => {
-                    return Err(RuntimeError::Protocol {
-                        reason: format!("unknown exit tier {other}"),
-                    })
+            Ok(())
+        };
+        match cfg.deadlines {
+            None => {
+                // Legacy exact path: block on each verdict, strict order.
+                for (i, latency) in latencies.iter_mut().enumerate() {
+                    let seq = i as u64;
+                    send_captures(i)?;
+                    let verdict = orch_rx.recv()?;
+                    if verdict.seq != seq {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!(
+                                "verdict for sample {} while running {seq}",
+                                verdict.seq
+                            ),
+                        });
+                    }
+                    let Payload::Verdict { prediction, exit_tier } = verdict.payload else {
+                        return Err(RuntimeError::Protocol {
+                            reason: "orchestrator received a non-verdict".to_string(),
+                        });
+                    };
+                    predictions[i] = prediction as usize;
+                    exits[i] = exit_point_from_tier(exit_tier)?;
+                    *latency = latency_of(exits[i]);
                 }
-            };
-            // Simulated latency: device->gateway hop always happens; each
-            // escalation adds an uplink transfer of the feature map.
-            let mut ms = cfg.local_link.transfer_ms(summary_bytes);
-            if exits[i] != ExitPoint::Local {
-                ms += cfg.uplink.transfer_ms(map_bytes);
             }
-            if has_edge && exits[i] == ExitPoint::Cloud {
-                ms += cfg.uplink.transfer_ms(map_bytes);
+            Some(dl) => {
+                // Watchdog path: bounded wait per attempt, bounded capture
+                // retransmissions, then a typed per-sample timeout. Stale
+                // and duplicate verdicts are discarded by sequence number,
+                // so a retried sample can never hang or corrupt the run.
+                for i in 0..n_samples {
+                    let seq = i as u64;
+                    let mut resolved = None;
+                    let mut attempts = 0u32;
+                    'sample: loop {
+                        send_captures(i)?;
+                        let deadline = clock.deadline_in(dl.watchdog_ms);
+                        loop {
+                            match orch_rx.recv_deadline(deadline)? {
+                                Some(frame) if frame.seq == seq => {
+                                    if let Payload::Verdict { prediction, exit_tier } =
+                                        frame.payload
+                                    {
+                                        resolved = Some((prediction, exit_tier));
+                                        break 'sample;
+                                    }
+                                }
+                                Some(_) => {} // stale or duplicate verdict
+                                None => break,
+                            }
+                        }
+                        if attempts >= dl.max_retries {
+                            break;
+                        }
+                        attempts += 1;
+                        capture_retries += 1;
+                    }
+                    match resolved {
+                        Some((prediction, exit_tier)) => {
+                            predictions[i] = prediction as usize;
+                            exits[i] = exit_point_from_tier(exit_tier)?;
+                            latencies[i] = latency_of(exits[i]);
+                        }
+                        None => {
+                            let waited_ms = u64::from(attempts + 1) * dl.watchdog_ms;
+                            outcomes[i] = SampleOutcome::TimedOut { waited_ms };
+                            predictions[i] = usize::MAX; // never matches a label
+                            latencies[i] = waited_ms as f32;
+                        }
+                    }
+                }
             }
-            *latency = ms;
         }
 
         // Orderly shutdown.
@@ -661,12 +1142,27 @@ pub fn run_distributed_inference(
         s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
 
         for h in handles {
-            h.join().map_err(|_| RuntimeError::Disconnected {
+            node_reports.push(h.join().map_err(|_| RuntimeError::Disconnected {
                 node: "panicked node thread".to_string(),
-            })??;
+            })??);
         }
         Ok(())
     })?;
+
+    // Merge what the aggregation tiers observed about degradation.
+    let mut device_timeouts = vec![0usize; num_devices];
+    let mut degraded: HashSet<u64> = HashSet::new();
+    for report in node_reports {
+        for (d, c) in report.device_timeouts {
+            device_timeouts[d] += c;
+        }
+        degraded.extend(report.degraded);
+    }
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if matches!(outcome, SampleOutcome::TimedOut { .. }) {
+            degraded.insert(i as u64);
+        }
+    }
 
     let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
     let local_exits = exits.iter().filter(|&&e| e == ExitPoint::Local).count();
@@ -703,6 +1199,14 @@ pub fn run_distributed_inference(
         mean_offload_latency_ms: mean(&offload_lat),
         predictions,
         exits,
+        outcomes,
+        degraded_fraction: if n_samples == 0 {
+            0.0
+        } else {
+            degraded.len() as f32 / n_samples as f32
+        },
+        device_timeouts,
+        capture_retries,
     })
 }
 
@@ -726,6 +1230,14 @@ pub fn run_cloud_only_baseline(
         });
     }
     let n_samples = labels.len();
+    if let Some((d, v)) = device_views.iter().enumerate().find(|(_, v)| v.dims()[0] != n_samples) {
+        return Err(RuntimeError::Config {
+            reason: format!(
+                "device {d} view batch of {} samples for {n_samples} labels",
+                v.dims()[0]
+            ),
+        });
+    }
     let (cloud_tx, cloud_rx) = inbox("cloud");
     let (orch_tx, orch_rx) = inbox("orchestrator");
     let mut stats = Vec::new();
@@ -760,9 +1272,8 @@ pub fn run_cloud_only_baseline(
                             });
                         };
                         let view = crate::message::dequantize_image(&pixels)?;
-                        let entry = pending
-                            .entry(frame.seq)
-                            .or_insert_with(|| vec![None; devices.len()]);
+                        let entry =
+                            pending.entry(frame.seq).or_insert_with(|| vec![None; devices.len()]);
                         entry[d as usize] = Some(view);
                         if entry.iter().any(|e| e.is_none()) {
                             continue;
@@ -836,5 +1347,9 @@ pub fn run_cloud_only_baseline(
         mean_offload_latency_ms: 0.0,
         predictions,
         exits: vec![ExitPoint::Cloud; n_samples],
+        outcomes: vec![SampleOutcome::Classified; n_samples],
+        degraded_fraction: 0.0,
+        device_timeouts: vec![0; num_devices],
+        capture_retries: 0,
     })
 }

@@ -24,6 +24,15 @@ pub enum RuntimeError {
         /// What is inconsistent.
         reason: String,
     },
+    /// A node waited past its deadline for a frame that never arrived —
+    /// the per-sample outcome of an unrecoverable loss under fault
+    /// injection (the run itself keeps going; see `SampleOutcome`).
+    Timeout {
+        /// The node that gave up waiting.
+        node: String,
+        /// How long it waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -33,6 +42,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Protocol { reason } => write!(f, "protocol error: {reason}"),
             RuntimeError::Disconnected { node } => write!(f, "link to {node} disconnected"),
             RuntimeError::Config { reason } => write!(f, "invalid cluster configuration: {reason}"),
+            RuntimeError::Timeout { node, waited_ms } => {
+                write!(f, "{node} timed out after {waited_ms} ms")
+            }
         }
     }
 }
@@ -65,6 +77,8 @@ mod tests {
         assert!(e.to_string().contains("bad tag"));
         let e = RuntimeError::Disconnected { node: "cloud".into() };
         assert!(e.to_string().contains("cloud"));
+        let e = RuntimeError::Timeout { node: "orchestrator".into(), waited_ms: 250 };
+        assert!(e.to_string().contains("250 ms"));
         let e: RuntimeError = ddnn_tensor::TensorError::Empty { op: "x" }.into();
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());

@@ -1,0 +1,311 @@
+//! Dynamic fault injection for the simulated hierarchy.
+//!
+//! The paper's fault-tolerance story (§IV-G) is *static*: a failed device
+//! is known before the run starts and its thread never spawns. This module
+//! makes failure *dynamic*: a seeded [`FaultPlan`] wraps every link so
+//! frames can be dropped, duplicated or jittered mid-run, and a device can
+//! crash after its N-th transmitted frame. Combined with the deadline-based
+//! degradation configured by [`DeadlineConfig`], the runtime then exercises
+//! the blank-signature substitution path under realistic, time-varying
+//! failure — the regime Figures 8/10 of the paper sweep analytically.
+//!
+//! Determinism: every link draws from its own xoshiro stream seeded by
+//! `plan.seed` mixed with the link's name, so a given plan produces the
+//! same drops/duplicates/crashes regardless of thread scheduling.
+//! [`Payload::Shutdown`](crate::message::Payload::Shutdown) frames are
+//! exempt from all faults so a chaotic run can always terminate cleanly.
+
+use crate::error::{Result, RuntimeError};
+use crate::message::Frame;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A device that dies partway through a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCrash {
+    /// Index of the crashing device.
+    pub device: usize,
+    /// Frames the device successfully transmits before dying. `0` means
+    /// it is dead on arrival (equivalent to a statically failed device,
+    /// except the hierarchy has to *discover* the failure via deadlines).
+    pub after_frames: u64,
+}
+
+/// A seeded, deterministic plan of dynamic faults injected into the links
+/// of a run. [`FaultPlan::none`] (the default) injects nothing and leaves
+/// the runtime on its exact legacy code path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-link fault streams.
+    pub seed: u64,
+    /// Probability that a frame is silently dropped in transit.
+    pub drop_prob: f32,
+    /// Probability that a delivered frame arrives twice.
+    pub duplicate_prob: f32,
+    /// Maximum extra delivery delay per frame, in milliseconds (uniform
+    /// in `[0, jitter_ms]`).
+    pub jitter_ms: u32,
+    /// Devices that crash after transmitting a given number of frames.
+    pub crash_after: Vec<DeviceCrash>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            jitter_ms: 0,
+            crash_after: Vec::new(),
+        }
+    }
+
+    /// Whether this plan injects any fault.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.jitter_ms > 0
+            || !self.crash_after.is_empty()
+    }
+
+    /// Validates the plan against the hierarchy it will run in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for probabilities outside `[0, 1]`,
+    /// crash indices out of range, or several crashes for one device.
+    pub fn validate(&self, num_devices: usize) -> Result<()> {
+        for (what, p) in [("drop_prob", self.drop_prob), ("duplicate_prob", self.duplicate_prob)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(RuntimeError::Config {
+                    reason: format!("fault plan {what} {p} outside [0, 1]"),
+                });
+            }
+        }
+        for (i, crash) in self.crash_after.iter().enumerate() {
+            if crash.device >= num_devices {
+                return Err(RuntimeError::Config {
+                    reason: format!("fault plan crashes device {} out of range", crash.device),
+                });
+            }
+            if self.crash_after[..i].iter().any(|c| c.device == crash.device) {
+                return Err(RuntimeError::Config {
+                    reason: format!("fault plan crashes device {} twice", crash.device),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Deadlines and retry bounds that make the hierarchy degrade gracefully
+/// instead of hanging when frames are lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineConfig {
+    /// How long an aggregating node (gateway, edge, cloud) waits for the
+    /// remaining per-device contributions of a sample before substituting
+    /// blank signatures, in milliseconds.
+    pub aggregation_ms: u64,
+    /// How long the orchestrator waits for a verdict before re-sending the
+    /// sample's captures, in milliseconds.
+    pub watchdog_ms: u64,
+    /// Capture retransmissions per sample before the orchestrator records
+    /// the sample as timed out and moves on.
+    pub max_retries: u32,
+    /// Consecutive aggregation deadlines a device must miss before it is
+    /// presumed dead and no longer waited for (it revives on its next
+    /// frame).
+    pub suspect_after: u32,
+}
+
+impl Default for DeadlineConfig {
+    fn default() -> Self {
+        DeadlineConfig { aggregation_ms: 250, watchdog_ms: 2000, max_retries: 2, suspect_after: 2 }
+    }
+}
+
+impl DeadlineConfig {
+    /// A tight configuration for tests: short waits, the same semantics.
+    pub fn fast() -> Self {
+        DeadlineConfig { aggregation_ms: 40, watchdog_ms: 400, max_retries: 2, suspect_after: 2 }
+    }
+}
+
+/// Shared crash counter of one device, observed by all its outbound links.
+#[derive(Debug)]
+pub(crate) struct CrashState {
+    after: u64,
+    sent: AtomicU64,
+}
+
+impl CrashState {
+    pub(crate) fn new(after_frames: u64) -> Arc<Self> {
+        Arc::new(CrashState { after: after_frames, sent: AtomicU64::new(0) })
+    }
+
+    /// Records one attempted transmission; returns `true` once the device
+    /// is dead and the frame must be swallowed.
+    fn on_send(&self) -> bool {
+        self.sent.fetch_add(1, Ordering::Relaxed) >= self.after
+    }
+}
+
+/// What the fault layer decided to do with one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Delivery {
+    /// The sending device has crashed; swallow silently.
+    Dropped,
+    /// Deliver, possibly twice, possibly after an extra delay.
+    Deliver {
+        /// Send the frame a second time.
+        duplicate: bool,
+        /// Extra in-flight delay before the frame is handed over.
+        delay: Option<Duration>,
+    },
+}
+
+/// Per-link fault state: an independent seeded stream plus an optional
+/// shared crash counter for the sending device.
+#[derive(Debug)]
+pub(crate) struct LinkFault {
+    drop_prob: f32,
+    duplicate_prob: f32,
+    jitter_ms: u32,
+    rng: Mutex<StdRng>,
+    crash: Option<Arc<CrashState>>,
+}
+
+/// FNV-1a, used to derive a per-link seed from the plan seed and the
+/// link's name so streams are independent of spawn/scheduling order.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl LinkFault {
+    pub(crate) fn new(plan: &FaultPlan, link_name: &str, crash: Option<Arc<CrashState>>) -> Self {
+        LinkFault {
+            drop_prob: plan.drop_prob,
+            duplicate_prob: plan.duplicate_prob,
+            jitter_ms: plan.jitter_ms,
+            rng: Mutex::new(StdRng::seed_from_u64(plan.seed ^ fnv1a(link_name.as_bytes()))),
+            crash,
+        }
+    }
+
+    /// Rolls the fate of one frame. Shutdown frames always pass untouched.
+    pub(crate) fn roll(&self, frame: &Frame) -> Delivery {
+        if frame.is_shutdown() {
+            return Delivery::Deliver { duplicate: false, delay: None };
+        }
+        if let Some(crash) = &self.crash {
+            if crash.on_send() {
+                return Delivery::Dropped;
+            }
+        }
+        let mut rng = self.rng.lock();
+        if self.drop_prob > 0.0 && rng.gen::<f32>() < self.drop_prob {
+            return Delivery::Dropped;
+        }
+        let duplicate = self.duplicate_prob > 0.0 && rng.gen::<f32>() < self.duplicate_prob;
+        let delay = (self.jitter_ms > 0)
+            .then(|| Duration::from_micros(rng.gen_range(0..=u64::from(self.jitter_ms) * 1000)));
+        Delivery::Deliver { duplicate, delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{NodeId, Payload};
+
+    fn data_frame(seq: u64) -> Frame {
+        Frame::new(seq, NodeId::Device(0), Payload::OffloadRequest)
+    }
+
+    #[test]
+    fn inactive_plan_delivers_everything() {
+        let fault = LinkFault::new(&FaultPlan::none(), "a->b", None);
+        for seq in 0..100 {
+            assert_eq!(
+                fault.roll(&data_frame(seq)),
+                Delivery::Deliver { duplicate: false, delay: None }
+            );
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability_and_is_deterministic() {
+        let plan = FaultPlan { seed: 7, drop_prob: 0.3, ..FaultPlan::none() };
+        let outcomes = |plan: &FaultPlan| -> Vec<Delivery> {
+            let fault = LinkFault::new(plan, "dev0->gw", None);
+            (0..2000).map(|seq| fault.roll(&data_frame(seq))).collect()
+        };
+        let a = outcomes(&plan);
+        let b = outcomes(&plan);
+        assert_eq!(a, b, "same seed, same link, same stream");
+        let dropped = a.iter().filter(|&&d| d == Delivery::Dropped).count();
+        assert!((450..750).contains(&dropped), "dropped={dropped} of 2000 at p=0.3");
+        // A different link name draws a different stream.
+        let other = LinkFault::new(&plan, "dev1->gw", None);
+        let c: Vec<Delivery> = (0..2000).map(|seq| other.roll(&data_frame(seq))).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shutdown_is_exempt_even_from_certain_drop() {
+        let plan = FaultPlan { seed: 1, drop_prob: 1.0, ..FaultPlan::none() };
+        let fault = LinkFault::new(&plan, "x", Some(CrashState::new(0)));
+        let shutdown = Frame::new(0, NodeId::Orchestrator, Payload::Shutdown);
+        assert_eq!(fault.roll(&shutdown), Delivery::Deliver { duplicate: false, delay: None });
+        assert_eq!(fault.roll(&data_frame(1)), Delivery::Dropped);
+    }
+
+    #[test]
+    fn crash_counter_is_shared_across_links() {
+        let crash = CrashState::new(3);
+        let plan = FaultPlan { seed: 2, ..FaultPlan::none() };
+        let to_gateway = LinkFault::new(&plan, "dev0->gw", Some(Arc::clone(&crash)));
+        let to_cloud = LinkFault::new(&plan, "dev0->cloud", Some(crash));
+        let deliver = Delivery::Deliver { duplicate: false, delay: None };
+        assert_eq!(to_gateway.roll(&data_frame(0)), deliver);
+        assert_eq!(to_cloud.roll(&data_frame(0)), deliver);
+        assert_eq!(to_gateway.roll(&data_frame(1)), deliver);
+        // Fourth transmission and beyond: the device is dead on every link.
+        assert_eq!(to_cloud.roll(&data_frame(1)), Delivery::Dropped);
+        assert_eq!(to_gateway.roll(&data_frame(2)), Delivery::Dropped);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let mut plan = FaultPlan { drop_prob: 1.5, ..FaultPlan::none() };
+        assert!(plan.validate(4).is_err());
+        plan.drop_prob = 0.0;
+        plan.crash_after = vec![DeviceCrash { device: 4, after_frames: 1 }];
+        assert!(plan.validate(4).is_err());
+        plan.crash_after = vec![
+            DeviceCrash { device: 1, after_frames: 1 },
+            DeviceCrash { device: 1, after_frames: 2 },
+        ];
+        assert!(plan.validate(4).is_err());
+        plan.crash_after = vec![DeviceCrash { device: 1, after_frames: 1 }];
+        assert!(plan.validate(4).is_ok());
+        assert!(plan.is_active());
+        assert!(!FaultPlan::none().is_active());
+    }
+}

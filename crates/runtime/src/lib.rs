@@ -14,7 +14,11 @@
 //! * [`link`] — instrumented channels with byte accounting and a latency
 //!   model;
 //! * [`cluster`] — node loops and the orchestrator, plus the §IV-H
-//!   cloud-offload baseline.
+//!   cloud-offload baseline;
+//! * [`fault`] — seeded dynamic fault injection (drops, duplicates,
+//!   jitter, mid-run device crashes) and the deadline configuration for
+//!   graceful degradation;
+//! * [`clock`] — the simulation clock deadlines are measured against.
 //!
 //! ```no_run
 //! use ddnn_core::{Ddnn, DdnnConfig};
@@ -39,12 +43,18 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod cluster;
 mod error;
+pub mod fault;
 pub mod link;
 pub mod message;
 
-pub use cluster::{run_cloud_only_baseline, run_distributed_inference, HierarchyConfig, SimReport};
+pub use clock::SimClock;
+pub use cluster::{
+    run_cloud_only_baseline, run_distributed_inference, HierarchyConfig, SampleOutcome, SimReport,
+};
 pub use error::{Result, RuntimeError};
+pub use fault::{DeadlineConfig, DeviceCrash, FaultPlan};
 pub use link::{LatencyModel, LinkStats};
 pub use message::{Frame, NodeId, Payload, HEADER_BYTES};

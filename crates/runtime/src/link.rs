@@ -2,20 +2,28 @@
 //! byte accounting and a simulated latency model.
 
 use crate::error::{Result, RuntimeError};
+use crate::fault::{Delivery, LinkFault};
 use crate::message::{Frame, HEADER_BYTES};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cumulative traffic counters of one directed link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LinkStats {
-    /// Frames transferred.
+    /// Frames transferred (duplicated frames count each delivery).
     pub frames: usize,
     /// Application payload bytes (the quantity Eq. 1 models).
     pub payload_bytes: usize,
     /// Protocol header bytes.
     pub header_bytes: usize,
+    /// Frames swallowed by fault injection (drops and post-crash sends);
+    /// these contribute to no other counter — they never reached the wire.
+    pub frames_dropped: usize,
+    /// Extra deliveries created by fault injection; each one also counts
+    /// in `frames` and the byte counters, since it does cross the wire.
+    pub frames_duplicated: usize,
 }
 
 impl LinkStats {
@@ -63,25 +71,58 @@ pub struct LinkSender {
     tx: Sender<bytes::Bytes>,
     stats: Arc<Mutex<LinkStats>>,
     name: Arc<str>,
+    fault: Option<Arc<LinkFault>>,
+    /// Treat a hung-up receiver as a frame lost in flight rather than an
+    /// error. Set in deadline (fault-tolerant) mode, where late duplicates
+    /// and retransmissions can race a peer's orderly shutdown; the frame
+    /// still counts as transmitted, exactly like a real datagram sent to a
+    /// host that just went away.
+    lenient: bool,
 }
 
 impl LinkSender {
-    /// Sends a frame, accounting its encoded size.
+    /// Sends a frame, accounting its encoded size. When a fault layer is
+    /// attached (see [`attach_faulty_sender`]) the frame may instead be
+    /// dropped, duplicated or delayed per the seeded plan.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Disconnected`] if the receiver hung up.
     pub fn send(&self, frame: &Frame) -> Result<()> {
+        let mut duplicate = false;
+        if let Some(fault) = &self.fault {
+            match fault.roll(frame) {
+                Delivery::Dropped => {
+                    self.stats.lock().frames_dropped += 1;
+                    return Ok(());
+                }
+                Delivery::Deliver { duplicate: dup, delay } => {
+                    if let Some(d) = delay {
+                        std::thread::sleep(d);
+                    }
+                    duplicate = dup;
+                }
+            }
+        }
         let encoded = frame.encode();
+        let deliveries = if duplicate { 2 } else { 1 };
         {
             let mut s = self.stats.lock();
-            s.frames += 1;
-            s.payload_bytes += frame.payload_bytes();
-            s.header_bytes += HEADER_BYTES + (encoded.len() - HEADER_BYTES - frame.payload_bytes());
+            s.frames += deliveries;
+            s.payload_bytes += deliveries * frame.payload_bytes();
+            s.header_bytes += deliveries
+                * (HEADER_BYTES + (encoded.len() - HEADER_BYTES - frame.payload_bytes()));
+            s.frames_duplicated += deliveries - 1;
         }
-        self.tx
-            .send(encoded)
-            .map_err(|_| RuntimeError::Disconnected { node: self.name.to_string() })
+        for _ in 0..deliveries {
+            if self.tx.send(encoded.clone()).is_err() {
+                if self.lenient {
+                    break; // peer departed; the frame is lost in flight
+                }
+                return Err(RuntimeError::Disconnected { node: self.name.to_string() });
+            }
+        }
+        Ok(())
     }
 
     /// The link's display name (`from->to`).
@@ -112,6 +153,23 @@ impl LinkReceiver {
         Frame::decode(bytes)
     }
 
+    /// Blocks for the next frame until `deadline`; `Ok(None)` when the
+    /// deadline passes with nothing delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Disconnected`] if all senders hung up, or a
+    /// protocol error if decoding fails.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<Option<Frame>> {
+        match self.rx.recv_deadline(deadline) {
+            Ok(bytes) => Ok(Some(Frame::decode(bytes)?)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(RuntimeError::Disconnected { node: self.name.to_string() })
+            }
+        }
+    }
+
     /// Non-blocking receive; `Ok(None)` when the queue is empty.
     ///
     /// # Errors
@@ -135,7 +193,13 @@ pub fn link(name: &str) -> (LinkSender, LinkReceiver, Arc<Mutex<LinkStats>>) {
     let stats = Arc::new(Mutex::new(LinkStats::default()));
     let name: Arc<str> = Arc::from(name);
     (
-        LinkSender { tx, stats: Arc::clone(&stats), name: Arc::clone(&name) },
+        LinkSender {
+            tx,
+            stats: Arc::clone(&stats),
+            name: Arc::clone(&name),
+            fault: None,
+            lenient: false,
+        },
         LinkReceiver { rx, name },
         stats,
     )
@@ -152,12 +216,30 @@ pub fn inbox(name: &str) -> (Sender<bytes::Bytes>, LinkReceiver) {
 /// Attaches a named, separately-instrumented sender to an inbox channel, so
 /// per-sender traffic (e.g. `device3->gateway`) is accounted individually
 /// even though all frames land in the same inbox.
-pub fn attach_sender(
+pub fn attach_sender(tx: &Sender<bytes::Bytes>, name: &str) -> (LinkSender, Arc<Mutex<LinkStats>>) {
+    attach_faulty_sender(tx, name, None, false)
+}
+
+/// Like [`attach_sender`], but routes every frame through a fault layer
+/// first (`None` behaves exactly like `attach_sender`), and optionally
+/// tolerates a departed receiver (`lenient`; see [`LinkSender`]).
+pub(crate) fn attach_faulty_sender(
     tx: &Sender<bytes::Bytes>,
     name: &str,
+    fault: Option<Arc<LinkFault>>,
+    lenient: bool,
 ) -> (LinkSender, Arc<Mutex<LinkStats>>) {
     let stats = Arc::new(Mutex::new(LinkStats::default()));
-    (LinkSender { tx: tx.clone(), stats: Arc::clone(&stats), name: Arc::from(name) }, stats)
+    (
+        LinkSender {
+            tx: tx.clone(),
+            stats: Arc::clone(&stats),
+            name: Arc::from(name),
+            fault,
+            lenient,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -204,6 +286,49 @@ mod tests {
         assert_eq!(s.frames, 5);
         assert_eq!(s.payload_bytes, 0);
         assert_eq!(s.header_bytes, 5 * HEADER_BYTES);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let (tx, rx, _stats) = link("slow");
+        let deadline = Instant::now() + std::time::Duration::from_millis(10);
+        assert!(rx.recv_deadline(deadline).unwrap().is_none());
+        let f = Frame::new(1, NodeId::Gateway, Payload::OffloadRequest);
+        tx.send(&f).unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_millis(100);
+        assert_eq!(rx.recv_deadline(deadline).unwrap(), Some(f));
+    }
+
+    #[test]
+    fn dropped_frames_never_reach_the_wire_but_are_counted() {
+        use crate::fault::{FaultPlan, LinkFault};
+        let plan = FaultPlan { seed: 3, drop_prob: 1.0, ..FaultPlan::none() };
+        let (raw_tx, rx) = inbox("sink");
+        let fault = Some(Arc::new(LinkFault::new(&plan, "lossy", None)));
+        let (tx, stats) = attach_faulty_sender(&raw_tx, "lossy", fault, false);
+        tx.send(&Frame::new(0, NodeId::Gateway, Payload::OffloadRequest)).unwrap();
+        assert!(rx.try_recv().unwrap().is_none());
+        let s = *stats.lock();
+        assert_eq!(s.frames_dropped, 1);
+        assert_eq!((s.frames, s.payload_bytes, s.header_bytes, s.frames_duplicated), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn duplicated_frames_are_double_counted_on_the_wire() {
+        use crate::fault::{FaultPlan, LinkFault};
+        let plan = FaultPlan { seed: 3, duplicate_prob: 1.0, ..FaultPlan::none() };
+        let (raw_tx, rx) = inbox("sink");
+        let fault = Some(Arc::new(LinkFault::new(&plan, "chatty", None)));
+        let (tx, stats) = attach_faulty_sender(&raw_tx, "chatty", fault, false);
+        let f = Frame::new(0, NodeId::Gateway, Payload::OffloadRequest);
+        tx.send(&f).unwrap();
+        assert_eq!(rx.recv().unwrap(), f);
+        assert_eq!(rx.recv().unwrap(), f);
+        let s = *stats.lock();
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.frames_duplicated, 1);
+        assert_eq!(s.header_bytes, 2 * HEADER_BYTES);
+        assert_eq!(s.frames_dropped, 0);
     }
 
     #[test]

@@ -141,6 +141,12 @@ impl Frame {
         Frame { seq, from, payload }
     }
 
+    /// Whether this is an orderly-shutdown frame. Shutdown frames are
+    /// exempt from fault injection so a chaotic run can always terminate.
+    pub fn is_shutdown(&self) -> bool {
+        matches!(self.payload, Payload::Shutdown)
+    }
+
     /// Size of the encoded payload in bytes (excluding the header) — the
     /// quantity compared against the paper's Eq. 1.
     pub fn payload_bytes(&self) -> usize {
@@ -202,7 +208,9 @@ impl Frame {
     pub fn decode(mut buf: Bytes) -> Result<Frame> {
         let need = |buf: &Bytes, n: usize| -> Result<()> {
             if buf.remaining() < n {
-                Err(RuntimeError::Protocol { reason: format!("truncated frame: need {n} more bytes") })
+                Err(RuntimeError::Protocol {
+                    reason: format!("truncated frame: need {n} more bytes"),
+                })
             } else {
                 Ok(())
             }
@@ -250,7 +258,9 @@ impl Frame {
             }
             6 => Payload::Shutdown,
             other => {
-                return Err(RuntimeError::Protocol { reason: format!("unknown payload tag {other}") })
+                return Err(RuntimeError::Protocol {
+                    reason: format!("unknown payload tag {other}"),
+                })
             }
         };
         Ok(Frame { seq, from, payload })
@@ -317,8 +327,14 @@ mod tests {
 
     #[test]
     fn node_id_round_trip() {
-        for id in [NodeId::Device(0), NodeId::Device(5), NodeId::Gateway, NodeId::Edge, NodeId::Cloud, NodeId::Orchestrator]
-        {
+        for id in [
+            NodeId::Device(0),
+            NodeId::Device(5),
+            NodeId::Gateway,
+            NodeId::Edge,
+            NodeId::Cloud,
+            NodeId::Orchestrator,
+        ] {
             assert_eq!(NodeId::decode(id.encode()).unwrap(), id);
         }
         assert!(NodeId::decode(0x2FF).is_err());
@@ -371,7 +387,8 @@ mod tests {
     #[test]
     fn raw_image_is_3072_bytes() {
         let img = Tensor::full([3, 32, 32], 0.25);
-        let f = Frame::new(0, NodeId::Device(0), Payload::RawImage { pixels: quantize_image(&img) });
+        let f =
+            Frame::new(0, NodeId::Device(0), Payload::RawImage { pixels: quantize_image(&img) });
         assert_eq!(f.payload_bytes(), 3072);
     }
 

@@ -79,12 +79,12 @@ fn measured_bytes_match_eq1() {
     // Every sample: 4·|C| bytes per device. Every offloaded sample:
     // f·o/8 feature bytes per device, plus the 6-byte shape preamble the
     // wire format adds (not part of Eq. 1).
-    let expected_payload = 3 * (n * comm.summary_bytes() + offloaded * (comm.feature_map_bytes() + 6));
+    let expected_payload =
+        3 * (n * comm.summary_bytes() + offloaded * (comm.feature_map_bytes() + 6));
     assert_eq!(report.device_payload_bytes(), expected_payload);
     // And the in-process inference agrees on the offload count.
     let expected = model.infer(&views, t, None).unwrap();
-    let model_offloaded =
-        expected.exits.iter().filter(|&&e| e != ExitPoint::Local).count();
+    let model_offloaded = expected.exits.iter().filter(|&&e| e != ExitPoint::Local).count();
     assert_eq!(offloaded, model_offloaded);
 }
 
@@ -190,11 +190,7 @@ fn edge_hierarchy_runs_and_matches_in_process() {
         &model.partition(),
         &views,
         &labels,
-        &HierarchyConfig {
-            local_threshold: tl,
-            edge_threshold: te,
-            ..HierarchyConfig::default()
-        },
+        &HierarchyConfig { local_threshold: tl, edge_threshold: te, ..HierarchyConfig::default() },
     )
     .unwrap();
     assert_eq!(report.predictions, expected.predictions);
@@ -239,12 +235,7 @@ fn cloud_only_baseline_sends_raw_images_and_matches_cloud_exit() {
     // Predictions match forcing every sample through the cloud exit, up to
     // the 8-bit image quantization of the wire format.
     let expected = model.predict_at(&views, ExitPoint::Cloud).unwrap();
-    let agree = report
-        .predictions
-        .iter()
-        .zip(&expected)
-        .filter(|(a, b)| a == b)
-        .count();
+    let agree = report.predictions.iter().zip(&expected).filter(|(a, b)| a == b).count();
     assert!(agree >= 6, "baseline diverged from cloud exit: {agree}/7");
 }
 
@@ -253,13 +244,9 @@ fn report_accounting_helpers() {
     let model = small_model();
     let views = random_views(4, 3, 10);
     let labels = vec![0usize; 4];
-    let report = run_distributed_inference(
-        &model.partition(),
-        &views,
-        &labels,
-        &HierarchyConfig::default(),
-    )
-    .unwrap();
+    let report =
+        run_distributed_inference(&model.partition(), &views, &labels, &HierarchyConfig::default())
+            .unwrap();
     let fracs = report.exit_fraction(ExitPoint::Local) + report.exit_fraction(ExitPoint::Cloud);
     assert!((fracs - 1.0).abs() < 1e-6);
     assert!(report.device_payload_per_sample(3) > 0.0);

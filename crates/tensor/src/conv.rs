@@ -226,7 +226,7 @@ pub fn conv2d_backward(
     for b in 0..n {
         let gmat = grad_out.index_axis0(b)?.reshape([f, oh * ow])?;
         let colmat = cols.index_axis0(b)?; // (rows, oh*ow)
-        // dW += dY * X_col^T
+                                           // dW += dY * X_col^T
         let gw = gmat.matmul(&colmat.transpose()?)?;
         grad_w.add_assign(&gw)?;
         // dX_col = W^T * dY
@@ -316,10 +316,7 @@ pub fn max_pool2d_backward(
     input_shape: &[usize],
 ) -> Result<Tensor> {
     if grad_out.len() != argmax.len() {
-        return Err(TensorError::LengthMismatch {
-            expected: argmax.len(),
-            actual: grad_out.len(),
-        });
+        return Err(TensorError::LengthMismatch { expected: argmax.len(), actual: grad_out.len() });
     }
     let mut grad_in = Tensor::zeros(input_shape.to_vec());
     let gi = grad_in.data_mut();
@@ -440,14 +437,17 @@ mod tests {
             let fp = conv2d(&xp, &weight, &spec).unwrap().sum();
             let fm = conv2d(&xm, &weight, &spec).unwrap().sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - gin.data()[idx]).abs() < 1e-2, "dX[{idx}]: {num} vs {}", gin.data()[idx]);
+            assert!(
+                (num - gin.data()[idx]).abs() < 1e-2,
+                "dX[{idx}]: {num} vs {}",
+                gin.data()[idx]
+            );
         }
     }
 
     #[test]
     fn max_pool_known_values() {
-        let input =
-            Tensor::from_vec((1..=16).map(|x| x as f32).collect(), [1, 1, 4, 4]).unwrap();
+        let input = Tensor::from_vec((1..=16).map(|x| x as f32).collect(), [1, 1, 4, 4]).unwrap();
         let res = max_pool2d(&input, &Conv2dSpec::paper_pool()).unwrap();
         assert_eq!(res.output.dims(), &[1, 1, 2, 2]);
         // Windows centred per stride-2 with pad 1 over a 4x4 of 1..16.
@@ -456,8 +456,7 @@ mod tests {
 
     #[test]
     fn max_pool_backward_scatters_to_argmax() {
-        let input =
-            Tensor::from_vec((1..=16).map(|x| x as f32).collect(), [1, 1, 4, 4]).unwrap();
+        let input = Tensor::from_vec((1..=16).map(|x| x as f32).collect(), [1, 1, 4, 4]).unwrap();
         let spec = Conv2dSpec::paper_pool();
         let res = max_pool2d(&input, &spec).unwrap();
         let gout = Tensor::ones([1, 1, 2, 2]);

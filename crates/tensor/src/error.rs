@@ -73,7 +73,9 @@ impl fmt::Display for TensorError {
             TensorError::RankMismatch { expected, actual } => {
                 write!(f, "rank mismatch: expected rank {expected}, got rank {actual}")
             }
-            TensorError::Empty { op } => write!(f, "operation `{op}` is undefined on an empty tensor"),
+            TensorError::Empty { op } => {
+                write!(f, "operation `{op}` is undefined on an empty tensor")
+            }
         }
     }
 }
@@ -90,10 +92,7 @@ mod tests {
     #[test]
     fn display_length_mismatch() {
         let e = TensorError::LengthMismatch { expected: 6, actual: 4 };
-        assert_eq!(
-            e.to_string(),
-            "length mismatch: shape implies 6 elements but 4 were provided"
-        );
+        assert_eq!(e.to_string(), "length mismatch: shape implies 6 elements but 4 were provided");
     }
 
     #[test]

@@ -191,7 +191,10 @@ impl Tensor {
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         if i >= m {
-            return Err(TensorError::IndexOutOfBounds { index: vec![i], shape: self.dims().to_vec() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.dims().to_vec(),
+            });
         }
         Tensor::from_vec(self.data()[i * n..(i + 1) * n].to_vec(), [n])
     }
@@ -209,7 +212,10 @@ impl Tensor {
         }
         let n0 = self.dims()[0];
         if i >= n0 {
-            return Err(TensorError::IndexOutOfBounds { index: vec![i], shape: self.dims().to_vec() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.dims().to_vec(),
+            });
         }
         let rest: usize = self.dims()[1..].iter().product();
         let data = self.data()[i * rest..(i + 1) * rest].to_vec();

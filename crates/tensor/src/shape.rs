@@ -59,10 +59,7 @@ impl Shape {
     ///
     /// Returns [`TensorError::InvalidAxis`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize> {
-        self.dims
-            .get(axis)
-            .copied()
-            .ok_or(TensorError::InvalidAxis { axis, rank: self.rank() })
+        self.dims.get(axis).copied().ok_or(TensorError::InvalidAxis { axis, rank: self.rank() })
     }
 
     /// Row-major strides (in elements) for this shape.
@@ -222,10 +219,7 @@ mod tests {
     #[test]
     fn offset_rejects_bad_rank() {
         let s = Shape::new(vec![2, 2]);
-        assert!(matches!(
-            s.offset(&[1]),
-            Err(TensorError::IndexOutOfBounds { .. })
-        ));
+        assert!(matches!(s.offset(&[1]), Err(TensorError::IndexOutOfBounds { .. })));
     }
 
     #[test]

@@ -346,12 +346,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
         self.check_same_shape(other, "max_abs_diff")?;
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0f32, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(&a, &b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 
     fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<()> {

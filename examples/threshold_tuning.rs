@@ -34,10 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // threshold search (the test set stays untouched).
     let n = train_labels.len();
     let val_idx: Vec<usize> = (3 * n / 4..n).collect();
-    let val_views: Vec<_> = train_views
-        .iter()
-        .map(|v| v.select_axis0(&val_idx))
-        .collect::<Result<_, _>>()?;
+    let val_views: Vec<_> =
+        train_views.iter().map(|v| v.select_axis0(&val_idx)).collect::<Result<_, _>>()?;
     let val_labels: Vec<usize> = val_idx.iter().map(|&i| train_labels[i]).collect();
 
     // Per-sample local confidence and correctness on the validation set.
@@ -46,10 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eta = normalized_entropy_rows(&local_probs)?;
     let local_pred = local_probs.argmax_rows()?;
     let cloud_pred = logits.cloud.softmax_rows()?.argmax_rows()?;
-    let local_ok: Vec<bool> =
-        local_pred.iter().zip(&val_labels).map(|(p, l)| p == l).collect();
-    let cloud_ok: Vec<bool> =
-        cloud_pred.iter().zip(&val_labels).map(|(p, l)| p == l).collect();
+    let local_ok: Vec<bool> = local_pred.iter().zip(&val_labels).map(|(p, l)| p == l).collect();
+    let cloud_ok: Vec<bool> = cloud_pred.iter().zip(&val_labels).map(|(p, l)| p == l).collect();
 
     let grid: Vec<f32> = (0..=20).map(|i| i as f32 / 20.0).collect();
     let (best_t, val_acc) = search_threshold(&eta, &local_ok, &cloud_ok, &grid);

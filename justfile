@@ -1,0 +1,39 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs `just check`.
+
+export CARGO_NET_OFFLINE := "true"
+
+# fmt + clippy + tests, exactly what CI enforces
+check: fmt-check clippy test
+
+fmt:
+    cargo fmt
+
+fmt-check:
+    cargo fmt --check
+
+clippy:
+    cargo clippy --all-targets -- -D warnings
+
+# Chaos tests use fixed seeds, so this is deterministic.
+test:
+    cargo test --workspace -q
+
+build:
+    cargo build --workspace --release
+
+bench:
+    cargo bench
+
+# Regenerate every paper table/figure (slow; accepts DDNN_EPOCHS)
+experiments:
+    cargo run --release -p ddnn-bench --bin table1
+    cargo run --release -p ddnn-bench --bin table2
+    cargo run --release -p ddnn-bench --bin figure6
+    cargo run --release -p ddnn-bench --bin figure7
+    cargo run --release -p ddnn-bench --bin figure8
+    cargo run --release -p ddnn-bench --bin figure9
+    cargo run --release -p ddnn-bench --bin figure10
+    cargo run --release -p ddnn-bench --bin comm_reduction
+    cargo run --release -p ddnn-bench --bin edge_hierarchy
+    cargo run --release -p ddnn-bench --bin ablation_binary
+    cargo run --release -p ddnn-bench --bin ablation_fault

@@ -62,7 +62,10 @@ fn get<T: std::str::FromStr>(
     }
 }
 
-fn dataset_context() -> Result<(Vec<ddnn::tensor::Tensor>, Vec<usize>, Vec<ddnn::tensor::Tensor>, Vec<usize>), String> {
+type DatasetContext =
+    (Vec<ddnn::tensor::Tensor>, Vec<usize>, Vec<ddnn::tensor::Tensor>, Vec<usize>);
+
+fn dataset_context() -> Result<DatasetContext, String> {
     let ds = MvmcDataset::paper();
     let n = ds.num_devices();
     Ok((
@@ -83,7 +86,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         seed,
         edge: flags
             .contains_key("edge")
-            .then(|| EdgeConfig { filters: 16, agg: AggregationScheme::Concat }),
+            .then_some(EdgeConfig { filters: 16, agg: AggregationScheme::Concat }),
         ..DdnnConfig::paper()
     };
     println!("generating the MVMC dataset (680 train / 171 test, 6 cameras)...");
@@ -129,7 +132,11 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let overall = evaluate_overall(&mut model, &test_views, &test_labels, t, None)
         .map_err(|e| e.to_string())?;
     let comm = CommCostModel::from_config(model.config());
-    println!("forced-exit accuracy: local {:.1}%, cloud {:.1}%", accs.local * 100.0, accs.cloud * 100.0);
+    println!(
+        "forced-exit accuracy: local {:.1}%, cloud {:.1}%",
+        accs.local * 100.0,
+        accs.cloud * 100.0
+    );
     println!(
         "staged ({t}): overall {:.1}%, local exits {:.1}%, {:.0} B/sample/device (Eq. 1)",
         overall.accuracy * 100.0,
@@ -165,7 +172,11 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         &model.partition(),
         &test_views,
         &test_labels,
-        &HierarchyConfig { local_threshold: t, failed_devices: failed.clone(), ..HierarchyConfig::default() },
+        &HierarchyConfig {
+            local_threshold: t,
+            failed_devices: failed.clone(),
+            ..HierarchyConfig::default()
+        },
     )
     .map_err(|e| e.to_string())?;
     println!(
@@ -196,7 +207,10 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("  classes:         {}", cfg.num_classes);
     println!("  device filters:  {}", cfg.device_filters);
     println!("  aggregation:     {}-{}", cfg.local_agg, cfg.cloud_agg);
-    println!("  edge tier:       {}", cfg.edge.map_or("none".to_string(), |e| format!("{} filters, {}", e.filters, e.agg)));
+    println!(
+        "  edge tier:       {}",
+        cfg.edge.map_or("none".to_string(), |e| format!("{} filters, {}", e.filters, e.agg))
+    );
     println!("  cloud filters:   {:?} ({:?})", cfg.cloud_filters, cfg.cloud_precision);
     println!("  exits:           {}", model.num_exits());
     println!("  parameters:      {}", model.param_count());
@@ -206,7 +220,12 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_dataset() -> Result<(), String> {
     let ds = MvmcDataset::paper();
-    println!("MVMC (synthetic): {} train / {} test samples, {} devices", ds.train.len(), ds.test.len(), ds.num_devices());
+    println!(
+        "MVMC (synthetic): {} train / {} test samples, {} devices",
+        ds.train.len(),
+        ds.test.len(),
+        ds.num_devices()
+    );
     for (d, s) in device_stats(&ds.train, ds.num_devices()).iter().enumerate() {
         println!(
             "  device {}: car {:>3}  bus {:>3}  person {:>3}  not-present {:>3}",

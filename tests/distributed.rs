@@ -8,16 +8,18 @@ use ddnn::runtime::{run_cloud_only_baseline, run_distributed_inference, Hierarch
 fn trained_setup() -> (Ddnn, Vec<ddnn::tensor::Tensor>, Vec<usize>) {
     let ds = MvmcDataset::generate(MvmcConfig::tiny(48, 16, 12));
     let train_views = all_device_batches(&ds.train, 6).unwrap();
-    let mut model = Ddnn::new(DdnnConfig {
-        device_filters: 2,
-        cloud_filters: [4, 8],
-        ..DdnnConfig::paper()
-    });
+    let mut model =
+        Ddnn::new(DdnnConfig { device_filters: 2, cloud_filters: [4, 8], ..DdnnConfig::paper() });
     train(
         &mut model,
         &train_views,
         &labels(&ds.train),
-        &TrainConfig { epochs: 2, batch_size: 16, stat_refresh_passes: 1, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            stat_refresh_passes: 1,
+            ..TrainConfig::default()
+        },
     )
     .unwrap();
     (model, all_device_batches(&ds.test, 6).unwrap(), labels(&ds.test))
@@ -62,10 +64,7 @@ fn measured_traffic_is_far_below_raw_offload() {
     assert_eq!(raw_bytes, test_labels.len() * 6 * 3072);
     // Even with zero local exits, the binary feature maps are ~20x smaller
     // than raw images (f=2 here: 12 + 70 bytes vs 3072).
-    assert!(
-        (raw_bytes as f32) > 20.0 * ddnn_bytes as f32,
-        "raw {raw_bytes} vs ddnn {ddnn_bytes}"
-    );
+    assert!((raw_bytes as f32) > 20.0 * ddnn_bytes as f32, "raw {raw_bytes} vs ddnn {ddnn_bytes}");
 }
 
 #[test]

@@ -117,8 +117,7 @@ fn comm_model_matches_dataset_raw_size() {
 #[test]
 fn device_sections_fit_the_memory_budget() {
     for f in 1..=4 {
-        let mut model =
-            Ddnn::new(DdnnConfig { device_filters: f, ..DdnnConfig::paper() });
+        let mut model = Ddnn::new(DdnnConfig { device_filters: f, ..DdnnConfig::paper() });
         assert!(model.device_memory_bytes() < 2048, "f={f}");
         assert!(model.param_count() > 0);
     }
