@@ -1,0 +1,140 @@
+//! **Kernel microbench**: XNOR–popcount binary kernels against the f32
+//! reference path on identical ±1 operands, at the paper's layer shapes.
+//!
+//! Emits machine-readable `results/BENCH_kernels.json` (per-kernel ns/op
+//! and the thread count used) alongside a human-readable table, so CI can
+//! archive the numbers and regressions are diffable. Pass `--smoke` (or
+//! set `DDNN_BENCH_SMOKE=1`) for a seconds-long run that exercises every
+//! kernel without producing publication-grade timings.
+//!
+//! Both paths produce bit-identical outputs (verified here before
+//! timing); the benchmark measures the end-to-end kernel cost including
+//! the per-call bit-packing of activations.
+
+use ddnn_tensor::bitmatrix::{binary_conv2d, binary_matmul};
+use ddnn_tensor::conv::{conv2d, Conv2dSpec};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::{parallel, Tensor};
+use std::time::Instant;
+
+/// One timed kernel: mean wall-clock nanoseconds per call.
+struct Timing {
+    name: String,
+    ns_per_op: f64,
+    iters: usize,
+}
+
+fn time_kernel(name: &str, iters: usize, mut f: impl FnMut()) -> Timing {
+    f(); // warm-up (page in buffers, settle allocator)
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns_per_op = start.elapsed().as_nanos() as f64 / iters as f64;
+    Timing { name: name.to_string(), ns_per_op, iters }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("DDNN_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let threads = parallel::num_threads();
+    let iters = |full: usize| if smoke { 2 } else { full };
+    let mut rng = rng_from_seed(7);
+    let mut timings: Vec<Timing> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    // Paired binary/f32 GEMM shapes: (batch, in_features) × (out, in).
+    // 256×1024 -> 3 is the device exit head (flattened 4×16×16 map to
+    // 3 classes) over a full test batch; 256×1024 -> 256 is an FC-block
+    // shape wide enough that compute, not packing, dominates.
+    let gemm_shapes: [(usize, usize, usize, usize); 2] =
+        [(256, 1024, 3, 400), (256, 1024, 256, 40)];
+    for (n, k, m, full_iters) in gemm_shapes {
+        let x = Tensor::rand_signs([n, k], &mut rng);
+        let w = Tensor::rand_signs([m, k], &mut rng);
+        let wt = w.transpose().expect("transpose");
+        let fast = binary_matmul(&x, &w).expect("binary_matmul");
+        let slow = x.matmul(&wt).expect("matmul");
+        assert_eq!(fast, slow, "binary and f32 GEMM must be bit-identical");
+        let base = format!("gemm_{n}x{k}x{m}");
+        let b = time_kernel(&format!("{base}_xnor"), iters(full_iters), || {
+            let _ = binary_matmul(&x, &w).expect("binary_matmul");
+        });
+        let f = time_kernel(&format!("{base}_f32"), iters(full_iters), || {
+            let _ = x.matmul(&wt).expect("matmul");
+        });
+        speedups.push((base, f.ns_per_op / b.ns_per_op));
+        timings.push(b);
+        timings.push(f);
+    }
+
+    // Paired binary/f32 conv: the first cloud ConvP at paper scale — a
+    // CC-aggregated 24-channel (6 devices × 4 filters) ±1 map of 16×16,
+    // 16 output filters, 3×3 stride 1 pad 1.
+    let spec = Conv2dSpec::paper_conv();
+    let x = Tensor::rand_signs([1, 24, 16, 16], &mut rng);
+    let w = Tensor::rand_signs([16, 24, 3, 3], &mut rng);
+    let fast = binary_conv2d(&x, &w, &spec).expect("binary_conv2d");
+    let slow = conv2d(&x, &w, &spec).expect("conv2d");
+    assert_eq!(fast, slow, "binary and f32 conv must be bit-identical");
+    let base = "conv_24c16x16_to_16f";
+    let b = time_kernel(&format!("{base}_xnor"), iters(200), || {
+        let _ = binary_conv2d(&x, &w, &spec).expect("binary_conv2d");
+    });
+    let f = time_kernel(&format!("{base}_f32"), iters(200), || {
+        let _ = conv2d(&x, &w, &spec).expect("conv2d");
+    });
+    speedups.push((base.to_string(), f.ns_per_op / b.ns_per_op));
+    timings.push(b);
+    timings.push(f);
+
+    // Report.
+    println!(
+        "Binary-kernel microbench ({} mode, {threads} thread{})",
+        if smoke { "smoke" } else { "full" },
+        if threads == 1 { "" } else { "s" }
+    );
+    for t in &timings {
+        println!("  {:<28} {:>12}/op  ({} iters)", t.name, fmt_ns(t.ns_per_op), t.iters);
+    }
+    for (name, s) in &speedups {
+        println!("  {name:<28} {s:>11.1}x speedup (xnor vs f32)");
+    }
+
+    // Hand-rolled JSON keeps the artifact dependency-free.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}, \"iters\": {}}}{}\n",
+            t.name,
+            t.ns_per_op,
+            t.iters,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_xnor_over_f32\": {\n");
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {s:.2}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_kernels.json";
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

@@ -106,6 +106,10 @@ impl Layer for ConvPBlock {
     fn load_extra_state(&mut self, state: &[f32]) -> Result<()> {
         self.bn.load_extra_state(state)
     }
+
+    fn set_bit_kernels(&mut self, enabled: bool) {
+        self.conv.set_bit_kernels(enabled);
+    }
 }
 
 /// The fused binary fully-connected block of Fig. 3:
@@ -167,6 +171,10 @@ impl Layer for FcBlock {
 
     fn load_extra_state(&mut self, state: &[f32]) -> Result<()> {
         self.bn.load_extra_state(state)
+    }
+
+    fn set_bit_kernels(&mut self, enabled: bool) {
+        self.linear.set_bit_kernels(enabled);
     }
 }
 
@@ -240,6 +248,10 @@ impl Layer for ExitHead {
 
     fn load_extra_state(&mut self, state: &[f32]) -> Result<()> {
         self.bn.load_extra_state(state)
+    }
+
+    fn set_bit_kernels(&mut self, enabled: bool) {
+        self.linear.set_bit_kernels(enabled);
     }
 }
 

@@ -7,7 +7,7 @@ use crate::block::{ConvPBlock, ExitHead, Precision};
 use crate::entropy::{normalized_entropy_rows, ExitThreshold};
 use ddnn_nn::{Layer, Mode, Param};
 use ddnn_tensor::rng::rng_from_seed;
-use ddnn_tensor::{Result, Tensor, TensorError};
+use ddnn_tensor::{parallel, Result, Tensor, TensorError};
 
 /// Input image geometry: the MVMC crops are 32×32 RGB.
 pub const INPUT_CHANNELS: usize = 3;
@@ -175,6 +175,11 @@ struct EdgeSection {
 /// exit. When a sample is offloaded, the (edge and) cloud aggregates the
 /// per-device binary feature maps and runs further ConvP blocks before its
 /// own exit.
+///
+/// Cloning yields an independent deep copy (weights, gradients and
+/// batch-norm statistics) — the building block of sharded data-parallel
+/// training in [`crate::train`].
+#[derive(Clone)]
 pub struct Ddnn {
     config: DdnnConfig,
     device_convs: Vec<ConvPBlock>,
@@ -314,14 +319,28 @@ impl Ddnn {
     pub fn forward(&mut self, views: &[Tensor], mode: Mode) -> Result<ExitLogits> {
         self.check_views(views)?;
         // Device sections: binary feature maps + per-device class scores.
+        // The sections are independent, so they fan out across the worker
+        // pool; results come back in device order regardless of thread
+        // count.
+        let mut sections: Vec<(&mut ConvPBlock, &mut ExitHead, &Tensor)> = self
+            .device_convs
+            .iter_mut()
+            .zip(&mut self.device_exits)
+            .zip(views)
+            .map(|((c, e), v)| (c, e, v))
+            .collect();
+        let outputs = parallel::par_map_mut(&mut sections, |_, section| {
+            let (conv, exit, view) = section;
+            let map = conv.forward(view, mode)?;
+            let scores = exit.forward(&map, mode)?;
+            Ok::<(Tensor, Tensor), TensorError>((map, scores))
+        });
         let mut maps = Vec::with_capacity(views.len());
         let mut scores = Vec::with_capacity(views.len());
-        for ((conv, exit), view) in
-            self.device_convs.iter_mut().zip(&mut self.device_exits).zip(views)
-        {
-            let map = conv.forward(view, mode)?;
-            scores.push(exit.forward(&map, mode)?);
+        for out in outputs {
+            let (map, score) = out?;
             maps.push(map);
+            scores.push(score);
         }
         // Local exit.
         let local = self.local_agg.forward(&scores, mode)?;
@@ -373,16 +392,30 @@ impl Ddnn {
         } else {
             self.cloud_agg.backward(&g)?
         };
-        // Local branch: aggregator → per-device exit heads.
+        // Local branch + shared trunks: each device's exit head backward,
+        // gradient sum at its feature map, then its ConvP backward. The
+        // per-device chains are independent (each accumulates only into its
+        // own parameters), so they fan out across the worker pool with the
+        // serial per-device instruction sequence intact.
         let score_grads = self.local_agg.backward(&grads.local)?;
-        for ((exit, sg), mg) in self.device_exits.iter_mut().zip(&score_grads).zip(&mut map_grads) {
+        let mut sections: Vec<(&mut ExitHead, &mut ConvPBlock, &Tensor, &mut Tensor)> = self
+            .device_exits
+            .iter_mut()
+            .zip(&mut self.device_convs)
+            .zip(&score_grads)
+            .zip(&mut map_grads)
+            .map(|(((e, c), sg), mg)| (e, c, sg, mg))
+            .collect();
+        let results = parallel::par_map_mut(&mut sections, |_, section| {
+            let (exit, conv, sg, mg) = section;
             let g_map_flat = exit.backward(sg)?;
             let g_map = g_map_flat.reshape(mg.dims().to_vec())?;
             mg.add_assign(&g_map)?;
-        }
-        // Shared trunks: each device's ConvP gets the summed gradient.
-        for (conv, mg) in self.device_convs.iter_mut().zip(&map_grads) {
             conv.backward(mg)?;
+            Ok::<(), TensorError>(())
+        });
+        for r in results {
+            r?;
         }
         Ok(())
     }
@@ -427,6 +460,17 @@ impl Ddnn {
         }
         ps.extend(self.cloud_exit.params_mut());
         ps
+    }
+
+    /// Enables or disables the XNOR–popcount inference kernels on every
+    /// block of the model (see [`Layer::set_bit_kernels`]). Both settings
+    /// produce bit-identical outputs on binarized operands; the toggle
+    /// exists so equivalence tests and benchmarks can run both paths on
+    /// identical weights.
+    pub fn set_bit_kernels(&mut self, enabled: bool) {
+        for block in self.blocks_mut() {
+            block.set_bit_kernels(enabled);
+        }
     }
 
     /// Zeroes all parameter gradients.
@@ -554,11 +598,14 @@ impl Ddnn {
     /// Returns an error on malformed views.
     pub fn device_feature_maps(&mut self, views: &[Tensor]) -> Result<Vec<Tensor>> {
         self.check_views(views)?;
-        self.device_convs
-            .iter_mut()
-            .zip(views)
-            .map(|(conv, v)| conv.forward(v, Mode::Eval))
-            .collect()
+        let mut sections: Vec<(&mut ConvPBlock, &Tensor)> =
+            self.device_convs.iter_mut().zip(views).collect();
+        parallel::par_map_mut(&mut sections, |_, section| {
+            let (conv, v) = section;
+            conv.forward(v, Mode::Eval)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Per-device class scores (what each device sends to the local
@@ -569,15 +616,20 @@ impl Ddnn {
     /// Returns an error on malformed views.
     pub fn device_scores(&mut self, views: &[Tensor]) -> Result<Vec<Tensor>> {
         self.check_views(views)?;
-        self.device_convs
+        let mut sections: Vec<(&mut ConvPBlock, &mut ExitHead, &Tensor)> = self
+            .device_convs
             .iter_mut()
             .zip(&mut self.device_exits)
             .zip(views)
-            .map(|((conv, exit), v)| {
-                let m = conv.forward(v, Mode::Eval)?;
-                exit.forward(&m, Mode::Eval)
-            })
-            .collect()
+            .map(|((c, e), v)| (c, e, v))
+            .collect();
+        parallel::par_map_mut(&mut sections, |_, section| {
+            let (conv, exit, v) = section;
+            let m = conv.forward(v, Mode::Eval)?;
+            exit.forward(&m, Mode::Eval)
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -837,6 +889,45 @@ mod tests {
         let oa = a.forward(&views, Mode::Eval).unwrap();
         let ob = b.forward(&views, Mode::Eval).unwrap();
         assert_eq!(oa.cloud, ob.cloud);
+    }
+
+    #[test]
+    fn bit_kernel_toggle_is_bit_exact_end_to_end() {
+        // Every binarized block routed through the XNOR kernels must
+        // produce the same bytes as the f32 sign path — the property that
+        // makes the bit path safe to enable by default.
+        let mut m = Ddnn::new(small_config());
+        let views = random_views(3, 2, 8);
+        let fast = m.forward(&views, Mode::Eval).unwrap();
+        m.set_bit_kernels(false);
+        let slow = m.forward(&views, Mode::Eval).unwrap();
+        assert_eq!(fast.local, slow.local);
+        assert_eq!(fast.cloud, slow.cloud);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Ddnn::new(small_config());
+        let mut b = a.clone();
+        let views = random_views(2, 2, 9);
+        // Same weights: same outputs.
+        let oa = a.forward(&views, Mode::Eval).unwrap();
+        let ob = b.forward(&views, Mode::Eval).unwrap();
+        assert_eq!(oa.cloud, ob.cloud);
+        // Training the clone accumulates gradients only in the clone.
+        b.zero_grad();
+        a.zero_grad();
+        b.forward(&views, Mode::Train).unwrap();
+        b.backward(&ExitGrads {
+            local: Tensor::ones([2, 3]),
+            edge: None,
+            cloud: Tensor::ones([2, 3]),
+        })
+        .unwrap();
+        let ga: f32 = a.params_mut().iter().map(|p| p.grad.norm_sq()).sum();
+        let gb: f32 = b.params_mut().iter().map(|p| p.grad.norm_sq()).sum();
+        assert_eq!(ga, 0.0, "original must be untouched by the clone's backward");
+        assert!(gb > 0.0);
     }
 
     #[test]

@@ -104,6 +104,74 @@ proptest! {
 }
 
 #[test]
+fn bit_kernels_match_f32_on_trained_model() {
+    // Train a small DDNN jointly, then run staged inference with and
+    // without the XNOR kernels: every prediction, exit decision and
+    // entropy must be identical — the bit path is an exact drop-in.
+    use ddnn_core::{train, Ddnn, TrainConfig};
+    let mut rng = rng_from_seed(23);
+    let views: Vec<Tensor> =
+        (0..2).map(|_| Tensor::rand_uniform([8, 3, 32, 32], 0.0, 1.0, &mut rng)).collect();
+    let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+    let mut model = Ddnn::new(DdnnConfig {
+        num_devices: 2,
+        device_filters: 2,
+        cloud_filters: [4, 8],
+        ..DdnnConfig::default()
+    });
+    let cfg =
+        TrainConfig { epochs: 1, batch_size: 8, stat_refresh_passes: 1, ..TrainConfig::default() };
+    train(&mut model, &views, &labels, &cfg).unwrap();
+    let t = ExitThreshold::new(0.5);
+    let plain = model.infer(&views, t, None).unwrap();
+    model.set_bit_kernels(true);
+    let bitwise = model.infer(&views, t, None).unwrap();
+    assert_eq!(plain.predictions, bitwise.predictions);
+    assert_eq!(plain.exits, bitwise.exits);
+    assert_eq!(plain.local_entropy, bitwise.local_entropy);
+    assert_eq!(plain.logits.local, bitwise.logits.local);
+    assert_eq!(plain.logits.cloud, bitwise.logits.cloud);
+}
+
+#[test]
+fn training_and_inference_are_invariant_to_thread_count() {
+    // The determinism contract: DDNN_THREADS changes how work is carved
+    // up, never what is computed. One test owns the env-var mutation so
+    // it stays self-contained within this process.
+    use ddnn_core::{train, Ddnn, TrainConfig};
+    let run = || {
+        let mut rng = rng_from_seed(31);
+        let views: Vec<Tensor> =
+            (0..2).map(|_| Tensor::rand_uniform([8, 3, 32, 32], 0.0, 1.0, &mut rng)).collect();
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let mut model = Ddnn::new(DdnnConfig {
+            num_devices: 2,
+            device_filters: 2,
+            cloud_filters: [4, 8],
+            ..DdnnConfig::default()
+        });
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            grad_shards: 2,
+            stat_refresh_passes: 1,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &views, &labels, &cfg).unwrap();
+        let logits = model.forward(&views, ddnn_nn::Mode::Eval).unwrap();
+        (report.epochs, logits.local, logits.cloud)
+    };
+    std::env::set_var("DDNN_THREADS", "1");
+    let serial = run();
+    std::env::set_var("DDNN_THREADS", "4");
+    let parallel = run();
+    std::env::remove_var("DDNN_THREADS");
+    assert_eq!(serial.0, parallel.0, "per-epoch losses must be bit-identical");
+    assert_eq!(serial.1, parallel.1, "local logits must be bit-identical");
+    assert_eq!(serial.2, parallel.2, "cloud logits must be bit-identical");
+}
+
+#[test]
 fn mp_and_ap_local_aggregation_differ_in_training() {
     // Regression guard: Table I rows for MP-CC and AP-CC must come from
     // genuinely different gradient routing, visible after a few steps.
@@ -112,7 +180,7 @@ fn mp_and_ap_local_aggregation_differ_in_training() {
     let views: Vec<Tensor> =
         (0..2).map(|_| Tensor::rand_uniform([12, 3, 32, 32], 0.0, 1.0, &mut rng)).collect();
     let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
-    let mut build = |local| {
+    let build = |local| {
         Ddnn::new(DdnnConfig {
             num_devices: 2,
             device_filters: 2,

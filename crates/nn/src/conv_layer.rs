@@ -3,6 +3,7 @@
 use crate::init;
 use crate::layer::{Layer, Mode, Param};
 use crate::linear::binarize;
+use ddnn_tensor::bitmatrix::{binary_conv2d, is_sign_tensor};
 use ddnn_tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
 use ddnn_tensor::{Result, Tensor, TensorError};
 use rand::Rng;
@@ -16,6 +17,7 @@ pub struct Conv2d {
     weight: Param,
     spec: Conv2dSpec,
     binary: bool,
+    bit_kernels: bool,
     in_channels: usize,
     filters: usize,
     cached_input: Option<Tensor>,
@@ -35,6 +37,7 @@ impl Conv2d {
             weight: Param::new("conv.weight", w),
             spec,
             binary: false,
+            bit_kernels: true,
             in_channels,
             filters,
             cached_input: None,
@@ -90,13 +93,24 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if input.rank() != 4 || input.dims()[1] != self.in_channels {
             return Err(TensorError::ShapeMismatch {
                 lhs: input.dims().to_vec(),
                 rhs: vec![0, self.in_channels, 0, 0],
                 op: "conv2d.forward",
             });
+        }
+        // Binary inference fast path: a ±1 feature map convolved with
+        // sign(W) lowers to the masked XNOR–popcount kernel, bit-identical
+        // to the zero-padded f32 convolution. Raw float inputs (the first
+        // device conv sees images, not signs) fall through to the f32
+        // path; training does too, so backward sees the cached float
+        // activations it expects.
+        if self.binary && self.bit_kernels && mode == Mode::Eval && is_sign_tensor(input) {
+            let out = binary_conv2d(input, &self.weight.value, &self.spec)?;
+            self.cached_input = Some(input.clone());
+            return Ok(out);
         }
         let w = self.effective_weight();
         let out = conv2d(input, &w, &self.spec)?;
@@ -117,6 +131,10 @@ impl Layer for Conv2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight]
+    }
+
+    fn set_bit_kernels(&mut self, enabled: bool) {
+        self.bit_kernels = enabled;
     }
 
     fn describe(&self) -> String {
@@ -257,6 +275,24 @@ mod tests {
         conv.weight.value = Tensor::from_vec(vec![-0.25], [1, 1, 1, 1]).unwrap();
         let y = conv.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.data(), &[-3.0]);
+    }
+
+    #[test]
+    fn bit_kernel_conv_matches_float_path_exactly() {
+        let mut rng = rng_from_seed(23);
+        let mut conv = Conv2d::binarized(4, 6, Conv2dSpec::paper_conv(), &mut rng);
+        let x = crate::linear::binarize(&Tensor::randn([2, 4, 8, 8], 1.0, &mut rng));
+        let fast = conv.forward(&x, Mode::Eval).unwrap();
+        conv.set_bit_kernels(false);
+        let slow = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(fast, slow, "XNOR and f32 conv paths must be bit-identical");
+        // Raw float input (the first device conv) must fall back cleanly.
+        let raw = Tensor::randn([1, 4, 8, 8], 1.0, &mut rng);
+        conv.set_bit_kernels(true);
+        let a = conv.forward(&raw, Mode::Eval).unwrap();
+        conv.set_bit_kernels(false);
+        let b = conv.forward(&raw, Mode::Eval).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -140,6 +140,15 @@ pub trait Layer: Send {
     fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
     }
+
+    /// Enables or disables the XNOR–popcount inference kernels on this
+    /// layer (and any nested layers). Containers propagate the toggle;
+    /// layers without a binary fast path ignore it.
+    ///
+    /// Both paths produce bit-identical outputs on binarized operands, so
+    /// this exists for equivalence testing and benchmarking, not
+    /// correctness; it defaults to enabled.
+    fn set_bit_kernels(&mut self, _enabled: bool) {}
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::init;
 use crate::layer::{Layer, Mode, Param};
-use ddnn_tensor::{Result, Tensor, TensorError};
+use ddnn_tensor::{bitmatrix, Result, Tensor, TensorError};
 use rand::Rng;
 
 /// Binarizes a tensor elementwise to ±1 (`x > 0 → +1`, else `−1`).
@@ -26,6 +26,7 @@ pub struct Linear {
     weight: Param,
     bias: Option<Param>,
     binary: bool,
+    bit_kernels: bool,
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
@@ -40,6 +41,7 @@ impl Linear {
             weight: Param::new("linear.weight", w),
             bias: bias.then(|| Param::new("linear.bias", Tensor::zeros([out_features]))),
             binary: false,
+            bit_kernels: true,
             in_features,
             out_features,
             cached_input: None,
@@ -56,6 +58,7 @@ impl Linear {
             weight: Param::with_clip("binlinear.weight", w, -1.0, 1.0),
             bias: None,
             binary: true,
+            bit_kernels: true,
             in_features,
             out_features,
             cached_input: None,
@@ -102,7 +105,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         // Accept (N, in) or anything flattenable to it.
         let n = input.dims().first().copied().unwrap_or(0);
         let flat = input.reshape([n, input.len() / n.max(1)])?;
@@ -112,6 +115,22 @@ impl Layer for Linear {
                 rhs: vec![n, self.in_features],
                 op: "linear.forward",
             });
+        }
+        // Binary inference fast path: ±1 input against sign(W) lowers to
+        // XNOR–popcount, which is bit-identical to the f32 product (every
+        // partial sum is a small integer, exact in f32). Training keeps
+        // the float path so straight-through gradients see the same
+        // activations they cached. Packing the master weights directly is
+        // the same as packing binarize(W): both use `x > 0`.
+        if self.binary
+            && self.bit_kernels
+            && mode == Mode::Eval
+            && self.bias.is_none()
+            && bitmatrix::is_sign_tensor(&flat)
+        {
+            let out = bitmatrix::binary_matmul(&flat, &self.weight.value)?;
+            self.cached_input = Some(flat);
+            return Ok(out);
         }
         let w = self.effective_weight();
         let mut out = flat.matmul(&w.transpose()?)?;
@@ -145,6 +164,10 @@ impl Layer for Linear {
             ps.push(b);
         }
         ps
+    }
+
+    fn set_bit_kernels(&mut self, enabled: bool) {
+        self.bit_kernels = enabled;
     }
 
     fn describe(&self) -> String {
@@ -246,6 +269,28 @@ mod tests {
         let y = l.forward(&x, Mode::Eval).unwrap();
         // sign weights = [1, -1] -> y = 2 - 3 = -1.
         assert_eq!(y.data(), &[-1.0]);
+    }
+
+    #[test]
+    fn bit_kernel_path_matches_float_path_exactly() {
+        let mut rng = rng_from_seed(21);
+        let mut l = Linear::binarized(70, 5, &mut rng); // width crosses a word boundary
+        let x = binarize(&Tensor::randn([4, 70], 1.0, &mut rng));
+        let fast = l.forward(&x, Mode::Eval).unwrap();
+        l.set_bit_kernels(false);
+        let slow = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(fast, slow, "XNOR and f32 paths must be bit-identical");
+    }
+
+    #[test]
+    fn bit_kernel_falls_back_on_non_sign_input() {
+        let mut rng = rng_from_seed(22);
+        let mut l = Linear::binarized(8, 2, &mut rng);
+        let x = Tensor::randn([2, 8], 1.0, &mut rng); // raw floats, not ±1
+        let y_eval = l.forward(&x, Mode::Eval).unwrap();
+        l.set_bit_kernels(false);
+        let y_ref = l.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y_eval, y_ref);
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl Layer for Sequential {
         self.layers.iter().flat_map(|l| l.extra_state()).collect()
     }
 
+    fn set_bit_kernels(&mut self, enabled: bool) {
+        for layer in &mut self.layers {
+            layer.set_bit_kernels(enabled);
+        }
+    }
+
     fn load_extra_state(&mut self, state: &[f32]) -> Result<()> {
         let mut off = 0;
         for layer in &mut self.layers {

@@ -37,6 +37,29 @@ proptest! {
     }
 
     #[test]
+    fn pack_signs_roundtrips_binarize_bit_for_bit(
+        data in prop::collection::vec(-2.0f32..2.0f32, 2..64),
+        zero_at in 0usize..64,
+    ) {
+        // Plant both zeros: `x > 0.0` must send them to −1 on both paths.
+        let mut data = data;
+        let n = data.len();
+        data[zero_at % n] = 0.0;
+        data[(zero_at + 1) % n] = -0.0;
+        // The wire packing and the training-time binarization share one
+        // sign convention (strictly positive → +1): unpacking the packed
+        // raw tensor must equal `binarize` exactly, including on `0.0`
+        // and `-0.0`, and packing the binarized tensor must produce the
+        // identical byte stream.
+        use ddnn_tensor::bits::{pack_signs, unpack_signs};
+        let t = Tensor::from_vec(data, [n]).unwrap();
+        let b = binarize(&t);
+        let back = unpack_signs(&pack_signs(&t), [n]).unwrap();
+        prop_assert_eq!(&back, &b);
+        prop_assert_eq!(pack_signs(&b), pack_signs(&t));
+    }
+
+    #[test]
     fn linear_forward_is_affine(seed in 0u64..50) {
         // f(a + b) - f(a) - f(b) + f(0) == 0 for an affine map.
         let mut rng = rng_from_seed(seed);

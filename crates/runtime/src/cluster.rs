@@ -35,7 +35,7 @@ use ddnn_core::{
     GatewayPart, BLANK_INPUT_VALUE,
 };
 use ddnn_nn::{Layer, Mode};
-use ddnn_tensor::Tensor;
+use ddnn_tensor::{parallel, Tensor};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -825,9 +825,13 @@ pub fn run_distributed_inference(
     let tolerant = cfg.deadlines.is_some();
     let clock = SimClock::start();
 
-    // Blank signatures for failed-device substitution.
+    // Blank signatures for failed-device substitution: one forward pass
+    // per device on identical cloned sections — fan out across the worker
+    // pool (results are collected in device order).
     let blanks: Vec<BlankSignature> =
-        partition.devices.iter().map(blank_signature).collect::<Result<_>>()?;
+        parallel::par_map_indexed(num_devices, |d| blank_signature(&partition.devices[d]))
+            .into_iter()
+            .collect::<Result<_>>()?;
 
     // Per-device crash counters and the per-link fault layers (None when
     // the plan is inactive, which leaves every link on its exact legacy
@@ -1280,11 +1284,21 @@ pub fn run_cloud_only_baseline(
                         }
                         let views = pending.remove(&frame.seq).expect("complete");
                         // Run the full network in the cloud (config (a)).
-                        let mut maps = Vec::new();
+                        // The per-sample device fan-out evaluates the
+                        // independent device sections concurrently, in
+                        // device order.
+                        let mut sections: Vec<(&mut DevicePart, Tensor)> =
+                            Vec::with_capacity(devices.len());
                         for (part, v) in devices.iter_mut().zip(views) {
-                            let batch = v.expect("complete").reshape([1, 3, 32, 32])?;
-                            maps.push(part.conv.forward(&batch, Mode::Eval)?);
+                            sections.push((part, v.expect("complete").reshape([1, 3, 32, 32])?));
                         }
+                        let maps: Vec<Tensor> =
+                            parallel::par_map_mut(&mut sections, |_, section| {
+                                let (part, batch) = section;
+                                part.conv.forward(batch, Mode::Eval)
+                            })
+                            .into_iter()
+                            .collect::<ddnn_tensor::Result<_>>()?;
                         let mut x = if let Some(e) = edge.as_mut() {
                             let a = e.agg.forward(&maps)?;
                             let m = e.conv.forward(&a, Mode::Eval)?;

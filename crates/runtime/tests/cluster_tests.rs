@@ -251,3 +251,30 @@ fn report_accounting_helpers() {
     assert!((fracs - 1.0).abs() < 1e-6);
     assert!(report.device_payload_per_sample(3) > 0.0);
 }
+
+#[test]
+fn sim_report_is_invariant_to_thread_count() {
+    // The worker-pool size must never change what the simulated hierarchy
+    // computes or measures (DESIGN.md §8.2); this test owns the env-var
+    // mutation so it stays self-contained within this process.
+    let run = || {
+        let views = random_views(10, 3, 21);
+        let labels: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let cfg = HierarchyConfig {
+            local_threshold: ExitThreshold::new(0.5),
+            ..HierarchyConfig::default()
+        };
+        run_distributed_inference(&small_model().partition(), &views, &labels, &cfg).unwrap()
+    };
+    std::env::set_var("DDNN_THREADS", "1");
+    let serial = run();
+    std::env::set_var("DDNN_THREADS", "4");
+    let threaded = run();
+    std::env::remove_var("DDNN_THREADS");
+    assert_eq!(serial.predictions, threaded.predictions);
+    assert_eq!(serial.exits, threaded.exits);
+    assert_eq!(serial.accuracy, threaded.accuracy);
+    assert_eq!(serial.local_exit_fraction, threaded.local_exit_fraction);
+    assert_eq!(serial.mean_latency_ms, threaded.mean_latency_ms);
+    assert_eq!(serial.links, threaded.links, "per-link traffic must be bit-identical");
+}

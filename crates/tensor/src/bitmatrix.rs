@@ -1,0 +1,816 @@
+//! Bit-packed ±1 matrices and XNOR–popcount kernels.
+//!
+//! The paper's end-device sections are binary networks precisely so they
+//! can run in tiny memory with bitwise arithmetic (eBNN, McDanel et al.).
+//! This module supplies that compute path: a [`BitMatrix`] stores a ±1
+//! matrix as row-packed `u64` words (one bit per element, `+1 → 1`,
+//! `−1 → 0` — the same strictly-positive sign convention as
+//! [`crate::bits::pack_signs`] and `nn::binarize`), and the dot product of
+//! two ±1 rows reduces to
+//!
+//! ```text
+//! dot(a, b) = k − 2·popcount(a XOR b)          (k = row length)
+//! ```
+//!
+//! because XOR counts the positions where the signs disagree (each
+//! disagreement contributes −1 instead of +1). Rows are padded to a whole
+//! number of words with zero bits; the pad bits of both operands are zero,
+//! so `a XOR b` is zero there and the padding never contributes.
+//!
+//! Convolution lowers to the same kernel through a bit-packed `im2col`
+//! ([`binary_conv2d`]): each output pixel's receptive field becomes one bit
+//! row. Zero *padding* taps cannot be represented in a ±1 alphabet (a zero
+//! would alias to −1), so a per-pixel validity mask rides along and the
+//! masked identity is used instead:
+//!
+//! ```text
+//! dot(a, b) = popcount(mask) − 2·popcount((a XOR b) AND mask)
+//! ```
+//!
+//! Every product term is an integer in `{−1, 0, +1}` and every partial sum
+//! an integer far below 2^24, so the `f32` results here are **exactly**
+//! equal to the float path on binarized operands — bit-identical, not just
+//! close — which is what lets the layers above switch kernels freely.
+
+use crate::conv::{check_nchw, Conv2dSpec};
+use crate::error::{Result, TensorError};
+use crate::parallel;
+use crate::tensor::Tensor;
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// Minimum `lhs_rows * rhs_rows * cols` before an XNOR GEMM fans out across
+/// the worker pool (same rationale as the f32 kernel's threshold, scaled:
+/// a word op covers 64 multiply–accumulates).
+const PAR_BITOP_THRESHOLD: usize = 1 << 20;
+
+/// Branchless scalar packing of up to 64 values: bit `i` is set iff
+/// `chunk[i] > 0.0` (ordered compare — false for NaN and both zeros).
+#[inline(always)]
+fn pack_word_partial(chunk: &[f32]) -> u64 {
+    let mut word = 0u64;
+    for (i, &x) in chunk.iter().enumerate() {
+        word |= u64::from(x > 0.0) << i;
+    }
+    word
+}
+
+/// Packs one full 64-element group into a word. On x86-64 this uses the
+/// baseline SSE2 `cmpps`/`movmskps` pair (4 sign tests per instruction);
+/// `cmplt(0, x)` is the same ordered `x > 0.0` as the scalar path, so NaN
+/// and ±0.0 still pack as `−1`. Packing throughput matters: the activation
+/// matrix is re-packed on every kernel call, and for narrow outputs (an
+/// exit head has 3 rows) packing, not the GEMM, is the bulk of the work.
+#[inline(always)]
+fn pack_word64(chunk: &[f32]) -> u64 {
+    debug_assert_eq!(chunk.len(), WORD_BITS);
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE2 is part of the x86-64 baseline, and each of the 16
+    // 4-wide loads stays inside the 64-element chunk.
+    unsafe {
+        use std::arch::x86_64::{_mm_cmplt_ps, _mm_loadu_ps, _mm_movemask_ps, _mm_setzero_ps};
+        let zero = _mm_setzero_ps();
+        let mut word = 0u64;
+        for g in 0..WORD_BITS / 4 {
+            let v = _mm_loadu_ps(chunk.as_ptr().add(g * 4));
+            word |= (_mm_movemask_ps(_mm_cmplt_ps(zero, v)) as u64) << (g * 4);
+        }
+        word
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    pack_word_partial(chunk)
+}
+
+/// Whether the CPU has the `popcnt` instruction. The x86-64 *baseline*
+/// does not include it, so `u64::count_ones()` in ordinary code lowers to
+/// a ~12-op bit dance; the XNOR kernels dispatch once per output block to
+/// a `#[target_feature(enable = "popcnt")]` clone when the probe passes
+/// (the probe result is cached by the standard library).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn has_popcnt() -> bool {
+    std::arch::is_x86_feature_detected!("popcnt")
+}
+
+/// A ±1 matrix packed one bit per element into row-major `u64` words.
+///
+/// Element `(r, c)` lives in word `r * words_per_row + c / 64` at bit
+/// `c % 64` (LSB-first within a word); a set bit means `+1`, a clear bit
+/// `−1`. Trailing pad bits in the last word of each row are always zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-`−1` (all bits clear) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        BitMatrix { rows, cols, words_per_row, words: vec![0; rows * words_per_row] }
+    }
+
+    /// Packs a rank-2 tensor by sign: strictly positive elements become set
+    /// bits (`+1`), everything else — including `0.0` and `-0.0` — clear
+    /// bits (`−1`). This matches `nn::binarize` and
+    /// [`crate::bits::pack_signs`] exactly, so binarized master weights can
+    /// be packed directly without materialising `sign(W)` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `t` is rank 2.
+    pub fn pack(t: &Tensor) -> Result<BitMatrix> {
+        if t.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: t.rank() });
+        }
+        Ok(Self::pack_slice(t.data(), t.dims()[0], t.dims()[1]))
+    }
+
+    /// Packs `rows * cols` row-major values by the same sign convention as
+    /// [`BitMatrix::pack`], without requiring a rank-2 tensor.
+    pub(crate) fn pack_slice(data: &[f32], rows: usize, cols: usize) -> BitMatrix {
+        let mut m = BitMatrix::zeros(rows, cols);
+        let wpr = m.words_per_row;
+        for r in 0..rows {
+            let src = &data[r * cols..(r + 1) * cols];
+            let dst = &mut m.words[r * wpr..(r + 1) * wpr];
+            let mut chunks = src.chunks_exact(WORD_BITS);
+            for (w, chunk) in dst.iter_mut().zip(&mut chunks) {
+                *w = pack_word64(chunk);
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                dst[wpr - 1] = pack_word_partial(rem);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of (logical) columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of `u64` words storing each row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Whether element `(r, c)` is `+1`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        (self.words[r * self.words_per_row + c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets element `(r, c)` to `+1` (true) or `−1` (false).
+    pub fn set(&mut self, r: usize, c: usize, positive: bool) {
+        let w = &mut self.words[r * self.words_per_row + c / WORD_BITS];
+        if positive {
+            *w |= 1 << (c % WORD_BITS);
+        } else {
+            *w &= !(1 << (c % WORD_BITS));
+        }
+    }
+
+    /// The packed words of row `r`.
+    fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Unpacks back to a ±1 `f32` tensor of shape `(rows, cols)`.
+    pub fn unpack(&self) -> Tensor {
+        Tensor::from_fn([self.rows, self.cols], |i| {
+            if self.get(i / self.cols, i % self.cols) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    /// XNOR–popcount GEMM: `self (m,k) · rhsᵀ` where `rhs` is `(n,k)`,
+    /// producing an `(m,n)` tensor of exact integer-valued dot products.
+    ///
+    /// Note the rhs is taken row-major over `k` — the natural layout for
+    /// both linear-layer weights (`(out, in)`) and im2col patch rows — so
+    /// no transpose is ever materialised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the column counts differ.
+    pub fn xnor_matmul(&self, rhs: &BitMatrix) -> Result<Tensor> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+                op: "xnor_matmul",
+            });
+        }
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = vec![0.0f32; m * n];
+        let kernel = |r0: usize, chunk: &mut [f32]| self.xnor_block(rhs, r0, chunk);
+        if m * n * self.cols >= PAR_BITOP_THRESHOLD && parallel::num_threads() > 1 {
+            parallel::par_item_chunks_mut(&mut out, n, kernel);
+        } else {
+            kernel(0, &mut out);
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Serial unmasked XNOR block: fills output rows `r0..` (each `rhs.rows`
+    /// columns wide) of `self · rhsᵀ`.
+    #[inline(always)]
+    fn xnor_block_generic(&self, rhs: &BitMatrix, r0: usize, chunk: &mut [f32]) {
+        let (n, k) = (rhs.rows, self.cols as i32);
+        for (ri, orow) in chunk.chunks_mut(n).enumerate() {
+            let arow = self.row(r0 + ri);
+            for (j, o) in orow.iter_mut().enumerate() {
+                let mut diff = 0i32;
+                for (&aw, &bw) in arow.iter().zip(rhs.row(j)) {
+                    diff += (aw ^ bw).count_ones() as i32;
+                }
+                *o = (k - 2 * diff) as f32;
+            }
+        }
+    }
+
+    /// `popcnt`-enabled clone of [`BitMatrix::xnor_block_generic`]: the
+    /// `#[target_feature]` attribute recompiles the inlined body with the
+    /// hardware popcount instruction.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "popcnt")]
+    unsafe fn xnor_block_popcnt(&self, rhs: &BitMatrix, r0: usize, chunk: &mut [f32]) {
+        self.xnor_block_generic(rhs, r0, chunk)
+    }
+
+    /// Runtime-dispatched unmasked XNOR block.
+    #[inline]
+    fn xnor_block(&self, rhs: &BitMatrix, r0: usize, chunk: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if has_popcnt() {
+            // SAFETY: guarded by the runtime feature probe.
+            return unsafe { self.xnor_block_popcnt(rhs, r0, chunk) };
+        }
+        self.xnor_block_generic(rhs, r0, chunk)
+    }
+
+    /// Masked XNOR–popcount GEMM for zero-padded operands: positions where
+    /// the per-rhs-row `mask` bit is clear contribute `0` to the dot
+    /// product instead of ±1.
+    ///
+    /// `mask` must have the same shape as `rhs`; row `j` of the output
+    /// column `j` uses `popcount(mask_j) − 2·popcount((a_i ^ b_j) & mask_j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if column counts differ or
+    /// the mask shape does not match `rhs`.
+    pub fn xnor_matmul_masked(&self, rhs: &BitMatrix, mask: &BitMatrix) -> Result<Tensor> {
+        if self.cols != rhs.cols || mask.rows != rhs.rows || mask.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+                op: "xnor_matmul_masked",
+            });
+        }
+        let valid: Vec<i32> = (0..rhs.rows)
+            .map(|j| mask.row(j).iter().map(|w| w.count_ones() as i32).sum())
+            .collect();
+        let mut out = vec![0.0f32; self.rows * rhs.rows];
+        self.xnor_masked_into(rhs, mask, &valid, &mut out);
+        Tensor::from_vec(out, [self.rows, rhs.rows])
+    }
+
+    /// Shape-unchecked core of [`BitMatrix::xnor_matmul_masked`], writing
+    /// into a caller-provided buffer (used by the conv lowering, whose
+    /// shapes are consistent by construction).
+    fn xnor_masked_into(&self, rhs: &BitMatrix, mask: &BitMatrix, valid: &[i32], out: &mut [f32]) {
+        let n = rhs.rows;
+        let kernel =
+            |r0: usize, chunk: &mut [f32]| self.xnor_masked_block(rhs, mask, valid, r0, chunk);
+        if self.rows * n * self.cols >= PAR_BITOP_THRESHOLD && parallel::num_threads() > 1 {
+            parallel::par_item_chunks_mut(out, n, kernel);
+        } else {
+            kernel(0, out);
+        }
+    }
+
+    /// Serial masked XNOR block: fills output rows `r0..` of the masked GEMM.
+    #[inline(always)]
+    fn xnor_masked_block_generic(
+        &self,
+        rhs: &BitMatrix,
+        mask: &BitMatrix,
+        valid: &[i32],
+        r0: usize,
+        chunk: &mut [f32],
+    ) {
+        let n = rhs.rows;
+        for (ri, orow) in chunk.chunks_mut(n).enumerate() {
+            let arow = self.row(r0 + ri);
+            for (j, o) in orow.iter_mut().enumerate() {
+                let mut diff = 0i32;
+                for ((&aw, &bw), &mw) in arow.iter().zip(rhs.row(j)).zip(mask.row(j)) {
+                    diff += ((aw ^ bw) & mw).count_ones() as i32;
+                }
+                *o = (valid[j] - 2 * diff) as f32;
+            }
+        }
+    }
+
+    /// `popcnt`-enabled clone of [`BitMatrix::xnor_masked_block_generic`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "popcnt")]
+    unsafe fn xnor_masked_block_popcnt(
+        &self,
+        rhs: &BitMatrix,
+        mask: &BitMatrix,
+        valid: &[i32],
+        r0: usize,
+        chunk: &mut [f32],
+    ) {
+        self.xnor_masked_block_generic(rhs, mask, valid, r0, chunk)
+    }
+
+    /// Runtime-dispatched masked XNOR block.
+    #[inline]
+    fn xnor_masked_block(
+        &self,
+        rhs: &BitMatrix,
+        mask: &BitMatrix,
+        valid: &[i32],
+        r0: usize,
+        chunk: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if has_popcnt() {
+            // SAFETY: guarded by the runtime feature probe.
+            return unsafe { self.xnor_masked_block_popcnt(rhs, mask, valid, r0, chunk) };
+        }
+        self.xnor_masked_block_generic(rhs, mask, valid, r0, chunk)
+    }
+}
+
+/// Whether every element is exactly `+1.0` or `-1.0` — the precondition
+/// for the XNOR kernels. Inputs that fail this (raw float images, zero
+/// padding already baked into the data) must take the f32 path.
+pub fn is_sign_tensor(t: &Tensor) -> bool {
+    t.data().iter().all(|&x| x == 1.0 || x == -1.0)
+}
+
+/// `x · wᵀ` for ±1 tensors via XNOR–popcount: `x` is `(n, k)`, `w` is
+/// `(m, k)` (linear-layer weight layout), the result `(n, m)` — exactly
+/// equal to `x.matmul(&w.transpose())` on binarized operands.
+///
+/// # Errors
+///
+/// Returns an error unless both tensors are rank 2 with matching width.
+pub fn binary_matmul(x: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let xb = BitMatrix::pack(x)?;
+    let wb = BitMatrix::pack(w)?;
+    xb.xnor_matmul(&wb)
+}
+
+/// Streaming bit writer for one packed row: accumulates taps in a register
+/// and spills one whole `u64` per word boundary, so the hot packing loops
+/// never read-modify-write the backing vector per tap.
+struct RowBits<'a> {
+    words: &'a mut [u64],
+    cur: u64,
+    tap: usize,
+}
+
+impl RowBits<'_> {
+    #[inline(always)]
+    fn push(&mut self, bit: bool) {
+        self.cur |= u64::from(bit) << (self.tap % WORD_BITS);
+        self.tap += 1;
+        if self.tap.is_multiple_of(WORD_BITS) {
+            self.words[self.tap / WORD_BITS - 1] = self.cur;
+            self.cur = 0;
+        }
+    }
+
+    /// Pushes `count` clear bits (out-of-bounds taps of a skipped row).
+    #[inline(always)]
+    fn skip(&mut self, count: usize) {
+        for _ in 0..count {
+            self.push(false);
+        }
+    }
+
+    /// Pushes `count < 64` bits at once (`bits` holds them LSB-first),
+    /// splitting across a word boundary when needed.
+    #[inline(always)]
+    fn push_group(&mut self, bits: u64, count: usize) {
+        debug_assert!(count < WORD_BITS && (count == 63 || bits >> count == 0));
+        let pos = self.tap % WORD_BITS;
+        self.cur |= bits << pos;
+        let before = self.tap / WORD_BITS;
+        self.tap += count;
+        if self.tap / WORD_BITS > before {
+            self.words[before] = self.cur;
+            // Crossing implies pos > 0, so the shift below is in range.
+            self.cur = bits >> (WORD_BITS - pos);
+        }
+    }
+
+    /// Spills the final partial word, if any.
+    fn finish(self) {
+        if !self.tap.is_multiple_of(WORD_BITS) {
+            self.words[self.tap / WORD_BITS] = self.cur;
+        }
+    }
+}
+
+/// Builds the per-output-pixel bit rows of one batch element: row
+/// `oy*ow + ox` holds the `c*kh*kw` receptive-field taps of that output
+/// pixel, in the same tap order as [`crate::conv::im2col`] rows.
+fn pack_patches(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    oh: usize,
+    ow: usize,
+) -> BitMatrix {
+    let kk = c * spec.kernel_h * spec.kernel_w;
+    let mut m = BitMatrix::zeros(oh * ow, kk);
+    if w <= WORD_BITS && spec.kernel_w < WORD_BITS && spec.padding < WORD_BITS {
+        pack_patches_planar(data, c, h, w, spec, (oh, ow), &mut m);
+    } else {
+        pack_patches_general(data, c, h, w, spec, (oh, ow), &mut m);
+    }
+    m
+}
+
+/// Fast path for inputs at most one word wide (every paper geometry):
+/// packs each input row into a single `u64` once, then assembles every
+/// receptive-field row of every patch with one shift-and-mask per
+/// `(channel, ky)` group instead of per-tap float compares. This is what
+/// keeps the bit-`im2col` from dominating the conv kernel — packing cost
+/// per tap drops from ~10 ops to ~10 ops per *kernel row*.
+fn pack_patches_planar(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    (oh, ow): (usize, usize),
+    m: &mut BitMatrix,
+) {
+    let kw = spec.kernel_w;
+    let kmask = (1u64 << kw) - 1;
+    let mut plane_bits = vec![0u64; c * h];
+    for (r, bits) in plane_bits.iter_mut().enumerate() {
+        *bits = pack_word_partial(&data[r * w..(r + 1) * w]);
+    }
+    let wpr = m.words_per_row;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+            let mut bits =
+                RowBits { words: &mut m.words[row * wpr..(row + 1) * wpr], cur: 0, tap: 0 };
+            for ch in 0..c {
+                let prows = &plane_bits[ch * h..(ch + 1) * h];
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    let g = if iy < 0 || iy >= h as isize {
+                        0
+                    } else {
+                        // Out-of-range x taps shift in zero bits from either
+                        // end; in-range bits land LSB-first at kx.
+                        let prow = prows[iy as usize];
+                        if ix0 >= 0 {
+                            (prow >> ix0) & kmask
+                        } else {
+                            (prow << -ix0) & kmask
+                        }
+                    };
+                    bits.push_group(g, kw);
+                }
+            }
+            bits.finish();
+        }
+    }
+}
+
+/// General per-tap packing for geometries too wide for the planar path.
+fn pack_patches_general(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    (oh, ow): (usize, usize),
+    m: &mut BitMatrix,
+) {
+    let wpr = m.words_per_row;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let mut bits =
+                RowBits { words: &mut m.words[row * wpr..(row + 1) * wpr], cur: 0, tap: 0 };
+            for ch in 0..c {
+                let plane = &data[ch * h * w..(ch + 1) * h * w];
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        bits.skip(spec.kernel_w);
+                        continue;
+                    }
+                    let irow = &plane[iy as usize * w..iy as usize * w + w];
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        let inside = ix >= 0 && ix < w as isize;
+                        // The clamped index keeps the load in bounds for
+                        // padding taps; `inside` zeroes their contribution.
+                        bits.push(inside && irow[ix.clamp(0, w as isize - 1) as usize] > 0.0);
+                    }
+                }
+            }
+            bits.finish();
+        }
+    }
+}
+
+/// Builds the validity mask shared by every batch element: bit `tap` of row
+/// `oy*ow + ox` is set iff that tap falls inside the unpadded input. The
+/// geometry pattern is replicated across channels, so each row is
+/// assembled from one `ky`-validity word and one `kx`-validity group
+/// (falling back to per-tap pushes for enormous kernels).
+fn geometry_mask(
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    oh: usize,
+    ow: usize,
+) -> BitMatrix {
+    let (kh, kw) = (spec.kernel_h, spec.kernel_w);
+    let kk = c * kh * kw;
+    let mut m = BitMatrix::zeros(oh * ow, kk);
+    let wpr = m.words_per_row;
+    for oy in 0..oh {
+        let mut ymask = 0u64;
+        if kh < WORD_BITS && kw < WORD_BITS {
+            for ky in 0..kh {
+                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                ymask |= u64::from(iy >= 0 && iy < h as isize) << ky;
+            }
+        }
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let mut bits =
+                RowBits { words: &mut m.words[row * wpr..(row + 1) * wpr], cur: 0, tap: 0 };
+            if kh < WORD_BITS && kw < WORD_BITS {
+                let mut xmask = 0u64;
+                for kx in 0..kw {
+                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                    xmask |= u64::from(ix >= 0 && ix < w as isize) << kx;
+                }
+                for _ch in 0..c {
+                    for ky in 0..kh {
+                        bits.push_group(if (ymask >> ky) & 1 == 1 { xmask } else { 0 }, kw);
+                    }
+                }
+            } else {
+                for _ch in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        let y_in = iy >= 0 && iy < h as isize;
+                        for kx in 0..kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            bits.push(y_in && ix >= 0 && ix < w as isize);
+                        }
+                    }
+                }
+            }
+            bits.finish();
+        }
+    }
+    m
+}
+
+/// Bit-packed `im2col`: lowers one ±1 NCHW batch into per-batch patch
+/// matrices (`oh*ow` rows of `c*kh*kw` taps each) plus the shared validity
+/// mask for the zero-padding taps.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or degenerate geometry.
+pub fn bit_im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<(Vec<BitMatrix>, BitMatrix)> {
+    let (n, c, h, w) = check_nchw(input, "bit_im2col")?;
+    let (oh, ow) = spec.checked_output_size(h, w)?;
+    let data = input.data();
+    let patches = parallel::par_map_indexed(n, |b| {
+        pack_patches(&data[b * c * h * w..(b + 1) * c * h * w], c, h, w, spec, oh, ow)
+    });
+    Ok((patches, geometry_mask(c, h, w, spec, oh, ow)))
+}
+
+/// Binary 2-D convolution: the XNOR–popcount equivalent of
+/// [`crate::conv::conv2d`] for ±1 input and binarized weights.
+///
+/// `weight` is packed by sign (strictly positive → `+1`), so binarized
+/// master weights can be passed directly. On valid operands the result is
+/// bit-identical to `conv2d(input, &binarize(weight), spec)`.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 operands, mismatched channel counts or
+/// degenerate geometry.
+pub fn binary_conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "binary_conv2d")?;
+    let (f, wc, kh, kw) = check_nchw(weight, "binary_conv2d")?;
+    if wc != c || kh != spec.kernel_h || kw != spec.kernel_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+            op: "binary_conv2d",
+        });
+    }
+    let (oh, ow) = spec.checked_output_size(h, w)?;
+    let kk = c * kh * kw;
+    let pixels = oh * ow;
+    let wbits = BitMatrix::pack_slice(weight.data(), f, kk);
+    let mask = geometry_mask(c, h, w, spec, oh, ow);
+    let valid: Vec<i32> =
+        (0..pixels).map(|j| mask.row(j).iter().map(|v| v.count_ones() as i32).sum()).collect();
+    let data = input.data();
+    let mut out = vec![0.0f32; n * f * pixels];
+    // Batch fan-out mirrors the f32 conv2d; within a worker the masked
+    // XNOR GEMM runs serially (nesting guard), and for n == 1 the GEMM
+    // itself row-partitions.
+    parallel::par_item_chunks_mut(&mut out, f * pixels, |b0, chunk| {
+        for (bi, res) in chunk.chunks_mut(f * pixels).enumerate() {
+            let b = b0 + bi;
+            let patches =
+                pack_patches(&data[b * c * h * w..(b + 1) * c * h * w], c, h, w, spec, oh, ow);
+            wbits.xnor_masked_into(&patches, &mask, &valid, res);
+        }
+    });
+    Tensor::from_vec(out, [n, f, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d;
+    use crate::rng::rng_from_seed;
+    use rand::Rng;
+
+    fn binarize(t: &Tensor) -> Tensor {
+        t.map(|x| if x > 0.0 { 1.0 } else { -1.0 })
+    }
+
+    fn random_signs(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = rng_from_seed(seed);
+        Tensor::from_fn(dims.to_vec(), |_| if rng.gen::<f32>() > 0.5 { 1.0 } else { -1.0 })
+    }
+
+    #[test]
+    fn pack_get_set_round_trip() {
+        let t = random_signs(&[3, 70], 1); // spans a word boundary
+        let m = BitMatrix::pack(&t).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 70);
+        assert_eq!(m.words_per_row(), 2);
+        for r in 0..3 {
+            for c in 0..70 {
+                assert_eq!(m.get(r, c), t.get(&[r, c]).unwrap() > 0.0);
+            }
+        }
+        assert_eq!(m.unpack(), t);
+        let mut m2 = m.clone();
+        m2.set(1, 65, !m.get(1, 65));
+        assert_ne!(m2, m);
+        m2.set(1, 65, m.get(1, 65));
+        assert_eq!(m2, m);
+    }
+
+    #[test]
+    fn pack_rejects_non_rank2() {
+        assert!(BitMatrix::pack(&Tensor::ones([4])).is_err());
+    }
+
+    #[test]
+    fn zero_packs_as_negative_one() {
+        let t = Tensor::from_vec(vec![0.0, -0.0, 1.0, -1.0], [1, 4]).unwrap();
+        let m = BitMatrix::pack(&t).unwrap();
+        assert!(!m.get(0, 0));
+        assert!(!m.get(0, 1));
+        assert!(m.get(0, 2));
+        assert!(!m.get(0, 3));
+    }
+
+    #[test]
+    fn xnor_matmul_matches_float_gemm_exactly() {
+        // k = 100 crosses a word boundary, exercising pad bits.
+        let x = random_signs(&[7, 100], 2);
+        let w = random_signs(&[5, 100], 3);
+        let bits = binary_matmul(&x, &w).unwrap();
+        let float = x.matmul(&w.transpose().unwrap()).unwrap();
+        assert_eq!(bits, float, "XNOR path must be bit-identical to f32 on ±1 operands");
+    }
+
+    #[test]
+    fn xnor_matmul_known_values() {
+        // [1,1,-1] · [1,1,1] = 1, [1,1,-1] · [1,-1,-1] = 1 etc.
+        let a = Tensor::from_vec(vec![1.0, 1.0, -1.0], [1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0], [2, 3]).unwrap();
+        let out = binary_matmul(&a, &b).unwrap();
+        assert_eq!(out.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn xnor_matmul_rejects_width_mismatch() {
+        let a = BitMatrix::zeros(2, 8);
+        let b = BitMatrix::zeros(2, 9);
+        assert!(a.xnor_matmul(&b).is_err());
+        assert!(a.xnor_matmul_masked(&b, &b).is_err());
+    }
+
+    #[test]
+    fn masked_gemm_zeroes_invalid_taps() {
+        // One row of 4 taps, mask keeps only the first two: the dot product
+        // counts just those, as if the rest were zeros in an f32 product.
+        let a =
+            BitMatrix::pack(&Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], [1, 4]).unwrap()).unwrap();
+        let b =
+            BitMatrix::pack(&Tensor::from_vec(vec![1.0, -1.0, 1.0, 1.0], [1, 4]).unwrap()).unwrap();
+        let mut mask = BitMatrix::zeros(1, 4);
+        mask.set(0, 0, true);
+        mask.set(0, 1, true);
+        let out = a.xnor_matmul_masked(&b, &mask).unwrap();
+        // valid = 2, diffs within mask = 1 -> 2 - 2*1 = 0.
+        assert_eq!(out.data(), &[0.0]);
+    }
+
+    #[test]
+    fn binary_conv2d_matches_float_conv_exactly() {
+        // Paper geometries with padding: the masked kernel must reproduce
+        // the zero-padded f32 convolution bit for bit.
+        for (dims, fdims, spec) in [
+            ([2, 3, 8, 8], [4, 3, 3, 3], Conv2dSpec::paper_conv()),
+            ([1, 4, 16, 16], [6, 4, 3, 3], Conv2dSpec::paper_pool()),
+            ([3, 2, 5, 5], [2, 2, 1, 1], Conv2dSpec::new(1, 1, 0)),
+        ] {
+            let x = random_signs(&dims, 7);
+            let wf = Tensor::from_fn(fdims.to_vec(), |i| ((i * 29) % 17) as f32 / 8.0 - 1.0);
+            let expect = conv2d(&x, &binarize(&wf), &spec).unwrap();
+            let got = binary_conv2d(&x, &wf, &spec).unwrap();
+            assert_eq!(got, expect, "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn binary_conv2d_matches_float_on_wide_input() {
+        // w = 70 > 64 words forces the general (non-planar) patch packer.
+        let spec = Conv2dSpec::paper_conv();
+        let x = random_signs(&[1, 2, 3, 70], 13);
+        let wf = Tensor::from_fn(vec![3, 2, 3, 3], |i| ((i * 31) % 13) as f32 / 6.0 - 1.0);
+        let expect = conv2d(&x, &binarize(&wf), &spec).unwrap();
+        let got = binary_conv2d(&x, &wf, &spec).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bit_im2col_agrees_with_masked_float_lowering() {
+        let spec = Conv2dSpec::paper_conv();
+        let x = random_signs(&[2, 2, 4, 4], 11);
+        let (patches, mask) = bit_im2col(&x, &spec).unwrap();
+        assert_eq!(patches.len(), 2);
+        let cols = crate::conv::im2col(&x, &spec).unwrap(); // (n, kk, pixels)
+        let kk = 2 * 3 * 3;
+        for (b, p) in patches.iter().enumerate() {
+            for pix in 0..16 {
+                for tap in 0..kk {
+                    let v = cols.get(&[b, tap, pix]).unwrap();
+                    if mask.get(pix, tap) {
+                        assert_eq!(p.get(pix, tap), v > 0.0);
+                    } else {
+                        assert_eq!(v, 0.0, "masked tap must be a padding zero");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_sign_tensor_detects_non_signs() {
+        assert!(is_sign_tensor(&random_signs(&[3, 3], 5)));
+        assert!(!is_sign_tensor(&Tensor::zeros([2])));
+        assert!(!is_sign_tensor(&Tensor::from_vec(vec![1.0, 0.5], [2]).unwrap()));
+        assert!(is_sign_tensor(&Tensor::from_vec(vec![], [0]).unwrap()));
+    }
+}

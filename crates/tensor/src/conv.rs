@@ -6,6 +6,7 @@
 //! pass can scatter gradients.
 
 use crate::error::{Result, TensorError};
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D sliding-window operation (convolution or pooling).
@@ -42,14 +43,45 @@ impl Conv2dSpec {
     }
 
     /// Output spatial size for an `(h, w)` input.
+    ///
+    /// Assumes the geometry is valid (the kernel fits in the padded input
+    /// and the stride is non-zero); the fallible kernels below go through
+    /// [`Conv2dSpec::checked_output_size`] instead, which rejects
+    /// degenerate geometries rather than silently clamping them.
     pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding).saturating_sub(self.kernel_h) / self.stride + 1;
-        let ow = (w + 2 * self.padding).saturating_sub(self.kernel_w) / self.stride + 1;
+        let oh = (h + 2 * self.padding).saturating_sub(self.kernel_h) / self.stride.max(1) + 1;
+        let ow = (w + 2 * self.padding).saturating_sub(self.kernel_w) / self.stride.max(1) + 1;
         (oh, ow)
+    }
+
+    /// Output spatial size for an `(h, w)` input, rejecting degenerate
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel is larger
+    /// than the padded input (which [`Conv2dSpec::output_size`] would
+    /// silently clamp to a bogus 1×N output), if the kernel is empty, or
+    /// if the stride is zero.
+    pub fn checked_output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let valid = self.stride > 0
+            && self.kernel_h > 0
+            && self.kernel_w > 0
+            && h + 2 * self.padding >= self.kernel_h
+            && w + 2 * self.padding >= self.kernel_w;
+        if !valid {
+            return Err(TensorError::InvalidGeometry {
+                kernel: (self.kernel_h, self.kernel_w),
+                input: (h, w),
+                stride: self.stride,
+                padding: self.padding,
+            });
+        }
+        Ok(self.output_size(h, w))
     }
 }
 
-fn check_nchw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+pub(crate) fn check_nchw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
     if t.rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: t.rank() });
     }
@@ -68,41 +100,46 @@ fn check_nchw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usiz
 ///
 /// # Errors
 ///
-/// Returns an error if `input` is not a non-empty rank-4 tensor.
+/// Returns an error if `input` is not a non-empty rank-4 tensor or the
+/// geometry is degenerate.
 pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw(input, "im2col")?;
-    let (oh, ow) = spec.output_size(h, w);
+    let (oh, ow) = spec.checked_output_size(h, w)?;
     let rows = c * spec.kernel_h * spec.kernel_w;
     let cols = oh * ow;
     let mut out = vec![0.0f32; n * rows * cols];
     let data = input.data();
-    for b in 0..n {
-        let in_base = b * c * h * w;
-        let out_base = b * rows * cols;
-        let mut r = 0;
-        for ch in 0..c {
-            for ky in 0..spec.kernel_h {
-                for kx in 0..spec.kernel_w {
-                    let row_off = out_base + r * cols;
-                    for oy in 0..oh {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let src_row = in_base + ch * h * w + iy as usize * w;
-                        for ox in 0..ow {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            if ix < 0 || ix >= w as isize {
+    // Batch elements are independent: fan them out across the pool. Each
+    // worker writes only its own batch chunk, so the result is identical
+    // for any thread count.
+    parallel::par_item_chunks_mut(&mut out, rows * cols, |b0, chunk| {
+        for (bi, bchunk) in chunk.chunks_mut(rows * cols).enumerate() {
+            let in_base = (b0 + bi) * c * h * w;
+            let mut r = 0;
+            for ch in 0..c {
+                for ky in 0..spec.kernel_h {
+                    for kx in 0..spec.kernel_w {
+                        let row_off = r * cols;
+                        for oy in 0..oh {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            out[row_off + oy * ow + ox] = data[src_row + ix as usize];
+                            let src_row = in_base + ch * h * w + iy as usize * w;
+                            for ox in 0..ow {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                bchunk[row_off + oy * ow + ox] = data[src_row + ix as usize];
+                            }
                         }
+                        r += 1;
                     }
-                    r += 1;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, [n, rows, cols])
 }
 
@@ -120,7 +157,7 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
     if cols.rank() != 3 {
         return Err(TensorError::RankMismatch { expected: 3, actual: cols.rank() });
     }
-    let (oh, ow) = spec.output_size(h, w);
+    let (oh, ow) = spec.checked_output_size(h, w)?;
     let rows = c * spec.kernel_h * spec.kernel_w;
     let n = cols.dims()[0];
     if cols.dims()[1] != rows || cols.dims()[2] != oh * ow {
@@ -132,33 +169,37 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
     }
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
-    for b in 0..n {
-        let out_base = b * c * h * w;
-        let in_base = b * rows * (oh * ow);
-        let mut r = 0;
-        for ch in 0..c {
-            for ky in 0..spec.kernel_h {
-                for kx in 0..spec.kernel_w {
-                    let row_off = in_base + r * oh * ow;
-                    for oy in 0..oh {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let dst_row = out_base + ch * h * w + iy as usize * w;
-                        for ox in 0..ow {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            if ix < 0 || ix >= w as isize {
+    // Scatter-accumulation stays within one batch element, so batches can
+    // run on separate workers without racing; per-element accumulation
+    // order is the serial loop's, keeping results thread-count-invariant.
+    parallel::par_item_chunks_mut(&mut out, c * h * w, |b0, chunk| {
+        for (bi, bchunk) in chunk.chunks_mut(c * h * w).enumerate() {
+            let in_base = (b0 + bi) * rows * (oh * ow);
+            let mut r = 0;
+            for ch in 0..c {
+                for ky in 0..spec.kernel_h {
+                    for kx in 0..spec.kernel_w {
+                        let row_off = in_base + r * oh * ow;
+                        for oy in 0..oh {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            out[dst_row + ix as usize] += data[row_off + oy * ow + ox];
+                            let dst_row = ch * h * w + iy as usize * w;
+                            for ox in 0..ow {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                bchunk[dst_row + ix as usize] += data[row_off + oy * ow + ox];
+                            }
                         }
+                        r += 1;
                     }
-                    r += 1;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, [n, c, h, w])
 }
 
@@ -167,7 +208,8 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
 ///
 /// # Errors
 ///
-/// Returns an error for non-rank-4 operands or mismatched channel counts.
+/// Returns an error for non-rank-4 operands, mismatched channel counts or
+/// degenerate geometry.
 pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (n, c, h, w) = check_nchw(input, "conv2d")?;
     let (f, wc, kh, kw) = check_nchw(weight, "conv2d")?;
@@ -178,16 +220,25 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<Tens
             op: "conv2d",
         });
     }
-    let (oh, ow) = spec.output_size(h, w);
+    let (oh, ow) = spec.checked_output_size(h, w)?;
     let rows = c * kh * kw;
+    let pixels = oh * ow;
     let cols = im2col(input, spec)?;
     let wmat = weight.reshape([f, rows])?;
-    let mut out = Vec::with_capacity(n * f * oh * ow);
-    for b in 0..n {
-        let colmat = cols.index_axis0(b)?; // (rows, oh*ow)
-        let res = wmat.matmul(&colmat)?; // (f, oh*ow)
-        out.extend_from_slice(res.data());
-    }
+    let wdata = wmat.data();
+    let cdata = cols.data();
+    let mut out = vec![0.0f32; n * f * pixels];
+    // Fan the batch out across the pool; each element is an independent
+    // `(f, rows) x (rows, pixels)` product. A single-element batch instead
+    // parallelises inside the GEMM (across output rows), so per-sample
+    // inference still uses every core.
+    parallel::par_item_chunks_mut(&mut out, f * pixels, |b0, chunk| {
+        for (bi, res) in chunk.chunks_mut(f * pixels).enumerate() {
+            let b = b0 + bi;
+            let colmat = &cdata[b * rows * pixels..(b + 1) * rows * pixels];
+            crate::ops::gemm_auto(wdata, colmat, f, rows, pixels, res);
+        }
+    });
     Tensor::from_vec(out, [n, f, oh, ow])
 }
 
@@ -209,7 +260,7 @@ pub fn conv2d_backward(
     let (n, c, h, w) = check_nchw(input, "conv2d_backward")?;
     let (f, _, kh, kw) = check_nchw(weight, "conv2d_backward")?;
     let (gn, gf, goh, gow) = check_nchw(grad_out, "conv2d_backward")?;
-    let (oh, ow) = spec.output_size(h, w);
+    let (oh, ow) = spec.checked_output_size(h, w)?;
     if gn != n || gf != f || goh != oh || gow != ow {
         return Err(TensorError::ShapeMismatch {
             lhs: grad_out.dims().to_vec(),
@@ -257,10 +308,11 @@ pub struct MaxPoolOutput {
 ///
 /// # Errors
 ///
-/// Returns an error if `input` is not a non-empty rank-4 tensor.
+/// Returns an error if `input` is not a non-empty rank-4 tensor or the
+/// pooling geometry is degenerate.
 pub fn max_pool2d(input: &Tensor, spec: &Conv2dSpec) -> Result<MaxPoolOutput> {
     let (n, c, h, w) = check_nchw(input, "max_pool2d")?;
-    let (oh, ow) = spec.output_size(h, w);
+    let (oh, ow) = spec.checked_output_size(h, w)?;
     let mut out = vec![0.0f32; n * c * oh * ow];
     let mut argmax = vec![usize::MAX; n * c * oh * ow];
     let data = input.data();
@@ -338,6 +390,40 @@ mod tests {
         assert_eq!(Conv2dSpec::paper_pool().output_size(32, 32), (16, 16));
         assert_eq!(Conv2dSpec::paper_pool().output_size(16, 16), (8, 8));
         assert_eq!(Conv2dSpec::paper_pool().output_size(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected_not_clamped() {
+        // Regression: `output_size` used `saturating_sub`, so a 5x5 kernel
+        // on an unpadded 2x2 input silently produced a bogus 1x1 output
+        // instead of failing. Degenerate geometry must now error.
+        let spec = Conv2dSpec::new(5, 1, 0);
+        assert!(matches!(
+            spec.checked_output_size(2, 2),
+            Err(TensorError::InvalidGeometry { kernel: (5, 5), input: (2, 2), .. })
+        ));
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let weight = Tensor::ones([1, 1, 5, 5]);
+        assert!(conv2d(&input, &weight, &spec).is_err());
+        assert!(im2col(&input, &spec).is_err());
+        assert!(max_pool2d(&input, &spec).is_err());
+        // Padding that makes the kernel fit again is accepted.
+        let padded = Conv2dSpec::new(5, 1, 2);
+        assert_eq!(padded.checked_output_size(2, 2).unwrap(), (2, 2));
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        let spec = Conv2dSpec::new(3, 0, 1);
+        assert!(spec.checked_output_size(8, 8).is_err());
+        assert!(max_pool2d(&Tensor::ones([1, 1, 8, 8]), &spec).is_err());
+    }
+
+    #[test]
+    fn checked_output_size_matches_unchecked_when_valid() {
+        for spec in [Conv2dSpec::paper_conv(), Conv2dSpec::paper_pool(), Conv2dSpec::new(1, 1, 0)] {
+            assert_eq!(spec.checked_output_size(16, 16).unwrap(), spec.output_size(16, 16));
+        }
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub enum TensorError {
         /// Short name of the operation that failed.
         op: &'static str,
     },
+    /// A sliding-window geometry is degenerate: the kernel does not fit in
+    /// the padded input, the kernel is empty, or the stride is zero.
+    InvalidGeometry {
+        /// `(kernel_h, kernel_w)` of the offending spec.
+        kernel: (usize, usize),
+        /// `(h, w)` of the input.
+        input: (usize, usize),
+        /// Stride of the offending spec.
+        stride: usize,
+        /// Padding of the offending spec.
+        padding: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -76,6 +88,12 @@ impl fmt::Display for TensorError {
             TensorError::Empty { op } => {
                 write!(f, "operation `{op}` is undefined on an empty tensor")
             }
+            TensorError::InvalidGeometry { kernel, input, stride, padding } => write!(
+                f,
+                "degenerate sliding-window geometry: {}x{} kernel (stride {stride}, padding \
+                 {padding}) does not fit {}x{} input",
+                kernel.0, kernel.1, input.0, input.1
+            ),
         }
     }
 }
@@ -112,6 +130,14 @@ mod tests {
     fn display_invalid_axis() {
         let e = TensorError::InvalidAxis { axis: 3, rank: 2 };
         assert!(e.to_string().contains("axis 3"));
+    }
+
+    #[test]
+    fn display_invalid_geometry() {
+        let e =
+            TensorError::InvalidGeometry { kernel: (5, 5), input: (2, 2), stride: 1, padding: 0 };
+        assert!(e.to_string().contains("5x5 kernel"));
+        assert!(e.to_string().contains("2x2 input"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   adjoint backward passes (verified against finite differences);
 //! * [`bits`] — 1-bit packing of binarized activations, the wire format the
 //!   paper's communication-cost model (Eq. 1) counts;
+//! * [`bitmatrix`] — `u64`-word packed ±1 matrices with XNOR–popcount
+//!   GEMM and bit-packed `im2col`, the binary inference fast path;
+//! * [`parallel`] — deterministic scoped-thread data parallelism
+//!   (`DDNN_THREADS`) used by the f32 and binary kernels alike;
 //! * [`rng`] — deterministic, seedable random tensor generation.
 //!
 //! ## Example
@@ -35,14 +39,17 @@
 
 #![warn(missing_docs)]
 
+pub mod bitmatrix;
 pub mod bits;
 pub mod conv;
 mod error;
 mod ops;
+pub mod parallel;
 pub mod rng;
 mod shape;
 mod tensor;
 
+pub use bitmatrix::BitMatrix;
 pub use error::{Result, TensorError};
 pub use shape::Shape;
 pub use tensor::Tensor;

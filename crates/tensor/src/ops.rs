@@ -5,8 +5,51 @@
 //! library is written in terms of.
 
 use crate::error::{Result, TensorError};
+use crate::parallel;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Minimum multiply–accumulate count before a GEMM fans out across the
+/// worker pool; below this the scoped-thread setup costs more than it saves.
+const PAR_FLOP_THRESHOLD: usize = 1 << 16;
+
+/// Row-major `(m,k) x (k,n)` product accumulated into `out` (zeroed by the
+/// caller, length `m*n`), serial.
+///
+/// ikj loop order: the inner loop walks both `b` and `out` rows
+/// contiguously, which the compiler auto-vectorises. There is deliberately
+/// no `a == 0.0` skip: `0.0 * NaN` is NaN, not zero, so skipping would
+/// silently erase NaN/Inf contributions from `b` and mask poisoned
+/// activations instead of propagating them (IEEE semantics).
+pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// [`gemm`] that row-partitions the output across the worker pool when the
+/// product is large enough to amortise thread startup.
+///
+/// Each output row is produced by exactly one worker running the serial
+/// kernel's instruction sequence, so the result is bit-identical for any
+/// thread count.
+pub(crate) fn gemm_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    if m * k * n >= PAR_FLOP_THRESHOLD && parallel::num_threads() > 1 {
+        parallel::par_item_chunks_mut(out, n, |r0, chunk| {
+            let mrows = chunk.len() / n;
+            gemm(&a[r0 * k..(r0 + mrows) * k], b, mrows, k, n, chunk);
+        });
+    } else {
+        gemm(a, b, m, k, n, out);
+    }
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `(m,k) x (k,n) -> (m,n)`.
@@ -34,21 +77,7 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: the inner loop walks both `b` and `out` rows
-        // contiguously, which the compiler auto-vectorises.
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        gemm_auto(a, b, m, k, n, &mut out);
         Tensor::from_vec(out, [m, n])
     }
 
@@ -408,6 +437,36 @@ mod tests {
         let id = t2(&[1.0, 0.0, 0.0, 1.0], 2, 2);
         assert_eq!(a.matmul(&id).unwrap(), a);
         assert_eq!(id.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        // Regression: the old kernel skipped `a == 0.0` entries, so a NaN
+        // (or Inf) in the corresponding rhs row vanished from the product.
+        // IEEE says 0.0 * NaN = NaN and 0.0 * Inf = NaN; a poisoned
+        // activation must surface, not disappear.
+        let a = t2(&[0.0, 1.0], 1, 2);
+        let b = t2(&[f32::NAN, 2.0, 3.0, 4.0], 2, 2);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan(), "0.0 * NaN must poison the output");
+        assert_eq!(c.data()[1], 4.0);
+        let binf = t2(&[f32::INFINITY, 2.0, 3.0, 4.0], 2, 2);
+        assert!(a.matmul(&binf).unwrap().data()[0].is_nan());
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Large enough to cross the parallel threshold; every element must
+        // be bit-identical to the serial kernel.
+        let m = 64;
+        let k = 48;
+        let n = 32;
+        let a = Tensor::from_fn([m, k], |i| ((i * 37) % 101) as f32 / 13.0 - 3.0);
+        let b = Tensor::from_fn([k, n], |i| ((i * 53) % 97) as f32 / 11.0 - 4.0);
+        let par = a.matmul(&b).unwrap();
+        let mut serial = vec![0.0f32; m * n];
+        gemm(a.data(), b.data(), m, k, n, &mut serial);
+        assert_eq!(par.data(), &serial[..]);
     }
 
     #[test]

@@ -155,6 +155,38 @@ proptest! {
     }
 
     #[test]
+    fn bitmatrix_pack_agrees_with_pack_signs(rows in 1usize..5, cols in 1usize..80, seed in 0u64..50) {
+        // The word-packed matrix layout and the wire byte layout must
+        // agree element-for-element in row-major order, so a feature map
+        // can move between them without a float round trip.
+        use ddnn_tensor::bitmatrix::BitMatrix;
+        let mut rng = ddnn_tensor::rng::rng_from_seed(seed);
+        let t = Tensor::rand_signs([rows, cols], &mut rng);
+        let m = BitMatrix::pack(&t).unwrap();
+        let wire = bits::pack_signs(&t);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                let wire_bit = (wire[i / 8] >> (7 - i % 8)) & 1 == 1;
+                prop_assert_eq!(m.get(r, c), wire_bit);
+            }
+        }
+        prop_assert_eq!(m.unpack(), t);
+    }
+
+    #[test]
+    fn xnor_gemm_matches_f32_gemm(m in 1usize..4, k in 1usize..80, n in 1usize..4, seed in 0u64..30) {
+        use ddnn_tensor::bitmatrix::binary_matmul;
+        let mut rng = ddnn_tensor::rng::rng_from_seed(seed);
+        let x = Tensor::rand_signs([m, k], &mut rng);
+        let w = Tensor::rand_signs([n, k], &mut rng);
+        prop_assert_eq!(
+            binary_matmul(&x, &w).unwrap(),
+            x.matmul(&w.transpose().unwrap()).unwrap()
+        );
+    }
+
+    #[test]
     fn sum_axis_agrees_with_total(dims in prop::collection::vec(1usize..5, 2..4), seed in 0u64..50) {
         let mut rng = ddnn_tensor::rng::rng_from_seed(seed);
         let t = Tensor::rand_uniform(dims.clone(), -2.0, 2.0, &mut rng);

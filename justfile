@@ -24,6 +24,13 @@ build:
 bench:
     cargo bench
 
+# XNOR vs f32 kernel timings -> results/BENCH_kernels.json (honors DDNN_THREADS)
+bench-kernels:
+    cargo run --release -p ddnn-bench --bin kernels_binary
+
+bench-kernels-smoke:
+    cargo run --release -p ddnn-bench --bin kernels_binary -- --smoke
+
 # Regenerate every paper table/figure (slow; accepts DDNN_EPOCHS)
 experiments:
     cargo run --release -p ddnn-bench --bin table1
