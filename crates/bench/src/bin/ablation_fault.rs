@@ -80,6 +80,7 @@ fn main() {
         pct(static_ref.accuracy),
         pct(static_ref.local_exit_fraction),
         pct(static_ref.degraded_fraction),
+        format!("{}/{n}", static_ref.classified_count()),
         static_ref.device_timeouts[crash_device].to_string(),
         static_ref.capture_retries.to_string(),
     ]);
@@ -105,6 +106,7 @@ fn main() {
             pct(report.accuracy),
             pct(report.local_exit_fraction),
             pct(report.degraded_fraction),
+            format!("{}/{n}", report.classified_count()),
             report.device_timeouts[crash_device].to_string(),
             report.capture_retries.to_string(),
         ]);
@@ -113,7 +115,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Fault", "Overall (%)", "Local exit (%)", "Degraded (%)", "Substitutions", "Retries"],
+            &[
+                "Fault",
+                "Overall (%)",
+                "Local exit (%)",
+                "Degraded (%)",
+                "Classified",
+                "Substitutions",
+                "Retries",
+            ],
             &rows,
         )
     );

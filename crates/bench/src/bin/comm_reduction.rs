@@ -39,8 +39,13 @@ fn main() {
     let modeled = comm.bytes_per_sample(ddnn.local_exit_fraction);
     let offloaded = ddnn.exits.iter().filter(|&&e| e != ExitPoint::Local).count();
 
-    let baseline =
-        run_cloud_only_baseline(&partition, &ctx.test_views, &ctx.test_labels).expect("baseline");
+    let baseline = run_cloud_only_baseline(
+        &partition,
+        &ctx.test_views,
+        &ctx.test_labels,
+        &HierarchyConfig::default(),
+    )
+    .expect("baseline");
     let raw_per_sample = baseline
         .links
         .iter()
@@ -52,6 +57,7 @@ fn main() {
     println!(
         "Communication reduction (paper §IV-H), measured over {n} test samples x {devices} devices"
     );
+    println!("  Samples classified (no timeouts):      {}/{n}", ddnn.classified_count());
     println!("  DDNN accuracy (distributed, T=0.8):    {:.1}%", ddnn.accuracy * 100.0);
     println!("  Cloud-offload baseline accuracy:       {:.1}%", baseline.accuracy * 100.0);
     println!("  Local exit rate:                       {:.2}%", ddnn.local_exit_fraction * 100.0);

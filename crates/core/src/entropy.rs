@@ -80,6 +80,80 @@ impl std::fmt::Display for ExitThreshold {
     }
 }
 
+/// The exit decision of one tier of a DDNN hierarchy (paper §III-D):
+/// intermediate exits classify a sample when the normalized entropy of
+/// their softmaxed logits is within a threshold, while the terminal exit
+/// (the paper's cloud) always classifies whatever reaches it.
+///
+/// This is the *single* owner of the staged-exit decision: both
+/// [`crate::Ddnn::infer`] and the distributed runtime's tier nodes consume
+/// it, so the in-process and simulated paths cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExitPolicy {
+    /// Entropy-gated exit: classify iff `η(softmax(logits)) ≤ T`.
+    Entropy(ExitThreshold),
+    /// The terminal exit: always classifies.
+    Terminal,
+}
+
+impl ExitPolicy {
+    /// Whether this is the always-classify terminal exit.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, ExitPolicy::Terminal)
+    }
+
+    /// Whether a sample with normalized entropy `eta` exits here.
+    pub fn should_exit(&self, eta: f32) -> bool {
+        match self {
+            ExitPolicy::Entropy(t) => t.should_exit(eta),
+            ExitPolicy::Terminal => true,
+        }
+    }
+
+    /// Decides one sample from its `(1, classes)` exit logits: the
+    /// predicted class if the sample exits here, `None` if it escalates to
+    /// the next tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed logits.
+    pub fn decide(&self, logits: &Tensor) -> Result<Option<usize>> {
+        let probs = logits.softmax_rows()?;
+        match self {
+            ExitPolicy::Terminal => Ok(Some(probs.argmax_rows()?[0])),
+            ExitPolicy::Entropy(t) => {
+                let eta = normalized_entropy(&probs.row(0)?)?;
+                if t.should_exit(eta) {
+                    Ok(Some(probs.argmax_rows()?[0]))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Row-wise [`ExitPolicy::decide`] over `(n, classes)` logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed logits.
+    pub fn decide_rows(&self, logits: &Tensor) -> Result<Vec<Option<usize>>> {
+        let probs = logits.softmax_rows()?;
+        let preds = probs.argmax_rows()?;
+        match self {
+            ExitPolicy::Terminal => Ok(preds.into_iter().map(Some).collect()),
+            ExitPolicy::Entropy(t) => {
+                let etas = normalized_entropy_rows(&probs)?;
+                Ok(preds
+                    .into_iter()
+                    .zip(etas)
+                    .map(|(p, eta)| t.should_exit(eta).then_some(p))
+                    .collect())
+            }
+        }
+    }
+}
+
 /// Searches a threshold grid for the best overall accuracy, the procedure
 /// the paper describes for picking `T` on a validation set (§III-D).
 ///
@@ -183,6 +257,42 @@ mod tests {
         for eta in [0.001f32, 0.4, 0.999] {
             assert!(!t0.should_exit(eta) || eta == 0.0);
             assert!(t1.should_exit(eta));
+        }
+    }
+
+    #[test]
+    fn terminal_policy_always_classifies() {
+        let logits = Tensor::from_vec(vec![0.1, 0.1, 0.1], [1, 3]).unwrap();
+        assert!(ExitPolicy::Terminal.is_terminal());
+        assert!(ExitPolicy::Terminal.should_exit(1.0));
+        assert!(ExitPolicy::Terminal.decide(&logits).unwrap().is_some());
+    }
+
+    #[test]
+    fn entropy_policy_escalates_uncertain_samples() {
+        // Uniform logits -> η = 1: a tight threshold escalates, a loose
+        // one classifies; a peaked row always classifies.
+        let uniform = Tensor::from_vec(vec![0.5, 0.5, 0.5], [1, 3]).unwrap();
+        let peaked = Tensor::from_vec(vec![50.0, 0.0, 0.0], [1, 3]).unwrap();
+        let tight = ExitPolicy::Entropy(ExitThreshold::new(0.1));
+        assert!(!tight.is_terminal());
+        assert_eq!(tight.decide(&uniform).unwrap(), None);
+        assert_eq!(tight.decide(&peaked).unwrap(), Some(0));
+        let loose = ExitPolicy::Entropy(ExitThreshold::new(1.0));
+        assert!(loose.decide(&uniform).unwrap().is_some());
+    }
+
+    #[test]
+    fn decide_rows_matches_per_row_decide() {
+        let logits =
+            Tensor::from_vec(vec![50.0, 0.0, 0.0, 0.2, 0.2, 0.2, 0.0, 9.0, 0.0], [3, 3]).unwrap();
+        for policy in [ExitPolicy::Entropy(ExitThreshold::new(0.5)), ExitPolicy::Terminal] {
+            let rows = policy.decide_rows(&logits).unwrap();
+            assert_eq!(rows.len(), 3);
+            for (i, row) in rows.iter().enumerate() {
+                let one = logits.row(i).unwrap().reshape([1, 3]).unwrap();
+                assert_eq!(*row, policy.decide(&one).unwrap(), "row {i}");
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 //! jointly trained aggregators were trained on exactly this encoding, which
 //! is what makes DDNN's fault tolerance automatic.
 
-use crate::model::{BLANK_INPUT_VALUE, INPUT_CHANNELS, INPUT_SIZE};
+use crate::model::BLANK_INPUT_VALUE;
 use ddnn_tensor::{Result, Tensor, TensorError};
 
 /// Returns a copy of the per-device view batches with the given devices
@@ -37,8 +37,9 @@ pub fn fail_devices_with(views: &[Tensor], failed: &[usize], value: f32) -> Resu
         .enumerate()
         .map(|(d, v)| {
             if failed.contains(&d) {
-                let n = v.dims()[0];
-                Tensor::full([n, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE], value)
+                // Same shape as the view it replaces, whatever the model's
+                // input geometry.
+                Tensor::full(v.dims().to_vec(), value)
             } else {
                 v.clone()
             }

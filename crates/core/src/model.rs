@@ -4,7 +4,7 @@
 
 use crate::aggregation::{AggregationScheme, FeatureAggregator, VectorAggregator};
 use crate::block::{ConvPBlock, ExitHead, Precision};
-use crate::entropy::{normalized_entropy_rows, ExitThreshold};
+use crate::entropy::{normalized_entropy_rows, ExitPolicy, ExitThreshold};
 use ddnn_nn::{Layer, Mode, Param};
 use ddnn_tensor::rng::rng_from_seed;
 use ddnn_tensor::{parallel, Result, Tensor, TensorError};
@@ -92,9 +92,24 @@ impl DdnnConfig {
         DdnnConfig { local_agg: local, cloud_agg: cloud, ..Self::default() }
     }
 
+    /// `(channels, height, width)` of one device's sensor view. Blank
+    /// views and wire shapes must be derived from this (or from a live
+    /// view), never from the CIFAR constants directly, so a model with a
+    /// different input geometry keeps consistent blank signatures.
+    pub fn view_dims(&self) -> [usize; 3] {
+        [INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE]
+    }
+
+    /// `(filters, height, width)` of one device's ConvP output map — `f`
+    /// maps of `o` bits each in the paper's Eq. 1.
+    pub fn device_map_dims(&self) -> [usize; 3] {
+        [self.device_filters, DEVICE_MAP_SIZE, DEVICE_MAP_SIZE]
+    }
+
     /// Flattened width of one device's feature map.
     pub fn device_map_elems(&self) -> usize {
-        self.device_filters * DEVICE_MAP_SIZE * DEVICE_MAP_SIZE
+        let [f, h, w] = self.device_map_dims();
+        f * h * w
     }
 
     /// Bits per filter of the device output (`o` in the paper's Eq. 1).
@@ -520,8 +535,10 @@ impl Ddnn {
     }
 
     /// Staged inference (paper §III-D): classify each sample at the
-    /// earliest exit whose normalized entropy is within its threshold; the
-    /// cloud always classifies what reaches it.
+    /// earliest exit whose [`ExitPolicy`] claims it; the cloud's terminal
+    /// policy always classifies what reaches it. The per-exit decisions are
+    /// the exact [`ExitPolicy`] the distributed runtime's tier nodes run,
+    /// so the in-process and simulated paths cannot drift apart.
     ///
     /// `edge_threshold` is ignored for models without an edge tier.
     ///
@@ -535,38 +552,27 @@ impl Ddnn {
         edge_threshold: Option<ExitThreshold>,
     ) -> Result<InferenceOutput> {
         let logits = self.forward(views, Mode::Eval)?;
-        let local_probs = logits.local.softmax_rows()?;
-        let local_eta = normalized_entropy_rows(&local_probs)?;
-        let local_pred = local_probs.argmax_rows()?;
-        let cloud_pred = logits.cloud.softmax_rows()?.argmax_rows()?;
-        let edge_info = match (&logits.edge, edge_threshold) {
-            (Some(e), t) => {
-                let probs = e.softmax_rows()?;
-                let eta = normalized_entropy_rows(&probs)?;
-                let pred = probs.argmax_rows()?;
-                Some((eta, pred, t.unwrap_or_default()))
+        let local_eta = normalized_entropy_rows(&logits.local.softmax_rows()?)?;
+        let local = ExitPolicy::Entropy(local_threshold).decide_rows(&logits.local)?;
+        let edge = match &logits.edge {
+            Some(e) => {
+                Some(ExitPolicy::Entropy(edge_threshold.unwrap_or_default()).decide_rows(e)?)
             }
-            _ => None,
+            None => None,
         };
-        let n = local_pred.len();
-        let mut predictions = Vec::with_capacity(n);
-        let mut exits = Vec::with_capacity(n);
-        for i in 0..n {
-            if local_threshold.should_exit(local_eta[i]) {
-                predictions.push(local_pred[i]);
-                exits.push(ExitPoint::Local);
-            } else if let Some((eta, pred, t)) = &edge_info {
-                if t.should_exit(eta[i]) {
-                    predictions.push(pred[i]);
-                    exits.push(ExitPoint::Edge);
-                } else {
-                    predictions.push(cloud_pred[i]);
-                    exits.push(ExitPoint::Cloud);
-                }
+        let cloud = ExitPolicy::Terminal.decide_rows(&logits.cloud)?;
+        let mut predictions = Vec::with_capacity(cloud.len());
+        let mut exits = Vec::with_capacity(cloud.len());
+        for i in 0..cloud.len() {
+            let (pred, exit) = if let Some(p) = local[i] {
+                (p, ExitPoint::Local)
+            } else if let Some(p) = edge.as_ref().and_then(|e| e[i]) {
+                (p, ExitPoint::Edge)
             } else {
-                predictions.push(cloud_pred[i]);
-                exits.push(ExitPoint::Cloud);
-            }
+                (cloud[i].expect("terminal policy always classifies"), ExitPoint::Cloud)
+            };
+            predictions.push(pred);
+            exits.push(exit);
         }
         Ok(InferenceOutput { predictions, exits, local_entropy: local_eta, logits })
     }

@@ -33,6 +33,13 @@ pub enum RuntimeError {
         /// How long it waited, in milliseconds.
         waited_ms: u64,
     },
+    /// An index into a report's per-sample fields was out of range.
+    SampleIndex {
+        /// The requested sample index.
+        index: usize,
+        /// Number of samples in the report.
+        len: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -44,6 +51,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Config { reason } => write!(f, "invalid cluster configuration: {reason}"),
             RuntimeError::Timeout { node, waited_ms } => {
                 write!(f, "{node} timed out after {waited_ms} ms")
+            }
+            RuntimeError::SampleIndex { index, len } => {
+                write!(f, "sample index {index} out of range for a report of {len} samples")
             }
         }
     }
@@ -79,6 +89,9 @@ mod tests {
         assert!(e.to_string().contains("cloud"));
         let e = RuntimeError::Timeout { node: "orchestrator".into(), waited_ms: 250 };
         assert!(e.to_string().contains("250 ms"));
+        let e = RuntimeError::SampleIndex { index: 9, len: 4 };
+        assert!(e.to_string().contains("index 9"));
+        assert!(e.to_string().contains("4 samples"));
         let e: RuntimeError = ddnn_tensor::TensorError::Empty { op: "x" }.into();
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());

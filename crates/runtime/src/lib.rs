@@ -1,20 +1,26 @@
 //! # ddnn-runtime
 //!
 //! A simulated distributed computing hierarchy for DDNN-RS: end devices,
-//! a gateway (local aggregator), an optional edge tier and the cloud run as
-//! separate threads, exchanging *wire-encoded* frames over instrumented
-//! channels. The crate executes the paper's staged inference protocol
-//! (§III-D) end to end and *measures* the communication that the paper's
-//! Eq. 1 models — integration tests assert that measured payload bytes
-//! match the analytic model, and that distributed verdicts equal
-//! in-process inference bit for bit.
+//! a gateway (local aggregator) and a declarative chain of exit tiers
+//! (edge hops, terminal cloud) run as separate threads, exchanging
+//! *wire-encoded* frames over instrumented channels. The crate executes
+//! the paper's staged inference protocol (§III-D) end to end and
+//! *measures* the communication that the paper's Eq. 1 models —
+//! integration tests assert that measured payload bytes match the
+//! analytic model, and that distributed verdicts equal in-process
+//! inference bit for bit.
 //!
 //! * [`message`] — the wire protocol (bit-packed binary features, f32
 //!   class scores, raw-image baseline frames);
 //! * [`link`] — instrumented channels with byte accounting and a latency
 //!   model;
-//! * [`cluster`] — node loops and the orchestrator, plus the §IV-H
-//!   cloud-offload baseline;
+//! * [`node`] — the tier-generic node engine: one generic tier loop
+//!   parameterized by aggregation section and escalation target subsumes
+//!   the gateway, edge and cloud roles, all finalizing through one shared
+//!   collector path;
+//! * [`topology`] — declarative hierarchy description
+//!   ([`Topology`]/[`HierarchyBuilder`]): device fan-in, a chain of exit
+//!   tiers, a terminal tier;
 //! * [`fault`] — seeded dynamic fault injection (drops, duplicates,
 //!   jitter, mid-run device crashes) and the deadline configuration for
 //!   graceful degradation;
@@ -44,17 +50,19 @@
 #![warn(missing_docs)]
 
 pub mod clock;
-pub mod cluster;
 mod error;
 pub mod fault;
 pub mod link;
 pub mod message;
+pub mod node;
+mod runner;
+pub mod topology;
 
 pub use clock::SimClock;
-pub use cluster::{
-    run_cloud_only_baseline, run_distributed_inference, HierarchyConfig, SampleOutcome, SimReport,
-};
 pub use error::{Result, RuntimeError};
 pub use fault::{DeadlineConfig, DeviceCrash, FaultPlan};
 pub use link::{LatencyModel, LinkStats};
 pub use message::{Frame, NodeId, Payload, HEADER_BYTES};
+pub use node::report::{SampleOutcome, SimReport};
+pub use runner::{run_cloud_only_baseline, run_distributed_inference, run_topology};
+pub use topology::{HierarchyBuilder, HierarchyConfig, Topology};

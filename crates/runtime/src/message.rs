@@ -25,6 +25,10 @@ pub enum NodeId {
     /// The experiment orchestrator (source of sensor input, sink of
     /// verdicts).
     Orchestrator,
+    /// The `k`-th aggregation tier of a custom topology chain (beyond the
+    /// paper's fixed edge/cloud pair) — built by the runtime's
+    /// `HierarchyBuilder`.
+    Tier(u8),
 }
 
 impl NodeId {
@@ -35,6 +39,7 @@ impl NodeId {
             NodeId::Edge => 0x101,
             NodeId::Cloud => 0x102,
             NodeId::Orchestrator => 0x103,
+            NodeId::Tier(k) => 0x200 + u16::from(k),
         }
     }
 
@@ -45,6 +50,7 @@ impl NodeId {
             0x102 => Ok(NodeId::Cloud),
             0x103 => Ok(NodeId::Orchestrator),
             d if d < 0x100 => Ok(NodeId::Device(d as u8)),
+            t if (0x200..=0x2FF).contains(&t) => Ok(NodeId::Tier((t - 0x200) as u8)),
             other => Err(RuntimeError::Protocol { reason: format!("unknown node id {other}") }),
         }
     }
@@ -58,6 +64,7 @@ impl std::fmt::Display for NodeId {
             NodeId::Edge => write!(f, "edge"),
             NodeId::Cloud => write!(f, "cloud"),
             NodeId::Orchestrator => write!(f, "orchestrator"),
+            NodeId::Tier(k) => write!(f, "tier{k}"),
         }
     }
 }
@@ -68,7 +75,9 @@ pub enum Payload {
     /// Sensor input pushed to a device by the orchestrator (not a network
     /// transfer; its bytes are not counted against any link).
     Capture {
-        /// The `(3, 32, 32)` view.
+        /// The rank-3 `(channels, height, width)` view; the wire encoding
+        /// carries the shape so the geometry is the model's, not a
+        /// protocol constant.
         view: Tensor,
     },
     /// Per-class float scores a device sends to the local aggregator — the
@@ -151,7 +160,7 @@ impl Frame {
     /// quantity compared against the paper's Eq. 1.
     pub fn payload_bytes(&self) -> usize {
         match &self.payload {
-            Payload::Capture { view } => 4 * view.len(),
+            Payload::Capture { view } => 6 + 4 * view.len(),
             Payload::Scores { scores } => 4 * scores.len(),
             Payload::OffloadRequest | Payload::Shutdown => 0,
             Payload::Features { bits, .. } => 6 + bits.len(),
@@ -168,7 +177,9 @@ impl Frame {
         buf.put_u8(self.payload.tag());
         match &self.payload {
             Payload::Capture { view } => {
-                buf.put_u32_le(view.len() as u32);
+                buf.put_u16_le(view.dims().first().copied().unwrap_or(0) as u16);
+                buf.put_u16_le(view.dims().get(1).copied().unwrap_or(0) as u16);
+                buf.put_u16_le(view.dims().get(2).copied().unwrap_or(0) as u16);
                 for &x in view.data() {
                     buf.put_f32_le(x);
                 }
@@ -221,11 +232,14 @@ impl Frame {
         let tag = buf.get_u8();
         let payload = match tag {
             0 => {
-                need(&buf, 4)?;
-                let n = buf.get_u32_le() as usize;
+                need(&buf, 6)?;
+                let c = buf.get_u16_le() as usize;
+                let h = buf.get_u16_le() as usize;
+                let w = buf.get_u16_le() as usize;
+                let n = c * h * w;
                 need(&buf, 4 * n)?;
                 let data: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
-                let view = Tensor::from_vec(data, [3, 32, 32]).map_err(|e| {
+                let view = Tensor::from_vec(data, [c, h, w]).map_err(|e| {
                     RuntimeError::Protocol { reason: format!("capture payload shape: {e}") }
                 })?;
                 Payload::Capture { view }
@@ -306,19 +320,21 @@ pub fn quantize_image(view: &Tensor) -> Bytes {
     buf.freeze()
 }
 
-/// Dequantizes a 1-byte-per-channel image back to floats in `[0, 1]`.
+/// Dequantizes a 1-byte-per-channel image back to floats in `[0, 1]`,
+/// shaped to the model's `(channels, height, width)` view geometry.
 ///
 /// # Errors
 ///
-/// Returns an error if the byte count is not a whole `(3, 32, 32)` image.
-pub fn dequantize_image(pixels: &[u8]) -> Result<Tensor> {
-    if pixels.len() != 3 * 32 * 32 {
+/// Returns an error if the byte count is not a whole `dims` image.
+pub fn dequantize_image(pixels: &[u8], dims: [usize; 3]) -> Result<Tensor> {
+    let [c, h, w] = dims;
+    if pixels.len() != c * h * w {
         return Err(RuntimeError::Protocol {
-            reason: format!("raw image must be 3072 bytes, got {}", pixels.len()),
+            reason: format!("raw image must be {} bytes, got {}", c * h * w, pixels.len()),
         });
     }
     let data: Vec<f32> = pixels.iter().map(|&b| f32::from(b) / 255.0).collect();
-    Tensor::from_vec(data, [3, 32, 32]).map_err(RuntimeError::from)
+    Tensor::from_vec(data, dims).map_err(RuntimeError::from)
 }
 
 #[cfg(test)]
@@ -334,10 +350,13 @@ mod tests {
             NodeId::Edge,
             NodeId::Cloud,
             NodeId::Orchestrator,
+            NodeId::Tier(0),
+            NodeId::Tier(7),
         ] {
             assert_eq!(NodeId::decode(id.encode()).unwrap(), id);
         }
-        assert!(NodeId::decode(0x2FF).is_err());
+        assert!(NodeId::decode(0x400).is_err());
+        assert_eq!(NodeId::Tier(3).to_string(), "tier3");
     }
 
     #[test]
@@ -352,6 +371,19 @@ mod tests {
             let decoded = Frame::decode(f.encode()).unwrap();
             assert_eq!(decoded, f);
         }
+    }
+
+    #[test]
+    fn capture_frame_preserves_non_square_view_shape() {
+        // The capture encoding carries the view geometry on the wire, so a
+        // non-CIFAR model round-trips its own shape.
+        let view = Tensor::from_fn([2, 8, 4], |i| i as f32 * 0.25);
+        let f = Frame::new(5, NodeId::Orchestrator, Payload::Capture { view: view.clone() });
+        let decoded = Frame::decode(f.encode()).unwrap();
+        let Payload::Capture { view: back } = decoded.payload else {
+            panic!("wrong payload type");
+        };
+        assert_eq!(back, view);
     }
 
     #[test]
@@ -395,9 +427,9 @@ mod tests {
     #[test]
     fn quantize_dequantize_round_trip_within_half_step() {
         let img = Tensor::from_fn([3, 32, 32], |i| (i % 256) as f32 / 255.0);
-        let back = dequantize_image(&quantize_image(&img)).unwrap();
+        let back = dequantize_image(&quantize_image(&img), [3, 32, 32]).unwrap();
         assert!(img.max_abs_diff(&back).unwrap() <= 0.5 / 255.0 + 1e-6);
-        assert!(dequantize_image(&[0u8; 100]).is_err());
+        assert!(dequantize_image(&[0u8; 100], [3, 32, 32]).is_err());
     }
 
     #[test]

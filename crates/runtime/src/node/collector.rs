@@ -1,0 +1,337 @@
+//! The fan-in state machine every aggregation tier shares: gather one
+//! contribution per source per sample, substitute blanks for the missing,
+//! guard completed samples with a watermark and garbage-collect stale
+//! partials. The gateway, the feature tiers and the raw-image baseline all
+//! finalize through this one path.
+
+use crate::clock::SimClock;
+use crate::node::report::NodeReport;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Completion policy of a [`Collector`].
+pub(crate) enum AggPolicy {
+    /// Paper-exact static fault model: the live set is known a priori and
+    /// the node waits indefinitely for all of its members.
+    Static {
+        /// Number of sources that will actually send.
+        required: usize,
+    },
+    /// Dynamic graceful degradation: wait for every source up to a
+    /// per-sample deadline, then substitute blanks. Sources missing
+    /// `suspect_after` consecutive deadlines are presumed dead and no
+    /// longer waited for; they revive on their next frame.
+    Deadline {
+        /// Per-sample aggregation deadline (ms).
+        aggregation_ms: u64,
+        /// Consecutive misses before a source is presumed dead.
+        suspect_after: u32,
+        /// Clock the deadlines are computed against.
+        clock: SimClock,
+    },
+}
+
+/// One sample's partially gathered contributions.
+struct PendingSample<T> {
+    slots: Vec<Option<T>>,
+    deadline: Option<Instant>,
+}
+
+/// What a collector did with one inserted contribution.
+pub(crate) enum Ingest<T> {
+    /// All required contributions present (blanks substituted): act on it.
+    Complete {
+        /// The completed sample.
+        seq: u64,
+        /// Per-source contributions, blanks substituted where missing.
+        items: Vec<T>,
+    },
+    /// Contribution for the most recently completed sample — a duplicate,
+    /// or a retry racing the decision: the node should replay its cached
+    /// decision so a lost downstream frame can be recovered.
+    Replay {
+        /// The already-completed sample.
+        seq: u64,
+    },
+    /// Below the completion watermark (older duplicate): ignore.
+    Stale,
+    /// Still waiting for more contributions.
+    Pending,
+}
+
+/// Gathers one contribution per source for each sample, substituting the
+/// source's blank signature when its contribution misses the deadline (or,
+/// statically, when the source is a priori failed). Completed samples are
+/// guarded by a watermark so late duplicates can never re-open a pending
+/// entry (the pending-map leak), and stale partials are garbage-collected.
+pub(crate) struct Collector<T> {
+    num_sources: usize,
+    blanks: Vec<T>,
+    policy: AggPolicy,
+    /// Source index → device index (`None` when the source is not an end
+    /// device, e.g. a tier feeding the next tier).
+    device_of_source: Vec<Option<usize>>,
+    pending: HashMap<u64, PendingSample<T>>,
+    /// Consecutive deadline misses per source (dynamic mode only).
+    misses: Vec<u32>,
+    /// Total deadline substitutions per source.
+    timeouts: Vec<usize>,
+    /// Samples finalized with at least one substitution.
+    degraded: Vec<u64>,
+    /// Highest completed sample.
+    watermark: Option<u64>,
+}
+
+impl<T: Clone> Collector<T> {
+    pub(crate) fn new(
+        num_sources: usize,
+        blanks: Vec<T>,
+        policy: AggPolicy,
+        device_of_source: Vec<Option<usize>>,
+    ) -> Self {
+        Collector {
+            num_sources,
+            blanks,
+            policy,
+            device_of_source,
+            pending: HashMap::new(),
+            misses: vec![0; num_sources],
+            timeouts: vec![0; num_sources],
+            degraded: Vec::new(),
+            watermark: None,
+        }
+    }
+
+    /// Records one source's contribution for `seq`.
+    pub(crate) fn insert(&mut self, seq: u64, source: usize, item: T) -> Ingest<T> {
+        if matches!(self.policy, AggPolicy::Deadline { .. }) {
+            // Any frame proves the source is alive, whatever its sample.
+            self.misses[source] = 0;
+        }
+        match self.watermark {
+            Some(w) if seq < w => return Ingest::Stale,
+            Some(w) if seq == w => return Ingest::Replay { seq },
+            _ => {}
+        }
+        let deadline = match &self.policy {
+            AggPolicy::Static { .. } => None,
+            AggPolicy::Deadline { aggregation_ms, clock, .. } => {
+                Some(clock.deadline_in(*aggregation_ms))
+            }
+        };
+        let entry = self
+            .pending
+            .entry(seq)
+            .or_insert_with(|| PendingSample { slots: vec![None; self.num_sources], deadline });
+        entry.slots[source] = Some(item);
+        let done = {
+            let entry = &self.pending[&seq];
+            match &self.policy {
+                AggPolicy::Static { required } => {
+                    entry.slots.iter().filter(|s| s.is_some()).count() >= *required
+                }
+                AggPolicy::Deadline { suspect_after, .. } => entry
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .all(|(s, slot)| slot.is_some() || self.misses[s] >= *suspect_after),
+            }
+        };
+        if done {
+            let (seq, items) = self.finalize(seq);
+            Ingest::Complete { seq, items }
+        } else {
+            Ingest::Pending
+        }
+    }
+
+    /// The earliest deadline among pending samples, if any.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.pending.values().filter_map(|p| p.deadline).min()
+    }
+
+    /// Finalizes (with blank substitution) the oldest pending sample whose
+    /// deadline has passed, if any.
+    pub(crate) fn expire(&mut self, now: Instant) -> Option<(u64, Vec<T>)> {
+        let seq = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline.is_some_and(|d| d <= now))
+            .map(|(&k, _)| k)
+            .min()?;
+        Some(self.finalize(seq))
+    }
+
+    /// Removes `seq` from pending, substitutes blanks for missing slots,
+    /// advances the watermark and garbage-collects stale partials.
+    fn finalize(&mut self, seq: u64) -> (u64, Vec<T>) {
+        let entry = self.pending.remove(&seq).expect("finalize of non-pending sample");
+        let dynamic = matches!(self.policy, AggPolicy::Deadline { .. });
+        let mut items = Vec::with_capacity(self.num_sources);
+        let mut missing_any = false;
+        for (s, slot) in entry.slots.into_iter().enumerate() {
+            match slot {
+                Some(item) => items.push(item),
+                None => {
+                    items.push(self.blanks[s].clone());
+                    if dynamic {
+                        self.timeouts[s] += 1;
+                        self.misses[s] = self.misses[s].saturating_add(1);
+                        missing_any = true;
+                    }
+                }
+            }
+        }
+        if missing_any {
+            self.degraded.push(seq);
+        }
+        let watermark = self.watermark.map_or(seq, |w| w.max(seq));
+        self.watermark = Some(watermark);
+        // Partials below the watermark can never complete: their sources
+        // would be classified Stale on arrival.
+        self.pending.retain(|&k, _| k > watermark);
+        (seq, items)
+    }
+
+    pub(crate) fn into_report(self) -> NodeReport {
+        NodeReport {
+            device_timeouts: self
+                .device_of_source
+                .iter()
+                .zip(&self.timeouts)
+                .filter_map(|(d, &c)| d.map(|d| (d, c)))
+                .filter(|&(_, c)| c > 0)
+                .collect(),
+            degraded: self.degraded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn static_collector(k: usize) -> Collector<u32> {
+        Collector::new(
+            k,
+            (0..k).map(|s| 1000 + s as u32).collect(),
+            AggPolicy::Static { required: k },
+            (0..k).map(Some).collect(),
+        )
+    }
+
+    fn deadline_collector(k: usize) -> Collector<u32> {
+        Collector::new(
+            k,
+            (0..k).map(|s| 1000 + s as u32).collect(),
+            AggPolicy::Deadline {
+                aggregation_ms: 60_000, // far enough out never to expire in-test
+                suspect_after: u32::MAX,
+                clock: SimClock::start(),
+            },
+            (0..k).map(Some).collect(),
+        )
+    }
+
+    /// Deterministic Fisher–Yates permutation of `0..k` from a seed (a
+    /// plain LCG keeps the property test independent of external RNGs).
+    fn permutation(k: usize, seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..k).collect();
+        let mut state = seed;
+        for i in (1..k).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        order
+    }
+
+    fn check_order_independence(
+        mut collector: Collector<u32>,
+        k: usize,
+        seed: u64,
+        dups: &[usize],
+    ) {
+        // Reference: in-order arrival of every source's contribution.
+        let reference: Vec<u32> = (0..k as u32).collect();
+        let order = permutation(k, seed);
+        let mut completions: Vec<Vec<u32>> = Vec::new();
+        for (idx, &s) in order.iter().enumerate() {
+            // Interleave duplicates of already-delivered sources; they must
+            // never complete the sample early or corrupt a slot.
+            for &d in dups {
+                if d < idx {
+                    assert!(
+                        matches!(collector.insert(7, order[d], order[d] as u32), Ingest::Pending),
+                        "duplicate must stay pending"
+                    );
+                }
+            }
+            match collector.insert(7, s, s as u32) {
+                Ingest::Complete { seq, items } => {
+                    assert_eq!(seq, 7);
+                    completions.push(items);
+                }
+                Ingest::Pending => assert!(idx + 1 < k, "last insert must complete"),
+                Ingest::Replay { .. } | Ingest::Stale => panic!("fresh contribution misclassified"),
+            }
+        }
+        // Exactly one completion, and its items are in source order — the
+        // arrival permutation and the duplicates leave no trace.
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions.remove(0), reference);
+        // After completion the watermark holds: duplicates replay, older
+        // sequences are stale.
+        assert!(matches!(collector.insert(7, order[0], 0), Ingest::Replay { seq: 7 }));
+        assert!(matches!(collector.insert(3, 0, 0), Ingest::Stale));
+        // No degradation was recorded: every slot was genuinely filled.
+        let report = collector.into_report();
+        assert!(report.device_timeouts.is_empty());
+        assert!(report.degraded.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn static_finalization_is_order_independent(
+            k in 2usize..6,
+            seed in 0u64..1024,
+            dups in prop::collection::vec(0usize..6, 0..5),
+        ) {
+            check_order_independence(static_collector(k), k, seed, &dups);
+        }
+
+        #[test]
+        fn deadline_finalization_is_order_independent(
+            k in 2usize..6,
+            seed in 0u64..1024,
+            dups in prop::collection::vec(0usize..6, 0..5),
+        ) {
+            check_order_independence(deadline_collector(k), k, seed, &dups);
+        }
+    }
+
+    #[test]
+    fn static_policy_substitutes_blanks_for_a_priori_failed_sources() {
+        // 3 sources, one (index 1) known-dead: required = 2.
+        let mut c = Collector::new(
+            3,
+            vec![100, 101, 102],
+            AggPolicy::Static { required: 2 },
+            (0..3).map(Some).collect(),
+        );
+        assert!(matches!(c.insert(0, 0, 7), Ingest::Pending));
+        match c.insert(0, 2, 9) {
+            Ingest::Complete { seq, items } => {
+                assert_eq!(seq, 0);
+                assert_eq!(items, vec![7, 101, 9]); // blank substituted in place
+            }
+            _ => panic!("second live contribution must complete"),
+        }
+        // Static substitution is the paper's intended §IV-G behavior, not
+        // dynamic degradation: nothing is reported.
+        let report = c.into_report();
+        assert!(report.device_timeouts.is_empty());
+        assert!(report.degraded.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! The end-device node and its blank-input signature.
+//!
+//! A *failed* device's thread never starts; the aggregating tiers
+//! substitute the device's precomputed [`BlankSignature`], which is the
+//! same encoding the dataset uses for "object not present" — the mechanism
+//! behind the paper's automatic fault tolerance (§IV-G).
+
+use crate::error::{Result, RuntimeError};
+use crate::link::{LinkReceiver, LinkSender};
+use crate::message::{features_payload, Frame, NodeId, Payload};
+use crate::node::report::NodeReport;
+use ddnn_core::{DdnnConfig, DevicePart, BLANK_INPUT_VALUE};
+use ddnn_nn::{Layer, Mode};
+use ddnn_tensor::Tensor;
+
+/// The blank sensor view for the model's configured input geometry, as a
+/// single-sample batch.
+pub(crate) fn blank_view(config: &DdnnConfig) -> Tensor {
+    let [c, h, w] = config.view_dims();
+    Tensor::full([1, c, h, w], BLANK_INPUT_VALUE)
+}
+
+/// Per-device blank-input signature: the scores and feature map the device
+/// would produce for a blank view, substituted by aggregators when the
+/// device has failed.
+#[derive(Debug, Clone)]
+pub(crate) struct BlankSignature {
+    /// Exit-head class scores for the blank view.
+    pub(crate) scores: Vec<f32>,
+    /// ConvP feature map for the blank view, shaped
+    /// [`DdnnConfig::device_map_dims`].
+    pub(crate) map: Tensor,
+}
+
+/// Computes one device's [`BlankSignature`] on cloned sections.
+pub(crate) fn blank_signature(part: &DevicePart, config: &DdnnConfig) -> Result<BlankSignature> {
+    let mut conv = part.conv.clone();
+    let mut exit = part.exit.clone();
+    let map = conv.forward(&blank_view(config), Mode::Eval)?;
+    let scores = exit.forward(&map, Mode::Eval)?;
+    Ok(BlankSignature { scores: scores.data().to_vec(), map: map.index_axis0(0)? })
+}
+
+/// Runs a device node until shutdown. In `tolerant` mode (deadlines
+/// active) protocol hiccups that faults make possible — duplicated stale
+/// captures, offload requests racing a retried capture — are ignored
+/// instead of aborting the node.
+pub(crate) fn device_node(
+    d: usize,
+    part: DevicePart,
+    inbox_rx: LinkReceiver,
+    to_gateway: LinkSender,
+    to_upper: LinkSender,
+    tolerant: bool,
+) -> Result<NodeReport> {
+    let mut conv = part.conv;
+    let mut exit = part.exit;
+    let mut latest: Option<(u64, Tensor)> = None;
+    loop {
+        let frame = inbox_rx.recv()?;
+        match frame.payload {
+            Payload::Capture { view } => {
+                if tolerant {
+                    // A duplicated or jittered capture for an older sample
+                    // must not roll `latest` backwards.
+                    if let Some((seq, _)) = &latest {
+                        if frame.seq < *seq {
+                            continue;
+                        }
+                    }
+                }
+                // The capture carries its own geometry; batch it as-is.
+                let mut dims = vec![1];
+                dims.extend_from_slice(view.dims());
+                let batch = view.reshape(dims)?;
+                let map = conv.forward(&batch, Mode::Eval)?;
+                let scores = exit.forward(&map, Mode::Eval)?;
+                latest = Some((frame.seq, map.index_axis0(0)?));
+                to_gateway.send(&Frame::new(
+                    frame.seq,
+                    NodeId::Device(d as u8),
+                    Payload::Scores { scores: scores.data().to_vec() },
+                ))?;
+            }
+            Payload::OffloadRequest => {
+                match latest.as_ref() {
+                    Some((seq, map)) if *seq == frame.seq => {
+                        to_upper.send(&Frame::new(
+                            *seq,
+                            NodeId::Device(d as u8),
+                            features_payload(map)?,
+                        ))?;
+                    }
+                    _ if tolerant => {} // stale or premature request under faults
+                    None => {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!("device {d}: offload request before any capture"),
+                        })
+                    }
+                    Some((seq, _)) => {
+                        return Err(RuntimeError::Protocol {
+                            reason: format!(
+                                "device {d}: offload for sample {} but latest is {seq}",
+                                frame.seq
+                            ),
+                        })
+                    }
+                }
+            }
+            Payload::Shutdown => return Ok(NodeReport::default()),
+            other => {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("device {d}: unexpected payload {other:?}"),
+                })
+            }
+        }
+    }
+}

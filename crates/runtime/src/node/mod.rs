@@ -1,0 +1,24 @@
+//! The node engine of the simulated hierarchy.
+//!
+//! The legacy `cluster` module hand-rolled three near-identical
+//! aggregating nodes (gateway, edge, cloud). This tree replaces them with
+//! one tier-generic implementation:
+//!
+//! * [`report`] — run reports ([`report::SimReport`]) and per-node
+//!   degradation telemetry;
+//! * [`collector`] — the shared fan-in state machine: deadlines, suspect
+//!   marking, watermark GC and blank substitution, identical at every
+//!   tier;
+//! * [`device`] — the end-device loop and blank-input signatures;
+//! * [`tier`] — the generic `TierNode`: a collector, a model section, an
+//!   `ExitPolicy` and an escalation target. Gateway, edge, cloud and the
+//!   §IV-H raw-offload baseline are all instantiations of it.
+//!
+//! Which nodes exist and how they are wired is decided by
+//! [`crate::topology::Topology`]; the execution loop lives in the crate's
+//! runner.
+
+pub(crate) mod collector;
+pub(crate) mod device;
+pub mod report;
+pub(crate) mod tier;

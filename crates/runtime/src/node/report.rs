@@ -1,0 +1,253 @@
+//! Run reports: per-sample results, link traffic and degradation
+//! telemetry, plus the shared assembly path that turns one run's tallies
+//! into a [`SimReport`].
+
+use crate::error::{Result, RuntimeError};
+use crate::link::LinkStats;
+use ddnn_core::ExitPoint;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Terminal status of one sample in a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// A verdict arrived; `predictions[i]` holds the class.
+    Classified,
+    /// Every watchdog attempt expired; `predictions[i]` is `usize::MAX`
+    /// and the sample counts as incorrect.
+    TimedOut {
+        /// Total time the orchestrator waited across all attempts (ms).
+        waited_ms: u64,
+    },
+}
+
+/// Result of a distributed inference run over a labeled test set.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-sample predictions.
+    pub predictions: Vec<usize>,
+    /// Per-sample exit points.
+    pub exits: Vec<ExitPoint>,
+    /// Accuracy against the provided labels.
+    pub accuracy: f32,
+    /// Fraction of samples exited locally.
+    pub local_exit_fraction: f32,
+    /// Named per-link traffic counters.
+    pub links: Vec<(String, LinkStats)>,
+    /// Mean simulated end-to-end latency per sample (ms).
+    pub mean_latency_ms: f32,
+    /// Mean simulated latency of locally exited samples (ms).
+    pub mean_local_latency_ms: f32,
+    /// Mean simulated latency of offloaded samples (ms).
+    pub mean_offload_latency_ms: f32,
+    /// Per-sample terminal outcomes (all `Classified` in a fault-free run).
+    pub outcomes: Vec<SampleOutcome>,
+    /// Fraction of samples degraded by *dynamic* faults: finalized with at
+    /// least one deadline-driven blank substitution at some tier, or timed
+    /// out entirely. Statically failed devices do not count — their
+    /// substitution is the paper's intended behavior, not degradation.
+    pub degraded_fraction: f32,
+    /// Deadline substitutions charged to each device, summed across the
+    /// aggregation tiers that waited for it.
+    pub device_timeouts: Vec<usize>,
+    /// Capture retransmissions issued by the orchestrator watchdog.
+    pub capture_retries: usize,
+}
+
+impl SimReport {
+    /// Measured *payload* bytes sent by end devices, total across the run
+    /// (class-score vectors plus offloaded feature maps minus their shape
+    /// preambles) — the quantity Eq. 1 models.
+    pub fn device_payload_bytes(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|(name, _)| name.starts_with("device"))
+            .map(|(_, s)| s.payload_bytes)
+            .sum()
+    }
+
+    /// Mean measured device payload bytes per sample *per live device*.
+    pub fn device_payload_per_sample(&self, live_devices: usize) -> f32 {
+        if self.predictions.is_empty() || live_devices == 0 {
+            return 0.0;
+        }
+        self.device_payload_bytes() as f32 / (self.predictions.len() * live_devices) as f32
+    }
+
+    /// Number of samples the watchdog abandoned.
+    pub fn timed_out_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, SampleOutcome::TimedOut { .. })).count()
+    }
+
+    /// Number of samples that received a verdict — the complement of
+    /// [`SimReport::timed_out_count`].
+    pub fn classified_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, SampleOutcome::Classified)).count()
+    }
+
+    /// The per-sample result: the predicted class, or the typed timeout
+    /// error for a sample the watchdog abandoned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::SampleIndex`] when `i` is out of range and
+    /// [`RuntimeError::Timeout`] for timed-out samples.
+    pub fn sample_result(&self, i: usize) -> Result<usize> {
+        match self.outcomes.get(i) {
+            None => Err(RuntimeError::SampleIndex { index: i, len: self.outcomes.len() }),
+            Some(SampleOutcome::Classified) => Ok(self.predictions[i]),
+            Some(SampleOutcome::TimedOut { waited_ms }) => {
+                Err(RuntimeError::Timeout { node: format!("sample {i}"), waited_ms: *waited_ms })
+            }
+        }
+    }
+
+    /// Fraction of samples exited at `point`.
+    pub fn exit_fraction(&self, point: ExitPoint) -> f32 {
+        if self.exits.is_empty() {
+            return 0.0;
+        }
+        self.exits.iter().filter(|&&e| e == point).count() as f32 / self.exits.len() as f32
+    }
+}
+
+/// What a node thread observed about dynamic degradation, merged into the
+/// [`SimReport`] after shutdown.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeReport {
+    /// `(device, substitutions)` pairs this node recorded.
+    pub(crate) device_timeouts: Vec<(usize, usize)>,
+    /// Samples this node finalized with at least one substitution.
+    pub(crate) degraded: Vec<u64>,
+}
+
+/// What the orchestrator tallied while driving one run's samples.
+pub(crate) struct RunTallies {
+    pub(crate) predictions: Vec<usize>,
+    pub(crate) exits: Vec<ExitPoint>,
+    pub(crate) latencies: Vec<f32>,
+    pub(crate) outcomes: Vec<SampleOutcome>,
+    pub(crate) capture_retries: usize,
+}
+
+/// Merges the orchestrator's tallies with the link counters and the node
+/// threads' degradation telemetry into the final [`SimReport`]. Shared by
+/// the topology runner and the cloud-only baseline so both report through
+/// the identical arithmetic.
+pub(crate) fn assemble_report(
+    tallies: RunTallies,
+    labels: &[usize],
+    link_stats: Vec<(String, Arc<Mutex<LinkStats>>)>,
+    node_reports: Vec<NodeReport>,
+    num_devices: usize,
+) -> SimReport {
+    let RunTallies { predictions, exits, latencies, outcomes, capture_retries } = tallies;
+    let n_samples = predictions.len();
+
+    // Merge what the aggregation tiers observed about degradation.
+    let mut device_timeouts = vec![0usize; num_devices];
+    let mut degraded: HashSet<u64> = HashSet::new();
+    for report in node_reports {
+        for (d, c) in report.device_timeouts {
+            device_timeouts[d] += c;
+        }
+        degraded.extend(report.degraded);
+    }
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if matches!(outcome, SampleOutcome::TimedOut { .. }) {
+            degraded.insert(i as u64);
+        }
+    }
+
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let local_exits = exits.iter().filter(|&&e| e == ExitPoint::Local).count();
+    let mean = |xs: &[f32]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f32>() / xs.len() as f32
+        }
+    };
+    let local_lat: Vec<f32> = latencies
+        .iter()
+        .zip(&exits)
+        .filter(|(_, &e)| e == ExitPoint::Local)
+        .map(|(&l, _)| l)
+        .collect();
+    let offload_lat: Vec<f32> = latencies
+        .iter()
+        .zip(&exits)
+        .filter(|(_, &e)| e != ExitPoint::Local)
+        .map(|(&l, _)| l)
+        .collect();
+
+    SimReport {
+        accuracy: if n_samples == 0 { 0.0 } else { correct as f32 / n_samples as f32 },
+        local_exit_fraction: if n_samples == 0 {
+            0.0
+        } else {
+            local_exits as f32 / n_samples as f32
+        },
+        links: link_stats.into_iter().map(|(name, s)| (name, *s.lock())).collect(),
+        mean_latency_ms: mean(&latencies),
+        mean_local_latency_ms: mean(&local_lat),
+        mean_offload_latency_ms: mean(&offload_lat),
+        predictions,
+        exits,
+        outcomes,
+        degraded_fraction: if n_samples == 0 {
+            0.0
+        } else {
+            degraded.len() as f32 / n_samples as f32
+        },
+        device_timeouts,
+        capture_retries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(outcomes: Vec<SampleOutcome>) -> SimReport {
+        let n = outcomes.len();
+        SimReport {
+            predictions: (0..n).collect(),
+            exits: vec![ExitPoint::Local; n],
+            accuracy: 0.0,
+            local_exit_fraction: 1.0,
+            links: Vec::new(),
+            mean_latency_ms: 0.0,
+            mean_local_latency_ms: 0.0,
+            mean_offload_latency_ms: 0.0,
+            outcomes,
+            degraded_fraction: 0.0,
+            device_timeouts: Vec::new(),
+            capture_retries: 0,
+        }
+    }
+
+    #[test]
+    fn sample_result_out_of_range_is_typed() {
+        let r = report(vec![SampleOutcome::Classified; 3]);
+        assert_eq!(r.sample_result(2).unwrap(), 2);
+        match r.sample_result(7) {
+            Err(RuntimeError::SampleIndex { index: 7, len: 3 }) => {}
+            other => panic!("expected SampleIndex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classified_count_complements_timeouts() {
+        let r = report(vec![
+            SampleOutcome::Classified,
+            SampleOutcome::TimedOut { waited_ms: 10 },
+            SampleOutcome::Classified,
+        ]);
+        assert_eq!(r.classified_count(), 2);
+        assert_eq!(r.timed_out_count(), 1);
+        assert_eq!(r.classified_count() + r.timed_out_count(), r.outcomes.len());
+        assert!(matches!(r.sample_result(1), Err(RuntimeError::Timeout { .. })));
+    }
+}

@@ -1,0 +1,338 @@
+//! The tier-generic aggregating node.
+//!
+//! One [`TierNode`] — a [`Collector`], a [`TierSection`], an
+//! [`ExitPolicy`] and an [`Escalation`] target — subsumes the legacy
+//! gateway, edge and cloud loops *and* the §IV-H raw-offload baseline:
+//!
+//! | legacy node    | section              | policy     | escalation            |
+//! |----------------|----------------------|------------|-----------------------|
+//! | gateway        | [`ScoresSection`]    | `Entropy`  | `RequestFromDevices`  |
+//! | edge           | [`FeatureSection`]   | `Entropy`  | `ForwardMap`          |
+//! | cloud          | [`FeatureSection`]   | `Terminal` | `Terminal`            |
+//! | baseline cloud | [`RawSection`]       | `Terminal` | `Terminal`            |
+//!
+//! Deadline expiry, suspect marking, replay of cached decisions and blank
+//! substitution are therefore one shared finalize path at every tier.
+
+use crate::error::{Result, RuntimeError};
+use crate::link::{LinkReceiver, LinkSender};
+use crate::message::{dequantize_image, features_payload, features_tensor, Frame, NodeId, Payload};
+use crate::node::collector::{Collector, Ingest};
+use crate::node::report::NodeReport;
+use ddnn_core::{
+    ConvPBlock, DevicePart, EdgePart, ExitHead, ExitPolicy, FeatureAggregator, VectorAggregator,
+};
+use ddnn_nn::{Layer, Mode};
+use ddnn_tensor::{parallel, Tensor};
+use std::time::Instant;
+
+/// Prepends a batch axis to each rank-3 map.
+pub(crate) fn batched(maps: Vec<Tensor>) -> Result<Vec<Tensor>> {
+    maps.into_iter()
+        .map(|m| {
+            let mut dims = vec![1];
+            dims.extend_from_slice(m.dims());
+            m.reshape(dims).map_err(RuntimeError::from)
+        })
+        .collect()
+}
+
+/// Where a tier's contributions come from — this defines the collector's
+/// source-slot space.
+pub(crate) enum FanIn {
+    /// One slot per end device; contributions arrive from `Device(d)`.
+    Devices(usize),
+    /// A single upstream tier.
+    Tier(NodeId),
+}
+
+impl FanIn {
+    /// Maps a frame's sender to its collector slot.
+    fn source_slot(&self, from: NodeId, node: &str) -> Result<usize> {
+        match (self, from) {
+            (FanIn::Devices(n), NodeId::Device(d)) if (d as usize) < *n => Ok(d as usize),
+            (FanIn::Tier(expected), from) if from == *expected => Ok(0),
+            (_, from) => Err(RuntimeError::Protocol {
+                reason: format!("{node}: contribution from unexpected sender {from}"),
+            }),
+        }
+    }
+}
+
+/// The model section a tier evaluates once its fan-in completes.
+pub(crate) trait TierSection: Send {
+    /// One source's contribution (a score vector, a feature map, a raw
+    /// view) — what the collector gathers and substitutes blanks for.
+    type Item: Clone + Send;
+
+    /// Extracts this section's item from an arriving payload.
+    fn item_from(&self, payload: Payload, node: &str) -> Result<Self::Item>;
+
+    /// Evaluates the section on a completed contribution set, returning the
+    /// exit logits and (for feature tiers) the rank-4 output map a
+    /// non-terminal tier forwards when it escalates.
+    fn evaluate(&mut self, items: Vec<Self::Item>) -> Result<(Tensor, Option<Tensor>)>;
+}
+
+/// The gateway's section: aggregate per-device class-score vectors.
+pub(crate) struct ScoresSection {
+    /// Score aggregation scheme.
+    pub(crate) agg: VectorAggregator,
+}
+
+impl TierSection for ScoresSection {
+    type Item = Vec<f32>;
+
+    fn item_from(&self, payload: Payload, node: &str) -> Result<Vec<f32>> {
+        match payload {
+            Payload::Scores { scores } => Ok(scores),
+            other => Err(RuntimeError::Protocol {
+                reason: format!("{node}: unexpected payload {other:?}"),
+            }),
+        }
+    }
+
+    fn evaluate(&mut self, items: Vec<Vec<f32>>) -> Result<(Tensor, Option<Tensor>)> {
+        // Assemble per-device (1, C) score tensors (blanks already
+        // substituted by the collector).
+        let inputs: Vec<Tensor> = items
+            .into_iter()
+            .map(|v| {
+                let c = v.len();
+                Tensor::from_vec(v, [1, c]).map_err(RuntimeError::from)
+            })
+            .collect::<Result<_>>()?;
+        Ok((self.agg.forward(&inputs, Mode::Eval)?, None))
+    }
+}
+
+/// An edge/cloud-style section: aggregate binary feature maps, run ConvP
+/// blocks, classify at the exit head.
+pub(crate) struct FeatureSection {
+    /// Feature-map aggregation.
+    pub(crate) agg: FeatureAggregator,
+    /// ConvP chain applied after aggregation.
+    pub(crate) convs: Vec<ConvPBlock>,
+    /// Exit classifier.
+    pub(crate) exit: ExitHead,
+}
+
+impl TierSection for FeatureSection {
+    type Item = Tensor;
+
+    fn item_from(&self, payload: Payload, node: &str) -> Result<Tensor> {
+        match payload {
+            Payload::Features { channels, height, width, bits } => {
+                features_tensor(channels, height, width, &bits)
+            }
+            other => Err(RuntimeError::Protocol {
+                reason: format!("{node}: unexpected payload {other:?}"),
+            }),
+        }
+    }
+
+    fn evaluate(&mut self, maps: Vec<Tensor>) -> Result<(Tensor, Option<Tensor>)> {
+        let mut x = self.agg.forward(&batched(maps)?)?;
+        for conv in &mut self.convs {
+            x = conv.forward(&x, Mode::Eval)?;
+        }
+        let logits = self.exit.forward(&x, Mode::Eval)?;
+        Ok((logits, Some(x)))
+    }
+}
+
+/// The §IV-H baseline cloud section: every device ships its raw
+/// (byte-quantized) view and the cloud runs the *entire* partitioned
+/// network — device trunks, optional edge, cloud stack.
+pub(crate) struct RawSection {
+    /// Device trunk sections, evaluated cloud-side.
+    pub(crate) devices: Vec<DevicePart>,
+    /// Optional edge section, evaluated cloud-side.
+    pub(crate) edge: Option<EdgePart>,
+    /// Cloud feature aggregation.
+    pub(crate) agg: FeatureAggregator,
+    /// Cloud ConvP chain.
+    pub(crate) convs: Vec<ConvPBlock>,
+    /// Final classifier.
+    pub(crate) exit: ExitHead,
+    /// Geometry raw pixels decode to.
+    pub(crate) view_dims: [usize; 3],
+}
+
+impl TierSection for RawSection {
+    type Item = Tensor;
+
+    fn item_from(&self, payload: Payload, node: &str) -> Result<Tensor> {
+        match payload {
+            Payload::RawImage { pixels } => dequantize_image(&pixels, self.view_dims),
+            other => Err(RuntimeError::Protocol {
+                reason: format!("{node}: unexpected payload {other:?}"),
+            }),
+        }
+    }
+
+    fn evaluate(&mut self, views: Vec<Tensor>) -> Result<(Tensor, Option<Tensor>)> {
+        // Run the full network in the cloud (config (a)). The per-sample
+        // device fan-out evaluates the independent device sections
+        // concurrently, in device order.
+        let mut sections: Vec<(&mut DevicePart, Tensor)> = Vec::with_capacity(self.devices.len());
+        for (part, v) in self.devices.iter_mut().zip(views) {
+            let mut dims = vec![1];
+            dims.extend_from_slice(v.dims());
+            sections.push((part, v.reshape(dims)?));
+        }
+        let maps: Vec<Tensor> = parallel::par_map_mut(&mut sections, |_, section| {
+            let (part, batch) = section;
+            part.conv.forward(batch, Mode::Eval)
+        })
+        .into_iter()
+        .collect::<ddnn_tensor::Result<_>>()?;
+        let mut x = if let Some(e) = self.edge.as_mut() {
+            let a = e.agg.forward(&maps)?;
+            let m = e.conv.forward(&a, Mode::Eval)?;
+            self.agg.forward(&[m])?
+        } else {
+            self.agg.forward(&maps)?
+        };
+        for conv in &mut self.convs {
+            x = conv.forward(&x, Mode::Eval)?;
+        }
+        let logits = self.exit.forward(&x, Mode::Eval)?;
+        Ok((logits, None))
+    }
+}
+
+/// What a non-exiting sample does next at this tier.
+pub(crate) enum Escalation {
+    /// Broadcast an offload request to the live devices (the gateway role;
+    /// `None` entries are statically failed devices).
+    RequestFromDevices(Vec<Option<LinkSender>>),
+    /// Forward this tier's own output map to the next tier up.
+    ForwardMap(LinkSender),
+    /// Terminal tier: escalation is impossible.
+    Terminal,
+}
+
+/// A tier's cached decision for a completed sample, replayable when
+/// duplicated or retried frames arrive after completion.
+enum Decision {
+    /// Exited here with this verdict frame (to the orchestrator).
+    Verdict(Frame),
+    /// Escalated: broadcast an offload request to the devices.
+    Broadcast,
+    /// Escalated: forward this features frame to the next tier.
+    Forward(Frame),
+}
+
+/// One aggregating node of the hierarchy, generic over its model section.
+pub(crate) struct TierNode<S: TierSection> {
+    /// Display name ("gateway", "edge", …), used in protocol errors.
+    pub(crate) name: String,
+    /// Wire identity stamped on this node's outgoing frames.
+    pub(crate) id: NodeId,
+    /// The `exit_tier` stamped into this node's verdicts (0 = gateway; a
+    /// chain tier's 1-based position otherwise).
+    pub(crate) exit_tier: u8,
+    /// The model section evaluated on each completed sample.
+    pub(crate) section: S,
+    /// Exit decision applied to the section's logits.
+    pub(crate) policy: ExitPolicy,
+    /// Source-slot space of the collector.
+    pub(crate) fan_in: FanIn,
+    /// This node's inbox.
+    pub(crate) inbox: LinkReceiver,
+    /// Verdict link.
+    pub(crate) to_orchestrator: LinkSender,
+    /// Where non-exiting samples go.
+    pub(crate) escalation: Escalation,
+    /// The shared fan-in state machine.
+    pub(crate) collector: Collector<S::Item>,
+}
+
+impl<S: TierSection> TierNode<S> {
+    /// Runs the node until shutdown, returning its degradation telemetry.
+    pub(crate) fn run(mut self) -> Result<NodeReport> {
+        let mut last_decision: Option<(u64, Decision)> = None;
+        loop {
+            let mut completed: Vec<(u64, Vec<S::Item>)> = Vec::new();
+            while let Some(done) = self.collector.expire(Instant::now()) {
+                completed.push(done);
+            }
+            if completed.is_empty() {
+                let frame = match self.collector.next_deadline() {
+                    Some(deadline) => match self.inbox.recv_deadline(deadline)? {
+                        Some(frame) => frame,
+                        None => continue, // a deadline fired; expire on the next pass
+                    },
+                    None => self.inbox.recv()?,
+                };
+                if matches!(frame.payload, Payload::Shutdown) {
+                    return Ok(self.collector.into_report());
+                }
+                let source = self.fan_in.source_slot(frame.from, &self.name)?;
+                let item = self.section.item_from(frame.payload, &self.name)?;
+                match self.collector.insert(frame.seq, source, item) {
+                    Ingest::Complete { seq, items } => completed.push((seq, items)),
+                    Ingest::Replay { seq } => {
+                        if let Some((s, decision)) = &last_decision {
+                            if *s == seq {
+                                self.send(decision, seq)?;
+                            }
+                        }
+                    }
+                    Ingest::Stale | Ingest::Pending => {}
+                }
+            }
+            for (seq, items) in completed {
+                let decision = self.decide(seq, items)?;
+                self.send(&decision, seq)?;
+                last_decision = Some((seq, decision));
+            }
+        }
+    }
+
+    /// Evaluates the section and resolves the exit-or-escalate decision.
+    fn decide(&mut self, seq: u64, items: Vec<S::Item>) -> Result<Decision> {
+        let (logits, map) = self.section.evaluate(items)?;
+        match self.policy.decide(&logits)? {
+            Some(pred) => Ok(Decision::Verdict(Frame::new(
+                seq,
+                self.id,
+                Payload::Verdict { prediction: pred as u16, exit_tier: self.exit_tier },
+            ))),
+            None => match &self.escalation {
+                Escalation::RequestFromDevices(_) => Ok(Decision::Broadcast),
+                Escalation::ForwardMap(_) => {
+                    let map = map.ok_or_else(|| RuntimeError::Protocol {
+                        reason: format!("{}: escalation without an output map", self.name),
+                    })?;
+                    Ok(Decision::Forward(Frame::new(
+                        seq,
+                        self.id,
+                        features_payload(&map.index_axis0(0)?)?,
+                    )))
+                }
+                Escalation::Terminal => Err(RuntimeError::Protocol {
+                    reason: format!("{}: terminal tier cannot escalate", self.name),
+                }),
+            },
+        }
+    }
+
+    /// Sends a (possibly replayed) decision to its target.
+    fn send(&self, decision: &Decision, seq: u64) -> Result<()> {
+        match (decision, &self.escalation) {
+            (Decision::Verdict(frame), _) => self.to_orchestrator.send(frame),
+            (Decision::Broadcast, Escalation::RequestFromDevices(devices)) => {
+                for sender in devices.iter().flatten() {
+                    sender.send(&Frame::new(seq, self.id, Payload::OffloadRequest))?;
+                }
+                Ok(())
+            }
+            (Decision::Forward(frame), Escalation::ForwardMap(next)) => next.send(frame),
+            _ => Err(RuntimeError::Protocol {
+                reason: format!("{}: decision does not match escalation target", self.name),
+            }),
+        }
+    }
+}

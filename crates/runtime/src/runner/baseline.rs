@@ -1,0 +1,159 @@
+//! The §IV-H cloud-offload baseline, run through the same tier-generic
+//! engine as the staged hierarchy (a single terminal [`TierNode`] with a
+//! [`RawSection`]), so fault plans and deadline degradation apply to it
+//! exactly like they do to the real topology.
+
+use super::orchestrate::{drive_samples, make_policy, validate_run};
+use crate::clock::SimClock;
+use crate::error::{Result, RuntimeError};
+use crate::fault::{CrashState, LinkFault};
+use crate::link::{attach_faulty_sender, attach_sender, inbox, LinkStats};
+use crate::message::{dequantize_image, quantize_image, Frame, NodeId, Payload};
+use crate::node::collector::Collector;
+use crate::node::device::blank_view;
+use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
+use crate::node::tier::{Escalation, FanIn, RawSection, TierNode};
+use crate::topology::HierarchyConfig;
+use ddnn_core::{DdnnPartition, ExitPoint, ExitPolicy};
+use ddnn_tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runs the §IV-H cloud-offload baseline: every device sends its raw
+/// (byte-quantized) view to the cloud for every sample; the cloud runs the
+/// entire network and classifies. The raw-image traffic is accounted on
+/// the `device*->cloud` links.
+///
+/// The baseline shares the topology runner's device fan-out machinery —
+/// the fault layer, the [`Collector`] finalize path and the watchdog
+/// orchestrator — so `cfg.failed_devices`, `cfg.fault_plan` and
+/// `cfg.deadlines` degrade it exactly like the staged hierarchy instead
+/// of being silently ignored.
+///
+/// # Errors
+///
+/// Returns an error for malformed inputs or node failures.
+pub fn run_cloud_only_baseline(
+    partition: &DdnnPartition,
+    device_views: &[Tensor],
+    labels: &[usize],
+    cfg: &HierarchyConfig,
+) -> Result<SimReport> {
+    let num_devices = partition.devices.len();
+    let live = validate_run(num_devices, device_views, labels, cfg)?;
+    let n_samples = labels.len();
+    let tolerant = cfg.deadlines.is_some();
+    let clock = SimClock::start();
+    let view_dims = partition.config.view_dims();
+
+    let fault_active = cfg.fault_plan.is_active();
+    let crash_states: HashMap<usize, Arc<CrashState>> = cfg
+        .fault_plan
+        .crash_after
+        .iter()
+        .map(|c| (c.device, CrashState::new(c.after_frames)))
+        .collect();
+
+    // The devices forward their captures unchanged, so the orchestrator
+    // feeds the device->cloud links directly (no device threads) — but
+    // through the shared fault layer, and into the shared collector.
+    let (cloud_tx, cloud_rx) = inbox("cloud");
+    let (orch_tx, orch_rx) = inbox("orchestrator");
+    let mut link_stats: Vec<(String, Arc<Mutex<LinkStats>>)> = Vec::new();
+    let mut senders = Vec::new();
+    for d in 0..num_devices {
+        let name = format!("device{d}->cloud");
+        let fault = fault_active.then(|| {
+            Arc::new(LinkFault::new(&cfg.fault_plan, &name, crash_states.get(&d).cloned()))
+        });
+        let (s, st) = attach_faulty_sender(&cloud_tx, &name, fault, tolerant);
+        senders.push(s);
+        link_stats.push((name, st));
+    }
+    let fault = fault_active
+        .then(|| Arc::new(LinkFault::new(&cfg.fault_plan, "cloud->orchestrator", None)));
+    let (cloud_to_orch, s) = attach_faulty_sender(&orch_tx, "cloud->orchestrator", fault, tolerant);
+    link_stats.push(("cloud->orchestrator".to_string(), s));
+
+    // A silent device's blank is the byte-quantized blank view round-
+    // tripped through the wire encoding — exactly what a live device
+    // would have transmitted for a blank capture.
+    let blank_raw = dequantize_image(&quantize_image(&blank_view(&partition.config)), view_dims)?;
+    let collector = Collector::new(
+        num_devices,
+        vec![blank_raw; num_devices],
+        make_policy(cfg.deadlines, clock, &live),
+        (0..num_devices).map(Some).collect(),
+    );
+
+    let mut node_reports: Vec<NodeReport> = Vec::new();
+    let mut tallies: Option<RunTallies> = None;
+
+    std::thread::scope(|scope| -> Result<()> {
+        let node = TierNode {
+            name: "cloud".to_string(),
+            id: NodeId::Cloud,
+            exit_tier: 1,
+            section: RawSection {
+                devices: partition.devices.clone(),
+                edge: partition.edge.clone(),
+                agg: partition.cloud.agg.clone(),
+                convs: partition.cloud.convs.clone(),
+                exit: partition.cloud.exit.clone(),
+                view_dims,
+            },
+            policy: ExitPolicy::Terminal,
+            fan_in: FanIn::Devices(num_devices),
+            inbox: cloud_rx,
+            to_orchestrator: cloud_to_orch,
+            escalation: Escalation::Terminal,
+            collector,
+        };
+        let handle = scope.spawn(move || node.run());
+
+        let send_captures = |i: usize| -> Result<()> {
+            for d in 0..num_devices {
+                if !live[d] {
+                    continue;
+                }
+                let view = device_views[d].index_axis0(i)?;
+                senders[d].send(&Frame::new(
+                    i as u64,
+                    NodeId::Device(d as u8),
+                    Payload::RawImage { pixels: quantize_image(&view) },
+                ))?;
+            }
+            Ok(())
+        };
+        // The baseline's single tier is terminal; it reports as a cloud
+        // exit with no simulated latency (legacy behavior).
+        let exit_point_of = |tier: u8| {
+            if tier == 1 {
+                Ok(ExitPoint::Cloud)
+            } else {
+                Err(RuntimeError::Protocol { reason: format!("unknown exit tier {tier}") })
+            }
+        };
+        let t = drive_samples(
+            n_samples,
+            cfg.deadlines,
+            clock,
+            &orch_rx,
+            send_captures,
+            exit_point_of,
+            |_| 0.0,
+        )?;
+
+        let (s, _) = attach_sender(&cloud_tx, "orchestrator->cloud");
+        s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+        node_reports.push(handle.join().map_err(|_| RuntimeError::Disconnected {
+            node: "baseline cloud thread".to_string(),
+        })??);
+        tallies = Some(t);
+        Ok(())
+    })?;
+
+    let tallies = tallies.expect("scope completed successfully");
+    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices))
+}

@@ -1,0 +1,380 @@
+//! Executes a [`Topology`] over a labeled test set: every node runs on
+//! its own thread, every tensor crossing a tier boundary is serialized to
+//! the wire format and counted, and the staged inference protocol of
+//! paper §III-D unfolds sample by sample.
+//!
+//! The protocol, per sample (the paper's six-step description for
+//! configuration (e)):
+//!
+//! 1. the orchestrator pushes each device its sensor view (not a network
+//!    transfer);
+//! 2. every device runs its ConvP block + exit head and sends its float
+//!    class-score vector to the gateway (always — Eq. 1's first term);
+//! 3. the gateway aggregates, computes normalized entropy and exits the
+//!    sample locally if confident;
+//! 4. otherwise it broadcasts an offload request; each device sends its
+//!    bit-packed binary feature map to the chain's first tier (Eq. 1's
+//!    second term);
+//! 5. each non-terminal tier aggregates, runs its ConvP chain, and exits
+//!    if confident, otherwise forwards its own feature map up the chain;
+//! 6. the terminal tier always classifies what reaches it.
+
+mod baseline;
+mod orchestrate;
+
+pub use baseline::run_cloud_only_baseline;
+use orchestrate::{drive_samples, make_policy, validate_run};
+
+use crate::clock::SimClock;
+use crate::error::{Result, RuntimeError};
+use crate::fault::{CrashState, LinkFault};
+use crate::link::{attach_faulty_sender, attach_sender, inbox, LinkSender, LinkStats};
+use crate::message::{Frame, NodeId, Payload, HEADER_BYTES};
+use crate::node::collector::Collector;
+use crate::node::device::{blank_signature, device_node, BlankSignature};
+use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
+use crate::node::tier::{batched, Escalation, FanIn, FeatureSection, ScoresSection, TierNode};
+use crate::topology::{HierarchyConfig, TierExitRule, Topology};
+use ddnn_core::{DdnnPartition, ExitPolicy};
+use ddnn_nn::{Layer, Mode};
+use ddnn_tensor::{parallel, Tensor};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Executes distributed staged inference of a partitioned DDNN over a test
+/// set: `device_views[d]` is device `d`'s per-sample view batch. The
+/// hierarchy's shape is the one the partition implies
+/// ([`Topology::from_partition`]).
+///
+/// # Errors
+///
+/// Returns an error for malformed inputs, failed-device indices out of
+/// range, or any node/protocol failure.
+pub fn run_distributed_inference(
+    partition: &DdnnPartition,
+    device_views: &[Tensor],
+    labels: &[usize],
+    cfg: &HierarchyConfig,
+) -> Result<SimReport> {
+    run_topology(&Topology::from_partition(partition), device_views, labels, cfg)
+}
+
+/// Executes distributed staged inference over an explicit [`Topology`] —
+/// the legacy shapes and deeper built chains run through this one wiring.
+///
+/// # Errors
+///
+/// Returns an error for malformed inputs, failed-device indices out of
+/// range, or any node/protocol failure.
+#[allow(clippy::needless_range_loop)] // device index addresses several parallel tables
+pub fn run_topology(
+    topology: &Topology,
+    device_views: &[Tensor],
+    labels: &[usize],
+    cfg: &HierarchyConfig,
+) -> Result<SimReport> {
+    let num_devices = topology.num_devices();
+    let live = validate_run(num_devices, device_views, labels, cfg)?;
+    let n_samples = labels.len();
+    let tolerant = cfg.deadlines.is_some();
+    let clock = SimClock::start();
+    let last = topology.tiers.len() - 1; // the chain is never empty
+
+    // Blank signatures for failed-device substitution: one forward pass
+    // per device on identical cloned sections — fan out across the worker
+    // pool (results are collected in device order).
+    let blanks: Vec<BlankSignature> = parallel::par_map_indexed(num_devices, |d| {
+        blank_signature(&topology.devices[d], &topology.config)
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
+
+    // Chained tier blanks: tier 0 collects the device maps, so its blanks
+    // are the device blank signatures; tier k>0 collects tier k−1's
+    // output, so its blank is tier k−1's section applied to its own
+    // blanks — a silent tier degrades to "nothing was seen" rather than
+    // garbage.
+    let mut tier_blanks: Vec<Vec<Tensor>> = Vec::with_capacity(topology.tiers.len());
+    tier_blanks.push(blanks.iter().map(|b| b.map.clone()).collect());
+    for k in 1..topology.tiers.len() {
+        let spec = &topology.tiers[k - 1];
+        let mut agg = spec.agg.clone();
+        let mut convs = spec.convs.clone();
+        let mut x = agg.forward(&batched(tier_blanks[k - 1].clone())?)?;
+        for conv in &mut convs {
+            x = conv.forward(&x, Mode::Eval)?;
+        }
+        tier_blanks.push(vec![x.index_axis0(0)?]);
+    }
+
+    // Per-device crash counters and the per-link fault layers (None when
+    // the plan is inactive, which leaves every link on its exact legacy
+    // path).
+    let fault_active = cfg.fault_plan.is_active();
+    let crash_states: HashMap<usize, Arc<CrashState>> = cfg
+        .fault_plan
+        .crash_after
+        .iter()
+        .map(|c| (c.device, CrashState::new(c.after_frames)))
+        .collect();
+    let fault_for = |name: &str, crash: Option<Arc<CrashState>>| -> Option<Arc<LinkFault>> {
+        fault_active.then(|| Arc::new(LinkFault::new(&cfg.fault_plan, name, crash)))
+    };
+
+    // Wiring, in the exact legacy link order (the report lists links in
+    // creation order).
+    let mut link_stats: Vec<(String, Arc<Mutex<LinkStats>>)> = Vec::new();
+    let mut track = |name: String, stats: Arc<Mutex<LinkStats>>| {
+        link_stats.push((name, stats));
+    };
+
+    let (gateway_tx, gateway_rx) = inbox("gateway");
+    let mut tier_txs = Vec::new();
+    let mut tier_rxs = Vec::new();
+    for spec in &topology.tiers {
+        let (tx, rx) = inbox(&spec.name);
+        tier_txs.push(tx);
+        tier_rxs.push(rx);
+    }
+    let (orch_tx, orch_rx) = inbox("orchestrator");
+
+    // Device inboxes + their outbound links. A crashing device's outbound
+    // links share one crash counter, so the N-th transmitted frame kills
+    // both its score and its feature path at once.
+    let mut device_rx = Vec::new();
+    let mut capture_tx = Vec::new();
+    let mut gateway_to_device: Vec<Option<LinkSender>> = Vec::new();
+    let mut device_threads_io = Vec::new();
+    for d in 0..num_devices {
+        let crash = crash_states.get(&d);
+        let (dtx, drx) = inbox(&format!("device{d}"));
+        let cap_name = format!("sensor->device{d}");
+        let (cap, _cap_stats) =
+            attach_faulty_sender(&dtx, &cap_name, fault_for(&cap_name, None), tolerant);
+        capture_tx.push(cap);
+        let g2d_name = format!("gateway->device{d}");
+        let (g2d, g2d_stats) =
+            attach_faulty_sender(&dtx, &g2d_name, fault_for(&g2d_name, None), tolerant);
+        track(g2d_name, g2d_stats);
+        gateway_to_device.push(live[d].then_some(g2d));
+        let gw_name = format!("device{d}->gateway");
+        let (to_gw, gw_stats) = attach_faulty_sender(
+            &gateway_tx,
+            &gw_name,
+            fault_for(&gw_name, crash.cloned()),
+            tolerant,
+        );
+        track(gw_name, gw_stats);
+        let upper_name = format!("device{d}->{}", topology.tiers[0].name);
+        let (to_upper, upper_stats) = attach_faulty_sender(
+            &tier_txs[0],
+            &upper_name,
+            fault_for(&upper_name, crash.cloned()),
+            tolerant,
+        );
+        track(upper_name, upper_stats);
+        device_rx.push(drx);
+        device_threads_io.push((to_gw, to_upper));
+    }
+    let (gw_to_orch, s) = attach_faulty_sender(
+        &orch_tx,
+        "gateway->orchestrator",
+        fault_for("gateway->orchestrator", None),
+        tolerant,
+    );
+    track("gateway->orchestrator".to_string(), s);
+    // Orchestrator-side tier links, in the legacy order: the terminal
+    // tier's verdict link first, then each non-terminal tier's forward +
+    // verdict links along the chain.
+    let term_orch_name = format!("{}->orchestrator", topology.tiers[last].name);
+    let (term_to_orch, s) =
+        attach_faulty_sender(&orch_tx, &term_orch_name, fault_for(&term_orch_name, None), tolerant);
+    track(term_orch_name, s);
+    let mut fwd_io = Vec::new();
+    for i in 0..last {
+        let fwd_name = format!("{}->{}", topology.tiers[i].name, topology.tiers[i + 1].name);
+        let (to_next, s) =
+            attach_faulty_sender(&tier_txs[i + 1], &fwd_name, fault_for(&fwd_name, None), tolerant);
+        track(fwd_name, s);
+        let orch_name = format!("{}->orchestrator", topology.tiers[i].name);
+        let (to_orch, s) =
+            attach_faulty_sender(&orch_tx, &orch_name, fault_for(&orch_name, None), tolerant);
+        track(orch_name, s);
+        fwd_io.push((to_next, to_orch));
+    }
+    // Zero-stat placeholders the legacy report format always lists (the
+    // no-edge configs still report the edge links).
+    for name in &topology.placeholder_links {
+        track(name.clone(), Arc::new(Mutex::new(LinkStats::default())));
+    }
+    // Per-tier verdict link + escalation target, back in chain order.
+    let mut tier_node_io: Vec<(LinkSender, Escalation)> = Vec::new();
+    {
+        let mut term = Some(term_to_orch);
+        let mut fwd = fwd_io.into_iter();
+        for i in 0..topology.tiers.len() {
+            if i == last {
+                tier_node_io.push((term.take().expect("single terminal"), Escalation::Terminal));
+            } else {
+                let (to_next, to_orch) = fwd.next().expect("io per non-terminal tier");
+                tier_node_io.push((to_orch, Escalation::ForwardMap(to_next)));
+            }
+        }
+    }
+
+    let identity_sources: Vec<Option<usize>> = (0..num_devices).map(Some).collect();
+    let gateway_collector = Collector::new(
+        num_devices,
+        blanks.iter().map(|b| b.scores.clone()).collect(),
+        make_policy(cfg.deadlines, clock, &live),
+        identity_sources.clone(),
+    );
+    // Tier collector geometry: the chain's first tier fans in from the
+    // devices; every later tier has its single predecessor as its source.
+    let mut tier_collectors: Vec<Collector<Tensor>> = Vec::new();
+    for (k, blanks_k) in tier_blanks.into_iter().enumerate() {
+        tier_collectors.push(if k == 0 {
+            Collector::new(
+                num_devices,
+                blanks_k,
+                make_policy(cfg.deadlines, clock, &live),
+                identity_sources.clone(),
+            )
+        } else {
+            Collector::new(1, blanks_k, make_policy(cfg.deadlines, clock, &[true]), vec![None])
+        });
+    }
+
+    let resolve_policy = |rule: &TierExitRule| match rule {
+        TierExitRule::ConfigEdgeThreshold => ExitPolicy::Entropy(cfg.edge_threshold),
+        TierExitRule::Fixed(t) => ExitPolicy::Entropy(*t),
+        TierExitRule::Terminal => ExitPolicy::Terminal,
+    };
+
+    let mut node_reports: Vec<NodeReport> = Vec::new();
+    let mut tallies: Option<RunTallies> = None;
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        // Devices.
+        for (d, ((rx, (to_gw, to_upper)), part)) in
+            device_rx.into_iter().zip(device_threads_io).zip(topology.devices.iter()).enumerate()
+        {
+            if !live[d] {
+                continue;
+            }
+            let part = part.clone();
+            handles.push(scope.spawn(move || device_node(d, part, rx, to_gw, to_upper, tolerant)));
+        }
+        // Gateway: score aggregation, entropy exit, device broadcast.
+        {
+            let node = TierNode {
+                name: "gateway".to_string(),
+                id: NodeId::Gateway,
+                exit_tier: 0,
+                section: ScoresSection { agg: topology.gateway.agg.clone() },
+                policy: ExitPolicy::Entropy(cfg.local_threshold),
+                fan_in: FanIn::Devices(num_devices),
+                inbox: gateway_rx,
+                to_orchestrator: gw_to_orch,
+                escalation: Escalation::RequestFromDevices(gateway_to_device),
+                collector: gateway_collector,
+            };
+            handles.push(scope.spawn(move || node.run()));
+        }
+        // Feature tiers, in chain order.
+        let mut rx_it = tier_rxs.into_iter();
+        let mut coll_it = tier_collectors.into_iter();
+        let mut io_it = tier_node_io.into_iter();
+        for (i, spec) in topology.tiers.iter().enumerate() {
+            let rx = rx_it.next().expect("one inbox per tier");
+            let collector = coll_it.next().expect("one collector per tier");
+            let (to_orchestrator, escalation) = io_it.next().expect("io for every tier");
+            let node = TierNode {
+                name: spec.name.clone(),
+                id: spec.id,
+                exit_tier: (i + 1).min(usize::from(u8::MAX)) as u8,
+                section: FeatureSection {
+                    agg: spec.agg.clone(),
+                    convs: spec.convs.clone(),
+                    exit: spec.exit.clone(),
+                },
+                policy: resolve_policy(&spec.rule),
+                fan_in: if i == 0 {
+                    FanIn::Devices(num_devices)
+                } else {
+                    FanIn::Tier(topology.tiers[i - 1].id)
+                },
+                inbox: rx,
+                to_orchestrator,
+                escalation,
+                collector,
+            };
+            handles.push(scope.spawn(move || node.run()));
+        }
+
+        // Orchestrator: drive samples in order, one at a time.
+        let classes = topology.config.num_classes;
+        let summary_bytes = HEADER_BYTES + 4 + 4 * classes;
+        let map_bytes = HEADER_BYTES + 6 + 4 + topology.config.device_map_elems().div_ceil(8);
+        // Simulated latency: the device->gateway hop always happens; each
+        // escalation up the chain adds one uplink transfer of the feature
+        // map. Accumulated hop by hop so the chain generalizes without
+        // perturbing the legacy two-hop float arithmetic.
+        let latency_of = |tier: u8| {
+            let mut ms = cfg.local_link.transfer_ms(summary_bytes);
+            for _ in 0..tier {
+                ms += cfg.uplink.transfer_ms(map_bytes);
+            }
+            ms
+        };
+        let send_captures = |i: usize| -> Result<()> {
+            for d in 0..num_devices {
+                if !live[d] {
+                    continue;
+                }
+                let view = device_views[d].index_axis0(i)?;
+                capture_tx[d].send(&Frame::new(
+                    i as u64,
+                    NodeId::Orchestrator,
+                    Payload::Capture { view },
+                ))?;
+            }
+            Ok(())
+        };
+        let t = drive_samples(
+            n_samples,
+            cfg.deadlines,
+            clock,
+            &orch_rx,
+            send_captures,
+            |tier| topology.exit_point_of(tier),
+            latency_of,
+        )?;
+
+        // Orderly shutdown: devices first, then gateway, then the chain.
+        for (d, cap) in capture_tx.iter().enumerate() {
+            if live[d] {
+                cap.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+            }
+        }
+        let (s, _) = attach_sender(&gateway_tx, "orchestrator->gateway");
+        s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+        for (spec, tx) in topology.tiers.iter().zip(&tier_txs) {
+            let (s, _) = attach_sender(tx, &format!("orchestrator->{}", spec.name));
+            s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+        }
+
+        for h in handles {
+            node_reports.push(h.join().map_err(|_| RuntimeError::Disconnected {
+                node: "panicked node thread".to_string(),
+            })??);
+        }
+        tallies = Some(t);
+        Ok(())
+    })?;
+
+    let tallies = tallies.expect("scope completed successfully");
+    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices))
+}

@@ -1,0 +1,156 @@
+//! Shared run plumbing: input validation, the collector aggregation
+//! policy, and the orchestrator's sample-driving loop (strict legacy path
+//! without deadlines, watchdog path with them) — used identically by the
+//! topology runner and the cloud-offload baseline.
+
+use crate::clock::SimClock;
+use crate::error::{Result, RuntimeError};
+use crate::fault::DeadlineConfig;
+use crate::link::LinkReceiver;
+use crate::message::Payload;
+use crate::node::collector::AggPolicy;
+use crate::node::report::{RunTallies, SampleOutcome};
+use crate::topology::HierarchyConfig;
+use ddnn_core::ExitPoint;
+use ddnn_tensor::Tensor;
+
+/// Shared input validation (identical checks and ordering for the
+/// topology runner and the baseline), returning the per-device live mask.
+pub(super) fn validate_run(
+    num_devices: usize,
+    device_views: &[Tensor],
+    labels: &[usize],
+    cfg: &HierarchyConfig,
+) -> Result<Vec<bool>> {
+    if device_views.len() != num_devices {
+        return Err(RuntimeError::Config {
+            reason: format!("{} view batches for {num_devices} devices", device_views.len()),
+        });
+    }
+    if let Some(&bad) = cfg.failed_devices.iter().find(|&&d| d >= num_devices) {
+        return Err(RuntimeError::Config { reason: format!("failed device {bad} out of range") });
+    }
+    let n_samples = labels.len();
+    if device_views.iter().any(|v| v.dims()[0] != n_samples) {
+        return Err(RuntimeError::Config {
+            reason: "device view batch size != label count".to_string(),
+        });
+    }
+    let live: Vec<bool> = (0..num_devices).map(|d| !cfg.failed_devices.contains(&d)).collect();
+    if live.iter().all(|&l| !l) {
+        return Err(RuntimeError::Config { reason: "all devices failed".to_string() });
+    }
+    cfg.fault_plan.validate(num_devices)?;
+    if cfg.fault_plan.is_active() && cfg.deadlines.is_none() {
+        return Err(RuntimeError::Config {
+            reason: "an active fault plan requires deadlines (set cfg.deadlines)".to_string(),
+        });
+    }
+    Ok(live)
+}
+
+/// Aggregation policy shared by every collector: static waits for the
+/// precomputed live count; dynamic waits up to the deadline.
+pub(super) fn make_policy(
+    deadlines: Option<DeadlineConfig>,
+    clock: SimClock,
+    live: &[bool],
+) -> AggPolicy {
+    match deadlines {
+        None => AggPolicy::Static { required: live.iter().filter(|&&l| l).count() },
+        Some(dl) => AggPolicy::Deadline {
+            aggregation_ms: dl.aggregation_ms,
+            suspect_after: dl.suspect_after,
+            clock,
+        },
+    }
+}
+
+/// The orchestrator's sample-driving loop, shared by the topology runner
+/// and the baseline: the legacy strict path without deadlines, the
+/// watchdog path (bounded waits, bounded capture retransmissions, typed
+/// per-sample timeouts) with them.
+pub(super) fn drive_samples(
+    n_samples: usize,
+    deadlines: Option<DeadlineConfig>,
+    clock: SimClock,
+    orch_rx: &LinkReceiver,
+    mut send_captures: impl FnMut(usize) -> Result<()>,
+    exit_point_of: impl Fn(u8) -> Result<ExitPoint>,
+    latency_of: impl Fn(u8) -> f32,
+) -> Result<RunTallies> {
+    let mut predictions = vec![0usize; n_samples];
+    let mut exits = vec![ExitPoint::Cloud; n_samples];
+    let mut latencies = vec![0.0f32; n_samples];
+    let mut outcomes = vec![SampleOutcome::Classified; n_samples];
+    let mut capture_retries = 0usize;
+    match deadlines {
+        None => {
+            // Legacy exact path: block on each verdict, strict order.
+            for i in 0..n_samples {
+                let seq = i as u64;
+                send_captures(i)?;
+                let verdict = orch_rx.recv()?;
+                if verdict.seq != seq {
+                    return Err(RuntimeError::Protocol {
+                        reason: format!("verdict for sample {} while running {seq}", verdict.seq),
+                    });
+                }
+                let Payload::Verdict { prediction, exit_tier } = verdict.payload else {
+                    return Err(RuntimeError::Protocol {
+                        reason: "orchestrator received a non-verdict".to_string(),
+                    });
+                };
+                predictions[i] = prediction as usize;
+                exits[i] = exit_point_of(exit_tier)?;
+                latencies[i] = latency_of(exit_tier);
+            }
+        }
+        Some(dl) => {
+            // Watchdog path: bounded wait per attempt, bounded capture
+            // retransmissions, then a typed per-sample timeout. Stale
+            // and duplicate verdicts are discarded by sequence number,
+            // so a retried sample can never hang or corrupt the run.
+            for i in 0..n_samples {
+                let seq = i as u64;
+                let mut resolved = None;
+                let mut attempts = 0u32;
+                'sample: loop {
+                    send_captures(i)?;
+                    let deadline = clock.deadline_in(dl.watchdog_ms);
+                    loop {
+                        match orch_rx.recv_deadline(deadline)? {
+                            Some(frame) if frame.seq == seq => {
+                                if let Payload::Verdict { prediction, exit_tier } = frame.payload {
+                                    resolved = Some((prediction, exit_tier));
+                                    break 'sample;
+                                }
+                            }
+                            Some(_) => {} // stale or duplicate verdict
+                            None => break,
+                        }
+                    }
+                    if attempts >= dl.max_retries {
+                        break;
+                    }
+                    attempts += 1;
+                    capture_retries += 1;
+                }
+                match resolved {
+                    Some((prediction, exit_tier)) => {
+                        predictions[i] = prediction as usize;
+                        exits[i] = exit_point_of(exit_tier)?;
+                        latencies[i] = latency_of(exit_tier);
+                    }
+                    None => {
+                        let waited_ms = u64::from(attempts + 1) * dl.watchdog_ms;
+                        outcomes[i] = SampleOutcome::TimedOut { waited_ms };
+                        predictions[i] = usize::MAX; // never matches a label
+                        latencies[i] = waited_ms as f32;
+                    }
+                }
+            }
+        }
+    }
+    Ok(RunTallies { predictions, exits, latencies, outcomes, capture_retries })
+}

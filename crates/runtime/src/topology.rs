@@ -1,0 +1,384 @@
+//! Declarative hierarchy topologies.
+//!
+//! A [`Topology`] describes *which* nodes exist and how they chain —
+//! device fan-in, the gateway's score aggregation, then a chain of
+//! feature tiers ending in a terminal tier — while the runner turns it
+//! into threads and links. The paper's configurations (a)–(e) and deeper
+//! chains (device → gateway → edge → edge → cloud) are all instantiations
+//! of this one shape: [`Topology::from_partition`] reproduces the legacy
+//! gateway/(edge)/cloud wiring byte-for-byte, and [`HierarchyBuilder`]
+//! assembles arbitrary chains.
+
+use crate::error::{Result, RuntimeError};
+use crate::fault::{DeadlineConfig, FaultPlan};
+use crate::link::LatencyModel;
+use crate::message::NodeId;
+use ddnn_core::{
+    ConvPBlock, DdnnConfig, DdnnPartition, DevicePart, ExitHead, ExitPoint, ExitThreshold,
+    FeatureAggregator, GatewayPart,
+};
+
+/// Configuration of a simulated hierarchy run.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Local-exit entropy threshold (paper default: 0.8).
+    pub local_threshold: ExitThreshold,
+    /// Edge-exit threshold (used only by edge architectures).
+    pub edge_threshold: ExitThreshold,
+    /// Devices that have failed before the run starts (never respond) —
+    /// the paper's *static* §IV-G fault model.
+    pub failed_devices: Vec<usize>,
+    /// Latency model of the device ↔ gateway hop.
+    pub local_link: LatencyModel,
+    /// Latency model of the hop to the edge/cloud.
+    pub uplink: LatencyModel,
+    /// Dynamic faults injected into the links mid-run. The default
+    /// ([`FaultPlan::none`]) injects nothing; an active plan requires
+    /// `deadlines` to be set so the hierarchy degrades instead of hanging.
+    pub fault_plan: FaultPlan,
+    /// Deadline-based graceful degradation. `None` (the default) keeps the
+    /// exact legacy static path: aggregators wait indefinitely for the
+    /// precomputed live set and the orchestrator blocks on each verdict.
+    pub deadlines: Option<DeadlineConfig>,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            local_threshold: ExitThreshold::default(),
+            edge_threshold: ExitThreshold::default(),
+            failed_devices: Vec::new(),
+            local_link: LatencyModel::local(),
+            uplink: LatencyModel::wan(),
+            fault_plan: FaultPlan::none(),
+            deadlines: None,
+        }
+    }
+}
+
+/// How a tier decides exits; resolved to a concrete
+/// [`ddnn_core::ExitPolicy`] when the run starts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TierExitRule {
+    /// Entropy exit using the run's [`HierarchyConfig::edge_threshold`]
+    /// (the legacy edge tier).
+    ConfigEdgeThreshold,
+    /// Entropy exit at a threshold fixed when the chain was built.
+    Fixed(ExitThreshold),
+    /// Terminal: always classifies, never escalates.
+    Terminal,
+}
+
+/// One feature-aggregating tier of a topology chain.
+pub(crate) struct TierSpec {
+    /// Display/link name ("edge", "cloud", …).
+    pub(crate) name: String,
+    /// Wire identity.
+    pub(crate) id: NodeId,
+    /// Feature aggregation over the tier's fan-in.
+    pub(crate) agg: FeatureAggregator,
+    /// ConvP chain after aggregation.
+    pub(crate) convs: Vec<ConvPBlock>,
+    /// Exit classifier.
+    pub(crate) exit: ExitHead,
+    /// Exit rule.
+    pub(crate) rule: TierExitRule,
+}
+
+/// A declarative hierarchy: device fan-in, gateway score aggregation, then
+/// a chain of feature tiers whose last member is terminal.
+pub struct Topology {
+    /// Model geometry shared by every node.
+    pub(crate) config: DdnnConfig,
+    /// End-device sections (fan-in size = `devices.len()`).
+    pub(crate) devices: Vec<DevicePart>,
+    /// The score-aggregating gateway.
+    pub(crate) gateway: GatewayPart,
+    /// The feature-tier chain; never empty, last entry terminal.
+    pub(crate) tiers: Vec<TierSpec>,
+    /// Zero-stat placeholder link names the legacy report format always
+    /// lists even when the tier that would own them does not exist (the
+    /// no-edge configs still report `edge->cloud` / `edge->orchestrator`).
+    pub(crate) placeholder_links: Vec<String>,
+}
+
+impl Topology {
+    /// The topology a partitioned model implies — device → gateway →
+    /// (edge →) cloud, exactly the legacy `run_distributed_inference`
+    /// shape, including the legacy report's placeholder edge links when no
+    /// edge is present.
+    pub fn from_partition(partition: &DdnnPartition) -> Self {
+        let mut tiers = Vec::new();
+        let mut placeholder_links = Vec::new();
+        if let Some(edge) = &partition.edge {
+            tiers.push(TierSpec {
+                name: "edge".to_string(),
+                id: NodeId::Edge,
+                agg: edge.agg.clone(),
+                convs: vec![edge.conv.clone()],
+                exit: edge.exit.clone(),
+                rule: TierExitRule::ConfigEdgeThreshold,
+            });
+        } else {
+            placeholder_links.push("edge->cloud".to_string());
+            placeholder_links.push("edge->orchestrator".to_string());
+        }
+        tiers.push(TierSpec {
+            name: "cloud".to_string(),
+            id: NodeId::Cloud,
+            agg: partition.cloud.agg.clone(),
+            convs: partition.cloud.convs.clone(),
+            exit: partition.cloud.exit.clone(),
+            rule: TierExitRule::Terminal,
+        });
+        Topology {
+            config: partition.config.clone(),
+            devices: partition.devices.clone(),
+            gateway: partition.gateway.clone(),
+            tiers,
+            placeholder_links,
+        }
+    }
+
+    /// Number of end devices feeding the hierarchy.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of feature tiers past the gateway (1 without an edge, 2 with
+    /// one, more for built chains).
+    pub fn num_exit_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Maps a verdict's wire `exit_tier` to the reported exit point: 0 is
+    /// the gateway's local exit, the chain's last tier is the cloud, and
+    /// every tier between reports as an edge exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error for a tier index past the chain.
+    pub fn exit_point_of(&self, tier: u8) -> Result<ExitPoint> {
+        let k = tier as usize;
+        if k == 0 {
+            Ok(ExitPoint::Local)
+        } else if k == self.tiers.len() {
+            Ok(ExitPoint::Cloud)
+        } else if k < self.tiers.len() {
+            Ok(ExitPoint::Edge)
+        } else {
+            Err(RuntimeError::Protocol { reason: format!("unknown exit tier {tier}") })
+        }
+    }
+}
+
+/// Assembles custom topologies: start from a partitioned model's devices
+/// and gateway, append entropy-gated exit tiers, close with a terminal
+/// tier.
+///
+/// The partition's own edge/cloud sections are *not* carried over — the
+/// chain is exactly what the builder appends, which is how configurations
+/// deeper than the paper's (device → gateway → edge → edge → cloud) are
+/// expressed.
+pub struct HierarchyBuilder {
+    config: DdnnConfig,
+    devices: Vec<DevicePart>,
+    gateway: GatewayPart,
+    tiers: Vec<TierSpec>,
+}
+
+impl HierarchyBuilder {
+    /// Starts a chain from the device fan-in and gateway of a partitioned
+    /// model.
+    pub fn new(partition: &DdnnPartition) -> Self {
+        HierarchyBuilder {
+            config: partition.config.clone(),
+            devices: partition.devices.clone(),
+            gateway: partition.gateway.clone(),
+            tiers: Vec::new(),
+        }
+    }
+
+    /// Appends an entropy-gated exit tier (reported as an edge exit):
+    /// samples under `threshold` exit here, everything else forwards to
+    /// the next tier in the chain.
+    pub fn exit_tier(
+        mut self,
+        name: &str,
+        agg: FeatureAggregator,
+        convs: Vec<ConvPBlock>,
+        exit: ExitHead,
+        threshold: ExitThreshold,
+    ) -> Self {
+        self.push_tier(name, agg, convs, exit, TierExitRule::Fixed(threshold));
+        self
+    }
+
+    /// Appends the terminal always-classify tier that closes the chain.
+    pub fn terminal_tier(
+        mut self,
+        name: &str,
+        agg: FeatureAggregator,
+        convs: Vec<ConvPBlock>,
+        exit: ExitHead,
+    ) -> Self {
+        self.push_tier(name, agg, convs, exit, TierExitRule::Terminal);
+        self
+    }
+
+    fn push_tier(
+        &mut self,
+        name: &str,
+        agg: FeatureAggregator,
+        convs: Vec<ConvPBlock>,
+        exit: ExitHead,
+        rule: TierExitRule,
+    ) {
+        let id = NodeId::Tier(self.tiers.len().min(usize::from(u8::MAX)) as u8);
+        self.tiers.push(TierSpec { name: name.to_string(), id, agg, convs, exit, rule });
+    }
+
+    /// Validates the chain and produces the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when the chain is empty, does not end
+    /// in exactly one terminal tier, exceeds the wire format's 255-tier
+    /// space, or uses duplicate/reserved/empty tier names.
+    pub fn build(self) -> Result<Topology> {
+        let config_err = |reason: String| Err(RuntimeError::Config { reason });
+        if self.tiers.is_empty() {
+            return config_err("a topology needs at least one (terminal) tier".to_string());
+        }
+        if self.tiers.len() > usize::from(u8::MAX) {
+            return config_err(format!(
+                "{} tiers exceed the wire format's 255-tier space",
+                self.tiers.len()
+            ));
+        }
+        for (k, tier) in self.tiers.iter().enumerate() {
+            let terminal = matches!(tier.rule, TierExitRule::Terminal);
+            let last = k + 1 == self.tiers.len();
+            if terminal != last {
+                return config_err(format!(
+                    "tier '{}' must {} the chain (exactly the last tier is terminal)",
+                    tier.name,
+                    if terminal { "close" } else { "not close" },
+                ));
+            }
+            if tier.name.is_empty() {
+                return config_err("tier names must be non-empty".to_string());
+            }
+            let reserved = ["gateway", "orchestrator", "sensor"];
+            if reserved.contains(&tier.name.as_str()) || tier.name.starts_with("device") {
+                return config_err(format!("tier name '{}' is reserved", tier.name));
+            }
+            if self.tiers[..k].iter().any(|t| t.name == tier.name) {
+                return config_err(format!("duplicate tier name '{}'", tier.name));
+            }
+        }
+        Ok(Topology {
+            config: self.config,
+            devices: self.devices,
+            gateway: self.gateway,
+            tiers: self.tiers,
+            placeholder_links: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddnn_core::{AggregationScheme, Ddnn, EdgeConfig, Precision};
+    use ddnn_tensor::rng::rng_from_seed;
+    use rand::rngs::StdRng;
+
+    fn partition(edge: bool) -> DdnnPartition {
+        let cfg = DdnnConfig {
+            num_devices: 2,
+            device_filters: 2,
+            cloud_filters: [4, 8],
+            edge: edge.then(|| EdgeConfig { filters: 4, agg: AggregationScheme::Concat }),
+            ..DdnnConfig::default()
+        };
+        Ddnn::new(cfg).partition()
+    }
+
+    fn spare_tier(
+        rng: &mut StdRng,
+        in_ch: usize,
+        classes: usize,
+    ) -> (FeatureAggregator, Vec<ConvPBlock>, ExitHead) {
+        let agg = FeatureAggregator::new(AggregationScheme::AvgPool, 1);
+        let conv = ConvPBlock::new(in_ch, 4, Precision::Binary, rng);
+        let exit = ExitHead::new(4 * 8 * 8, classes, Precision::Binary, rng);
+        (agg, vec![conv], exit)
+    }
+
+    #[test]
+    fn from_partition_mirrors_the_legacy_shapes() {
+        let no_edge = Topology::from_partition(&partition(false));
+        assert_eq!(no_edge.num_exit_tiers(), 1);
+        assert_eq!(no_edge.placeholder_links, vec!["edge->cloud", "edge->orchestrator"]);
+        assert_eq!(no_edge.exit_point_of(0).unwrap(), ExitPoint::Local);
+        assert_eq!(no_edge.exit_point_of(1).unwrap(), ExitPoint::Cloud);
+        assert!(no_edge.exit_point_of(2).is_err());
+
+        let edge = Topology::from_partition(&partition(true));
+        assert_eq!(edge.num_exit_tiers(), 2);
+        assert!(edge.placeholder_links.is_empty());
+        assert_eq!(edge.exit_point_of(1).unwrap(), ExitPoint::Edge);
+        assert_eq!(edge.exit_point_of(2).unwrap(), ExitPoint::Cloud);
+        assert_eq!(edge.tiers[0].name, "edge");
+        assert_eq!(edge.tiers[1].name, "cloud");
+    }
+
+    #[test]
+    fn builder_rejects_malformed_chains() {
+        let p = partition(false);
+        let mut rng = rng_from_seed(3);
+        let classes = p.config.num_classes;
+
+        // No terminal tier at all.
+        assert!(HierarchyBuilder::new(&p).build().is_err());
+        let (agg, convs, exit) = spare_tier(&mut rng, 2 * p.config.device_filters, classes);
+        assert!(HierarchyBuilder::new(&p)
+            .exit_tier("mid", agg, convs, exit, ExitThreshold::new(0.5))
+            .build()
+            .is_err());
+
+        // Reserved and duplicate names.
+        let (agg, convs, exit) = spare_tier(&mut rng, 2 * p.config.device_filters, classes);
+        assert!(HierarchyBuilder::new(&p)
+            .terminal_tier("gateway", agg, convs, exit)
+            .build()
+            .is_err());
+        let (agg1, convs1, exit1) = spare_tier(&mut rng, 2 * p.config.device_filters, classes);
+        let (agg2, convs2, exit2) = spare_tier(&mut rng, 4, classes);
+        assert!(HierarchyBuilder::new(&p)
+            .exit_tier("mid", agg1, convs1, exit1, ExitThreshold::new(0.5))
+            .terminal_tier("mid", agg2, convs2, exit2)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_accepts_a_well_formed_chain() {
+        let p = partition(false);
+        let mut rng = rng_from_seed(3);
+        let classes = p.config.num_classes;
+        let (agg1, convs1, exit1) = spare_tier(&mut rng, 2 * p.config.device_filters, classes);
+        let (agg2, convs2, exit2) = spare_tier(&mut rng, 4, classes);
+        let topo = HierarchyBuilder::new(&p)
+            .exit_tier("mid", agg1, convs1, exit1, ExitThreshold::new(0.5))
+            .terminal_tier("core", agg2, convs2, exit2)
+            .build()
+            .unwrap();
+        assert_eq!(topo.num_exit_tiers(), 2);
+        assert_eq!(topo.tiers[0].id, NodeId::Tier(0));
+        assert_eq!(topo.tiers[1].id, NodeId::Tier(1));
+        assert!(topo.placeholder_links.is_empty());
+        assert_eq!(topo.exit_point_of(2).unwrap(), ExitPoint::Cloud);
+    }
+}

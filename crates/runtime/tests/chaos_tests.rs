@@ -252,8 +252,13 @@ fn mismatched_baseline_batch_is_a_config_error() {
     let model = small_model();
     let views = random_views(4, 3, 26);
     let labels = vec![0usize; 3]; // 4 samples per view, 3 labels
-    let err =
-        ddnn_runtime::run_cloud_only_baseline(&model.partition(), &views, &labels).unwrap_err();
+    let err = ddnn_runtime::run_cloud_only_baseline(
+        &model.partition(),
+        &views,
+        &labels,
+        &ddnn_runtime::HierarchyConfig::default(),
+    )
+    .unwrap_err();
     assert!(matches!(err, RuntimeError::Config { .. }));
 }
 

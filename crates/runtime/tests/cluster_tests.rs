@@ -225,7 +225,9 @@ fn cloud_only_baseline_sends_raw_images_and_matches_cloud_exit() {
     let mut model = small_model();
     let views = random_views(7, 3, 9);
     let labels = vec![0usize; 7];
-    let report = run_cloud_only_baseline(&model.partition(), &views, &labels).unwrap();
+    let report =
+        run_cloud_only_baseline(&model.partition(), &views, &labels, &HierarchyConfig::default())
+            .unwrap();
     // 3072 bytes per device per sample.
     for (name, stats) in &report.links {
         if name.starts_with("device") {

@@ -53,7 +53,9 @@ fn measured_traffic_is_far_below_raw_offload() {
         &HierarchyConfig::default(),
     )
     .unwrap();
-    let baseline = run_cloud_only_baseline(&partition, &test_views, &test_labels).unwrap();
+    let baseline =
+        run_cloud_only_baseline(&partition, &test_views, &test_labels, &HierarchyConfig::default())
+            .unwrap();
     let ddnn_bytes = ddnn.device_payload_bytes();
     let raw_bytes: usize = baseline
         .links
