@@ -40,6 +40,28 @@ pub enum RuntimeError {
         /// Number of samples in the report.
         len: usize,
     },
+    /// A frame failed its CRC-32 integrity check (or carried unknown
+    /// flags): the bytes on the wire are not what the sender transmitted.
+    /// Nodes discard such frames and let the reliability layer (ARQ
+    /// retransmission, or deadline degradation) recover the loss.
+    Corrupt {
+        /// What the integrity check found.
+        reason: String,
+    },
+    /// The runner's wiring (links, inboxes, collectors, tier IO) did not
+    /// line up with the declared topology — an internal invariant
+    /// violation surfaced as a typed error instead of a panic.
+    Topology {
+        /// Which invariant broke.
+        reason: String,
+    },
+    /// A collector was asked to finalize a sample it is not holding (a
+    /// duplicated or raced finalize). Tier nodes treat this as a stale
+    /// event and degrade instead of aborting.
+    Collector {
+        /// The sample that was not pending.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -54,6 +76,11 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::SampleIndex { index, len } => {
                 write!(f, "sample index {index} out of range for a report of {len} samples")
+            }
+            RuntimeError::Corrupt { reason } => write!(f, "corrupt frame: {reason}"),
+            RuntimeError::Topology { reason } => write!(f, "topology wiring error: {reason}"),
+            RuntimeError::Collector { seq } => {
+                write!(f, "collector finalized non-pending sample {seq}")
             }
         }
     }
@@ -95,6 +122,12 @@ mod tests {
         let e: RuntimeError = ddnn_tensor::TensorError::Empty { op: "x" }.into();
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());
+        let e = RuntimeError::Corrupt { reason: "crc mismatch".into() };
+        assert!(e.to_string().contains("crc mismatch"));
+        let e = RuntimeError::Topology { reason: "missing tier io".into() };
+        assert!(e.to_string().contains("missing tier io"));
+        let e = RuntimeError::Collector { seq: 12 };
+        assert!(e.to_string().contains("12"));
     }
 
     #[test]

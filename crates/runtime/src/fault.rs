@@ -51,6 +51,16 @@ pub struct FaultPlan {
     pub jitter_ms: u32,
     /// Devices that crash after transmitting a given number of frames.
     pub crash_after: Vec<DeviceCrash>,
+    /// Probability that a delivered frame has 1–4 of its wire bits flipped
+    /// in transit. Requires the checked wire format (CRC) — an unchecked
+    /// link would silently mis-decode.
+    pub corrupt_prob: f32,
+    /// Probability that a delivered frame is cut short in transit.
+    /// Requires the checked wire format, like `corrupt_prob`.
+    pub truncate_prob: f32,
+    /// Probability that a frame is held back and delivered *after* the
+    /// next frame on the same link (pairwise reordering).
+    pub reorder_prob: f32,
 }
 
 impl FaultPlan {
@@ -62,6 +72,9 @@ impl FaultPlan {
             duplicate_prob: 0.0,
             jitter_ms: 0,
             crash_after: Vec::new(),
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
+            reorder_prob: 0.0,
         }
     }
 
@@ -71,6 +84,14 @@ impl FaultPlan {
             || self.duplicate_prob > 0.0
             || self.jitter_ms > 0
             || !self.crash_after.is_empty()
+            || self.corrupts_bytes()
+            || self.reorder_prob > 0.0
+    }
+
+    /// Whether this plan mutates bytes on the wire (corruption or
+    /// truncation) — faults only a checked wire format can detect.
+    pub fn corrupts_bytes(&self) -> bool {
+        self.corrupt_prob > 0.0 || self.truncate_prob > 0.0
     }
 
     /// Validates the plan against the hierarchy it will run in.
@@ -80,7 +101,13 @@ impl FaultPlan {
     /// Returns [`RuntimeError::Config`] for probabilities outside `[0, 1]`,
     /// crash indices out of range, or several crashes for one device.
     pub fn validate(&self, num_devices: usize) -> Result<()> {
-        for (what, p) in [("drop_prob", self.drop_prob), ("duplicate_prob", self.duplicate_prob)] {
+        for (what, p) in [
+            ("drop_prob", self.drop_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("truncate_prob", self.truncate_prob),
+            ("reorder_prob", self.reorder_prob),
+        ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(RuntimeError::Config {
                     reason: format!("fault plan {what} {p} outside [0, 1]"),
@@ -166,13 +193,34 @@ impl CrashState {
 pub(crate) enum Delivery {
     /// The sending device has crashed; swallow silently.
     Dropped,
-    /// Deliver, possibly twice, possibly after an extra delay.
+    /// Deliver, possibly twice, possibly after an extra delay, possibly
+    /// with its wire bytes damaged or its order swapped with the next
+    /// frame on the link.
     Deliver {
         /// Send the frame a second time.
         duplicate: bool,
         /// Extra in-flight delay before the frame is handed over.
         delay: Option<Duration>,
+        /// Flip 1–4 wire bits, positions derived from this seed.
+        corrupt: Option<u64>,
+        /// Cut the wire short, new length derived from this seed.
+        truncate: Option<u64>,
+        /// Hold this frame back until the next frame on the link passes.
+        reorder: bool,
     },
+}
+
+impl Delivery {
+    /// An untouched delivery: no duplication, delay or damage.
+    pub(crate) fn clean() -> Self {
+        Delivery::Deliver {
+            duplicate: false,
+            delay: None,
+            corrupt: None,
+            truncate: None,
+            reorder: false,
+        }
+    }
 }
 
 /// Per-link fault state: an independent seeded stream plus an optional
@@ -182,6 +230,9 @@ pub(crate) struct LinkFault {
     drop_prob: f32,
     duplicate_prob: f32,
     jitter_ms: u32,
+    corrupt_prob: f32,
+    truncate_prob: f32,
+    reorder_prob: f32,
     rng: Mutex<StdRng>,
     crash: Option<Arc<CrashState>>,
 }
@@ -203,16 +254,31 @@ impl LinkFault {
             drop_prob: plan.drop_prob,
             duplicate_prob: plan.duplicate_prob,
             jitter_ms: plan.jitter_ms,
+            corrupt_prob: plan.corrupt_prob,
+            truncate_prob: plan.truncate_prob,
+            reorder_prob: plan.reorder_prob,
             rng: Mutex::new(StdRng::seed_from_u64(plan.seed ^ fnv1a(link_name.as_bytes()))),
             crash,
         }
     }
 
     /// Rolls the fate of one frame. Shutdown frames always pass untouched.
+    ///
+    /// Draws happen in a fixed order (drop, duplicate, jitter, corrupt,
+    /// truncate, reorder) with each draw gated on its probability being
+    /// non-zero, so a plan that only uses the legacy faults consumes the
+    /// exact same RNG stream it did before the byte-level faults existed.
     pub(crate) fn roll(&self, frame: &Frame) -> Delivery {
         if frame.is_shutdown() {
-            return Delivery::Deliver { duplicate: false, delay: None };
+            return Delivery::clean();
         }
+        self.roll_raw()
+    }
+
+    /// Rolls the fate of a transport-layer transmission (a retransmission
+    /// or an acknowledgement) that has no application frame: same draws as
+    /// [`LinkFault::roll`], no shutdown exemption.
+    pub(crate) fn roll_raw(&self) -> Delivery {
         if let Some(crash) = &self.crash {
             if crash.on_send() {
                 return Delivery::Dropped;
@@ -225,7 +291,45 @@ impl LinkFault {
         let duplicate = self.duplicate_prob > 0.0 && rng.gen::<f32>() < self.duplicate_prob;
         let delay = (self.jitter_ms > 0)
             .then(|| Duration::from_micros(rng.gen_range(0..=u64::from(self.jitter_ms) * 1000)));
-        Delivery::Deliver { duplicate, delay }
+        let corrupt = (self.corrupt_prob > 0.0 && rng.gen::<f32>() < self.corrupt_prob)
+            .then(|| rng.gen::<u64>());
+        let truncate = (self.truncate_prob > 0.0 && rng.gen::<f32>() < self.truncate_prob)
+            .then(|| rng.gen::<u64>());
+        let reorder = self.reorder_prob > 0.0 && rng.gen::<f32>() < self.reorder_prob;
+        Delivery::Deliver { duplicate, delay, corrupt, truncate, reorder }
+    }
+}
+
+/// Flips 1–4 bits of `wire`, positions derived deterministically from
+/// `seed` (a splitmix-style mix). Returns the damaged copy.
+pub(crate) fn corrupt_bytes(wire: &[u8], seed: u64) -> Vec<u8> {
+    let mut out = wire.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let flips = 1 + (next() % 4) as usize;
+    for _ in 0..flips {
+        let bit = next() as usize % (out.len() * 8);
+        out[bit / 8] ^= 1 << (bit % 8);
+    }
+    out
+}
+
+/// Truncated length for a `len`-byte frame, derived from `seed`: always
+/// strictly shorter, possibly zero.
+pub(crate) fn truncate_len(len: usize, seed: u64) -> usize {
+    if len == 0 {
+        0
+    } else {
+        (seed % len as u64) as usize
     }
 }
 
@@ -242,10 +346,7 @@ mod tests {
     fn inactive_plan_delivers_everything() {
         let fault = LinkFault::new(&FaultPlan::none(), "a->b", None);
         for seq in 0..100 {
-            assert_eq!(
-                fault.roll(&data_frame(seq)),
-                Delivery::Deliver { duplicate: false, delay: None }
-            );
+            assert_eq!(fault.roll(&data_frame(seq)), Delivery::clean());
         }
     }
 
@@ -272,7 +373,7 @@ mod tests {
         let plan = FaultPlan { seed: 1, drop_prob: 1.0, ..FaultPlan::none() };
         let fault = LinkFault::new(&plan, "x", Some(CrashState::new(0)));
         let shutdown = Frame::new(0, NodeId::Orchestrator, Payload::Shutdown);
-        assert_eq!(fault.roll(&shutdown), Delivery::Deliver { duplicate: false, delay: None });
+        assert_eq!(fault.roll(&shutdown), Delivery::clean());
         assert_eq!(fault.roll(&data_frame(1)), Delivery::Dropped);
     }
 
@@ -282,13 +383,64 @@ mod tests {
         let plan = FaultPlan { seed: 2, ..FaultPlan::none() };
         let to_gateway = LinkFault::new(&plan, "dev0->gw", Some(Arc::clone(&crash)));
         let to_cloud = LinkFault::new(&plan, "dev0->cloud", Some(crash));
-        let deliver = Delivery::Deliver { duplicate: false, delay: None };
+        let deliver = Delivery::clean();
         assert_eq!(to_gateway.roll(&data_frame(0)), deliver);
         assert_eq!(to_cloud.roll(&data_frame(0)), deliver);
         assert_eq!(to_gateway.roll(&data_frame(1)), deliver);
         // Fourth transmission and beyond: the device is dead on every link.
         assert_eq!(to_cloud.roll(&data_frame(1)), Delivery::Dropped);
         assert_eq!(to_gateway.roll(&data_frame(2)), Delivery::Dropped);
+    }
+
+    #[test]
+    fn corrupt_bytes_flips_few_bits_deterministically() {
+        let wire = vec![0u8; 64];
+        let a = corrupt_bytes(&wire, 99);
+        let b = corrupt_bytes(&wire, 99);
+        assert_eq!(a, b, "same seed, same damage");
+        assert_ne!(a, wire, "corruption must change the bytes");
+        let flipped: u32 = a.iter().zip(&wire).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!((1..=4).contains(&flipped), "flipped {flipped} bits");
+        assert_ne!(a, corrupt_bytes(&wire, 100), "different seed, different damage");
+        assert!(corrupt_bytes(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn truncate_len_is_always_strictly_shorter() {
+        for seed in 0..50u64 {
+            let cut = truncate_len(100, seed);
+            assert!(cut < 100, "seed {seed}: {cut}");
+        }
+        assert_eq!(truncate_len(0, 7), 0);
+    }
+
+    #[test]
+    fn byte_faults_draw_after_the_legacy_faults() {
+        // A plan with only legacy faults must produce the same stream it
+        // did before corruption existed: the corrupt/truncate/reorder
+        // draws are gated on their probabilities.
+        let legacy = FaultPlan { seed: 7, drop_prob: 0.3, ..FaultPlan::none() };
+        let fault = LinkFault::new(&legacy, "dev0->gw", None);
+        let stream: Vec<Delivery> = (0..500).map(|s| fault.roll(&data_frame(s))).collect();
+        for d in &stream {
+            if let Delivery::Deliver { corrupt, truncate, reorder, .. } = d {
+                assert!(corrupt.is_none() && truncate.is_none() && !reorder);
+            }
+        }
+        // With corruption enabled the same seed still produces a
+        // deterministic stream, and some frames are marked corrupt.
+        let noisy =
+            FaultPlan { seed: 7, corrupt_prob: 0.5, truncate_prob: 0.2, ..FaultPlan::none() };
+        let fault = LinkFault::new(&noisy, "dev0->gw", None);
+        let a: Vec<Delivery> = (0..500).map(|s| fault.roll(&data_frame(s))).collect();
+        let fault = LinkFault::new(&noisy, "dev0->gw", None);
+        let b: Vec<Delivery> = (0..500).map(|s| fault.roll(&data_frame(s))).collect();
+        assert_eq!(a, b);
+        let corrupted =
+            a.iter().filter(|d| matches!(d, Delivery::Deliver { corrupt: Some(_), .. })).count();
+        assert!((150..350).contains(&corrupted), "corrupted={corrupted} of 500 at p=0.5");
+        assert!(noisy.corrupts_bytes() && noisy.is_active());
+        assert!(!legacy.corrupts_bytes());
     }
 
     #[test]

@@ -22,8 +22,12 @@
 //!   ([`Topology`]/[`HierarchyBuilder`]): device fan-in, a chain of exit
 //!   tiers, a terminal tier;
 //! * [`fault`] — seeded dynamic fault injection (drops, duplicates,
-//!   jitter, mid-run device crashes) and the deadline configuration for
-//!   graceful degradation;
+//!   jitter, corruption, truncation, reordering, mid-run device crashes)
+//!   and the deadline configuration for graceful degradation;
+//! * [`reliability`] — the recovery tier under deadline degradation:
+//!   CRC-framed wire integrity ([`ReliabilityMode::Crc`]) and
+//!   ack/retransmit with capped exponential backoff
+//!   ([`ReliabilityMode::Arq`]);
 //! * [`clock`] — the simulation clock deadlines are measured against.
 //!
 //! ```no_run
@@ -55,6 +59,7 @@ pub mod fault;
 pub mod link;
 pub mod message;
 pub mod node;
+pub mod reliability;
 mod runner;
 pub mod topology;
 
@@ -62,7 +67,11 @@ pub use clock::SimClock;
 pub use error::{Result, RuntimeError};
 pub use fault::{DeadlineConfig, DeviceCrash, FaultPlan};
 pub use link::{LatencyModel, LinkStats};
-pub use message::{Frame, NodeId, Payload, HEADER_BYTES};
+pub use message::{
+    crc32, CheckedFrame, Frame, NodeId, Payload, CHECKED_HEADER_BYTES, FLAG_RETRANSMIT,
+    HEADER_BYTES,
+};
 pub use node::report::{SampleOutcome, SimReport};
+pub use reliability::{ArqTuning, ReliabilityConfig, ReliabilityMode};
 pub use runner::{run_cloud_only_baseline, run_distributed_inference, run_topology};
 pub use topology::{HierarchyBuilder, HierarchyConfig, Topology};

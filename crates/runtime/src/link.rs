@@ -1,11 +1,26 @@
 //! Instrumented links between hierarchy nodes: crossbeam channels with
 //! byte accounting and a simulated latency model.
+//!
+//! A link speaks one of two wire formats (see [`crate::message`]): the
+//! legacy unchecked framing, or the checked framing of the reliability
+//! layer (CRC-32 + flags + transport sequence number). In
+//! [`ReliabilityMode::Arq`](crate::ReliabilityMode) the sender also
+//! registers every frame with an [`ArqSendState`] retransmit buffer
+//! *before* the fault roll, so a dropped or corrupted primary is
+//! recoverable, and the receiving [`NodeInbox`] acks, NACKs gaps and
+//! deduplicates retransmissions — invisibly to the node loops.
 
 use crate::error::{Result, RuntimeError};
-use crate::fault::{Delivery, LinkFault};
-use crate::message::{Frame, HEADER_BYTES};
+use crate::fault::{
+    corrupt_bytes, truncate_len, CrashState, DeadlineConfig, Delivery, FaultPlan, LinkFault,
+};
+use crate::message::{Frame, NodeId, CHECKED_HEADER_BYTES, HEADER_BYTES};
+use crate::reliability::{
+    ArqRecvState, ArqSendState, ArqTuning, ReliabilityConfig, ReliabilityMode,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,6 +39,15 @@ pub struct LinkStats {
     /// Extra deliveries created by fault injection; each one also counts
     /// in `frames` and the byte counters, since it does cross the wire.
     pub frames_duplicated: usize,
+    /// ARQ retransmissions; each also counts in `frames` and the byte
+    /// counters — recovery traffic is real traffic under Eq. 1.
+    pub frames_retransmitted: usize,
+    /// Bytes of acknowledgement datagrams flowing back over this link's
+    /// reverse path.
+    pub ack_bytes: usize,
+    /// Frames whose wire bytes were damaged in flight by fault injection
+    /// (bit flips or truncation); counted once per damaged frame.
+    pub frames_corrupted: usize,
 }
 
 impl LinkStats {
@@ -63,6 +87,26 @@ impl LatencyModel {
     }
 }
 
+/// Which framing a link speaks on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum WireFormat {
+    /// The seed's unchecked 11-byte header.
+    #[default]
+    Legacy,
+    /// The reliability layer's CRC-framed header.
+    Checked,
+}
+
+impl WireFormat {
+    /// Size of this format's frame header.
+    pub(crate) fn header_bytes(self) -> usize {
+        match self {
+            WireFormat::Legacy => HEADER_BYTES,
+            WireFormat::Checked => CHECKED_HEADER_BYTES,
+        }
+    }
+}
+
 /// The sending half of an instrumented link. Frames are encoded to wire
 /// bytes, counted, then decoded by the receiver — so anything crossing a
 /// link really does survive serialization.
@@ -78,51 +122,120 @@ pub struct LinkSender {
     /// still counts as transmitted, exactly like a real datagram sent to a
     /// host that just went away.
     lenient: bool,
+    /// Which wire format this link speaks.
+    format: WireFormat,
+    /// ARQ retransmit buffer; every non-shutdown frame is registered here
+    /// before its fault roll, so a lost primary is recoverable.
+    arq: Option<Arc<ArqSendState>>,
+    /// Reorder-fault hold slot: a frame parked here is transmitted after
+    /// the next frame on the link passes it (flushed on shutdown at the
+    /// latest; under ARQ an unflushed tail hold is recovered by
+    /// retransmission anyway).
+    held: Arc<Mutex<Option<bytes::Bytes>>>,
 }
 
 impl LinkSender {
     /// Sends a frame, accounting its encoded size. When a fault layer is
     /// attached (see [`attach_faulty_sender`]) the frame may instead be
-    /// dropped, duplicated or delayed per the seeded plan.
+    /// dropped, duplicated, delayed, damaged (bit flips / truncation) or
+    /// reordered per the seeded plan.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Disconnected`] if the receiver hung up.
     pub fn send(&self, frame: &Frame) -> Result<()> {
-        let mut duplicate = false;
-        if let Some(fault) = &self.fault {
-            match fault.roll(frame) {
-                Delivery::Dropped => {
-                    self.stats.lock().frames_dropped += 1;
-                    return Ok(());
-                }
-                Delivery::Deliver { duplicate: dup, delay } => {
-                    if let Some(d) = delay {
-                        std::thread::sleep(d);
-                    }
-                    duplicate = dup;
-                }
-            }
+        if frame.is_shutdown() {
+            // Shutdown bypasses faults and ARQ (tseq 0) so a chaotic run
+            // always terminates; any held-back frame goes out first.
+            self.flush_held()?;
+            let wire = self.encode_plain(frame);
+            self.account(frame.payload_bytes(), wire.len(), 1, false);
+            return self.transmit(wire);
         }
-        let encoded = frame.encode();
+        // Register with ARQ *before* the fault roll: a dropped primary is
+        // then already buffered for retransmission.
+        let wire = match &self.arq {
+            Some(arq) => frame.encode_checked(0, arq.register(frame)),
+            None => self.encode_plain(frame),
+        };
+        let delivery = self.fault.as_ref().map_or_else(Delivery::clean, |f| f.roll(frame));
+        let Delivery::Deliver { duplicate, delay, corrupt, truncate, reorder } = delivery else {
+            self.stats.lock().frames_dropped += 1;
+            return Ok(());
+        };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        let mut wire = wire;
+        let mut damaged = false;
+        if let Some(seed) = corrupt {
+            wire = bytes::Bytes::from(corrupt_bytes(&wire, seed));
+            damaged = true;
+        }
+        if let Some(seed) = truncate {
+            wire = wire.slice(0..truncate_len(wire.len(), seed));
+            damaged = true;
+        }
         let deliveries = if duplicate { 2 } else { 1 };
-        {
-            let mut s = self.stats.lock();
-            s.frames += deliveries;
-            s.payload_bytes += deliveries * frame.payload_bytes();
-            s.header_bytes += deliveries
-                * (HEADER_BYTES + (encoded.len() - HEADER_BYTES - frame.payload_bytes()));
-            s.frames_duplicated += deliveries - 1;
-        }
-        for _ in 0..deliveries {
-            if self.tx.send(encoded.clone()).is_err() {
-                if self.lenient {
-                    break; // peer departed; the frame is lost in flight
-                }
-                return Err(RuntimeError::Disconnected { node: self.name.to_string() });
+        self.account(frame.payload_bytes(), wire.len(), deliveries, damaged);
+        if reorder {
+            // Park one copy until the next frame passes it; anything
+            // already parked goes out now (at most one frame is held).
+            for _ in 1..deliveries {
+                self.transmit(wire.clone())?;
             }
+            let prior = self.held.lock().replace(wire);
+            if let Some(p) = prior {
+                self.transmit(p)?;
+            }
+        } else {
+            for _ in 0..deliveries {
+                self.transmit(wire.clone())?;
+            }
+            self.flush_held()?;
         }
         Ok(())
+    }
+
+    /// Encodes a frame without ARQ metadata in the link's wire format.
+    fn encode_plain(&self, frame: &Frame) -> bytes::Bytes {
+        match self.format {
+            WireFormat::Legacy => frame.encode(),
+            WireFormat::Checked => frame.encode_checked(0, 0),
+        }
+    }
+
+    /// Books `deliveries` transmissions of a `wire_len`-byte frame. The
+    /// payload share is capped by what actually remained on the (possibly
+    /// truncated) wire; the header share is the rest, so the two always
+    /// sum to the bytes transmitted.
+    fn account(&self, payload_bytes: usize, wire_len: usize, deliveries: usize, damaged: bool) {
+        let p = payload_bytes.min(wire_len.saturating_sub(self.format.header_bytes()));
+        let mut s = self.stats.lock();
+        s.frames += deliveries;
+        s.payload_bytes += deliveries * p;
+        s.header_bytes += deliveries * (wire_len - p);
+        s.frames_duplicated += deliveries - 1;
+        if damaged {
+            s.frames_corrupted += 1;
+        }
+    }
+
+    /// Pushes raw wire bytes into the channel, honoring leniency.
+    fn transmit(&self, wire: bytes::Bytes) -> Result<()> {
+        if self.tx.send(wire).is_err() && !self.lenient {
+            return Err(RuntimeError::Disconnected { node: self.name.to_string() });
+        }
+        Ok(())
+    }
+
+    /// Releases a reorder-held frame, if any.
+    fn flush_held(&self) -> Result<()> {
+        let held = self.held.lock().take();
+        match held {
+            Some(wire) => self.transmit(wire),
+            None => Ok(()),
+        }
     }
 
     /// The link's display name (`from->to`).
@@ -184,6 +297,110 @@ impl LinkReceiver {
             }
         }
     }
+
+    /// Blocks for the next raw wire datagram (format-agnostic; the
+    /// [`NodeInbox`] decides how to decode it).
+    pub(crate) fn recv_raw(&self) -> Result<bytes::Bytes> {
+        self.rx.recv().map_err(|_| RuntimeError::Disconnected { node: self.name.to_string() })
+    }
+
+    /// Raw receive bounded by `deadline`; `Ok(None)` on timeout.
+    pub(crate) fn recv_raw_deadline(&self, deadline: Instant) -> Result<Option<bytes::Bytes>> {
+        match self.rx.recv_deadline(deadline) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(RuntimeError::Disconnected { node: self.name.to_string() })
+            }
+        }
+    }
+}
+
+/// A node's receive front end: decodes the run's wire format, discards
+/// corrupt frames (counting them), acks/dedups ARQ traffic per source —
+/// all invisibly to the node loop, which only ever sees intact, fresh
+/// application frames.
+#[derive(Debug)]
+pub(crate) struct NodeInbox {
+    rx: LinkReceiver,
+    format: WireFormat,
+    /// ARQ receiver state per sending node (keyed by encoded [`NodeId`]).
+    sources: HashMap<u16, ArqRecvState>,
+    /// Corrupt frames discarded at this inbox.
+    corrupt_discards: usize,
+}
+
+impl NodeInbox {
+    /// An inbox on the given wire format with no ARQ sources yet.
+    pub(crate) fn with_format(rx: LinkReceiver, format: WireFormat) -> Self {
+        NodeInbox { rx, format, sources: HashMap::new(), corrupt_discards: 0 }
+    }
+
+    /// Registers the ARQ receiver state of one inbound link (produced by
+    /// [`LinkFactory::sender`]); no-op for non-ARQ links (`None`).
+    pub(crate) fn register(&mut self, source: Option<(u16, ArqRecvState)>) {
+        if let Some((from, state)) = source {
+            self.sources.insert(from, state);
+        }
+    }
+
+    /// Blocks for the next intact, fresh frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Disconnected`] if all senders hung up, or a
+    /// protocol error for an intact frame that fails to parse.
+    pub(crate) fn recv(&mut self) -> Result<Frame> {
+        loop {
+            let bytes = self.rx.recv_raw()?;
+            if let Some(frame) = self.admit(bytes)? {
+                return Ok(frame);
+            }
+        }
+    }
+
+    /// Like [`NodeInbox::recv`] but bounded by `deadline`; `Ok(None)` when
+    /// it passes with nothing (intact and fresh) delivered.
+    pub(crate) fn recv_deadline(&mut self, deadline: Instant) -> Result<Option<Frame>> {
+        loop {
+            match self.rx.recv_raw_deadline(deadline)? {
+                None => return Ok(None),
+                Some(bytes) => {
+                    if let Some(frame) = self.admit(bytes)? {
+                        return Ok(Some(frame));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Corrupt frames discarded so far.
+    pub(crate) fn corrupt_discards(&self) -> usize {
+        self.corrupt_discards
+    }
+
+    /// Decodes one datagram: `None` means it was consumed by the
+    /// reliability layer (corrupt, or an ARQ duplicate) and the node loop
+    /// never sees it. ARQ frames are acked here whether fresh or not.
+    fn admit(&mut self, bytes: bytes::Bytes) -> Result<Option<Frame>> {
+        match self.format {
+            WireFormat::Legacy => Frame::decode(bytes).map(Some),
+            WireFormat::Checked => match Frame::decode_checked(bytes) {
+                Err(RuntimeError::Corrupt { .. }) => {
+                    self.corrupt_discards += 1;
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+                Ok(checked) => {
+                    let fresh = match self.sources.get_mut(&checked.frame.from.encode()) {
+                        Some(state) => state.accept(checked.tseq),
+                        None => true, // sender does not run ARQ
+                    };
+                    Ok(fresh.then_some(checked.frame))
+                }
+            },
+        }
+    }
 }
 
 /// Creates an instrumented link named `name`, returning sender, receiver
@@ -199,6 +416,9 @@ pub fn link(name: &str) -> (LinkSender, LinkReceiver, Arc<Mutex<LinkStats>>) {
             name: Arc::clone(&name),
             fault: None,
             lenient: false,
+            format: WireFormat::Legacy,
+            arq: None,
+            held: Arc::new(Mutex::new(None)),
         },
         LinkReceiver { rx, name },
         stats,
@@ -237,9 +457,131 @@ pub(crate) fn attach_faulty_sender(
             name: Arc::from(name),
             fault,
             lenient,
+            format: WireFormat::Legacy,
+            arq: None,
+            held: Arc::new(Mutex::new(None)),
         },
         stats,
     )
+}
+
+/// Builds every sender of a run with one consistent fault plan and
+/// reliability configuration, collecting the ARQ send states the run's
+/// retransmit pump must tick. Shared by the topology runner and the
+/// cloud-offload baseline so ARQ wiring exists in exactly one place.
+pub(crate) struct LinkFactory<'a> {
+    plan: &'a FaultPlan,
+    fault_active: bool,
+    reliability: &'a ReliabilityConfig,
+    /// Effective ARQ tuning (`max_age_ms` clamped to the deadline).
+    tuning: ArqTuning,
+    tolerant: bool,
+    /// Send states for the run's retransmit pump, in creation order.
+    pub(crate) arq_states: Vec<Arc<ArqSendState>>,
+}
+
+impl<'a> LinkFactory<'a> {
+    pub(crate) fn new(
+        plan: &'a FaultPlan,
+        reliability: &'a ReliabilityConfig,
+        deadlines: Option<&DeadlineConfig>,
+        tolerant: bool,
+    ) -> Self {
+        LinkFactory {
+            plan,
+            fault_active: plan.is_active(),
+            reliability,
+            tuning: reliability.arq.effective(deadlines),
+            tolerant,
+            arq_states: Vec::new(),
+        }
+    }
+
+    /// The wire format every inbox of this run decodes.
+    pub(crate) fn wire_format(&self) -> WireFormat {
+        if self.reliability.mode.is_checked() {
+            WireFormat::Checked
+        } else {
+            WireFormat::Legacy
+        }
+    }
+
+    /// Wraps a receiver in a [`NodeInbox`] speaking the run's format.
+    pub(crate) fn make_inbox(&self, rx: LinkReceiver) -> NodeInbox {
+        NodeInbox::with_format(rx, self.wire_format())
+    }
+
+    /// Creates an instrumented sender into `tx` named `name`, owned by
+    /// node `from`. Returns the sender, its stats handle, and — when the
+    /// link runs ARQ — the receiver-side state to
+    /// [`register`](NodeInbox::register) with the destination inbox.
+    ///
+    /// ARQ links get three derived fault streams: the primary (`name`),
+    /// the retransmit path (`retx:name`, sharing the device's crash
+    /// state) and the ack path (`ack:name`, no crash — the receiver
+    /// sends acks). Derived streams keep the primary stream's draws
+    /// identical whether or not ARQ is enabled.
+    pub(crate) fn sender(
+        &mut self,
+        tx: &Sender<bytes::Bytes>,
+        name: &str,
+        from: NodeId,
+        crash: Option<Arc<CrashState>>,
+    ) -> (LinkSender, Arc<Mutex<LinkStats>>, Option<(u16, ArqRecvState)>) {
+        let stats = Arc::new(Mutex::new(LinkStats::default()));
+        let fault =
+            self.fault_active.then(|| Arc::new(LinkFault::new(self.plan, name, crash.clone())));
+        let mode = self.reliability.mode_for(name);
+        let (arq, recv) = if matches!(mode, ReliabilityMode::Arq) {
+            let (ack_tx, ack_rx) = unbounded();
+            let retx_fault = self
+                .fault_active
+                .then(|| Arc::new(LinkFault::new(self.plan, &format!("retx:{name}"), crash)));
+            let ack_fault = self
+                .fault_active
+                .then(|| Arc::new(LinkFault::new(self.plan, &format!("ack:{name}"), None)));
+            let send_state = Arc::new(ArqSendState::new(
+                tx.clone(),
+                ack_rx,
+                Arc::clone(&stats),
+                retx_fault,
+                self.tuning,
+                CHECKED_HEADER_BYTES,
+            ));
+            self.arq_states.push(Arc::clone(&send_state));
+            let recv = ArqRecvState::new(ack_tx, Arc::clone(&stats), ack_fault);
+            (Some(send_state), Some((from.encode(), recv)))
+        } else {
+            (None, None)
+        };
+        let sender = LinkSender {
+            tx: tx.clone(),
+            stats: Arc::clone(&stats),
+            name: Arc::from(name),
+            fault,
+            lenient: self.tolerant,
+            format: if mode.is_checked() { WireFormat::Checked } else { WireFormat::Legacy },
+            arq,
+            held: Arc::new(Mutex::new(None)),
+        };
+        (sender, stats, recv)
+    }
+
+    /// An uninstrumented, fault-exempt sender in the run's wire format —
+    /// for the orchestrator's shutdown frames, which must decode at a
+    /// checked inbox yet never participate in faults or ARQ.
+    pub(crate) fn shutdown_sender(&self, tx: &Sender<bytes::Bytes>, name: &str) -> LinkSender {
+        LinkSender {
+            tx: tx.clone(),
+            stats: Arc::new(Mutex::new(LinkStats::default())),
+            name: Arc::from(name),
+            fault: None,
+            lenient: false,
+            format: self.wire_format(),
+            arq: None,
+            held: Arc::new(Mutex::new(None)),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,15 @@
 //! little-endian floats, binary feature maps bit-packed at 1 bit per
 //! activation, raw images as 1 byte per pixel channel (the 3072-byte
 //! baseline of §IV-H).
+//!
+//! The reliability layer adds a second, *checked* wire format
+//! ([`Frame::encode_checked`]): the legacy header extended with a flags
+//! byte, a per-link transport sequence number and a CRC-32 of the whole
+//! frame, so bit flips and truncation are detected
+//! ([`RuntimeError::Corrupt`]) instead of silently mis-decoding. Which
+//! format a link speaks is selected by the run's
+//! [`ReliabilityConfig`](crate::ReliabilityConfig); the legacy format
+//! stays byte-identical when reliability is off.
 
 use crate::error::{Result, RuntimeError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -32,7 +41,7 @@ pub enum NodeId {
 }
 
 impl NodeId {
-    fn encode(self) -> u16 {
+    pub(crate) fn encode(self) -> u16 {
         match self {
             NodeId::Device(d) => u16::from(d),
             NodeId::Gateway => 0x100,
@@ -141,8 +150,72 @@ pub struct Frame {
     pub payload: Payload,
 }
 
-/// Bytes of the fixed frame header (seq: u64, from: u16, tag: u8).
+/// Bytes of the fixed legacy frame header (seq: u64, from: u16, tag: u8).
 pub const HEADER_BYTES: usize = 8 + 2 + 1;
+
+/// Bytes of the checked frame header: the legacy fields plus flags (u8),
+/// per-link transport sequence number (u32) and CRC-32 (u32).
+pub const CHECKED_HEADER_BYTES: usize = HEADER_BYTES + 1 + 4 + 4;
+
+/// Checked-header flag: this frame is an ARQ retransmission (its transport
+/// sequence number was transmitted before).
+pub const FLAG_RETRANSMIT: u8 = 0x01;
+
+/// All flag bits the checked format defines; anything else is corruption.
+const FLAG_MASK: u8 = FLAG_RETRANSMIT;
+
+/// Byte offset of the CRC-32 field inside the checked header.
+const CRC_OFFSET: usize = HEADER_BYTES + 1 + 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the checksum the checked wire format carries.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(!0, data) ^ !0
+}
+
+/// Feeds one slice into a running CRC state (state is pre-inverted).
+fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = CRC32_TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// Two-part CRC-32: the checked frame's checksum covers everything except
+/// the CRC field itself, which sits mid-header.
+fn crc32_parts(before: &[u8], after: &[u8]) -> u32 {
+    crc32_update(crc32_update(!0, before), after) ^ !0
+}
+
+/// A frame decoded from the checked wire format, with its transport
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedFrame {
+    /// The application frame.
+    pub frame: Frame,
+    /// Header flags (e.g. [`FLAG_RETRANSMIT`]).
+    pub flags: u8,
+    /// Per-link transport sequence number; `0` means the sending link does
+    /// not run ARQ (no dedup/ack tracking applies).
+    pub tseq: u32,
+}
 
 impl Frame {
     /// Creates a frame.
@@ -169,12 +242,36 @@ impl Frame {
         }
     }
 
-    /// Encodes the frame to wire bytes.
+    /// Encodes the frame to legacy wire bytes (no integrity check).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEADER_BYTES + self.payload_bytes() + 4);
         buf.put_u64_le(self.seq);
         buf.put_u16_le(self.from.encode());
         buf.put_u8(self.payload.tag());
+        self.encode_payload(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes the frame to the checked wire format: the legacy header
+    /// fields, then `flags`, the per-link transport sequence number and a
+    /// CRC-32 over the entire frame (header corruption is detected too),
+    /// then the payload.
+    pub fn encode_checked(&self, flags: u8, tseq: u32) -> Bytes {
+        let mut buf = Vec::with_capacity(CHECKED_HEADER_BYTES + self.payload_bytes() + 4);
+        buf.put_u64_le(self.seq);
+        buf.put_u16_le(self.from.encode());
+        buf.put_u8(self.payload.tag());
+        buf.put_u8(flags);
+        buf.put_u32_le(tseq);
+        buf.put_u32_le(0); // CRC placeholder, patched below
+        self.encode_payload(&mut buf);
+        let crc = crc32_parts(&buf[..CRC_OFFSET], &buf[CHECKED_HEADER_BYTES..]);
+        buf[CRC_OFFSET..CHECKED_HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+        Bytes::from(buf)
+    }
+
+    /// Appends the payload encoding (shared by both wire formats).
+    fn encode_payload<B: BufMut>(&self, buf: &mut B) {
         match &self.payload {
             Payload::Capture { view } => {
                 buf.put_u16_le(view.dims().first().copied().unwrap_or(0) as u16);
@@ -207,78 +304,118 @@ impl Frame {
                 buf.put_u8(*exit_tier);
             }
         }
-        buf.freeze()
     }
 
-    /// Decodes a frame from wire bytes.
+    /// Decodes a frame from legacy wire bytes.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Protocol`] on truncated input or unknown
     /// tags.
     pub fn decode(mut buf: Bytes) -> Result<Frame> {
-        let need = |buf: &Bytes, n: usize| -> Result<()> {
-            if buf.remaining() < n {
-                Err(RuntimeError::Protocol {
-                    reason: format!("truncated frame: need {n} more bytes"),
-                })
-            } else {
-                Ok(())
-            }
-        };
         need(&buf, HEADER_BYTES)?;
         let seq = buf.get_u64_le();
         let from = NodeId::decode(buf.get_u16_le())?;
         let tag = buf.get_u8();
-        let payload = match tag {
-            0 => {
-                need(&buf, 6)?;
-                let c = buf.get_u16_le() as usize;
-                let h = buf.get_u16_le() as usize;
-                let w = buf.get_u16_le() as usize;
-                let n = c * h * w;
-                need(&buf, 4 * n)?;
-                let data: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
-                let view = Tensor::from_vec(data, [c, h, w]).map_err(|e| {
-                    RuntimeError::Protocol { reason: format!("capture payload shape: {e}") }
-                })?;
-                Payload::Capture { view }
-            }
-            1 => {
-                need(&buf, 4)?;
-                let n = buf.get_u32_le() as usize;
-                need(&buf, 4 * n)?;
-                Payload::Scores { scores: (0..n).map(|_| buf.get_f32_le()).collect() }
-            }
-            2 => Payload::OffloadRequest,
-            3 => {
-                need(&buf, 10)?;
-                let channels = buf.get_u16_le();
-                let height = buf.get_u16_le();
-                let width = buf.get_u16_le();
-                let len = buf.get_u32_le() as usize;
-                need(&buf, len)?;
-                Payload::Features { channels, height, width, bits: buf.copy_to_bytes(len) }
-            }
-            4 => {
-                need(&buf, 4)?;
-                let len = buf.get_u32_le() as usize;
-                need(&buf, len)?;
-                Payload::RawImage { pixels: buf.copy_to_bytes(len) }
-            }
-            5 => {
-                need(&buf, 3)?;
-                Payload::Verdict { prediction: buf.get_u16_le(), exit_tier: buf.get_u8() }
-            }
-            6 => Payload::Shutdown,
-            other => {
-                return Err(RuntimeError::Protocol {
-                    reason: format!("unknown payload tag {other}"),
-                })
-            }
-        };
+        let payload = decode_payload(tag, &mut buf)?;
         Ok(Frame { seq, from, payload })
     }
+
+    /// Decodes a frame from the checked wire format, verifying the CRC-32
+    /// and the flags byte before any payload field is trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Corrupt`] when the frame is shorter than a
+    /// checked header, the CRC does not match (bit flips, truncation), or
+    /// unknown flag bits are set; [`RuntimeError::Protocol`] only for a
+    /// frame that passes its integrity check yet still fails to parse
+    /// (a sender bug, not wire damage).
+    pub fn decode_checked(mut buf: Bytes) -> Result<CheckedFrame> {
+        if buf.remaining() < CHECKED_HEADER_BYTES {
+            return Err(RuntimeError::Corrupt {
+                reason: format!("{} bytes is shorter than a checked header", buf.remaining()),
+            });
+        }
+        let computed = crc32_parts(&buf[..CRC_OFFSET], &buf[CHECKED_HEADER_BYTES..]);
+        let seq = buf.get_u64_le();
+        let from_code = buf.get_u16_le();
+        let tag = buf.get_u8();
+        let flags = buf.get_u8();
+        let tseq = buf.get_u32_le();
+        let stored = buf.get_u32_le();
+        if stored != computed {
+            return Err(RuntimeError::Corrupt {
+                reason: format!("crc mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+            });
+        }
+        if flags & !FLAG_MASK != 0 {
+            return Err(RuntimeError::Corrupt { reason: format!("unknown flags {flags:#04x}") });
+        }
+        let from = NodeId::decode(from_code)?;
+        let payload = decode_payload(tag, &mut buf)?;
+        Ok(CheckedFrame { frame: Frame { seq, from, payload }, flags, tseq })
+    }
+}
+
+/// Truncation guard shared by the payload decoders.
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(RuntimeError::Protocol { reason: format!("truncated frame: need {n} more bytes") })
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes a payload (shared by both wire formats); `buf` is positioned
+/// just past the header.
+fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<Payload> {
+    let payload = match tag {
+        0 => {
+            need(buf, 6)?;
+            let c = buf.get_u16_le() as usize;
+            let h = buf.get_u16_le() as usize;
+            let w = buf.get_u16_le() as usize;
+            let n = c * h * w;
+            need(buf, 4 * n)?;
+            let data: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
+            let view = Tensor::from_vec(data, [c, h, w]).map_err(|e| RuntimeError::Protocol {
+                reason: format!("capture payload shape: {e}"),
+            })?;
+            Payload::Capture { view }
+        }
+        1 => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, 4 * n)?;
+            Payload::Scores { scores: (0..n).map(|_| buf.get_f32_le()).collect() }
+        }
+        2 => Payload::OffloadRequest,
+        3 => {
+            need(buf, 10)?;
+            let channels = buf.get_u16_le();
+            let height = buf.get_u16_le();
+            let width = buf.get_u16_le();
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            Payload::Features { channels, height, width, bits: buf.copy_to_bytes(len) }
+        }
+        4 => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            Payload::RawImage { pixels: buf.copy_to_bytes(len) }
+        }
+        5 => {
+            need(buf, 3)?;
+            Payload::Verdict { prediction: buf.get_u16_le(), exit_tier: buf.get_u8() }
+        }
+        6 => Payload::Shutdown,
+        other => {
+            return Err(RuntimeError::Protocol { reason: format!("unknown payload tag {other}") })
+        }
+    };
+    Ok(payload)
 }
 
 /// Packs a ±1 feature map tensor `(c, h, w)` into a [`Payload::Features`].
@@ -447,5 +584,84 @@ mod tests {
         let enc = f.encode();
         let cut = enc.slice(0..enc.len() - 2);
         assert!(Frame::decode(cut).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The IEEE 802.3 check value for the standard "123456789" test input.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checked_frame_round_trips_with_flags_and_tseq() {
+        let frames = vec![
+            Frame::new(1, NodeId::Device(2), Payload::Scores { scores: vec![0.5, -1.0, 2.5] }),
+            Frame::new(2, NodeId::Gateway, Payload::OffloadRequest),
+            Frame::new(3, NodeId::Cloud, Payload::Verdict { prediction: 2, exit_tier: 2 }),
+            Frame::new(4, NodeId::Orchestrator, Payload::Shutdown),
+        ];
+        for (i, f) in frames.into_iter().enumerate() {
+            let tseq = i as u32 + 1;
+            let wire = f.encode_checked(FLAG_RETRANSMIT, tseq);
+            let extra = CHECKED_HEADER_BYTES - HEADER_BYTES;
+            assert_eq!(wire.len(), f.encode().len() + extra);
+            let decoded = Frame::decode_checked(wire).unwrap();
+            assert_eq!(decoded.frame, f);
+            assert_eq!(decoded.flags, FLAG_RETRANSMIT);
+            assert_eq!(decoded.tseq, tseq);
+        }
+    }
+
+    #[test]
+    fn checked_decode_rejects_bit_flips() {
+        let map = Tensor::ones([2, 4, 4]);
+        let f = Frame::new(7, NodeId::Device(1), features_payload(&map).unwrap());
+        let wire = f.encode_checked(0, 42);
+        // A flip anywhere — header or payload — must surface as Corrupt.
+        for pos in [0, 5, 10, 11, 13, CHECKED_HEADER_BYTES, wire.len() - 1] {
+            let mut bad = wire.to_vec();
+            bad[pos] ^= 0x40;
+            let err = Frame::decode_checked(Bytes::from(bad)).unwrap_err();
+            assert!(matches!(err, RuntimeError::Corrupt { .. }), "flip at {pos}: {err}");
+        }
+    }
+
+    #[test]
+    fn checked_decode_rejects_truncation() {
+        let f = Frame::new(1, NodeId::Device(0), Payload::Scores { scores: vec![1.0, 2.0] });
+        let wire = f.encode_checked(0, 1);
+        for cut in [1, 4, wire.len() - CHECKED_HEADER_BYTES, wire.len() - 1] {
+            let err = Frame::decode_checked(wire.slice(0..wire.len() - cut)).unwrap_err();
+            assert!(matches!(err, RuntimeError::Corrupt { .. }), "cut {cut}: {err}");
+        }
+        assert!(matches!(
+            Frame::decode_checked(Bytes::new()).unwrap_err(),
+            RuntimeError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn checked_decode_rejects_unknown_flags() {
+        let f = Frame::new(1, NodeId::Gateway, Payload::OffloadRequest);
+        // The flags byte is covered by the CRC, so an in-flight flip is
+        // caught as a CRC mismatch; a *sender* setting undefined bits is
+        // caught by the flag mask. Encode with the bogus flag directly so
+        // the CRC is consistent and the mask check is what fires.
+        let wire = f.encode_checked(0x80, 1);
+        let err = Frame::decode_checked(wire).unwrap_err();
+        assert!(matches!(err, RuntimeError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("flags"), "{err}");
+    }
+
+    #[test]
+    fn legacy_encoding_is_unchanged_by_the_checked_format() {
+        // The legacy wire format must stay byte-identical: header is 11
+        // bytes and carries no CRC.
+        let f = Frame::new(3, NodeId::Cloud, Payload::Verdict { prediction: 9, exit_tier: 1 });
+        let wire = f.encode();
+        assert_eq!(wire.len(), HEADER_BYTES + 3);
+        let checked = f.encode_checked(0, 5);
+        assert_eq!(checked.len(), wire.len() + 9, "checked adds flags+tseq+crc only");
     }
 }

@@ -5,6 +5,7 @@
 //! finalize through this one path.
 
 use crate::clock::SimClock;
+use crate::error::{Result, RuntimeError};
 use crate::node::report::NodeReport;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -103,14 +104,21 @@ impl<T: Clone> Collector<T> {
     }
 
     /// Records one source's contribution for `seq`.
-    pub(crate) fn insert(&mut self, seq: u64, source: usize, item: T) -> Ingest<T> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Collector`] when a completed sample is not
+    /// pending at finalize time (a duplicated or late finalize) — callers
+    /// under deadline degradation treat this as a degraded sample rather
+    /// than aborting the node.
+    pub(crate) fn insert(&mut self, seq: u64, source: usize, item: T) -> Result<Ingest<T>> {
         if matches!(self.policy, AggPolicy::Deadline { .. }) {
             // Any frame proves the source is alive, whatever its sample.
             self.misses[source] = 0;
         }
         match self.watermark {
-            Some(w) if seq < w => return Ingest::Stale,
-            Some(w) if seq == w => return Ingest::Replay { seq },
+            Some(w) if seq < w => return Ok(Ingest::Stale),
+            Some(w) if seq == w => return Ok(Ingest::Replay { seq }),
             _ => {}
         }
         let deadline = match &self.policy {
@@ -138,10 +146,10 @@ impl<T: Clone> Collector<T> {
             }
         };
         if done {
-            let (seq, items) = self.finalize(seq);
-            Ingest::Complete { seq, items }
+            let (seq, items) = self.finalize(seq)?;
+            Ok(Ingest::Complete { seq, items })
         } else {
-            Ingest::Pending
+            Ok(Ingest::Pending)
         }
     }
 
@@ -152,20 +160,28 @@ impl<T: Clone> Collector<T> {
 
     /// Finalizes (with blank substitution) the oldest pending sample whose
     /// deadline has passed, if any.
-    pub(crate) fn expire(&mut self, now: Instant) -> Option<(u64, Vec<T>)> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Collector`] if the selected sample vanished
+    /// from the pending map before finalize (see [`Collector::insert`]).
+    pub(crate) fn expire(&mut self, now: Instant) -> Result<Option<(u64, Vec<T>)>> {
         let seq = self
             .pending
             .iter()
             .filter(|(_, p)| p.deadline.is_some_and(|d| d <= now))
             .map(|(&k, _)| k)
-            .min()?;
-        Some(self.finalize(seq))
+            .min();
+        match seq {
+            None => Ok(None),
+            Some(seq) => self.finalize(seq).map(Some),
+        }
     }
 
     /// Removes `seq` from pending, substitutes blanks for missing slots,
     /// advances the watermark and garbage-collects stale partials.
-    fn finalize(&mut self, seq: u64) -> (u64, Vec<T>) {
-        let entry = self.pending.remove(&seq).expect("finalize of non-pending sample");
+    fn finalize(&mut self, seq: u64) -> Result<(u64, Vec<T>)> {
+        let entry = self.pending.remove(&seq).ok_or(RuntimeError::Collector { seq })?;
         let dynamic = matches!(self.policy, AggPolicy::Deadline { .. });
         let mut items = Vec::with_capacity(self.num_sources);
         let mut missing_any = false;
@@ -190,7 +206,7 @@ impl<T: Clone> Collector<T> {
         // Partials below the watermark can never complete: their sources
         // would be classified Stale on arrival.
         self.pending.retain(|&k, _| k > watermark);
-        (seq, items)
+        Ok((seq, items))
     }
 
     pub(crate) fn into_report(self) -> NodeReport {
@@ -203,6 +219,7 @@ impl<T: Clone> Collector<T> {
                 .filter(|&(_, c)| c > 0)
                 .collect(),
             degraded: self.degraded,
+            corrupt_discards: 0,
         }
     }
 }
@@ -263,12 +280,15 @@ mod tests {
             for &d in dups {
                 if d < idx {
                     assert!(
-                        matches!(collector.insert(7, order[d], order[d] as u32), Ingest::Pending),
+                        matches!(
+                            collector.insert(7, order[d], order[d] as u32).unwrap(),
+                            Ingest::Pending
+                        ),
                         "duplicate must stay pending"
                     );
                 }
             }
-            match collector.insert(7, s, s as u32) {
+            match collector.insert(7, s, s as u32).unwrap() {
                 Ingest::Complete { seq, items } => {
                     assert_eq!(seq, 7);
                     completions.push(items);
@@ -283,8 +303,8 @@ mod tests {
         assert_eq!(completions.remove(0), reference);
         // After completion the watermark holds: duplicates replay, older
         // sequences are stale.
-        assert!(matches!(collector.insert(7, order[0], 0), Ingest::Replay { seq: 7 }));
-        assert!(matches!(collector.insert(3, 0, 0), Ingest::Stale));
+        assert!(matches!(collector.insert(7, order[0], 0).unwrap(), Ingest::Replay { seq: 7 }));
+        assert!(matches!(collector.insert(3, 0, 0).unwrap(), Ingest::Stale));
         // No degradation was recorded: every slot was genuinely filled.
         let report = collector.into_report();
         assert!(report.device_timeouts.is_empty());
@@ -320,8 +340,8 @@ mod tests {
             AggPolicy::Static { required: 2 },
             (0..3).map(Some).collect(),
         );
-        assert!(matches!(c.insert(0, 0, 7), Ingest::Pending));
-        match c.insert(0, 2, 9) {
+        assert!(matches!(c.insert(0, 0, 7).unwrap(), Ingest::Pending));
+        match c.insert(0, 2, 9).unwrap() {
             Ingest::Complete { seq, items } => {
                 assert_eq!(seq, 0);
                 assert_eq!(items, vec![7, 101, 9]); // blank substituted in place
@@ -333,5 +353,17 @@ mod tests {
         let report = c.into_report();
         assert!(report.device_timeouts.is_empty());
         assert!(report.degraded.is_empty());
+    }
+
+    #[test]
+    fn finalize_of_non_pending_sample_is_a_typed_error() {
+        // A finalize racing a duplicate (the sample already completed and
+        // was garbage-collected) must surface as a typed error the node
+        // loop can tolerate, not a panic that takes the thread down.
+        let mut c = static_collector(2);
+        match c.finalize(42) {
+            Err(RuntimeError::Collector { seq: 42 }) => {}
+            other => panic!("expected Collector error, got {other:?}"),
+        }
     }
 }

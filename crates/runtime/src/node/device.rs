@@ -6,7 +6,7 @@
 //! behind the paper's automatic fault tolerance (§IV-G).
 
 use crate::error::{Result, RuntimeError};
-use crate::link::{LinkReceiver, LinkSender};
+use crate::link::{LinkSender, NodeInbox};
 use crate::message::{features_payload, Frame, NodeId, Payload};
 use crate::node::report::NodeReport;
 use ddnn_core::{DdnnConfig, DevicePart, BLANK_INPUT_VALUE};
@@ -48,7 +48,7 @@ pub(crate) fn blank_signature(part: &DevicePart, config: &DdnnConfig) -> Result<
 pub(crate) fn device_node(
     d: usize,
     part: DevicePart,
-    inbox_rx: LinkReceiver,
+    mut inbox: NodeInbox,
     to_gateway: LinkSender,
     to_upper: LinkSender,
     tolerant: bool,
@@ -57,7 +57,7 @@ pub(crate) fn device_node(
     let mut exit = part.exit;
     let mut latest: Option<(u64, Tensor)> = None;
     loop {
-        let frame = inbox_rx.recv()?;
+        let frame = inbox.recv()?;
         match frame.payload {
             Payload::Capture { view } => {
                 if tolerant {
@@ -107,7 +107,12 @@ pub(crate) fn device_node(
                     }
                 }
             }
-            Payload::Shutdown => return Ok(NodeReport::default()),
+            Payload::Shutdown => {
+                return Ok(NodeReport {
+                    corrupt_discards: inbox.corrupt_discards(),
+                    ..NodeReport::default()
+                })
+            }
             other => {
                 return Err(RuntimeError::Protocol {
                     reason: format!("device {d}: unexpected payload {other:?}"),

@@ -53,6 +53,14 @@ pub struct SimReport {
     pub device_timeouts: Vec<usize>,
     /// Capture retransmissions issued by the orchestrator watchdog.
     pub capture_retries: usize,
+    /// The samples behind [`SimReport::degraded_fraction`], sorted: every
+    /// sample finalized with a deadline-driven blank substitution at some
+    /// tier, or timed out entirely. Lets callers compare the surviving
+    /// samples of a faulty run against a fault-free reference.
+    pub degraded_samples: Vec<u64>,
+    /// Checked-format frames discarded at the node inboxes because their
+    /// CRC did not match (bit flips, truncation), summed across nodes.
+    pub corrupt_frames_discarded: usize,
 }
 
 impl SimReport {
@@ -120,6 +128,8 @@ pub(crate) struct NodeReport {
     pub(crate) device_timeouts: Vec<(usize, usize)>,
     /// Samples this node finalized with at least one substitution.
     pub(crate) degraded: Vec<u64>,
+    /// Corrupt frames this node's inbox discarded.
+    pub(crate) corrupt_discards: usize,
 }
 
 /// What the orchestrator tallied while driving one run's samples.
@@ -148,11 +158,13 @@ pub(crate) fn assemble_report(
     // Merge what the aggregation tiers observed about degradation.
     let mut device_timeouts = vec![0usize; num_devices];
     let mut degraded: HashSet<u64> = HashSet::new();
+    let mut corrupt_frames_discarded = 0usize;
     for report in node_reports {
         for (d, c) in report.device_timeouts {
             device_timeouts[d] += c;
         }
         degraded.extend(report.degraded);
+        corrupt_frames_discarded += report.corrupt_discards;
     }
     for (i, outcome) in outcomes.iter().enumerate() {
         if matches!(outcome, SampleOutcome::TimedOut { .. }) {
@@ -201,6 +213,12 @@ pub(crate) fn assemble_report(
         } else {
             degraded.len() as f32 / n_samples as f32
         },
+        degraded_samples: {
+            let mut v: Vec<u64> = degraded.into_iter().collect();
+            v.sort_unstable();
+            v
+        },
+        corrupt_frames_discarded,
         device_timeouts,
         capture_retries,
     }
@@ -225,6 +243,8 @@ mod tests {
             degraded_fraction: 0.0,
             device_timeouts: Vec::new(),
             capture_retries: 0,
+            degraded_samples: Vec::new(),
+            corrupt_frames_discarded: 0,
         }
     }
 

@@ -15,7 +15,7 @@
 //! substitution are therefore one shared finalize path at every tier.
 
 use crate::error::{Result, RuntimeError};
-use crate::link::{LinkReceiver, LinkSender};
+use crate::link::{LinkSender, NodeInbox};
 use crate::message::{dequantize_image, features_payload, features_tensor, Frame, NodeId, Payload};
 use crate::node::collector::{Collector, Ingest};
 use crate::node::report::NodeReport;
@@ -239,8 +239,8 @@ pub(crate) struct TierNode<S: TierSection> {
     pub(crate) policy: ExitPolicy,
     /// Source-slot space of the collector.
     pub(crate) fan_in: FanIn,
-    /// This node's inbox.
-    pub(crate) inbox: LinkReceiver,
+    /// This node's inbox (CRC checking and ARQ dedup happen inside).
+    pub(crate) inbox: NodeInbox,
     /// Verdict link.
     pub(crate) to_orchestrator: LinkSender,
     /// Where non-exiting samples go.
@@ -255,8 +255,14 @@ impl<S: TierSection> TierNode<S> {
         let mut last_decision: Option<(u64, Decision)> = None;
         loop {
             let mut completed: Vec<(u64, Vec<S::Item>)> = Vec::new();
-            while let Some(done) = self.collector.expire(Instant::now()) {
-                completed.push(done);
+            loop {
+                // A collector error here means the expired sample vanished
+                // mid-finalize (a duplicate raced it) — degrade, don't die.
+                match self.collector.expire(Instant::now()) {
+                    Ok(Some(done)) => completed.push(done),
+                    Ok(None) | Err(RuntimeError::Collector { .. }) => break,
+                    Err(e) => return Err(e),
+                }
             }
             if completed.is_empty() {
                 let frame = match self.collector.next_deadline() {
@@ -267,20 +273,26 @@ impl<S: TierSection> TierNode<S> {
                     None => self.inbox.recv()?,
                 };
                 if matches!(frame.payload, Payload::Shutdown) {
-                    return Ok(self.collector.into_report());
+                    let mut report = self.collector.into_report();
+                    report.corrupt_discards = self.inbox.corrupt_discards();
+                    return Ok(report);
                 }
                 let source = self.fan_in.source_slot(frame.from, &self.name)?;
                 let item = self.section.item_from(frame.payload, &self.name)?;
                 match self.collector.insert(frame.seq, source, item) {
-                    Ingest::Complete { seq, items } => completed.push((seq, items)),
-                    Ingest::Replay { seq } => {
+                    Ok(Ingest::Complete { seq, items }) => completed.push((seq, items)),
+                    Ok(Ingest::Replay { seq }) => {
                         if let Some((s, decision)) = &last_decision {
                             if *s == seq {
                                 self.send(decision, seq)?;
                             }
                         }
                     }
-                    Ingest::Stale | Ingest::Pending => {}
+                    Ok(Ingest::Stale | Ingest::Pending) => {}
+                    // A duplicated or late finalize: the sample already
+                    // resolved, so the contribution is simply too late.
+                    Err(RuntimeError::Collector { .. }) => {}
+                    Err(e) => return Err(e),
                 }
             }
             for (seq, items) in completed {

@@ -1,0 +1,724 @@
+//! Reliability layer: checked framing, cumulative/NACK acknowledgements
+//! and bounded retransmission with capped exponential backoff.
+//!
+//! The deadline collectors of the degradation tier treat every lost frame
+//! as permanently gone: the sample is finalized with a blank signature and
+//! the accuracy cost is paid. This module adds the recovery tier *under*
+//! that backstop (cf. DistrEE's lossy edge links, arXiv:2502.15735): a
+//! link can run in
+//!
+//! * [`ReliabilityMode::Legacy`] — the seed's 11-byte header, no
+//!   integrity check, byte-identical to every run before this layer
+//!   existed;
+//! * [`ReliabilityMode::Crc`] — the checked wire format (CRC-32 + flags +
+//!   transport sequence number); corruption is *detected* and the frame
+//!   discarded, after which deadline degradation recovers as before;
+//! * [`ReliabilityMode::Arq`] — checked framing plus acknowledgement and
+//!   retransmission: the receiver acks cumulatively and NACKs sequence
+//!   gaps, the sender keeps a bounded retransmit buffer and retries with
+//!   exponential backoff capped so several attempts always fit inside the
+//!   sample deadline. A frame that exhausts its retries or outlives the
+//!   deadline is abandoned — blank substitution remains the final word.
+//!
+//! Every retransmission and every ack crosses the same fault-injected
+//! wire as primary traffic and is priced into [`LinkStats`] (the
+//! `frames_retransmitted` and `ack_bytes` counters), so the Eq. 1
+//! communication model honestly reflects what recovery costs.
+
+use crate::error::{Result, RuntimeError};
+use crate::fault::{corrupt_bytes, truncate_len, DeadlineConfig, Delivery, FaultPlan, LinkFault};
+use crate::link::LinkStats;
+use crate::message::crc32;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a link frames and recovers its traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReliabilityMode {
+    /// The seed's unchecked 11-byte framing; corruption is undetectable.
+    #[default]
+    Legacy,
+    /// Checked framing: CRC-32 verification, corrupt frames discarded
+    /// (degradation recovers the loss).
+    Crc,
+    /// Checked framing plus ack/retransmit recovery.
+    Arq,
+}
+
+impl ReliabilityMode {
+    /// Whether this mode uses the checked wire format.
+    pub fn is_checked(self) -> bool {
+        !matches!(self, ReliabilityMode::Legacy)
+    }
+}
+
+/// Retransmission tuning for [`ReliabilityMode::Arq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqTuning {
+    /// Initial retransmit timeout, in milliseconds.
+    pub retransmit_ms: u64,
+    /// Ceiling of the exponential backoff, in milliseconds. Kept well
+    /// under the aggregation deadline so a lossy frame gets many attempts
+    /// before blank substitution takes over.
+    pub backoff_cap_ms: u64,
+    /// Retransmissions per frame before the sender gives up.
+    pub max_retries: u32,
+    /// Bound of the sender's retransmit buffer, in frames; registering
+    /// beyond it abandons the oldest unacked frame.
+    pub buffer_frames: usize,
+    /// A frame older than this is abandoned regardless of retries, in
+    /// milliseconds. Clamped to the aggregation deadline at run setup:
+    /// once the collector has blanked the sample, retransmitting it is
+    /// pure waste.
+    pub max_age_ms: u64,
+}
+
+impl Default for ArqTuning {
+    fn default() -> Self {
+        ArqTuning {
+            retransmit_ms: 5,
+            backoff_cap_ms: 20,
+            max_retries: 16,
+            buffer_frames: 512,
+            max_age_ms: 1000,
+        }
+    }
+}
+
+impl ArqTuning {
+    /// The tuning actually used in a run: `max_age_ms` clamped to the
+    /// aggregation deadline, so retransmission stops once degradation has
+    /// already resolved the sample.
+    pub(crate) fn effective(mut self, deadlines: Option<&DeadlineConfig>) -> Self {
+        if let Some(d) = deadlines {
+            self.max_age_ms = self.max_age_ms.min(d.aggregation_ms);
+        }
+        self
+    }
+}
+
+/// Run-wide reliability configuration: a default mode for every link plus
+/// optional per-link overrides.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReliabilityConfig {
+    /// Mode applied to every link not covered by an override.
+    pub mode: ReliabilityMode,
+    /// Retransmission tuning (only consulted where ARQ is active).
+    pub arq: ArqTuning,
+    /// Per-link mode overrides, keyed by link name (e.g.
+    /// `"device0->gateway"`). Overrides may switch between [`Crc`] and
+    /// [`Arq`](ReliabilityMode::Arq) but not back to `Legacy`: all links
+    /// of a run speak one wire format.
+    pub link_overrides: Vec<(String, ReliabilityMode)>,
+}
+
+impl ReliabilityConfig {
+    /// Reliability off: every link on the legacy format (the default).
+    pub fn off() -> Self {
+        ReliabilityConfig::default()
+    }
+
+    /// Checked framing everywhere, no retransmission.
+    pub fn crc() -> Self {
+        ReliabilityConfig { mode: ReliabilityMode::Crc, ..ReliabilityConfig::default() }
+    }
+
+    /// Full ARQ on every link with default tuning.
+    pub fn arq() -> Self {
+        ReliabilityConfig { mode: ReliabilityMode::Arq, ..ReliabilityConfig::default() }
+    }
+
+    /// The mode of the named link, after overrides.
+    pub fn mode_for(&self, link_name: &str) -> ReliabilityMode {
+        self.link_overrides
+            .iter()
+            .rev()
+            .find(|(name, _)| name == link_name)
+            .map_or(self.mode, |(_, m)| *m)
+    }
+
+    /// Whether any link of the run uses the checked wire format.
+    pub fn any_checked(&self) -> bool {
+        self.mode.is_checked() || self.link_overrides.iter().any(|(_, m)| m.is_checked())
+    }
+
+    /// Whether any link of the run runs ARQ.
+    pub fn any_arq(&self) -> bool {
+        matches!(self.mode, ReliabilityMode::Arq)
+            || self.link_overrides.iter().any(|(_, m)| matches!(m, ReliabilityMode::Arq))
+    }
+
+    /// Validates the configuration against the run's fault plan and
+    /// deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] when byte-mutating faults are
+    /// paired with unchecked framing (they would silently mis-decode),
+    /// when an override tries to mix the legacy format with checked links,
+    /// or when ARQ runs without deadlines (its give-up policy is defined
+    /// by the sample deadline).
+    pub fn validate(&self, plan: &FaultPlan, deadlines: Option<&DeadlineConfig>) -> Result<()> {
+        if self.mode.is_checked() {
+            if let Some((name, _)) = self.link_overrides.iter().find(|(_, m)| !m.is_checked()) {
+                return Err(RuntimeError::Config {
+                    reason: format!(
+                        "link override {name:?} selects the legacy format in a checked run; \
+                         all links of a run speak one wire format"
+                    ),
+                });
+            }
+        } else if let Some((name, _)) = self.link_overrides.iter().find(|(_, m)| m.is_checked()) {
+            return Err(RuntimeError::Config {
+                reason: format!(
+                    "link override {name:?} selects a checked format in a legacy run; \
+                     set ReliabilityConfig::mode to Crc or Arq instead"
+                ),
+            });
+        }
+        if plan.corrupts_bytes() && !self.mode.is_checked() {
+            return Err(RuntimeError::Config {
+                reason: "corruption/truncation faults require a checked wire format \
+                         (ReliabilityMode::Crc or Arq); legacy frames would silently mis-decode"
+                    .into(),
+            });
+        }
+        if self.any_arq() && deadlines.is_none() {
+            return Err(RuntimeError::Config {
+                reason: "ARQ requires deadlines: its give-up policy is bounded by the \
+                         aggregation deadline"
+                    .into(),
+            });
+        }
+        if self.any_arq() && self.arq.retransmit_ms == 0 {
+            return Err(RuntimeError::Config {
+                reason: "ARQ retransmit_ms must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acknowledgement wire format
+// ---------------------------------------------------------------------------
+
+/// Magic first byte of an acknowledgement datagram.
+const ACK_MAGIC: u8 = 0xA5;
+
+/// Most NACKed gaps one ack carries; deeper gaps wait for the next ack.
+const MAX_NACKS: usize = 16;
+
+/// Encodes an ack: `[magic][cum u32][n u8][n × u32 nacks][crc u32]`, all
+/// little-endian, CRC-32 over everything before the CRC field.
+fn encode_ack(cum: u32, nacks: &[u32]) -> Bytes {
+    let n = nacks.len().min(MAX_NACKS);
+    let mut buf = Vec::with_capacity(1 + 4 + 1 + 4 * n + 4);
+    buf.push(ACK_MAGIC);
+    buf.extend_from_slice(&cum.to_le_bytes());
+    buf.push(n as u8);
+    for &nack in &nacks[..n] {
+        buf.extend_from_slice(&nack.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes an ack; `None` when the datagram is damaged (the sender just
+/// waits for the next one — acks are cumulative, losing one is harmless).
+fn decode_ack(buf: &[u8]) -> Option<(u32, Vec<u32>)> {
+    if buf.len() < 10 || buf[0] != ACK_MAGIC {
+        return None;
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+    if crc32(body) != stored {
+        return None;
+    }
+    let cum = u32::from_le_bytes(body[1..5].try_into().ok()?);
+    let n = body[5] as usize;
+    if body.len() != 6 + 4 * n {
+        return None;
+    }
+    let nacks = (0..n)
+        .map(|i| u32::from_le_bytes(body[6 + 4 * i..10 + 4 * i].try_into().unwrap()))
+        .collect();
+    Some((cum, nacks))
+}
+
+// ---------------------------------------------------------------------------
+// Sender side
+// ---------------------------------------------------------------------------
+
+/// One unacknowledged frame held for possible retransmission.
+#[derive(Debug)]
+struct Unacked {
+    tseq: u32,
+    /// The retransmit encoding (`FLAG_RETRANSMIT` set) of the frame.
+    wire: Bytes,
+    /// Eq. 1 payload bytes of the frame, for stats accounting.
+    payload_bytes: usize,
+    first_sent: Instant,
+    next_retry: Instant,
+    backoff_ms: u64,
+    retries: u32,
+    /// The receiver NACKed this sequence number: retransmit immediately.
+    nacked: bool,
+}
+
+#[derive(Debug)]
+struct SendInner {
+    next_tseq: u32,
+    buffer: Vec<Unacked>,
+}
+
+/// Per-link ARQ sender state: the retransmit buffer plus the reverse ack
+/// channel. Shared between the owning [`LinkSender`](crate::link) (which
+/// registers frames) and the run's retransmit pump (which ticks it).
+#[derive(Debug)]
+pub(crate) struct ArqSendState {
+    inner: Mutex<SendInner>,
+    /// The data channel retransmissions are delivered into.
+    data_tx: Sender<Bytes>,
+    /// Acks flowing back from the receiving inbox (mutex-wrapped so the
+    /// state can be shared with the pump thread; only the pump drains it).
+    ack_rx: Mutex<Receiver<Bytes>>,
+    /// The data link's stats: retransmissions are priced here.
+    stats: Arc<Mutex<LinkStats>>,
+    /// Fault stream of the retransmit path (`retx:<link>`), sharing the
+    /// sending device's crash state: a dead device cannot retransmit.
+    fault: Option<Arc<LinkFault>>,
+    tuning: ArqTuning,
+    /// Header bytes of the checked format, for stats accounting.
+    header_bytes: usize,
+}
+
+impl ArqSendState {
+    pub(crate) fn new(
+        data_tx: Sender<Bytes>,
+        ack_rx: Receiver<Bytes>,
+        stats: Arc<Mutex<LinkStats>>,
+        fault: Option<Arc<LinkFault>>,
+        tuning: ArqTuning,
+        header_bytes: usize,
+    ) -> Self {
+        ArqSendState {
+            inner: Mutex::new(SendInner { next_tseq: 1, buffer: Vec::new() }),
+            data_tx,
+            ack_rx: Mutex::new(ack_rx),
+            stats,
+            fault,
+            tuning,
+            header_bytes,
+        }
+    }
+
+    /// Assigns the next transport sequence number and buffers the frame's
+    /// retransmit encoding. Returns the tseq for the primary transmission.
+    /// Called *before* the primary's fault roll, so a dropped primary is
+    /// already recoverable.
+    pub(crate) fn register(&self, frame: &crate::message::Frame) -> u32 {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        let tseq = inner.next_tseq;
+        inner.next_tseq = inner.next_tseq.wrapping_add(1).max(1);
+        if inner.buffer.len() >= self.tuning.buffer_frames {
+            inner.buffer.remove(0); // bounded buffer: abandon the oldest
+        }
+        let wire = frame.encode_checked(crate::message::FLAG_RETRANSMIT, tseq);
+        inner.buffer.push(Unacked {
+            tseq,
+            wire,
+            payload_bytes: frame.payload_bytes(),
+            first_sent: now,
+            next_retry: now + Duration::from_millis(self.tuning.retransmit_ms),
+            backoff_ms: self.tuning.retransmit_ms,
+            retries: 0,
+            nacked: false,
+        });
+        tseq
+    }
+
+    /// One pump sweep: absorb acks, garbage-collect the buffer, retransmit
+    /// what is due (NACKed or timed out), abandon what is hopeless.
+    pub(crate) fn tick(&self, now: Instant) {
+        let mut inner = self.inner.lock();
+        let ack_rx = self.ack_rx.lock();
+        while let Ok(ack) = ack_rx.try_recv() {
+            if let Some((cum, nacks)) = decode_ack(&ack) {
+                inner.buffer.retain(|u| u.tseq > cum);
+                for u in &mut inner.buffer {
+                    if nacks.contains(&u.tseq) {
+                        u.nacked = true;
+                    }
+                }
+            }
+        }
+        drop(ack_rx);
+        let max_age = Duration::from_millis(self.tuning.max_age_ms);
+        let mut i = 0;
+        while i < inner.buffer.len() {
+            let u = &inner.buffer[i];
+            let due = u.nacked || u.next_retry <= now;
+            if !due {
+                i += 1;
+                continue;
+            }
+            if u.retries >= self.tuning.max_retries || now.duration_since(u.first_sent) > max_age {
+                // Hopeless: the deadline tier owns this loss now.
+                inner.buffer.remove(i);
+                continue;
+            }
+            let u = &mut inner.buffer[i];
+            u.retries += 1;
+            u.nacked = false;
+            u.backoff_ms = (u.backoff_ms * 2).min(self.tuning.backoff_cap_ms.max(1));
+            u.next_retry = now + Duration::from_millis(u.backoff_ms);
+            let delivery = self.fault.as_ref().map_or_else(Delivery::clean, |f| f.roll_raw());
+            match delivery {
+                Delivery::Dropped => {
+                    self.stats.lock().frames_dropped += 1;
+                }
+                Delivery::Deliver { corrupt, truncate, .. } => {
+                    // Retransmissions skip duplication/jitter/reordering:
+                    // they are already redundant, delayed traffic.
+                    let mut wire = u.wire.clone();
+                    let mut damaged = false;
+                    if let Some(seed) = corrupt {
+                        wire = Bytes::from(corrupt_bytes(&wire, seed));
+                        damaged = true;
+                    }
+                    if let Some(seed) = truncate {
+                        wire = wire.slice(0..truncate_len(wire.len(), seed));
+                        damaged = true;
+                    }
+                    let payload = u.payload_bytes;
+                    {
+                        let mut s = self.stats.lock();
+                        s.frames += 1;
+                        s.frames_retransmitted += 1;
+                        let p = payload.min(wire.len().saturating_sub(self.header_bytes));
+                        s.payload_bytes += p;
+                        s.header_bytes += wire.len() - p;
+                        if damaged {
+                            s.frames_corrupted += 1;
+                        }
+                    }
+                    // A departed receiver means the run is over for this
+                    // link; the retransmission is simply lost in flight.
+                    let _ = self.data_tx.send(wire);
+                }
+            }
+        }
+    }
+
+    /// Unacked frames still buffered (for tests).
+    #[cfg(test)]
+    fn in_flight(&self) -> usize {
+        self.inner.lock().buffer.len()
+    }
+}
+
+/// Drives every [`ArqSendState`] of a run from one background thread,
+/// sweeping roughly every millisecond until `stop` is raised.
+pub(crate) fn run_retransmit_pump(states: &[Arc<ArqSendState>], stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        for state in states {
+            state.tick(now);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side
+// ---------------------------------------------------------------------------
+
+/// Per-source ARQ receiver state: cumulative tracking, a dedup window and
+/// the reverse ack channel.
+#[derive(Debug)]
+pub(crate) struct ArqRecvState {
+    /// Highest tseq such that everything `<= cum` has been received.
+    cum: u32,
+    /// Received sequence numbers above `cum`.
+    window: BTreeSet<u32>,
+    /// Reverse channel to the sender's [`ArqSendState`].
+    ack_tx: Sender<Bytes>,
+    /// The data link's stats: delivered ack bytes are priced here.
+    stats: Arc<Mutex<LinkStats>>,
+    /// Fault stream of the ack path (`ack:<link>`) — acks cross the same
+    /// lossy wire. No crash state: the *receiver* sends acks.
+    fault: Option<Arc<LinkFault>>,
+}
+
+impl ArqRecvState {
+    pub(crate) fn new(
+        ack_tx: Sender<Bytes>,
+        stats: Arc<Mutex<LinkStats>>,
+        fault: Option<Arc<LinkFault>>,
+    ) -> Self {
+        ArqRecvState { cum: 0, window: BTreeSet::new(), ack_tx, stats, fault }
+    }
+
+    /// Records the arrival of transport sequence number `tseq` and sends
+    /// an ack (cumulative + gap NACKs). Returns whether the frame is
+    /// fresh (`false` = duplicate, already delivered once).
+    pub(crate) fn accept(&mut self, tseq: u32) -> bool {
+        let fresh = if tseq == 0 {
+            true // sender does not run ARQ on this link
+        } else if tseq <= self.cum || self.window.contains(&tseq) {
+            false
+        } else {
+            self.window.insert(tseq);
+            while self.window.remove(&(self.cum + 1)) {
+                self.cum += 1;
+            }
+            true
+        };
+        if tseq != 0 {
+            self.send_ack();
+        }
+        fresh
+    }
+
+    /// Emits one ack datagram through the ack-path fault stream.
+    fn send_ack(&self) {
+        let nacks: Vec<u32> = match self.window.iter().next_back() {
+            Some(&max) => {
+                (self.cum + 1..max).filter(|t| !self.window.contains(t)).take(MAX_NACKS).collect()
+            }
+            None => Vec::new(),
+        };
+        let mut wire = encode_ack(self.cum, &nacks);
+        match self.fault.as_ref().map_or_else(Delivery::clean, |f| f.roll_raw()) {
+            Delivery::Dropped => return, // the next ack carries the news
+            Delivery::Deliver { corrupt, truncate, .. } => {
+                // Acks skip duplication/jitter/reordering: they are tiny,
+                // idempotent and cumulative.
+                if let Some(seed) = corrupt {
+                    wire = Bytes::from(corrupt_bytes(&wire, seed));
+                }
+                if let Some(seed) = truncate {
+                    wire = wire.slice(0..truncate_len(wire.len(), seed));
+                }
+            }
+        }
+        self.stats.lock().ack_bytes += wire.len();
+        let _ = self.ack_tx.send(wire); // sender gone: run is over
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Frame, NodeId, Payload};
+    use crossbeam::channel::unbounded;
+
+    fn frame(seq: u64) -> Frame {
+        Frame::new(seq, NodeId::Device(0), Payload::Scores { scores: vec![1.0, 2.0] })
+    }
+
+    fn stats() -> Arc<Mutex<LinkStats>> {
+        Arc::new(Mutex::new(LinkStats::default()))
+    }
+
+    /// Drains every queued datagram (the vendored channel has no
+    /// `try_iter`).
+    fn drain(rx: &Receiver<Bytes>) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Ok(b) = rx.try_recv() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn ack_round_trips_and_rejects_damage() {
+        let wire = encode_ack(41, &[43, 45, 46]);
+        assert_eq!(decode_ack(&wire), Some((41, vec![43, 45, 46])));
+        for pos in 0..wire.len() {
+            let mut bad = wire.to_vec();
+            bad[pos] ^= 0x10;
+            assert_eq!(decode_ack(&bad), None, "flip at {pos} accepted");
+        }
+        assert_eq!(decode_ack(&wire[..wire.len() - 1]), None);
+        assert_eq!(decode_ack(&[]), None);
+    }
+
+    #[test]
+    fn recv_state_dedups_and_tracks_gaps() {
+        let (ack_tx, ack_rx) = unbounded();
+        let st = stats();
+        let mut recv = ArqRecvState::new(ack_tx, Arc::clone(&st), None);
+        assert!(recv.accept(1));
+        assert!(recv.accept(3)); // gap at 2
+        assert!(!recv.accept(3), "duplicate above cum");
+        assert!(!recv.accept(1), "duplicate below cum");
+        assert!(recv.accept(0), "tseq 0 bypasses ARQ entirely");
+        // The latest ack NACKs the gap.
+        let last = drain(&ack_rx).pop().unwrap();
+        assert_eq!(decode_ack(&last), Some((1, vec![2])));
+        assert!(st.lock().ack_bytes > 0);
+        // Filling the gap advances the cumulative ack past the window.
+        assert!(recv.accept(2));
+        let last = drain(&ack_rx).pop().unwrap();
+        assert_eq!(decode_ack(&last), Some((3, vec![])));
+    }
+
+    #[test]
+    fn send_state_retransmits_until_acked_then_stops() {
+        let (data_tx, data_rx) = unbounded();
+        let (ack_tx, ack_rx) = unbounded();
+        let st = stats();
+        let tuning = ArqTuning { retransmit_ms: 1, backoff_cap_ms: 2, ..ArqTuning::default() };
+        let send = ArqSendState::new(
+            data_tx,
+            ack_rx,
+            Arc::clone(&st),
+            None,
+            tuning,
+            crate::message::CHECKED_HEADER_BYTES,
+        );
+        let f = frame(7);
+        let tseq = send.register(&f);
+        assert_eq!(tseq, 1);
+        assert_eq!(send.in_flight(), 1);
+        // Past the retransmit timeout the pump resends the frame.
+        std::thread::sleep(Duration::from_millis(3));
+        send.tick(Instant::now());
+        let wire = data_rx.try_recv().expect("a retransmission");
+        let decoded = Frame::decode_checked(wire).unwrap();
+        assert_eq!(decoded.frame, f);
+        assert_eq!(decoded.tseq, 1);
+        assert_ne!(decoded.flags & crate::message::FLAG_RETRANSMIT, 0);
+        assert_eq!(st.lock().frames_retransmitted, 1);
+        // Acking the frame clears the buffer; no further retransmissions.
+        ack_tx.send(encode_ack(1, &[])).unwrap();
+        std::thread::sleep(Duration::from_millis(3));
+        send.tick(Instant::now());
+        assert_eq!(send.in_flight(), 0);
+        assert!(data_rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn send_state_gives_up_after_max_retries() {
+        let (data_tx, data_rx) = unbounded();
+        let (_ack_tx, ack_rx) = unbounded();
+        let st = stats();
+        let tuning = ArqTuning {
+            retransmit_ms: 1,
+            backoff_cap_ms: 1,
+            max_retries: 3,
+            ..ArqTuning::default()
+        };
+        let send = ArqSendState::new(
+            data_tx,
+            ack_rx,
+            Arc::clone(&st),
+            None,
+            tuning,
+            crate::message::CHECKED_HEADER_BYTES,
+        );
+        send.register(&frame(1));
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_millis(2));
+            send.tick(Instant::now());
+        }
+        assert_eq!(send.in_flight(), 0, "hopeless frame abandoned");
+        assert_eq!(st.lock().frames_retransmitted, 3);
+        assert_eq!(drain(&data_rx).len(), 3);
+    }
+
+    #[test]
+    fn nack_triggers_immediate_retransmission() {
+        let (data_tx, data_rx) = unbounded();
+        let (ack_tx, ack_rx) = unbounded();
+        let st = stats();
+        // A long timeout: only the NACK can trigger the resend.
+        let tuning = ArqTuning { retransmit_ms: 10_000, ..ArqTuning::default() };
+        let send = ArqSendState::new(
+            data_tx,
+            ack_rx,
+            Arc::clone(&st),
+            None,
+            tuning,
+            crate::message::CHECKED_HEADER_BYTES,
+        );
+        send.register(&frame(1));
+        send.register(&frame(2));
+        ack_tx.send(encode_ack(0, &[1])).unwrap();
+        send.tick(Instant::now());
+        assert_eq!(drain(&data_rx).len(), 1, "only the NACKed frame resent");
+        assert_eq!(send.in_flight(), 2, "tseq 2 still awaits its ack");
+    }
+
+    #[test]
+    fn buffer_bound_abandons_the_oldest() {
+        let (data_tx, _data_rx) = unbounded();
+        let (_ack_tx, ack_rx) = unbounded();
+        let tuning = ArqTuning { buffer_frames: 2, ..ArqTuning::default() };
+        let send = ArqSendState::new(
+            data_tx,
+            ack_rx,
+            stats(),
+            None,
+            tuning,
+            crate::message::CHECKED_HEADER_BYTES,
+        );
+        for seq in 0..5 {
+            send.register(&frame(seq));
+        }
+        assert_eq!(send.in_flight(), 2);
+    }
+
+    #[test]
+    fn validate_enforces_mode_pairings() {
+        let corrupting = FaultPlan { seed: 1, corrupt_prob: 0.1, ..FaultPlan::none() };
+        let deadlines = DeadlineConfig::fast();
+        // Corruption faults need a checked format.
+        assert!(ReliabilityConfig::off().validate(&corrupting, Some(&deadlines)).is_err());
+        assert!(ReliabilityConfig::crc().validate(&corrupting, Some(&deadlines)).is_ok());
+        // ARQ needs deadlines.
+        assert!(ReliabilityConfig::arq().validate(&FaultPlan::none(), None).is_err());
+        assert!(ReliabilityConfig::arq().validate(&corrupting, Some(&deadlines)).is_ok());
+        // No mixing wire formats.
+        let mixed = ReliabilityConfig {
+            mode: ReliabilityMode::Crc,
+            link_overrides: vec![("a->b".into(), ReliabilityMode::Legacy)],
+            ..ReliabilityConfig::default()
+        };
+        assert!(mixed.validate(&FaultPlan::none(), Some(&deadlines)).is_err());
+        let mixed = ReliabilityConfig {
+            mode: ReliabilityMode::Legacy,
+            link_overrides: vec![("a->b".into(), ReliabilityMode::Arq)],
+            ..ReliabilityConfig::default()
+        };
+        assert!(mixed.validate(&FaultPlan::none(), Some(&deadlines)).is_err());
+        // Overrides within the checked family are fine, and mode_for
+        // resolves them.
+        let cfg = ReliabilityConfig {
+            mode: ReliabilityMode::Arq,
+            link_overrides: vec![("a->b".into(), ReliabilityMode::Crc)],
+            ..ReliabilityConfig::default()
+        };
+        assert!(cfg.validate(&FaultPlan::none(), Some(&deadlines)).is_ok());
+        assert_eq!(cfg.mode_for("a->b"), ReliabilityMode::Crc);
+        assert_eq!(cfg.mode_for("c->d"), ReliabilityMode::Arq);
+        assert!(cfg.any_arq() && cfg.any_checked());
+    }
+
+    #[test]
+    fn effective_tuning_is_clamped_by_the_deadline() {
+        let t = ArqTuning::default();
+        let d = DeadlineConfig { aggregation_ms: 50, ..DeadlineConfig::fast() };
+        assert_eq!(t.effective(Some(&d)).max_age_ms, 50);
+        assert_eq!(t.effective(None).max_age_ms, t.max_age_ms);
+    }
+}

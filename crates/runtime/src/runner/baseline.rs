@@ -4,20 +4,23 @@
 //! exactly like they do to the real topology.
 
 use super::orchestrate::{drive_samples, make_policy, validate_run};
+use super::PumpStopGuard;
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
-use crate::fault::{CrashState, LinkFault};
-use crate::link::{attach_faulty_sender, attach_sender, inbox, LinkStats};
+use crate::fault::CrashState;
+use crate::link::{inbox, LinkFactory, LinkStats};
 use crate::message::{dequantize_image, quantize_image, Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::blank_view;
 use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
 use crate::node::tier::{Escalation, FanIn, RawSection, TierNode};
+use crate::reliability::run_retransmit_pump;
 use crate::topology::HierarchyConfig;
 use ddnn_core::{DdnnPartition, ExitPoint, ExitPolicy};
 use ddnn_tensor::Tensor;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Runs the §IV-H cloud-offload baseline: every device sends its raw
@@ -47,33 +50,39 @@ pub fn run_cloud_only_baseline(
     let clock = SimClock::start();
     let view_dims = partition.config.view_dims();
 
-    let fault_active = cfg.fault_plan.is_active();
     let crash_states: HashMap<usize, Arc<CrashState>> = cfg
         .fault_plan
         .crash_after
         .iter()
         .map(|c| (c.device, CrashState::new(c.after_frames)))
         .collect();
+    let mut factory =
+        LinkFactory::new(&cfg.fault_plan, &cfg.reliability, cfg.deadlines.as_ref(), tolerant);
 
     // The devices forward their captures unchanged, so the orchestrator
     // feeds the device->cloud links directly (no device threads) — but
     // through the shared fault layer, and into the shared collector.
     let (cloud_tx, cloud_rx) = inbox("cloud");
+    let mut cloud_inbox = factory.make_inbox(cloud_rx);
     let (orch_tx, orch_rx) = inbox("orchestrator");
+    let mut orch_inbox = factory.make_inbox(orch_rx);
     let mut link_stats: Vec<(String, Arc<Mutex<LinkStats>>)> = Vec::new();
     let mut senders = Vec::new();
     for d in 0..num_devices {
         let name = format!("device{d}->cloud");
-        let fault = fault_active.then(|| {
-            Arc::new(LinkFault::new(&cfg.fault_plan, &name, crash_states.get(&d).cloned()))
-        });
-        let (s, st) = attach_faulty_sender(&cloud_tx, &name, fault, tolerant);
+        let (s, st, recv) = factory.sender(
+            &cloud_tx,
+            &name,
+            NodeId::Device(d as u8),
+            crash_states.get(&d).cloned(),
+        );
+        cloud_inbox.register(recv);
         senders.push(s);
         link_stats.push((name, st));
     }
-    let fault = fault_active
-        .then(|| Arc::new(LinkFault::new(&cfg.fault_plan, "cloud->orchestrator", None)));
-    let (cloud_to_orch, s) = attach_faulty_sender(&orch_tx, "cloud->orchestrator", fault, tolerant);
+    let (cloud_to_orch, s, recv) =
+        factory.sender(&orch_tx, "cloud->orchestrator", NodeId::Cloud, None);
+    orch_inbox.register(recv);
     link_stats.push(("cloud->orchestrator".to_string(), s));
 
     // A silent device's blank is the byte-quantized blank view round-
@@ -90,7 +99,14 @@ pub fn run_cloud_only_baseline(
     let mut node_reports: Vec<NodeReport> = Vec::new();
     let mut tallies: Option<RunTallies> = None;
 
+    let arq_states = std::mem::take(&mut factory.arq_states);
+    let pump_stop = AtomicBool::new(false);
+
     std::thread::scope(|scope| -> Result<()> {
+        let _pump_guard = PumpStopGuard(&pump_stop);
+        if !arq_states.is_empty() {
+            scope.spawn(|| run_retransmit_pump(&arq_states, &pump_stop));
+        }
         let node = TierNode {
             name: "cloud".to_string(),
             id: NodeId::Cloud,
@@ -105,7 +121,7 @@ pub fn run_cloud_only_baseline(
             },
             policy: ExitPolicy::Terminal,
             fan_in: FanIn::Devices(num_devices),
-            inbox: cloud_rx,
+            inbox: cloud_inbox,
             to_orchestrator: cloud_to_orch,
             escalation: Escalation::Terminal,
             collector,
@@ -139,13 +155,14 @@ pub fn run_cloud_only_baseline(
             n_samples,
             cfg.deadlines,
             clock,
-            &orch_rx,
+            &mut orch_inbox,
             send_captures,
             exit_point_of,
             |_| 0.0,
         )?;
+        pump_stop.store(true, Ordering::Release);
 
-        let (s, _) = attach_sender(&cloud_tx, "orchestrator->cloud");
+        let s = factory.shutdown_sender(&cloud_tx, "orchestrator->cloud");
         s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
         node_reports.push(handle.join().map_err(|_| RuntimeError::Disconnected {
             node: "baseline cloud thread".to_string(),
@@ -154,6 +171,12 @@ pub fn run_cloud_only_baseline(
         Ok(())
     })?;
 
-    let tallies = tallies.expect("scope completed successfully");
+    node_reports.push(NodeReport {
+        corrupt_discards: orch_inbox.corrupt_discards(),
+        ..NodeReport::default()
+    });
+    let tallies = tallies.ok_or_else(|| RuntimeError::Topology {
+        reason: "baseline scope finished without producing tallies".to_string(),
+    })?;
     Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices))
 }

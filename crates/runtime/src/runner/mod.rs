@@ -27,20 +27,32 @@ use orchestrate::{drive_samples, make_policy, validate_run};
 
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
-use crate::fault::{CrashState, LinkFault};
-use crate::link::{attach_faulty_sender, attach_sender, inbox, LinkSender, LinkStats};
-use crate::message::{Frame, NodeId, Payload, HEADER_BYTES};
+use crate::fault::CrashState;
+use crate::link::{inbox, LinkFactory, LinkSender, LinkStats};
+use crate::message::{Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::{blank_signature, device_node, BlankSignature};
 use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
 use crate::node::tier::{batched, Escalation, FanIn, FeatureSection, ScoresSection, TierNode};
+use crate::reliability::run_retransmit_pump;
 use crate::topology::{HierarchyConfig, TierExitRule, Topology};
 use ddnn_core::{DdnnPartition, ExitPolicy};
 use ddnn_nn::{Layer, Mode};
 use ddnn_tensor::{parallel, Tensor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Raises a stop flag when dropped, so the retransmit pump always exits —
+/// even when the run's scope closure returns early with an error.
+struct PumpStopGuard<'a>(&'a AtomicBool);
+
+impl Drop for PumpStopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
 
 /// Executes distributed staged inference of a partitioned DDNN over a test
 /// set: `device_views[d]` is device `d`'s per-sample view batch. The
@@ -108,19 +120,17 @@ pub fn run_topology(
         tier_blanks.push(vec![x.index_axis0(0)?]);
     }
 
-    // Per-device crash counters and the per-link fault layers (None when
-    // the plan is inactive, which leaves every link on its exact legacy
-    // path).
-    let fault_active = cfg.fault_plan.is_active();
+    // Per-device crash counters; the LinkFactory owns the per-link fault
+    // layers and the reliability (wire format / ARQ) wiring, leaving every
+    // link on its exact legacy path when both are off.
     let crash_states: HashMap<usize, Arc<CrashState>> = cfg
         .fault_plan
         .crash_after
         .iter()
         .map(|c| (c.device, CrashState::new(c.after_frames)))
         .collect();
-    let fault_for = |name: &str, crash: Option<Arc<CrashState>>| -> Option<Arc<LinkFault>> {
-        fault_active.then(|| Arc::new(LinkFault::new(&cfg.fault_plan, name, crash)))
-    };
+    let mut factory =
+        LinkFactory::new(&cfg.fault_plan, &cfg.reliability, cfg.deadlines.as_ref(), tolerant);
 
     // Wiring, in the exact legacy link order (the report lists links in
     // creation order).
@@ -130,76 +140,72 @@ pub fn run_topology(
     };
 
     let (gateway_tx, gateway_rx) = inbox("gateway");
+    let mut gateway_inbox = factory.make_inbox(gateway_rx);
     let mut tier_txs = Vec::new();
-    let mut tier_rxs = Vec::new();
+    let mut tier_inboxes = Vec::new();
     for spec in &topology.tiers {
         let (tx, rx) = inbox(&spec.name);
         tier_txs.push(tx);
-        tier_rxs.push(rx);
+        tier_inboxes.push(factory.make_inbox(rx));
     }
     let (orch_tx, orch_rx) = inbox("orchestrator");
+    let mut orch_inbox = factory.make_inbox(orch_rx);
 
     // Device inboxes + their outbound links. A crashing device's outbound
     // links share one crash counter, so the N-th transmitted frame kills
     // both its score and its feature path at once.
-    let mut device_rx = Vec::new();
+    let mut device_inboxes = Vec::new();
     let mut capture_tx = Vec::new();
     let mut gateway_to_device: Vec<Option<LinkSender>> = Vec::new();
     let mut device_threads_io = Vec::new();
     for d in 0..num_devices {
         let crash = crash_states.get(&d);
         let (dtx, drx) = inbox(&format!("device{d}"));
+        let mut dev_inbox = factory.make_inbox(drx);
         let cap_name = format!("sensor->device{d}");
-        let (cap, _cap_stats) =
-            attach_faulty_sender(&dtx, &cap_name, fault_for(&cap_name, None), tolerant);
+        let (cap, _cap_stats, recv) = factory.sender(&dtx, &cap_name, NodeId::Orchestrator, None);
+        dev_inbox.register(recv);
         capture_tx.push(cap);
         let g2d_name = format!("gateway->device{d}");
-        let (g2d, g2d_stats) =
-            attach_faulty_sender(&dtx, &g2d_name, fault_for(&g2d_name, None), tolerant);
+        let (g2d, g2d_stats, recv) = factory.sender(&dtx, &g2d_name, NodeId::Gateway, None);
+        dev_inbox.register(recv);
         track(g2d_name, g2d_stats);
         gateway_to_device.push(live[d].then_some(g2d));
         let gw_name = format!("device{d}->gateway");
-        let (to_gw, gw_stats) = attach_faulty_sender(
-            &gateway_tx,
-            &gw_name,
-            fault_for(&gw_name, crash.cloned()),
-            tolerant,
-        );
+        let (to_gw, gw_stats, recv) =
+            factory.sender(&gateway_tx, &gw_name, NodeId::Device(d as u8), crash.cloned());
+        gateway_inbox.register(recv);
         track(gw_name, gw_stats);
         let upper_name = format!("device{d}->{}", topology.tiers[0].name);
-        let (to_upper, upper_stats) = attach_faulty_sender(
-            &tier_txs[0],
-            &upper_name,
-            fault_for(&upper_name, crash.cloned()),
-            tolerant,
-        );
+        let (to_upper, upper_stats, recv) =
+            factory.sender(&tier_txs[0], &upper_name, NodeId::Device(d as u8), crash.cloned());
+        tier_inboxes[0].register(recv);
         track(upper_name, upper_stats);
-        device_rx.push(drx);
+        device_inboxes.push(dev_inbox);
         device_threads_io.push((to_gw, to_upper));
     }
-    let (gw_to_orch, s) = attach_faulty_sender(
-        &orch_tx,
-        "gateway->orchestrator",
-        fault_for("gateway->orchestrator", None),
-        tolerant,
-    );
+    let (gw_to_orch, s, recv) =
+        factory.sender(&orch_tx, "gateway->orchestrator", NodeId::Gateway, None);
+    orch_inbox.register(recv);
     track("gateway->orchestrator".to_string(), s);
     // Orchestrator-side tier links, in the legacy order: the terminal
     // tier's verdict link first, then each non-terminal tier's forward +
     // verdict links along the chain.
     let term_orch_name = format!("{}->orchestrator", topology.tiers[last].name);
-    let (term_to_orch, s) =
-        attach_faulty_sender(&orch_tx, &term_orch_name, fault_for(&term_orch_name, None), tolerant);
+    let (term_to_orch, s, recv) =
+        factory.sender(&orch_tx, &term_orch_name, topology.tiers[last].id, None);
+    orch_inbox.register(recv);
     track(term_orch_name, s);
     let mut fwd_io = Vec::new();
     for i in 0..last {
         let fwd_name = format!("{}->{}", topology.tiers[i].name, topology.tiers[i + 1].name);
-        let (to_next, s) =
-            attach_faulty_sender(&tier_txs[i + 1], &fwd_name, fault_for(&fwd_name, None), tolerant);
+        let (to_next, s, recv) =
+            factory.sender(&tier_txs[i + 1], &fwd_name, topology.tiers[i].id, None);
+        tier_inboxes[i + 1].register(recv);
         track(fwd_name, s);
         let orch_name = format!("{}->orchestrator", topology.tiers[i].name);
-        let (to_orch, s) =
-            attach_faulty_sender(&orch_tx, &orch_name, fault_for(&orch_name, None), tolerant);
+        let (to_orch, s, recv) = factory.sender(&orch_tx, &orch_name, topology.tiers[i].id, None);
+        orch_inbox.register(recv);
         track(orch_name, s);
         fwd_io.push((to_next, to_orch));
     }
@@ -215,9 +221,14 @@ pub fn run_topology(
         let mut fwd = fwd_io.into_iter();
         for i in 0..topology.tiers.len() {
             if i == last {
-                tier_node_io.push((term.take().expect("single terminal"), Escalation::Terminal));
+                let to_orch = term.take().ok_or_else(|| RuntimeError::Topology {
+                    reason: "terminal verdict link consumed twice".to_string(),
+                })?;
+                tier_node_io.push((to_orch, Escalation::Terminal));
             } else {
-                let (to_next, to_orch) = fwd.next().expect("io per non-terminal tier");
+                let (to_next, to_orch) = fwd.next().ok_or_else(|| RuntimeError::Topology {
+                    reason: format!("missing forward links for non-terminal tier {i}"),
+                })?;
                 tier_node_io.push((to_orch, Escalation::ForwardMap(to_next)));
             }
         }
@@ -255,11 +266,24 @@ pub fn run_topology(
     let mut node_reports: Vec<NodeReport> = Vec::new();
     let mut tallies: Option<RunTallies> = None;
 
+    // ARQ retransmit pump: one background thread ticks every send state.
+    // The stop flag is raised by a drop guard inside the scope closure, so
+    // the pump cannot outlive an early (error) return and deadlock joins.
+    let arq_states = std::mem::take(&mut factory.arq_states);
+    let pump_stop = AtomicBool::new(false);
+
     std::thread::scope(|scope| -> Result<()> {
+        let _pump_guard = PumpStopGuard(&pump_stop);
+        if !arq_states.is_empty() {
+            scope.spawn(|| run_retransmit_pump(&arq_states, &pump_stop));
+        }
         let mut handles = Vec::new();
         // Devices.
-        for (d, ((rx, (to_gw, to_upper)), part)) in
-            device_rx.into_iter().zip(device_threads_io).zip(topology.devices.iter()).enumerate()
+        for (d, ((rx, (to_gw, to_upper)), part)) in device_inboxes
+            .into_iter()
+            .zip(device_threads_io)
+            .zip(topology.devices.iter())
+            .enumerate()
         {
             if !live[d] {
                 continue;
@@ -276,7 +300,7 @@ pub fn run_topology(
                 section: ScoresSection { agg: topology.gateway.agg.clone() },
                 policy: ExitPolicy::Entropy(cfg.local_threshold),
                 fan_in: FanIn::Devices(num_devices),
-                inbox: gateway_rx,
+                inbox: gateway_inbox,
                 to_orchestrator: gw_to_orch,
                 escalation: Escalation::RequestFromDevices(gateway_to_device),
                 collector: gateway_collector,
@@ -284,13 +308,16 @@ pub fn run_topology(
             handles.push(scope.spawn(move || node.run()));
         }
         // Feature tiers, in chain order.
-        let mut rx_it = tier_rxs.into_iter();
+        let mut rx_it = tier_inboxes.into_iter();
         let mut coll_it = tier_collectors.into_iter();
         let mut io_it = tier_node_io.into_iter();
         for (i, spec) in topology.tiers.iter().enumerate() {
-            let rx = rx_it.next().expect("one inbox per tier");
-            let collector = coll_it.next().expect("one collector per tier");
-            let (to_orchestrator, escalation) = io_it.next().expect("io for every tier");
+            let missing = |what: &str| RuntimeError::Topology {
+                reason: format!("no {what} wired for tier {i} ({})", spec.name),
+            };
+            let rx = rx_it.next().ok_or_else(|| missing("inbox"))?;
+            let collector = coll_it.next().ok_or_else(|| missing("collector"))?;
+            let (to_orchestrator, escalation) = io_it.next().ok_or_else(|| missing("links"))?;
             let node = TierNode {
                 name: spec.name.clone(),
                 id: spec.id,
@@ -316,8 +343,9 @@ pub fn run_topology(
 
         // Orchestrator: drive samples in order, one at a time.
         let classes = topology.config.num_classes;
-        let summary_bytes = HEADER_BYTES + 4 + 4 * classes;
-        let map_bytes = HEADER_BYTES + 6 + 4 + topology.config.device_map_elems().div_ceil(8);
+        let header = factory.wire_format().header_bytes();
+        let summary_bytes = header + 4 + 4 * classes;
+        let map_bytes = header + 6 + 4 + topology.config.device_map_elems().div_ceil(8);
         // Simulated latency: the device->gateway hop always happens; each
         // escalation up the chain adds one uplink transfer of the feature
         // map. Accumulated hop by hop so the chain generalizes without
@@ -347,11 +375,13 @@ pub fn run_topology(
             n_samples,
             cfg.deadlines,
             clock,
-            &orch_rx,
+            &mut orch_inbox,
             send_captures,
             |tier| topology.exit_point_of(tier),
             latency_of,
         )?;
+        // Every sample resolved: stop retransmitting before shutdown.
+        pump_stop.store(true, Ordering::Release);
 
         // Orderly shutdown: devices first, then gateway, then the chain.
         for (d, cap) in capture_tx.iter().enumerate() {
@@ -359,10 +389,10 @@ pub fn run_topology(
                 cap.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
             }
         }
-        let (s, _) = attach_sender(&gateway_tx, "orchestrator->gateway");
+        let s = factory.shutdown_sender(&gateway_tx, "orchestrator->gateway");
         s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
         for (spec, tx) in topology.tiers.iter().zip(&tier_txs) {
-            let (s, _) = attach_sender(tx, &format!("orchestrator->{}", spec.name));
+            let s = factory.shutdown_sender(tx, &format!("orchestrator->{}", spec.name));
             s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
         }
 
@@ -375,6 +405,13 @@ pub fn run_topology(
         Ok(())
     })?;
 
-    let tallies = tallies.expect("scope completed successfully");
+    // What the orchestrator's own inbox discarded as corrupt.
+    node_reports.push(NodeReport {
+        corrupt_discards: orch_inbox.corrupt_discards(),
+        ..NodeReport::default()
+    });
+    let tallies = tallies.ok_or_else(|| RuntimeError::Topology {
+        reason: "run scope finished without producing tallies".to_string(),
+    })?;
     Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices))
 }

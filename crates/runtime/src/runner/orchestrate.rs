@@ -6,7 +6,7 @@
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
 use crate::fault::DeadlineConfig;
-use crate::link::LinkReceiver;
+use crate::link::NodeInbox;
 use crate::message::Payload;
 use crate::node::collector::AggPolicy;
 use crate::node::report::{RunTallies, SampleOutcome};
@@ -46,6 +46,7 @@ pub(super) fn validate_run(
             reason: "an active fault plan requires deadlines (set cfg.deadlines)".to_string(),
         });
     }
+    cfg.reliability.validate(&cfg.fault_plan, cfg.deadlines.as_ref())?;
     Ok(live)
 }
 
@@ -74,7 +75,7 @@ pub(super) fn drive_samples(
     n_samples: usize,
     deadlines: Option<DeadlineConfig>,
     clock: SimClock,
-    orch_rx: &LinkReceiver,
+    orch_rx: &mut NodeInbox,
     mut send_captures: impl FnMut(usize) -> Result<()>,
     exit_point_of: impl Fn(u8) -> Result<ExitPoint>,
     latency_of: impl Fn(u8) -> f32,

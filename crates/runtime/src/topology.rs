@@ -13,6 +13,7 @@ use crate::error::{Result, RuntimeError};
 use crate::fault::{DeadlineConfig, FaultPlan};
 use crate::link::LatencyModel;
 use crate::message::NodeId;
+use crate::reliability::ReliabilityConfig;
 use ddnn_core::{
     ConvPBlock, DdnnConfig, DdnnPartition, DevicePart, ExitHead, ExitPoint, ExitThreshold,
     FeatureAggregator, GatewayPart,
@@ -40,6 +41,12 @@ pub struct HierarchyConfig {
     /// exact legacy static path: aggregators wait indefinitely for the
     /// precomputed live set and the orchestrator blocks on each verdict.
     pub deadlines: Option<DeadlineConfig>,
+    /// Transport reliability: wire framing and recovery. The default
+    /// ([`ReliabilityConfig::off`]) keeps the legacy unchecked framing
+    /// byte for byte; [`ReliabilityConfig::crc`] detects and discards
+    /// corrupt frames (degradation recovers); [`ReliabilityConfig::arq`]
+    /// adds ack/retransmit recovery under the sample deadline.
+    pub reliability: ReliabilityConfig,
 }
 
 impl Default for HierarchyConfig {
@@ -52,6 +59,7 @@ impl Default for HierarchyConfig {
             uplink: LatencyModel::wan(),
             fault_plan: FaultPlan::none(),
             deadlines: None,
+            reliability: ReliabilityConfig::off(),
         }
     }
 }

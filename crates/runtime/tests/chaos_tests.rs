@@ -49,6 +49,7 @@ fn chaotic_runs_always_terminate() {
                 duplicate_prob: 0.05,
                 jitter_ms: 2,
                 crash_after: vec![DeviceCrash { device: 2, after_frames: 5 }],
+                ..FaultPlan::none()
             },
             deadlines: Some(DeadlineConfig::fast()),
             ..HierarchyConfig::default()
@@ -95,6 +96,7 @@ fn chaotic_edge_hierarchy_terminates() {
             duplicate_prob: 0.1,
             jitter_ms: 1,
             crash_after: vec![DeviceCrash { device: 0, after_frames: 4 }],
+            ..FaultPlan::none()
         },
         deadlines: Some(DeadlineConfig::fast()),
         ..HierarchyConfig::default()

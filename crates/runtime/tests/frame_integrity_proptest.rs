@@ -1,0 +1,114 @@
+//! Property tests of wire-format integrity: arbitrary bit flips,
+//! truncations and extensions of encoded frames must never panic a
+//! decoder, and the checked format must reject every damaged buffer with
+//! a typed error instead of handing corrupt data to a node.
+
+use bytes::Bytes;
+use ddnn_runtime::{Frame, NodeId, Payload, RuntimeError, CHECKED_HEADER_BYTES};
+use proptest::prelude::*;
+
+/// Builds one payload of every wire shape from drawn parameters, so the
+/// properties cover fixed-size, length-prefixed and empty encodings.
+fn payload_of(kind: u8, floats: &[f32], raw: &[u8]) -> Payload {
+    match kind % 5 {
+        0 => Payload::Scores { scores: floats.to_vec() },
+        1 => Payload::OffloadRequest,
+        2 => {
+            Payload::Features { channels: 2, height: 3, width: 4, bits: Bytes::from(raw.to_vec()) }
+        }
+        3 => Payload::Verdict { prediction: 7, exit_tier: 1 },
+        _ => Payload::RawImage { pixels: Bytes::from(raw.to_vec()) },
+    }
+}
+
+/// Applies the drawn bit flips to `wire`, returning the damaged copy and
+/// whether any byte actually changed (flips can cancel each other out).
+/// Each flip packs a byte position and a bit index into one draw
+/// (`flip / 8` is the position, `flip % 8` the bit).
+fn flip_bits(wire: &[u8], flips: &[usize]) -> (Vec<u8>, bool) {
+    let mut bad = wire.to_vec();
+    for &flip in flips {
+        let i = (flip / 8) % bad.len();
+        bad[i] ^= 1 << (flip % 8);
+    }
+    let changed = bad != wire;
+    (bad, changed)
+}
+
+proptest! {
+    #[test]
+    fn damaged_checked_frames_always_decode_to_a_typed_error(
+        seq in 0u64..1_000_000,
+        kind in 0u8..5,
+        floats in prop::collection::vec(-10.0f32..10.0, 0..6),
+        raw in prop::collection::vec(0u8..=255, 0..12),
+        flips in prop::collection::vec(0usize..32768, 1..6),
+        cut in 0usize..4096,
+        tseq in 0u32..1_000_000,
+    ) {
+        let frame = Frame::new(seq, NodeId::Device(3), payload_of(kind, &floats, &raw));
+        let wire = frame.encode_checked(0, tseq);
+
+        // The undamaged buffer round-trips exactly.
+        let clean = Frame::decode_checked(wire.clone()).expect("clean frame must decode");
+        prop_assert_eq!(&clean.frame, &frame);
+        prop_assert_eq!(clean.tseq, tseq);
+
+        // Bit flips: every buffer that differs from the original must be
+        // rejected — never accepted, never a panic.
+        let (bad, changed) = flip_bits(&wire, &flips);
+        if changed {
+            let err = Frame::decode_checked(Bytes::from(bad)).expect_err("damage must be caught");
+            prop_assert!(
+                matches!(err, RuntimeError::Corrupt { .. }),
+                "expected Corrupt, got {err:?}"
+            );
+        }
+
+        // Truncation to any strictly shorter prefix must be rejected: the
+        // CRC covers the whole frame, so a short buffer cannot match.
+        let cut = cut % wire.len();
+        let err = Frame::decode_checked(wire.slice(0..cut)).expect_err("truncation must be caught");
+        prop_assert!(matches!(err, RuntimeError::Corrupt { .. }), "expected Corrupt, got {err:?}");
+
+        // Trailing garbage changes the CRC input, so extension is caught too.
+        let mut extended = wire.to_vec();
+        extended.push(0xEE);
+        prop_assert!(Frame::decode_checked(Bytes::from(extended)).is_err());
+    }
+
+    #[test]
+    fn damaged_legacy_frames_never_panic_the_decoder(
+        seq in 0u64..1_000_000,
+        kind in 0u8..5,
+        floats in prop::collection::vec(-10.0f32..10.0, 0..6),
+        raw in prop::collection::vec(0u8..=255, 0..12),
+        flips in prop::collection::vec(0usize..32768, 1..6),
+        cut in 0usize..4096,
+    ) {
+        // The legacy format has no integrity check, so damage may decode
+        // into a different frame — the property is only that the decoder
+        // returns (Ok or Err) instead of panicking or over-allocating.
+        let frame = Frame::new(seq, NodeId::Gateway, payload_of(kind, &floats, &raw));
+        let wire = frame.encode();
+        let (bad, _) = flip_bits(&wire, &flips);
+        let _ = Frame::decode(Bytes::from(bad));
+        let cut = cut % wire.len();
+        let _ = Frame::decode(wire.slice(0..cut));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_either_decoder(
+        junk in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        // Fully arbitrary buffers (not derived from any real frame) — the
+        // decoders must treat them as untrusted input.
+        let buf = Bytes::from(junk);
+        let _ = Frame::decode(buf.clone());
+        if buf.len() < CHECKED_HEADER_BYTES {
+            prop_assert!(Frame::decode_checked(buf).is_err());
+        } else {
+            let _ = Frame::decode_checked(buf);
+        }
+    }
+}

@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         duplicate_prob: 0.05,
         jitter_ms: 2,
         crash_after: vec![DeviceCrash { device: 5, after_frames: n_samples as u64 / 2 }],
+        ..FaultPlan::none()
     };
     let report = run_distributed_inference(
         &partition,

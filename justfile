@@ -28,6 +28,12 @@ topology-matrix:
     DDNN_THREADS=1 DDNN_MATRIX_DEADLINES=1 cargo test -p ddnn-runtime --test topology_matrix -q
     DDNN_THREADS=4 DDNN_MATRIX_DEADLINES=1 cargo test -p ddnn-runtime --test topology_matrix -q
 
+# The reliability sweep: chaos, wire-integrity and ARQ suites across
+# worker-pool sizes (fixed fault seeds, so every leg is deterministic).
+chaos-matrix:
+    DDNN_THREADS=1 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests -q
+    DDNN_THREADS=4 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests -q
+
 build:
     cargo build --workspace --release
 
@@ -40,6 +46,13 @@ bench-kernels:
 
 bench-kernels-smoke:
     cargo run --release -p ddnn-bench --bin kernels_binary -- --smoke
+
+# Degrade-only vs ARQ under drop+corruption -> results/BENCH_reliability.json
+bench-reliability:
+    cargo run --release -p ddnn-bench --bin reliability
+
+bench-reliability-smoke:
+    cargo run --release -p ddnn-bench --bin reliability -- --smoke
 
 # Regenerate every paper table/figure (slow; accepts DDNN_EPOCHS)
 experiments:
