@@ -35,6 +35,13 @@ fn main() {
     )
     .expect("distributed inference");
     let measured = ddnn.device_payload_per_sample(devices);
+    let first = ddnn.device_first_payload_per_sample(devices);
+    let retx_total: usize = ddnn
+        .links
+        .iter()
+        .filter(|(name, _)| name.starts_with("device"))
+        .map(|(_, s)| s.retx_payload_bytes)
+        .sum();
     let comm = CommCostModel::from_config(&partition.config);
     let modeled = comm.bytes_per_sample(ddnn.local_exit_fraction);
     let offloaded = ddnn.exits.iter().filter(|&&e| e != ExitPoint::Local).count();
@@ -63,6 +70,10 @@ fn main() {
     println!("  Local exit rate:                       {:.2}%", ddnn.local_exit_fraction * 100.0);
     println!("  Raw offload per device-sample:         {raw_per_sample:.0} B (paper: {RAW_IMAGE_BYTES} B)");
     println!("  DDNN measured per device-sample:       {measured:.1} B");
+    println!(
+        "  ... first transmission / retransmit:   {first:.1} B / {:.1} B ({retx_total} B retransmitted total)",
+        measured - first
+    );
     println!("  DDNN Eq.1 model per device-sample:     {modeled:.1} B");
     println!(
         "  Wire preamble overhead:                {:.1} B ({} offloaded maps x 6 B / {n} samples / {devices} devices)",

@@ -13,7 +13,14 @@ use ddnn_tensor::{Result, Tensor, TensorError};
 ///
 /// # Errors
 ///
-/// Returns an error if `probs` is not rank 1 or has fewer than 2 entries.
+/// Returns an error if `probs` is not rank 1, has fewer than 2 entries, or
+/// contains a non-finite value ([`TensorError::NonFinite`]). The last
+/// case matters operationally: NaN probabilities (e.g. softmax of logits
+/// from a corrupt-but-undetected legacy frame) would otherwise skip the
+/// accumulation loop entirely (`NaN > 0` is false) and report perfect
+/// confidence — and `f32::clamp` propagates NaN anyway, making the
+/// `η ≤ T` comparison silently false. Either failure mode misroutes the
+/// sample without a trace; a typed error lets the caller decide.
 pub fn normalized_entropy(probs: &Tensor) -> Result<f32> {
     if probs.rank() != 1 {
         return Err(TensorError::RankMismatch { expected: 1, actual: probs.rank() });
@@ -21,6 +28,9 @@ pub fn normalized_entropy(probs: &Tensor) -> Result<f32> {
     let c = probs.len();
     if c < 2 {
         return Err(TensorError::Empty { op: "normalized_entropy needs >=2 classes" });
+    }
+    if probs.data().iter().any(|p| !p.is_finite()) {
+        return Err(TensorError::NonFinite { op: "normalized_entropy" });
     }
     let mut h = 0.0f32;
     for &p in probs.data() {
@@ -96,6 +106,20 @@ pub enum ExitPolicy {
     Terminal,
 }
 
+/// The full outcome of evaluating one sample at one exit: the measured
+/// confidence, the exit's prediction, and whether the sample stops here.
+/// Carrying η and the prediction even when the sample escalates (or when
+/// the exit is terminal) is what per-exit telemetry consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitDecision {
+    /// Normalized entropy of the exit's softmaxed logits.
+    pub eta: f32,
+    /// Argmax class of the exit (what *would* be predicted here).
+    pub prediction: usize,
+    /// Whether the sample exits at this point (`η ≤ T`, or terminal).
+    pub exits: bool,
+}
+
 impl ExitPolicy {
     /// Whether this is the always-classify terminal exit.
     pub fn is_terminal(&self) -> bool {
@@ -110,47 +134,48 @@ impl ExitPolicy {
         }
     }
 
+    /// Evaluates one sample from its `(1, classes)` exit logits, returning
+    /// the full [`ExitDecision`] (η, prediction, and whether it exits). η
+    /// is computed for the terminal exit too — it is free relative to the
+    /// softmax and is exactly the per-exit confidence telemetry wants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed logits, including
+    /// [`TensorError::NonFinite`] when the logits produce non-finite
+    /// probabilities — an uncertain-looking sample must escalate by
+    /// *measurement*, not because a NaN comparison silently failed.
+    pub fn evaluate(&self, logits: &Tensor) -> Result<ExitDecision> {
+        let probs = logits.softmax_rows()?;
+        let eta = normalized_entropy(&probs.row(0)?)?;
+        let prediction = probs.argmax_rows()?[0];
+        Ok(ExitDecision { eta, prediction, exits: self.should_exit(eta) })
+    }
+
     /// Decides one sample from its `(1, classes)` exit logits: the
     /// predicted class if the sample exits here, `None` if it escalates to
     /// the next tier.
     ///
     /// # Errors
     ///
-    /// Returns an error for malformed logits.
+    /// Returns an error for malformed or non-finite logits (see
+    /// [`ExitPolicy::evaluate`]).
     pub fn decide(&self, logits: &Tensor) -> Result<Option<usize>> {
-        let probs = logits.softmax_rows()?;
-        match self {
-            ExitPolicy::Terminal => Ok(Some(probs.argmax_rows()?[0])),
-            ExitPolicy::Entropy(t) => {
-                let eta = normalized_entropy(&probs.row(0)?)?;
-                if t.should_exit(eta) {
-                    Ok(Some(probs.argmax_rows()?[0]))
-                } else {
-                    Ok(None)
-                }
-            }
-        }
+        let d = self.evaluate(logits)?;
+        Ok(d.exits.then_some(d.prediction))
     }
 
     /// Row-wise [`ExitPolicy::decide`] over `(n, classes)` logits.
     ///
     /// # Errors
     ///
-    /// Returns an error for malformed logits.
+    /// Returns an error for malformed or non-finite logits (see
+    /// [`ExitPolicy::evaluate`]).
     pub fn decide_rows(&self, logits: &Tensor) -> Result<Vec<Option<usize>>> {
         let probs = logits.softmax_rows()?;
         let preds = probs.argmax_rows()?;
-        match self {
-            ExitPolicy::Terminal => Ok(preds.into_iter().map(Some).collect()),
-            ExitPolicy::Entropy(t) => {
-                let etas = normalized_entropy_rows(&probs)?;
-                Ok(preds
-                    .into_iter()
-                    .zip(etas)
-                    .map(|(p, eta)| t.should_exit(eta).then_some(p))
-                    .collect())
-            }
-        }
+        let etas = normalized_entropy_rows(&probs)?;
+        Ok(preds.into_iter().zip(etas).map(|(p, eta)| self.should_exit(eta).then_some(p)).collect())
     }
 }
 
@@ -226,6 +251,50 @@ mod tests {
     fn rejects_bad_shapes() {
         assert!(normalized_entropy(&Tensor::zeros([2, 2])).is_err());
         assert!(normalized_entropy(&Tensor::ones([1])).is_err());
+    }
+
+    #[test]
+    fn non_finite_probabilities_are_a_typed_error() {
+        // Regression: NaN used to skip the accumulation loop and report
+        // η = 0 (perfect confidence); ±inf drove η through f32::clamp,
+        // which propagates NaN. Both must surface as NonFinite.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let p = Tensor::from_vec(vec![0.5, bad, 0.25], [3]).unwrap();
+            assert_eq!(
+                normalized_entropy(&p).unwrap_err(),
+                TensorError::NonFinite { op: "normalized_entropy" },
+                "value {bad}"
+            );
+            let rows = Tensor::from_vec(vec![0.5, 0.5, 0.5, bad], [2, 2]).unwrap();
+            assert!(normalized_entropy_rows(&rows).is_err(), "value {bad}");
+        }
+    }
+
+    #[test]
+    fn policies_surface_non_finite_logits_instead_of_escalating_forever() {
+        // A NaN logit survives softmax as NaN in every slot; before the
+        // guard, an entropy gate would silently escalate the sample on
+        // every tier and the terminal would classify garbage.
+        let bad = Tensor::from_vec(vec![f32::NAN, 1.0, 0.0], [1, 3]).unwrap();
+        for policy in [ExitPolicy::Entropy(ExitThreshold::default()), ExitPolicy::Terminal] {
+            assert!(policy.evaluate(&bad).is_err(), "{policy:?}");
+            assert!(policy.decide(&bad).is_err(), "{policy:?}");
+            assert!(policy.decide_rows(&bad).is_err(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn evaluate_exposes_eta_prediction_and_the_gate() {
+        let peaked = Tensor::from_vec(vec![50.0, 0.0, 0.0], [1, 3]).unwrap();
+        let uniform = Tensor::from_vec(vec![0.5, 0.5, 0.5], [1, 3]).unwrap();
+        let gate = ExitPolicy::Entropy(ExitThreshold::new(0.5));
+        let d = gate.evaluate(&peaked).unwrap();
+        assert!(d.exits && d.prediction == 0 && d.eta < 0.5);
+        let d = gate.evaluate(&uniform).unwrap();
+        assert!(!d.exits && d.eta > 0.99);
+        // Terminal always exits but still measures η.
+        let d = ExitPolicy::Terminal.evaluate(&uniform).unwrap();
+        assert!(d.exits && d.eta > 0.99);
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub use block::{ConvPBlock, ExitHead, FcBlock, Precision};
 pub use checkpoint::CheckpointError;
 pub use comm::{CommCostModel, RAW_IMAGE_BYTES};
 pub use entropy::{
-    normalized_entropy, normalized_entropy_rows, search_threshold, ExitPolicy, ExitThreshold,
+    normalized_entropy, normalized_entropy_rows, search_threshold, ExitDecision, ExitPolicy,
+    ExitThreshold,
 };
 pub use fault::{fail_devices, fail_devices_with, progressive_failures, single_failures};
 pub use individual::IndividualModel;

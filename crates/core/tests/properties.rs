@@ -2,12 +2,13 @@
 //! exit-policy monotonicity and the communication model.
 
 use ddnn_core::{
-    normalized_entropy, AggregationScheme, CommCostModel, DdnnConfig, ExitThreshold,
+    normalized_entropy, AggregationScheme, CommCostModel, DdnnConfig, ExitPolicy, ExitThreshold,
     FeatureAggregator, VectorAggregator,
 };
 use ddnn_nn::Mode;
 use ddnn_tensor::rng::rng_from_seed;
 use ddnn_tensor::Tensor;
+use ddnn_tensor::TensorError;
 use proptest::prelude::*;
 
 proptest! {
@@ -29,6 +30,59 @@ proptest! {
         let raw = Tensor::rand_uniform([c], 0.01, 1.0, &mut rng);
         let p = raw.scale(1.0 / raw.sum());
         prop_assert!(normalized_entropy(&p).unwrap() <= eta_u + 1e-6);
+    }
+
+    #[test]
+    fn finite_logits_always_yield_a_finite_eta_in_unit_interval(
+        data in prop::collection::vec(-40.0f32..40.0, 2..9),
+        t in 0.0f32..1.0,
+    ) {
+        // The full exit-evaluation path on arbitrary finite logits: η must
+        // come back finite and in [0, 1] — never NaN from a degenerate
+        // softmax, never out of range from the clamp.
+        let n = data.len();
+        let logits = Tensor::from_vec(data, [1, n]).unwrap();
+        for policy in [ExitPolicy::Entropy(ExitThreshold::new(t)), ExitPolicy::Terminal] {
+            let d = policy.evaluate(&logits).unwrap();
+            prop_assert!(d.eta.is_finite(), "{policy:?}: eta {}", d.eta);
+            prop_assert!((0.0..=1.0).contains(&d.eta), "{policy:?}: eta {}", d.eta);
+            prop_assert!(d.prediction < n);
+        }
+    }
+
+    #[test]
+    fn non_finite_logits_are_always_a_typed_error(
+        data in prop::collection::vec(-5.0f32..5.0, 2..6),
+        poison_at in 0usize..6,
+        poison_kind in 0u8..2,
+    ) {
+        // A NaN or +inf lane poisons the softmax (inf − inf = NaN) and must
+        // surface as TensorError::NonFinite from every decision entry
+        // point, not as a silent confident exit. A −inf lane, by contrast,
+        // is a representable zero-probability class: it must keep working.
+        let mut data = data;
+        let n = data.len();
+        let poison = if poison_kind == 0 { f32::NAN } else { f32::INFINITY };
+        let lane = poison_at % n;
+        data[lane] = poison;
+        let logits = Tensor::from_vec(data.clone(), [1, n]).unwrap();
+        for policy in [ExitPolicy::Entropy(ExitThreshold::default()), ExitPolicy::Terminal] {
+            for err in [
+                policy.evaluate(&logits).unwrap_err(),
+                policy.decide(&logits).map(|_| ()).unwrap_err(),
+                policy.decide_rows(&logits).map(|_| ()).unwrap_err(),
+            ] {
+                prop_assert!(
+                    matches!(err, TensorError::NonFinite { .. }),
+                    "{policy:?}: got {err:?}"
+                );
+            }
+        }
+        data[lane] = f32::NEG_INFINITY;
+        let logits = Tensor::from_vec(data, [1, n]).unwrap();
+        let d = ExitPolicy::Terminal.evaluate(&logits).unwrap();
+        prop_assert!(d.eta.is_finite() && (0.0..=1.0).contains(&d.eta));
+        prop_assert!(d.prediction != lane, "a zero-probability class cannot win the argmax");
     }
 
     #[test]

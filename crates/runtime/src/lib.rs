@@ -28,6 +28,10 @@
 //!   CRC-framed wire integrity ([`ReliabilityMode::Crc`]) and
 //!   ack/retransmit with capped exponential backoff
 //!   ([`ReliabilityMode::Arq`]);
+//! * [`obs`] — the runtime observability layer: a lock-free counter
+//!   registry snapshotting to JSON and span-style structured events
+//!   (exits, deadlines, corruption, retransmits) behind a
+//!   zero-cost-when-disabled [`ObsSink`];
 //! * [`clock`] — the simulation clock deadlines are measured against.
 //!
 //! ```no_run
@@ -59,6 +63,7 @@ pub mod fault;
 pub mod link;
 pub mod message;
 pub mod node;
+pub mod obs;
 pub mod reliability;
 mod runner;
 pub mod topology;
@@ -72,6 +77,10 @@ pub use message::{
     HEADER_BYTES,
 };
 pub use node::report::{SampleOutcome, SimReport};
+pub use obs::{
+    counters_json, Counter, JsonlSink, LinkCounters, MemorySink, ObsConfig, ObsEvent, ObsRegistry,
+    ObsSink, RunObs,
+};
 pub use reliability::{ArqTuning, ReliabilityConfig, ReliabilityMode};
 pub use runner::{run_cloud_only_baseline, run_distributed_inference, run_topology};
 pub use topology::{HierarchyBuilder, HierarchyConfig, Topology};

@@ -15,6 +15,7 @@ use crate::fault::{
     corrupt_bytes, truncate_len, CrashState, DeadlineConfig, Delivery, FaultPlan, LinkFault,
 };
 use crate::message::{Frame, NodeId, CHECKED_HEADER_BYTES, HEADER_BYTES};
+use crate::obs::{LinkCounters, ObsEvent, RunObs};
 use crate::reliability::{
     ArqRecvState, ArqSendState, ArqTuning, ReliabilityConfig, ReliabilityMode,
 };
@@ -24,13 +25,21 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Cumulative traffic counters of one directed link.
+/// Cumulative traffic counters of one directed link — an immutable
+/// snapshot of the link's atomic [`LinkCounters`] cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LinkStats {
     /// Frames transferred (duplicated frames count each delivery).
     pub frames: usize,
-    /// Application payload bytes (the quantity Eq. 1 models).
+    /// Application payload bytes (the quantity Eq. 1 models), *including*
+    /// ARQ retransmissions — see [`LinkStats::first_payload_bytes`] for
+    /// the recovery-free share.
     pub payload_bytes: usize,
+    /// The share of `payload_bytes` carried by ARQ retransmissions.
+    /// Splitting this out keeps Eq. 1 comparisons honest: first
+    /// transmissions are the paper's communication cost, retransmits are
+    /// recovery traffic.
+    pub retx_payload_bytes: usize,
     /// Protocol header bytes.
     pub header_bytes: usize,
     /// Frames swallowed by fault injection (drops and post-crash sends);
@@ -54,6 +63,12 @@ impl LinkStats {
     /// Total bytes on the wire.
     pub fn total_bytes(&self) -> usize {
         self.payload_bytes + self.header_bytes
+    }
+
+    /// Payload bytes of first transmissions only (total minus the ARQ
+    /// retransmission share) — the quantity Eq. 1 actually models.
+    pub fn first_payload_bytes(&self) -> usize {
+        self.payload_bytes.saturating_sub(self.retx_payload_bytes)
     }
 }
 
@@ -113,7 +128,7 @@ impl WireFormat {
 #[derive(Debug, Clone)]
 pub struct LinkSender {
     tx: Sender<bytes::Bytes>,
-    stats: Arc<Mutex<LinkStats>>,
+    stats: Arc<LinkCounters>,
     name: Arc<str>,
     fault: Option<Arc<LinkFault>>,
     /// Treat a hung-up receiver as a frame lost in flight rather than an
@@ -160,7 +175,7 @@ impl LinkSender {
         };
         let delivery = self.fault.as_ref().map_or_else(Delivery::clean, |f| f.roll(frame));
         let Delivery::Deliver { duplicate, delay, corrupt, truncate, reorder } = delivery else {
-            self.stats.lock().frames_dropped += 1;
+            self.stats.frames_dropped.incr();
             return Ok(());
         };
         if let Some(d) = delay {
@@ -211,13 +226,13 @@ impl LinkSender {
     /// sum to the bytes transmitted.
     fn account(&self, payload_bytes: usize, wire_len: usize, deliveries: usize, damaged: bool) {
         let p = payload_bytes.min(wire_len.saturating_sub(self.format.header_bytes()));
-        let mut s = self.stats.lock();
-        s.frames += deliveries;
-        s.payload_bytes += deliveries * p;
-        s.header_bytes += deliveries * (wire_len - p);
-        s.frames_duplicated += deliveries - 1;
+        let s = &self.stats;
+        s.frames.add(deliveries as u64);
+        s.payload_bytes.add((deliveries * p) as u64);
+        s.header_bytes.add((deliveries * (wire_len - p)) as u64);
+        s.frames_duplicated.add((deliveries - 1) as u64);
         if damaged {
-            s.frames_corrupted += 1;
+            s.frames_corrupted.incr();
         }
     }
 
@@ -328,12 +343,14 @@ pub(crate) struct NodeInbox {
     sources: HashMap<u16, ArqRecvState>,
     /// Corrupt frames discarded at this inbox.
     corrupt_discards: usize,
+    /// Run observability handle (timeline events on discard).
+    obs: Arc<RunObs>,
 }
 
 impl NodeInbox {
     /// An inbox on the given wire format with no ARQ sources yet.
-    pub(crate) fn with_format(rx: LinkReceiver, format: WireFormat) -> Self {
-        NodeInbox { rx, format, sources: HashMap::new(), corrupt_discards: 0 }
+    pub(crate) fn with_format(rx: LinkReceiver, format: WireFormat, obs: Arc<RunObs>) -> Self {
+        NodeInbox { rx, format, sources: HashMap::new(), corrupt_discards: 0, obs }
     }
 
     /// Registers the ARQ receiver state of one inbound link (produced by
@@ -382,12 +399,22 @@ impl NodeInbox {
     /// Decodes one datagram: `None` means it was consumed by the
     /// reliability layer (corrupt, or an ARQ duplicate) and the node loop
     /// never sees it. ARQ frames are acked here whether fresh or not.
+    /// Legacy frames have no integrity check, but a *structurally*
+    /// corrupt one (truncated, or with an impossible length field) is
+    /// likewise counted and discarded instead of failing the node.
     fn admit(&mut self, bytes: bytes::Bytes) -> Result<Option<Frame>> {
         match self.format {
-            WireFormat::Legacy => Frame::decode(bytes).map(Some),
+            WireFormat::Legacy => match Frame::decode(bytes) {
+                Err(RuntimeError::Corrupt { .. }) => {
+                    self.discard_corrupt();
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+                Ok(frame) => Ok(Some(frame)),
+            },
             WireFormat::Checked => match Frame::decode_checked(bytes) {
                 Err(RuntimeError::Corrupt { .. }) => {
-                    self.corrupt_discards += 1;
+                    self.discard_corrupt();
                     Ok(None)
                 }
                 Err(e) => Err(e),
@@ -401,13 +428,19 @@ impl NodeInbox {
             },
         }
     }
+
+    /// Books one corrupt-frame discard (counter + timeline event).
+    fn discard_corrupt(&mut self) {
+        self.corrupt_discards += 1;
+        self.obs.emit(|| ObsEvent::FrameCorrupt { node: self.rx.name.to_string() });
+    }
 }
 
 /// Creates an instrumented link named `name`, returning sender, receiver
-/// and the shared statistics handle.
-pub fn link(name: &str) -> (LinkSender, LinkReceiver, Arc<Mutex<LinkStats>>) {
+/// and the shared counter block (snapshot it for a [`LinkStats`] view).
+pub fn link(name: &str) -> (LinkSender, LinkReceiver, Arc<LinkCounters>) {
     let (tx, rx) = unbounded();
-    let stats = Arc::new(Mutex::new(LinkStats::default()));
+    let stats = Arc::new(LinkCounters::default());
     let name: Arc<str> = Arc::from(name);
     (
         LinkSender {
@@ -436,7 +469,7 @@ pub fn inbox(name: &str) -> (Sender<bytes::Bytes>, LinkReceiver) {
 /// Attaches a named, separately-instrumented sender to an inbox channel, so
 /// per-sender traffic (e.g. `device3->gateway`) is accounted individually
 /// even though all frames land in the same inbox.
-pub fn attach_sender(tx: &Sender<bytes::Bytes>, name: &str) -> (LinkSender, Arc<Mutex<LinkStats>>) {
+pub fn attach_sender(tx: &Sender<bytes::Bytes>, name: &str) -> (LinkSender, Arc<LinkCounters>) {
     attach_faulty_sender(tx, name, None, false)
 }
 
@@ -448,8 +481,8 @@ pub(crate) fn attach_faulty_sender(
     name: &str,
     fault: Option<Arc<LinkFault>>,
     lenient: bool,
-) -> (LinkSender, Arc<Mutex<LinkStats>>) {
-    let stats = Arc::new(Mutex::new(LinkStats::default()));
+) -> (LinkSender, Arc<LinkCounters>) {
+    let stats = Arc::new(LinkCounters::default());
     (
         LinkSender {
             tx: tx.clone(),
@@ -476,6 +509,9 @@ pub(crate) struct LinkFactory<'a> {
     /// Effective ARQ tuning (`max_age_ms` clamped to the deadline).
     tuning: ArqTuning,
     tolerant: bool,
+    /// Run observability: link counters are registered here, and inboxes
+    /// plus ARQ states emit timeline events through it.
+    obs: Arc<RunObs>,
     /// Send states for the run's retransmit pump, in creation order.
     pub(crate) arq_states: Vec<Arc<ArqSendState>>,
 }
@@ -486,6 +522,7 @@ impl<'a> LinkFactory<'a> {
         reliability: &'a ReliabilityConfig,
         deadlines: Option<&DeadlineConfig>,
         tolerant: bool,
+        obs: Arc<RunObs>,
     ) -> Self {
         LinkFactory {
             plan,
@@ -493,6 +530,7 @@ impl<'a> LinkFactory<'a> {
             reliability,
             tuning: reliability.arq.effective(deadlines),
             tolerant,
+            obs,
             arq_states: Vec::new(),
         }
     }
@@ -508,7 +546,7 @@ impl<'a> LinkFactory<'a> {
 
     /// Wraps a receiver in a [`NodeInbox`] speaking the run's format.
     pub(crate) fn make_inbox(&self, rx: LinkReceiver) -> NodeInbox {
-        NodeInbox::with_format(rx, self.wire_format())
+        NodeInbox::with_format(rx, self.wire_format(), Arc::clone(&self.obs))
     }
 
     /// Creates an instrumented sender into `tx` named `name`, owned by
@@ -527,8 +565,9 @@ impl<'a> LinkFactory<'a> {
         name: &str,
         from: NodeId,
         crash: Option<Arc<CrashState>>,
-    ) -> (LinkSender, Arc<Mutex<LinkStats>>, Option<(u16, ArqRecvState)>) {
-        let stats = Arc::new(Mutex::new(LinkStats::default()));
+    ) -> (LinkSender, Arc<LinkCounters>, Option<(u16, ArqRecvState)>) {
+        let stats = Arc::new(LinkCounters::default());
+        self.obs.registry().register_link(name, Arc::clone(&stats));
         let fault =
             self.fault_active.then(|| Arc::new(LinkFault::new(self.plan, name, crash.clone())));
         let mode = self.reliability.mode_for(name);
@@ -547,9 +586,17 @@ impl<'a> LinkFactory<'a> {
                 retx_fault,
                 self.tuning,
                 CHECKED_HEADER_BYTES,
+                Arc::clone(&self.obs),
+                Arc::from(name),
             ));
             self.arq_states.push(Arc::clone(&send_state));
-            let recv = ArqRecvState::new(ack_tx, Arc::clone(&stats), ack_fault);
+            let recv = ArqRecvState::new(
+                ack_tx,
+                Arc::clone(&stats),
+                ack_fault,
+                Arc::clone(&self.obs),
+                Arc::from(name),
+            );
             (Some(send_state), Some((from.encode(), recv)))
         } else {
             (None, None)
@@ -573,7 +620,7 @@ impl<'a> LinkFactory<'a> {
     pub(crate) fn shutdown_sender(&self, tx: &Sender<bytes::Bytes>, name: &str) -> LinkSender {
         LinkSender {
             tx: tx.clone(),
-            stats: Arc::new(Mutex::new(LinkStats::default())),
+            stats: Arc::new(LinkCounters::default()),
             name: Arc::from(name),
             fault: None,
             lenient: false,
@@ -596,7 +643,7 @@ mod tests {
         tx.send(&f).unwrap();
         let got = rx.recv().unwrap();
         assert_eq!(got, f);
-        let s = *stats.lock();
+        let s = stats.snapshot();
         assert_eq!(s.frames, 1);
         assert_eq!(s.payload_bytes, 12);
         assert!(s.header_bytes >= HEADER_BYTES);
@@ -624,7 +671,7 @@ mod tests {
         for _ in 0..5 {
             rx.recv().unwrap();
         }
-        let s = *stats.lock();
+        let s = stats.snapshot();
         assert_eq!(s.frames, 5);
         assert_eq!(s.payload_bytes, 0);
         assert_eq!(s.header_bytes, 5 * HEADER_BYTES);
@@ -650,7 +697,7 @@ mod tests {
         let (tx, stats) = attach_faulty_sender(&raw_tx, "lossy", fault, false);
         tx.send(&Frame::new(0, NodeId::Gateway, Payload::OffloadRequest)).unwrap();
         assert!(rx.try_recv().unwrap().is_none());
-        let s = *stats.lock();
+        let s = stats.snapshot();
         assert_eq!(s.frames_dropped, 1);
         assert_eq!((s.frames, s.payload_bytes, s.header_bytes, s.frames_duplicated), (0, 0, 0, 0));
     }
@@ -666,7 +713,7 @@ mod tests {
         tx.send(&f).unwrap();
         assert_eq!(rx.recv().unwrap(), f);
         assert_eq!(rx.recv().unwrap(), f);
-        let s = *stats.lock();
+        let s = stats.snapshot();
         assert_eq!(s.frames, 2);
         assert_eq!(s.frames_duplicated, 1);
         assert_eq!(s.header_bytes, 2 * HEADER_BYTES);

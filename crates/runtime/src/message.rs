@@ -306,12 +306,17 @@ impl Frame {
         }
     }
 
-    /// Decodes a frame from legacy wire bytes.
+    /// Decodes a frame from legacy wire bytes. The legacy format has no
+    /// integrity check, but every length field is bounded against the
+    /// bytes actually present before anything is allocated or split, so a
+    /// truncated or junk buffer can never panic the decoder or reserve an
+    /// attacker-controlled allocation.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Protocol`] on truncated input or unknown
-    /// tags.
+    /// Returns [`RuntimeError::Corrupt`] on truncated input or impossible
+    /// length fields; [`RuntimeError::Protocol`] on unknown tags or node
+    /// ids (a sender bug, not wire damage).
     pub fn decode(mut buf: Bytes) -> Result<Frame> {
         need(&buf, HEADER_BYTES)?;
         let seq = buf.get_u64_le();
@@ -358,17 +363,30 @@ impl Frame {
     }
 }
 
-/// Truncation guard shared by the payload decoders.
+/// Truncation guard shared by the payload decoders. Classified as
+/// [`RuntimeError::Corrupt`]: a length field pointing past the end of the
+/// buffer is wire damage (truncation, or a damaged length), and inboxes
+/// discard such frames instead of failing the node.
 fn need(buf: &Bytes, n: usize) -> Result<()> {
     if buf.remaining() < n {
-        Err(RuntimeError::Protocol { reason: format!("truncated frame: need {n} more bytes") })
+        Err(RuntimeError::Corrupt { reason: format!("truncated frame: need {n} more bytes") })
     } else {
         Ok(())
     }
 }
 
+/// Byte count of `n` little-endian `f32`s, guarded against overflow on
+/// 32-bit `usize` (a damaged legacy length field can claim up to
+/// `u32::MAX` elements).
+fn f32_bytes(n: usize) -> Result<usize> {
+    n.checked_mul(4)
+        .ok_or_else(|| RuntimeError::Corrupt { reason: format!("length field {n} overflows") })
+}
+
 /// Decodes a payload (shared by both wire formats); `buf` is positioned
-/// just past the header.
+/// just past the header. Length fields are untrusted: each is bounded by
+/// [`need`] before any allocation, so the largest possible allocation is
+/// the size of the received buffer itself.
 fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<Payload> {
     let payload = match tag {
         0 => {
@@ -376,8 +394,10 @@ fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<Payload> {
             let c = buf.get_u16_le() as usize;
             let h = buf.get_u16_le() as usize;
             let w = buf.get_u16_le() as usize;
-            let n = c * h * w;
-            need(buf, 4 * n)?;
+            let n = c.checked_mul(h).and_then(|n| n.checked_mul(w)).ok_or_else(|| {
+                RuntimeError::Corrupt { reason: format!("capture shape {c}x{h}x{w} overflows") }
+            })?;
+            need(buf, f32_bytes(n)?)?;
             let data: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
             let view = Tensor::from_vec(data, [c, h, w]).map_err(|e| RuntimeError::Protocol {
                 reason: format!("capture payload shape: {e}"),
@@ -387,7 +407,7 @@ fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<Payload> {
         1 => {
             need(buf, 4)?;
             let n = buf.get_u32_le() as usize;
-            need(buf, 4 * n)?;
+            need(buf, f32_bytes(n)?)?;
             Payload::Scores { scores: (0..n).map(|_| buf.get_f32_le()).collect() }
         }
         2 => Payload::OffloadRequest,
@@ -584,6 +604,61 @@ mod tests {
         let enc = f.encode();
         let cut = enc.slice(0..enc.len() - 2);
         assert!(Frame::decode(cut).is_err());
+    }
+
+    #[test]
+    fn legacy_truncation_is_classified_as_corrupt() {
+        // Regression: truncation used to surface as Protocol, which a
+        // tolerant inbox would propagate as a node failure; Corrupt is
+        // counted and discarded like any other damaged frame.
+        let f = Frame::new(3, NodeId::Device(0), Payload::Scores { scores: vec![1.0, 2.0, 3.0] });
+        let wire = f.encode();
+        for cut in [HEADER_BYTES - 1, HEADER_BYTES + 2, wire.len() - 1] {
+            let err = Frame::decode(wire.slice(0..cut)).unwrap_err();
+            assert!(matches!(err, RuntimeError::Corrupt { .. }), "cut {cut}: {err}");
+        }
+        // An unknown tag on an intact frame stays a Protocol error.
+        let mut bad_tag = wire.to_vec();
+        bad_tag[10] = 99;
+        assert!(matches!(
+            Frame::decode(Bytes::from(bad_tag)).unwrap_err(),
+            RuntimeError::Protocol { .. }
+        ));
+    }
+
+    #[test]
+    fn legacy_length_fields_are_bounded_before_allocation() {
+        // Regression: a damaged length field claiming u32::MAX elements
+        // used to drive `(0..n).collect()` toward a 16 GiB allocation.
+        // Scores frame whose length field claims u32::MAX floats:
+        let mut wire = Frame::new(0, NodeId::Device(0), Payload::Scores { scores: vec![1.0] })
+            .encode()
+            .to_vec();
+        wire[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Frame::decode(Bytes::from(wire)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Corrupt { .. }), "{err}");
+        // Capture frame whose shape fields multiply past usize on 32-bit
+        // targets and well past the buffer on 64-bit ones:
+        let view = Tensor::from_fn([1, 1, 1], |_| 0.5);
+        let mut wire =
+            Frame::new(0, NodeId::Orchestrator, Payload::Capture { view }).encode().to_vec();
+        for field in 0..3 {
+            let at = HEADER_BYTES + 2 * field;
+            wire[at..at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        }
+        let err = Frame::decode(Bytes::from(wire)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Corrupt { .. }), "{err}");
+        // RawImage with an oversized length field:
+        let mut wire = Frame::new(
+            0,
+            NodeId::Device(0),
+            Payload::RawImage { pixels: Bytes::from_static(&[7, 7]) },
+        )
+        .encode()
+        .to_vec();
+        wire[HEADER_BYTES..HEADER_BYTES + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Frame::decode(Bytes::from(wire)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Corrupt { .. }), "{err}");
     }
 
     #[test]

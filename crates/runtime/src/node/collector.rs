@@ -46,6 +46,9 @@ pub(crate) enum Ingest<T> {
         seq: u64,
         /// Per-source contributions, blanks substituted where missing.
         items: Vec<T>,
+        /// How many of `items` are substituted blanks rather than genuine
+        /// contributions (a priori failed sources and deadline misses).
+        substituted: usize,
     },
     /// Contribution for the most recently completed sample — a duplicate,
     /// or a retry racing the decision: the node should replay its cached
@@ -146,8 +149,8 @@ impl<T: Clone> Collector<T> {
             }
         };
         if done {
-            let (seq, items) = self.finalize(seq)?;
-            Ok(Ingest::Complete { seq, items })
+            let (seq, items, substituted) = self.finalize(seq)?;
+            Ok(Ingest::Complete { seq, items, substituted })
         } else {
             Ok(Ingest::Pending)
         }
@@ -165,7 +168,7 @@ impl<T: Clone> Collector<T> {
     ///
     /// Returns [`RuntimeError::Collector`] if the selected sample vanished
     /// from the pending map before finalize (see [`Collector::insert`]).
-    pub(crate) fn expire(&mut self, now: Instant) -> Result<Option<(u64, Vec<T>)>> {
+    pub(crate) fn expire(&mut self, now: Instant) -> Result<Option<(u64, Vec<T>, usize)>> {
         let seq = self
             .pending
             .iter()
@@ -179,17 +182,21 @@ impl<T: Clone> Collector<T> {
     }
 
     /// Removes `seq` from pending, substitutes blanks for missing slots,
-    /// advances the watermark and garbage-collects stale partials.
-    fn finalize(&mut self, seq: u64) -> Result<(u64, Vec<T>)> {
+    /// advances the watermark and garbage-collects stale partials. The third
+    /// element of the result counts substituted slots (static and dynamic
+    /// alike) so aggregation events can report degradation honestly.
+    fn finalize(&mut self, seq: u64) -> Result<(u64, Vec<T>, usize)> {
         let entry = self.pending.remove(&seq).ok_or(RuntimeError::Collector { seq })?;
         let dynamic = matches!(self.policy, AggPolicy::Deadline { .. });
         let mut items = Vec::with_capacity(self.num_sources);
+        let mut substituted = 0usize;
         let mut missing_any = false;
         for (s, slot) in entry.slots.into_iter().enumerate() {
             match slot {
                 Some(item) => items.push(item),
                 None => {
                     items.push(self.blanks[s].clone());
+                    substituted += 1;
                     if dynamic {
                         self.timeouts[s] += 1;
                         self.misses[s] = self.misses[s].saturating_add(1);
@@ -206,7 +213,7 @@ impl<T: Clone> Collector<T> {
         // Partials below the watermark can never complete: their sources
         // would be classified Stale on arrival.
         self.pending.retain(|&k, _| k > watermark);
-        Ok((seq, items))
+        Ok((seq, items, substituted))
     }
 
     pub(crate) fn into_report(self) -> NodeReport {
@@ -289,8 +296,9 @@ mod tests {
                 }
             }
             match collector.insert(7, s, s as u32).unwrap() {
-                Ingest::Complete { seq, items } => {
+                Ingest::Complete { seq, items, substituted } => {
                     assert_eq!(seq, 7);
+                    assert_eq!(substituted, 0, "all slots genuinely filled");
                     completions.push(items);
                 }
                 Ingest::Pending => assert!(idx + 1 < k, "last insert must complete"),
@@ -342,9 +350,10 @@ mod tests {
         );
         assert!(matches!(c.insert(0, 0, 7).unwrap(), Ingest::Pending));
         match c.insert(0, 2, 9).unwrap() {
-            Ingest::Complete { seq, items } => {
+            Ingest::Complete { seq, items, substituted } => {
                 assert_eq!(seq, 0);
                 assert_eq!(items, vec![7, 101, 9]); // blank substituted in place
+                assert_eq!(substituted, 1, "the a priori dead source counts");
             }
             _ => panic!("second live contribution must complete"),
         }

@@ -9,9 +9,11 @@ use crate::error::{Result, RuntimeError};
 use crate::link::{LinkSender, NodeInbox};
 use crate::message::{features_payload, Frame, NodeId, Payload};
 use crate::node::report::NodeReport;
+use crate::obs::RunObs;
 use ddnn_core::{DdnnConfig, DevicePart, BLANK_INPUT_VALUE};
 use ddnn_nn::{Layer, Mode};
 use ddnn_tensor::Tensor;
+use std::sync::Arc;
 
 /// The blank sensor view for the model's configured input geometry, as a
 /// single-sample batch.
@@ -52,10 +54,13 @@ pub(crate) fn device_node(
     to_gateway: LinkSender,
     to_upper: LinkSender,
     tolerant: bool,
+    obs: Arc<RunObs>,
 ) -> Result<NodeReport> {
     let mut conv = part.conv;
     let mut exit = part.exit;
     let mut latest: Option<(u64, Tensor)> = None;
+    let captures = obs.registry().counter(&format!("node.device{d}.captures"));
+    let offloads = obs.registry().counter(&format!("node.device{d}.offloads"));
     loop {
         let frame = inbox.recv()?;
         match frame.payload {
@@ -76,6 +81,7 @@ pub(crate) fn device_node(
                 let map = conv.forward(&batch, Mode::Eval)?;
                 let scores = exit.forward(&map, Mode::Eval)?;
                 latest = Some((frame.seq, map.index_axis0(0)?));
+                captures.incr();
                 to_gateway.send(&Frame::new(
                     frame.seq,
                     NodeId::Device(d as u8),
@@ -85,6 +91,7 @@ pub(crate) fn device_node(
             Payload::OffloadRequest => {
                 match latest.as_ref() {
                     Some((seq, map)) if *seq == frame.seq => {
+                        offloads.incr();
                         to_upper.send(&Frame::new(
                             *seq,
                             NodeId::Device(d as u8),

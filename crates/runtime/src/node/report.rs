@@ -4,8 +4,8 @@
 
 use crate::error::{Result, RuntimeError};
 use crate::link::LinkStats;
+use crate::obs::{self, LinkCounters, RunObs};
 use ddnn_core::ExitPoint;
-use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -61,6 +61,10 @@ pub struct SimReport {
     /// Checked-format frames discarded at the node inboxes because their
     /// CRC did not match (bit flips, truncation), summed across nodes.
     pub corrupt_frames_discarded: usize,
+    /// End-of-run snapshot of the observability registry: every named
+    /// counter (run, per-node and flattened per-link cells), sorted by
+    /// name. The [`SimReport::links`] view is derived from the same cells.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl SimReport {
@@ -75,12 +79,39 @@ impl SimReport {
             .sum()
     }
 
+    /// Measured device payload bytes *excluding ARQ retransmissions*: what
+    /// each byte of application payload cost once, the quantity comparable
+    /// to Eq. 1's analytic model. [`SimReport::device_payload_bytes`]
+    /// includes retransmitted copies and therefore overstates the model
+    /// under lossy links.
+    pub fn device_first_payload_bytes(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|(name, _)| name.starts_with("device"))
+            .map(|(_, s)| s.first_payload_bytes())
+            .sum()
+    }
+
     /// Mean measured device payload bytes per sample *per live device*.
     pub fn device_payload_per_sample(&self, live_devices: usize) -> f32 {
         if self.predictions.is_empty() || live_devices == 0 {
             return 0.0;
         }
         self.device_payload_bytes() as f32 / (self.predictions.len() * live_devices) as f32
+    }
+
+    /// Mean first-transmission device payload bytes per sample per live
+    /// device (see [`SimReport::device_first_payload_bytes`]).
+    pub fn device_first_payload_per_sample(&self, live_devices: usize) -> f32 {
+        if self.predictions.is_empty() || live_devices == 0 {
+            return 0.0;
+        }
+        self.device_first_payload_bytes() as f32 / (self.predictions.len() * live_devices) as f32
+    }
+
+    /// The counter snapshot rendered as a JSON object, sorted by name.
+    pub fn counters_json(&self) -> String {
+        obs::counters_json(&self.counters)
     }
 
     /// Number of samples the watchdog abandoned.
@@ -148,9 +179,10 @@ pub(crate) struct RunTallies {
 pub(crate) fn assemble_report(
     tallies: RunTallies,
     labels: &[usize],
-    link_stats: Vec<(String, Arc<Mutex<LinkStats>>)>,
+    link_stats: Vec<(String, Arc<LinkCounters>)>,
     node_reports: Vec<NodeReport>,
     num_devices: usize,
+    obs: &RunObs,
 ) -> SimReport {
     let RunTallies { predictions, exits, latencies, outcomes, capture_retries } = tallies;
     let n_samples = predictions.len();
@@ -201,7 +233,8 @@ pub(crate) fn assemble_report(
         } else {
             local_exits as f32 / n_samples as f32
         },
-        links: link_stats.into_iter().map(|(name, s)| (name, *s.lock())).collect(),
+        links: link_stats.into_iter().map(|(name, s)| (name, s.snapshot())).collect(),
+        counters: obs.registry().snapshot(),
         mean_latency_ms: mean(&latencies),
         mean_local_latency_ms: mean(&local_lat),
         mean_offload_latency_ms: mean(&offload_lat),
@@ -245,6 +278,7 @@ mod tests {
             capture_retries: 0,
             degraded_samples: Vec::new(),
             corrupt_frames_discarded: 0,
+            counters: Vec::new(),
         }
     }
 

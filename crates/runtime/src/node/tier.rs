@@ -19,6 +19,7 @@ use crate::link::{LinkSender, NodeInbox};
 use crate::message::{dequantize_image, features_payload, features_tensor, Frame, NodeId, Payload};
 use crate::node::collector::{Collector, Ingest};
 use crate::node::report::NodeReport;
+use crate::obs::{NodeObs, ObsEvent};
 use ddnn_core::{
     ConvPBlock, DevicePart, EdgePart, ExitHead, ExitPolicy, FeatureAggregator, VectorAggregator,
 };
@@ -247,6 +248,8 @@ pub(crate) struct TierNode<S: TierSection> {
     pub(crate) escalation: Escalation,
     /// The shared fan-in state machine.
     pub(crate) collector: Collector<S::Item>,
+    /// Per-node counters and the run-wide event sink.
+    pub(crate) obs: NodeObs,
 }
 
 impl<S: TierSection> TierNode<S> {
@@ -254,12 +257,18 @@ impl<S: TierSection> TierNode<S> {
     pub(crate) fn run(mut self) -> Result<NodeReport> {
         let mut last_decision: Option<(u64, Decision)> = None;
         loop {
-            let mut completed: Vec<(u64, Vec<S::Item>)> = Vec::new();
+            let mut completed: Vec<(u64, Vec<S::Item>, usize)> = Vec::new();
             loop {
                 // A collector error here means the expired sample vanished
                 // mid-finalize (a duplicate raced it) — degrade, don't die.
                 match self.collector.expire(Instant::now()) {
-                    Ok(Some(done)) => completed.push(done),
+                    Ok(Some(done)) => {
+                        self.obs.deadline_expiries.incr();
+                        let seq = done.0;
+                        let name = &self.name;
+                        self.obs.run.emit(|| ObsEvent::DeadlineFired { node: name.clone(), seq });
+                        completed.push(done);
+                    }
                     Ok(None) | Err(RuntimeError::Collector { .. }) => break,
                     Err(e) => return Err(e),
                 }
@@ -280,7 +289,9 @@ impl<S: TierSection> TierNode<S> {
                 let source = self.fan_in.source_slot(frame.from, &self.name)?;
                 let item = self.section.item_from(frame.payload, &self.name)?;
                 match self.collector.insert(frame.seq, source, item) {
-                    Ok(Ingest::Complete { seq, items }) => completed.push((seq, items)),
+                    Ok(Ingest::Complete { seq, items, substituted }) => {
+                        completed.push((seq, items, substituted));
+                    }
                     Ok(Ingest::Replay { seq }) => {
                         if let Some((s, decision)) = &last_decision {
                             if *s == seq {
@@ -295,7 +306,14 @@ impl<S: TierSection> TierNode<S> {
                     Err(e) => return Err(e),
                 }
             }
-            for (seq, items) in completed {
+            for (seq, items, substituted) in completed {
+                self.obs.aggregates.incr();
+                let name = &self.name;
+                self.obs.run.emit(|| ObsEvent::TierAggregate {
+                    node: name.clone(),
+                    seq,
+                    substituted,
+                });
                 let decision = self.decide(seq, items)?;
                 self.send(&decision, seq)?;
                 last_decision = Some((seq, decision));
@@ -306,13 +324,35 @@ impl<S: TierSection> TierNode<S> {
     /// Evaluates the section and resolves the exit-or-escalate decision.
     fn decide(&mut self, seq: u64, items: Vec<S::Item>) -> Result<Decision> {
         let (logits, map) = self.section.evaluate(items)?;
-        match self.policy.decide(&logits)? {
-            Some(pred) => Ok(Decision::Verdict(Frame::new(
+        let d = self.policy.evaluate(&logits)?;
+        let threshold = match self.policy {
+            ExitPolicy::Entropy(t) => t.value(),
+            ExitPolicy::Terminal => 1.0,
+        };
+        let name = &self.name;
+        if d.exits {
+            self.obs.exits.incr();
+            self.obs.run.emit(|| ObsEvent::ExitTaken {
+                node: name.clone(),
+                seq,
+                eta: d.eta,
+                threshold,
+                prediction: d.prediction,
+            });
+            Ok(Decision::Verdict(Frame::new(
                 seq,
                 self.id,
-                Payload::Verdict { prediction: pred as u16, exit_tier: self.exit_tier },
-            ))),
-            None => match &self.escalation {
+                Payload::Verdict { prediction: d.prediction as u16, exit_tier: self.exit_tier },
+            )))
+        } else {
+            self.obs.escalations.incr();
+            self.obs.run.emit(|| ObsEvent::Escalated {
+                node: name.clone(),
+                seq,
+                eta: d.eta,
+                threshold,
+            });
+            match &self.escalation {
                 Escalation::RequestFromDevices(_) => Ok(Decision::Broadcast),
                 Escalation::ForwardMap(_) => {
                     let map = map.ok_or_else(|| RuntimeError::Protocol {
@@ -327,7 +367,7 @@ impl<S: TierSection> TierNode<S> {
                 Escalation::Terminal => Err(RuntimeError::Protocol {
                     reason: format!("{}: terminal tier cannot escalate", self.name),
                 }),
-            },
+            }
         }
     }
 

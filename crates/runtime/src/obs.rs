@@ -1,0 +1,587 @@
+//! Runtime observability: a lock-free metric registry and span-style
+//! structured events behind a zero-cost-when-disabled sink.
+//!
+//! The subsystem has two independent halves:
+//!
+//! * **Counters** — every hot-path tally lives in an atomic
+//!   [`Counter`] cell. Link traffic cells are grouped in a
+//!   [`LinkCounters`] block whose [`snapshot`](LinkCounters::snapshot)
+//!   is the familiar [`LinkStats`] value, so the existing report fields
+//!   are *views* over the registry rather than a second bookkeeping
+//!   path. The run-wide [`ObsRegistry`] flattens every registered cell
+//!   into one sorted `(name, value)` snapshot (and its JSON rendering).
+//! * **Events** — structured timeline records ([`ObsEvent`]) emitted
+//!   through an [`ObsSink`]. With no sink installed (the default),
+//!   [`RunObs::emit`] is a single untaken branch: the event value is
+//!   never even constructed, because emission sites pass a closure.
+//!
+//! Sinks: [`JsonlSink`] appends one JSON object per line to a file;
+//! [`MemorySink`] buffers events for tests and examples.
+
+use crate::link::LinkStats;
+use parking_lot::Mutex;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One lock-free metric cell. All operations are `Relaxed`: counters are
+/// monotone tallies read only at snapshot time (after the run's threads
+/// have joined), so no cross-cell ordering is required.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the cell.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the cell.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The cell's current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The atomic traffic cells of one directed link — the lock-free storage
+/// behind the [`LinkStats`] snapshot view. Senders and the ARQ machinery
+/// increment these cells directly (no mutex on the send path); reports
+/// read them once via [`snapshot`](LinkCounters::snapshot) after the
+/// run's threads have joined.
+#[derive(Debug, Default)]
+pub struct LinkCounters {
+    /// See [`LinkStats::frames`].
+    pub frames: Counter,
+    /// See [`LinkStats::payload_bytes`].
+    pub payload_bytes: Counter,
+    /// See [`LinkStats::retx_payload_bytes`].
+    pub retx_payload_bytes: Counter,
+    /// See [`LinkStats::header_bytes`].
+    pub header_bytes: Counter,
+    /// See [`LinkStats::frames_dropped`].
+    pub frames_dropped: Counter,
+    /// See [`LinkStats::frames_duplicated`].
+    pub frames_duplicated: Counter,
+    /// See [`LinkStats::frames_retransmitted`].
+    pub frames_retransmitted: Counter,
+    /// See [`LinkStats::ack_bytes`].
+    pub ack_bytes: Counter,
+    /// See [`LinkStats::frames_corrupted`].
+    pub frames_corrupted: Counter,
+}
+
+impl LinkCounters {
+    /// An immutable [`LinkStats`] view of the current cell values.
+    pub fn snapshot(&self) -> LinkStats {
+        LinkStats {
+            frames: self.frames.get() as usize,
+            payload_bytes: self.payload_bytes.get() as usize,
+            retx_payload_bytes: self.retx_payload_bytes.get() as usize,
+            header_bytes: self.header_bytes.get() as usize,
+            frames_dropped: self.frames_dropped.get() as usize,
+            frames_duplicated: self.frames_duplicated.get() as usize,
+            frames_retransmitted: self.frames_retransmitted.get() as usize,
+            ack_bytes: self.ack_bytes.get() as usize,
+            frames_corrupted: self.frames_corrupted.get() as usize,
+        }
+    }
+}
+
+/// The run-wide metric registry. Registering a cell takes a short mutex
+/// (setup/teardown only); incrementing a registered cell is lock-free.
+/// Scalar cells are registered by name; link blocks appear in snapshots
+/// flattened as `link.{link_name}.{field}`.
+#[derive(Debug, Default)]
+pub struct ObsRegistry {
+    cells: Mutex<Vec<(String, Arc<Counter>)>>,
+    links: Mutex<Vec<(String, Arc<LinkCounters>)>>,
+}
+
+impl ObsRegistry {
+    /// The counter registered under `name`, created on first use. Callers
+    /// hold the returned [`Arc`] and increment it directly — the registry
+    /// is only consulted again at snapshot time.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut cells = self.cells.lock();
+        if let Some((_, c)) = cells.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        cells.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// Registers one link's counter block; its cells appear in snapshots
+    /// as `link.{name}.{field}`.
+    pub fn register_link(&self, name: &str, counters: Arc<LinkCounters>) {
+        self.links.lock().push((name.to_string(), counters));
+    }
+
+    /// A name-sorted `(name, value)` snapshot of every registered cell.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> =
+            self.cells.lock().iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        for (name, counters) in self.links.lock().iter() {
+            let s = counters.snapshot();
+            for (field, v) in [
+                ("frames", s.frames),
+                ("payload_bytes", s.payload_bytes),
+                ("retx_payload_bytes", s.retx_payload_bytes),
+                ("header_bytes", s.header_bytes),
+                ("frames_dropped", s.frames_dropped),
+                ("frames_duplicated", s.frames_duplicated),
+                ("frames_retransmitted", s.frames_retransmitted),
+                ("ack_bytes", s.ack_bytes),
+                ("frames_corrupted", s.frames_corrupted),
+            ] {
+                out.push((format!("link.{name}.{field}"), v as u64));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The snapshot rendered as one JSON object with sorted keys.
+    pub fn snapshot_json(&self) -> String {
+        counters_json(&self.snapshot())
+    }
+}
+
+/// Renders a `(name, value)` list as a JSON object, in list order.
+pub fn counters_json(counters: &[(String, u64)]) -> String {
+    let body = counters
+        .iter()
+        .map(|(n, v)| format!("\"{}\": {v}", escape(n)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
+/// Escapes a string for embedding in a JSON literal. Names here are
+/// link/node identifiers, so only the structural characters need care.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One structured timeline record. Events carry owned strings, but they
+/// are only constructed when a sink is installed — emission sites pass a
+/// closure to [`RunObs::emit`], so the disabled path allocates nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// The orchestrator pushed a sample's captures toward the devices.
+    SampleEnqueued {
+        /// Sample sequence number.
+        seq: u64,
+    },
+    /// A tier finalized a sample's fan-in; `substituted` slots were
+    /// blanked (device silent past the deadline, or statically failed).
+    TierAggregate {
+        /// Tier node name.
+        node: String,
+        /// Sample sequence number.
+        seq: u64,
+        /// Fan-in slots filled with the blank item.
+        substituted: usize,
+    },
+    /// A tier classified a sample at its exit (η within threshold).
+    ExitTaken {
+        /// Tier node name.
+        node: String,
+        /// Sample sequence number.
+        seq: u64,
+        /// Normalized entropy of the exit's softmax.
+        eta: f32,
+        /// The exit threshold the sample cleared.
+        threshold: f32,
+        /// Argmax class of the exit.
+        prediction: usize,
+    },
+    /// A tier escalated a sample upward (η above threshold).
+    Escalated {
+        /// Tier node name.
+        node: String,
+        /// Sample sequence number.
+        seq: u64,
+        /// Normalized entropy of the exit's softmax.
+        eta: f32,
+        /// The exit threshold the sample failed to clear.
+        threshold: f32,
+    },
+    /// A collector deadline fired: the sample was finalized by expiry
+    /// instead of a complete fan-in.
+    DeadlineFired {
+        /// Tier node name.
+        node: String,
+        /// Sample sequence number.
+        seq: u64,
+    },
+    /// The orchestrator's watchdog abandoned a sample.
+    WatchdogTimeout {
+        /// Sample sequence number.
+        seq: u64,
+        /// How long the orchestrator waited before giving up.
+        waited_ms: u64,
+    },
+    /// An inbox discarded a frame that failed integrity or decode.
+    FrameCorrupt {
+        /// Receiving node (inbox) name.
+        node: String,
+    },
+    /// The ARQ pump retransmitted an unacknowledged frame.
+    Retransmit {
+        /// Link name.
+        link: String,
+        /// Transport sequence number of the retransmitted frame.
+        tseq: u32,
+        /// Retransmission attempts so far, this one included.
+        retries: u32,
+    },
+    /// An ARQ receiver emitted an acknowledgement datagram.
+    AckSent {
+        /// Link name (of the forward path being acked).
+        link: String,
+        /// Cumulative ack: highest tseq received in order.
+        cum: u32,
+        /// Gap sequence numbers NACKed in this datagram.
+        nacks: usize,
+    },
+}
+
+impl ObsEvent {
+    /// The event's type tag, as written to the JSON `event` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::SampleEnqueued { .. } => "sample_enqueued",
+            ObsEvent::TierAggregate { .. } => "tier_aggregate",
+            ObsEvent::ExitTaken { .. } => "exit_taken",
+            ObsEvent::Escalated { .. } => "escalated",
+            ObsEvent::DeadlineFired { .. } => "deadline_fired",
+            ObsEvent::WatchdogTimeout { .. } => "watchdog_timeout",
+            ObsEvent::FrameCorrupt { .. } => "frame_corrupt",
+            ObsEvent::Retransmit { .. } => "retransmit",
+            ObsEvent::AckSent { .. } => "ack_sent",
+        }
+    }
+
+    /// One JSON object (a timeline line), stamped `t_ms` milliseconds
+    /// after run start.
+    pub fn to_json(&self, t_ms: u64) -> String {
+        let mut s = format!("{{\"t_ms\": {t_ms}, \"event\": \"{}\"", self.kind());
+        match self {
+            ObsEvent::SampleEnqueued { seq } => {
+                s.push_str(&format!(", \"seq\": {seq}"));
+            }
+            ObsEvent::TierAggregate { node, seq, substituted } => {
+                s.push_str(&format!(
+                    ", \"node\": \"{}\", \"seq\": {seq}, \"substituted\": {substituted}",
+                    escape(node)
+                ));
+            }
+            ObsEvent::ExitTaken { node, seq, eta, threshold, prediction } => {
+                s.push_str(&format!(
+                    ", \"node\": \"{}\", \"seq\": {seq}, \"eta\": {eta:.6}, \
+                     \"threshold\": {threshold:.6}, \"prediction\": {prediction}",
+                    escape(node)
+                ));
+            }
+            ObsEvent::Escalated { node, seq, eta, threshold } => {
+                s.push_str(&format!(
+                    ", \"node\": \"{}\", \"seq\": {seq}, \"eta\": {eta:.6}, \
+                     \"threshold\": {threshold:.6}",
+                    escape(node)
+                ));
+            }
+            ObsEvent::DeadlineFired { node, seq } => {
+                s.push_str(&format!(", \"node\": \"{}\", \"seq\": {seq}", escape(node)));
+            }
+            ObsEvent::WatchdogTimeout { seq, waited_ms } => {
+                s.push_str(&format!(", \"seq\": {seq}, \"waited_ms\": {waited_ms}"));
+            }
+            ObsEvent::FrameCorrupt { node } => {
+                s.push_str(&format!(", \"node\": \"{}\"", escape(node)));
+            }
+            ObsEvent::Retransmit { link, tseq, retries } => {
+                s.push_str(&format!(
+                    ", \"link\": \"{}\", \"tseq\": {tseq}, \"retries\": {retries}",
+                    escape(link)
+                ));
+            }
+            ObsEvent::AckSent { link, cum, nacks } => {
+                s.push_str(&format!(
+                    ", \"link\": \"{}\", \"cum\": {cum}, \"nacks\": {nacks}",
+                    escape(link)
+                ));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A consumer of timeline events. Implementations must be thread-safe:
+/// every node thread, the orchestrator and the ARQ pump emit through the
+/// same sink.
+pub trait ObsSink: Send + Sync {
+    /// Records one event stamped `t_ms` milliseconds after run start.
+    fn record(&self, t_ms: u64, event: &ObsEvent);
+}
+
+/// Writes each event as one JSON line (JSONL) to a buffered file.
+/// Write errors after creation are swallowed — observability must never
+/// fail a run.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the timeline file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Ok(JsonlSink { out: Mutex::new(BufWriter::new(File::create(path)?)) })
+    }
+}
+
+impl ObsSink for JsonlSink {
+    fn record(&self, t_ms: u64, event: &ObsEvent) {
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", event.to_json(t_ms));
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// Buffers events in memory, for tests and examples.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<(u64, ObsEvent)>>,
+}
+
+impl MemorySink {
+    /// A copy of every `(t_ms, event)` recorded so far.
+    pub fn events(&self) -> Vec<(u64, ObsEvent)> {
+        self.events.lock().clone()
+    }
+
+    /// How many recorded events carry the given [`ObsEvent::kind`] tag.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events.lock().iter().filter(|(_, e)| e.kind() == kind).count()
+    }
+}
+
+impl ObsSink for MemorySink {
+    fn record(&self, t_ms: u64, event: &ObsEvent) {
+        self.events.lock().push((t_ms, event.clone()));
+    }
+}
+
+/// Observability configuration of one run.
+#[derive(Clone, Default)]
+pub struct ObsConfig {
+    /// Timeline sink; `None` (the default) disables event emission
+    /// entirely — counters still accumulate either way.
+    pub sink: Option<Arc<dyn ObsSink>>,
+}
+
+impl fmt::Debug for ObsConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsConfig")
+            .field("sink", &if self.sink.is_some() { "enabled" } else { "disabled" })
+            .finish()
+    }
+}
+
+/// One run's observability state: the metric registry, the optional
+/// event sink, and the run-start instant events are stamped against.
+/// Shared by every thread of a run as an `Arc<RunObs>`.
+pub struct RunObs {
+    registry: ObsRegistry,
+    sink: Option<Arc<dyn ObsSink>>,
+    t0: Instant,
+}
+
+impl fmt::Debug for RunObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunObs")
+            .field("registry", &self.registry)
+            .field("sink", &if self.sink.is_some() { "enabled" } else { "disabled" })
+            .finish()
+    }
+}
+
+impl RunObs {
+    /// Fresh observability state for one run per `cfg`.
+    pub fn new(cfg: &ObsConfig) -> Self {
+        RunObs { registry: ObsRegistry::default(), sink: cfg.sink.clone(), t0: Instant::now() }
+    }
+
+    /// A disabled instance (no sink; the registry still works) — the
+    /// default for standalone links and unit tests.
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(RunObs::new(&ObsConfig::default()))
+    }
+
+    /// The run's metric registry.
+    pub fn registry(&self) -> &ObsRegistry {
+        &self.registry
+    }
+
+    /// Whether a timeline sink is installed.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records one timeline event. The closure runs only when a sink is
+    /// installed, so a disabled run pays a single untaken branch — the
+    /// event (and its strings) is never constructed.
+    #[inline]
+    pub fn emit(&self, event: impl FnOnce() -> ObsEvent) {
+        if let Some(sink) = &self.sink {
+            let t_ms = self.t0.elapsed().as_millis() as u64;
+            sink.record(t_ms, &event());
+        }
+    }
+}
+
+/// A tier node's observability handles: the run handle for events, plus
+/// this node's registered counters (incremented lock-free on the node
+/// thread).
+#[derive(Debug)]
+pub(crate) struct NodeObs {
+    /// The run-wide handle (events + registry).
+    pub(crate) run: Arc<RunObs>,
+    /// Samples classified at this node's exit.
+    pub(crate) exits: Arc<Counter>,
+    /// Samples escalated to the next tier.
+    pub(crate) escalations: Arc<Counter>,
+    /// Fan-ins finalized (complete or expired).
+    pub(crate) aggregates: Arc<Counter>,
+    /// Fan-ins finalized by deadline expiry.
+    pub(crate) deadline_expiries: Arc<Counter>,
+}
+
+impl NodeObs {
+    /// Registers (or re-attaches to) the `node.{name}.*` counters.
+    pub(crate) fn for_node(run: &Arc<RunObs>, name: &str) -> Self {
+        let r = run.registry();
+        NodeObs {
+            exits: r.counter(&format!("node.{name}.exits")),
+            escalations: r.counter(&format!("node.{name}.escalations")),
+            aggregates: r.counter(&format!("node.{name}.aggregates")),
+            deadline_expiries: r.counter(&format!("node.{name}.deadline_expiries")),
+            run: Arc::clone(run),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_and_snapshot_sorted() {
+        let reg = ObsRegistry::default();
+        let a = reg.counter("run.samples");
+        let b = reg.counter("run.samples");
+        a.add(3);
+        b.incr();
+        reg.counter("a.first").incr();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap,
+            vec![("a.first".to_string(), 1), ("run.samples".to_string(), 4)],
+            "same name must resolve to the same cell, sorted on snapshot"
+        );
+    }
+
+    #[test]
+    fn link_counters_snapshot_is_a_linkstats_view() {
+        let lc = LinkCounters::default();
+        lc.frames.add(2);
+        lc.payload_bytes.add(100);
+        lc.retx_payload_bytes.add(40);
+        lc.header_bytes.add(22);
+        let s = lc.snapshot();
+        assert_eq!((s.frames, s.payload_bytes, s.retx_payload_bytes), (2, 100, 40));
+        assert_eq!(s.first_payload_bytes(), 60);
+        assert_eq!(s.total_bytes(), 122);
+    }
+
+    #[test]
+    fn registry_flattens_links_under_prefixed_names() {
+        let reg = ObsRegistry::default();
+        let lc = Arc::new(LinkCounters::default());
+        lc.ack_bytes.add(9);
+        reg.register_link("device0->gateway", lc);
+        let snap = reg.snapshot();
+        let (name, v) = snap
+            .iter()
+            .find(|(n, _)| n.ends_with(".ack_bytes"))
+            .expect("ack_bytes cell must be present");
+        assert_eq!(name, "link.device0->gateway.ack_bytes");
+        assert_eq!(*v, 9);
+        assert_eq!(snap.len(), 9, "one link block flattens to nine cells");
+        assert!(reg.snapshot_json().contains("\"link.device0->gateway.ack_bytes\": 9"));
+    }
+
+    #[test]
+    fn events_render_as_one_json_object_per_line() {
+        let e = ObsEvent::ExitTaken {
+            node: "gateway".to_string(),
+            seq: 7,
+            eta: 0.25,
+            threshold: 0.8,
+            prediction: 3,
+        };
+        let line = e.to_json(12);
+        assert_eq!(
+            line,
+            "{\"t_ms\": 12, \"event\": \"exit_taken\", \"node\": \"gateway\", \
+             \"seq\": 7, \"eta\": 0.250000, \"threshold\": 0.800000, \"prediction\": 3}"
+        );
+        let quoted = ObsEvent::FrameCorrupt { node: "a\"b".to_string() };
+        assert!(quoted.to_json(0).contains("a\\\"b"));
+    }
+
+    #[test]
+    fn disabled_runobs_never_builds_the_event() {
+        let obs = RunObs::disabled();
+        let mut built = false;
+        obs.emit(|| {
+            built = true;
+            ObsEvent::SampleEnqueued { seq: 0 }
+        });
+        assert!(!built, "the event closure must not run without a sink");
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn memory_sink_records_and_counts_kinds() {
+        let sink = Arc::new(MemorySink::default());
+        let cfg = ObsConfig { sink: Some(Arc::clone(&sink) as Arc<dyn ObsSink>) };
+        let obs = RunObs::new(&cfg);
+        assert!(obs.enabled());
+        obs.emit(|| ObsEvent::SampleEnqueued { seq: 1 });
+        obs.emit(|| ObsEvent::FrameCorrupt { node: "gateway".to_string() });
+        assert_eq!(sink.count_kind("sample_enqueued"), 1);
+        assert_eq!(sink.count_kind("frame_corrupt"), 1);
+        assert_eq!(sink.events().len(), 2);
+    }
+}

@@ -21,14 +21,16 @@
 //!   deadline is abandoned — blank substitution remains the final word.
 //!
 //! Every retransmission and every ack crosses the same fault-injected
-//! wire as primary traffic and is priced into [`LinkStats`] (the
-//! `frames_retransmitted` and `ack_bytes` counters), so the Eq. 1
-//! communication model honestly reflects what recovery costs.
+//! wire as primary traffic and is priced into the link's counter cells
+//! (the `frames_retransmitted`, `retx_payload_bytes` and `ack_bytes`
+//! counters of [`LinkStats`](crate::LinkStats)), so the Eq. 1
+//! communication model honestly reflects what recovery costs — and the
+//! recovery share stays separable from first-transmission cost.
 
 use crate::error::{Result, RuntimeError};
 use crate::fault::{corrupt_bytes, truncate_len, DeadlineConfig, Delivery, FaultPlan, LinkFault};
-use crate::link::LinkStats;
 use crate::message::crc32;
+use crate::obs::{LinkCounters, ObsEvent, RunObs};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
@@ -195,10 +197,22 @@ impl ReliabilityConfig {
                     .into(),
             });
         }
-        if self.any_arq() && self.arq.retransmit_ms == 0 {
-            return Err(RuntimeError::Config {
-                reason: "ARQ retransmit_ms must be positive".into(),
-            });
+        if self.any_arq() {
+            // Positivity of the ARQ tunings: a zero timeout would spin the
+            // pump, a zero cap would zero the backoff via `min`, a zero
+            // buffer/age could never hold or retry a frame.
+            for (what, v) in [
+                ("retransmit_ms", self.arq.retransmit_ms),
+                ("backoff_cap_ms", self.arq.backoff_cap_ms),
+                ("max_age_ms", self.arq.max_age_ms),
+                ("buffer_frames", self.arq.buffer_frames as u64),
+            ] {
+                if v == 0 {
+                    return Err(RuntimeError::Config {
+                        reason: format!("ARQ {what} must be positive"),
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -289,24 +303,31 @@ pub(crate) struct ArqSendState {
     /// Acks flowing back from the receiving inbox (mutex-wrapped so the
     /// state can be shared with the pump thread; only the pump drains it).
     ack_rx: Mutex<Receiver<Bytes>>,
-    /// The data link's stats: retransmissions are priced here.
-    stats: Arc<Mutex<LinkStats>>,
+    /// The data link's counter cells: retransmissions are priced here.
+    stats: Arc<LinkCounters>,
     /// Fault stream of the retransmit path (`retx:<link>`), sharing the
     /// sending device's crash state: a dead device cannot retransmit.
     fault: Option<Arc<LinkFault>>,
     tuning: ArqTuning,
     /// Header bytes of the checked format, for stats accounting.
     header_bytes: usize,
+    /// Run observability: each retransmission emits a timeline event.
+    obs: Arc<RunObs>,
+    /// The data link's name, for event attribution.
+    link: Arc<str>,
 }
 
 impl ArqSendState {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         data_tx: Sender<Bytes>,
         ack_rx: Receiver<Bytes>,
-        stats: Arc<Mutex<LinkStats>>,
+        stats: Arc<LinkCounters>,
         fault: Option<Arc<LinkFault>>,
         tuning: ArqTuning,
         header_bytes: usize,
+        obs: Arc<RunObs>,
+        link: Arc<str>,
     ) -> Self {
         ArqSendState {
             inner: Mutex::new(SendInner { next_tseq: 1, buffer: Vec::new() }),
@@ -316,6 +337,8 @@ impl ArqSendState {
             fault,
             tuning,
             header_bytes,
+            obs,
+            link,
         }
     }
 
@@ -378,12 +401,15 @@ impl ArqSendState {
             let u = &mut inner.buffer[i];
             u.retries += 1;
             u.nacked = false;
-            u.backoff_ms = (u.backoff_ms * 2).min(self.tuning.backoff_cap_ms.max(1));
+            // Saturate the doubling: a large configured cap must not turn
+            // the exponential backoff into a debug-build overflow.
+            u.backoff_ms = u.backoff_ms.saturating_mul(2).min(self.tuning.backoff_cap_ms.max(1));
             u.next_retry = now + Duration::from_millis(u.backoff_ms);
+            let (tseq, retries) = (u.tseq, u.retries);
             let delivery = self.fault.as_ref().map_or_else(Delivery::clean, |f| f.roll_raw());
             match delivery {
                 Delivery::Dropped => {
-                    self.stats.lock().frames_dropped += 1;
+                    self.stats.frames_dropped.incr();
                 }
                 Delivery::Deliver { corrupt, truncate, .. } => {
                     // Retransmissions skip duplication/jitter/reordering:
@@ -399,17 +425,24 @@ impl ArqSendState {
                         damaged = true;
                     }
                     let payload = u.payload_bytes;
-                    {
-                        let mut s = self.stats.lock();
-                        s.frames += 1;
-                        s.frames_retransmitted += 1;
-                        let p = payload.min(wire.len().saturating_sub(self.header_bytes));
-                        s.payload_bytes += p;
-                        s.header_bytes += wire.len() - p;
-                        if damaged {
-                            s.frames_corrupted += 1;
-                        }
+                    let s = &self.stats;
+                    s.frames.incr();
+                    s.frames_retransmitted.incr();
+                    let p = payload.min(wire.len().saturating_sub(self.header_bytes));
+                    // Recovery traffic: priced into the totals *and* into
+                    // the retransmit share, so Eq. 1 comparisons can
+                    // separate first-transmission cost from recovery.
+                    s.payload_bytes.add(p as u64);
+                    s.retx_payload_bytes.add(p as u64);
+                    s.header_bytes.add((wire.len() - p) as u64);
+                    if damaged {
+                        s.frames_corrupted.incr();
                     }
+                    self.obs.emit(|| ObsEvent::Retransmit {
+                        link: self.link.to_string(),
+                        tseq,
+                        retries,
+                    });
                     // A departed receiver means the run is over for this
                     // link; the retransmission is simply lost in flight.
                     let _ = self.data_tx.send(wire);
@@ -451,20 +484,26 @@ pub(crate) struct ArqRecvState {
     window: BTreeSet<u32>,
     /// Reverse channel to the sender's [`ArqSendState`].
     ack_tx: Sender<Bytes>,
-    /// The data link's stats: delivered ack bytes are priced here.
-    stats: Arc<Mutex<LinkStats>>,
+    /// The data link's counter cells: delivered ack bytes are priced here.
+    stats: Arc<LinkCounters>,
     /// Fault stream of the ack path (`ack:<link>`) — acks cross the same
     /// lossy wire. No crash state: the *receiver* sends acks.
     fault: Option<Arc<LinkFault>>,
+    /// Run observability: each ack datagram emits a timeline event.
+    obs: Arc<RunObs>,
+    /// The forward link's name, for event attribution.
+    link: Arc<str>,
 }
 
 impl ArqRecvState {
     pub(crate) fn new(
         ack_tx: Sender<Bytes>,
-        stats: Arc<Mutex<LinkStats>>,
+        stats: Arc<LinkCounters>,
         fault: Option<Arc<LinkFault>>,
+        obs: Arc<RunObs>,
+        link: Arc<str>,
     ) -> Self {
-        ArqRecvState { cum: 0, window: BTreeSet::new(), ack_tx, stats, fault }
+        ArqRecvState { cum: 0, window: BTreeSet::new(), ack_tx, stats, fault, obs, link }
     }
 
     /// Records the arrival of transport sequence number `tseq` and sends
@@ -510,7 +549,12 @@ impl ArqRecvState {
                 }
             }
         }
-        self.stats.lock().ack_bytes += wire.len();
+        self.stats.ack_bytes.add(wire.len() as u64);
+        self.obs.emit(|| ObsEvent::AckSent {
+            link: self.link.to_string(),
+            cum: self.cum,
+            nacks: nacks.len(),
+        });
         let _ = self.ack_tx.send(wire); // sender gone: run is over
     }
 }
@@ -525,8 +569,8 @@ mod tests {
         Frame::new(seq, NodeId::Device(0), Payload::Scores { scores: vec![1.0, 2.0] })
     }
 
-    fn stats() -> Arc<Mutex<LinkStats>> {
-        Arc::new(Mutex::new(LinkStats::default()))
+    fn stats() -> Arc<LinkCounters> {
+        Arc::new(LinkCounters::default())
     }
 
     /// Drains every queued datagram (the vendored channel has no
@@ -556,7 +600,13 @@ mod tests {
     fn recv_state_dedups_and_tracks_gaps() {
         let (ack_tx, ack_rx) = unbounded();
         let st = stats();
-        let mut recv = ArqRecvState::new(ack_tx, Arc::clone(&st), None);
+        let mut recv = ArqRecvState::new(
+            ack_tx,
+            Arc::clone(&st),
+            None,
+            RunObs::disabled(),
+            Arc::from("test-link"),
+        );
         assert!(recv.accept(1));
         assert!(recv.accept(3)); // gap at 2
         assert!(!recv.accept(3), "duplicate above cum");
@@ -565,7 +615,7 @@ mod tests {
         // The latest ack NACKs the gap.
         let last = drain(&ack_rx).pop().unwrap();
         assert_eq!(decode_ack(&last), Some((1, vec![2])));
-        assert!(st.lock().ack_bytes > 0);
+        assert!(st.ack_bytes.get() > 0);
         // Filling the gap advances the cumulative ack past the window.
         assert!(recv.accept(2));
         let last = drain(&ack_rx).pop().unwrap();
@@ -585,6 +635,8 @@ mod tests {
             None,
             tuning,
             crate::message::CHECKED_HEADER_BYTES,
+            RunObs::disabled(),
+            Arc::from("test-link"),
         );
         let f = frame(7);
         let tseq = send.register(&f);
@@ -598,7 +650,7 @@ mod tests {
         assert_eq!(decoded.frame, f);
         assert_eq!(decoded.tseq, 1);
         assert_ne!(decoded.flags & crate::message::FLAG_RETRANSMIT, 0);
-        assert_eq!(st.lock().frames_retransmitted, 1);
+        assert_eq!(st.frames_retransmitted.get(), 1);
         // Acking the frame clears the buffer; no further retransmissions.
         ack_tx.send(encode_ack(1, &[])).unwrap();
         std::thread::sleep(Duration::from_millis(3));
@@ -625,6 +677,8 @@ mod tests {
             None,
             tuning,
             crate::message::CHECKED_HEADER_BYTES,
+            RunObs::disabled(),
+            Arc::from("test-link"),
         );
         send.register(&frame(1));
         for _ in 0..10 {
@@ -632,7 +686,7 @@ mod tests {
             send.tick(Instant::now());
         }
         assert_eq!(send.in_flight(), 0, "hopeless frame abandoned");
-        assert_eq!(st.lock().frames_retransmitted, 3);
+        assert_eq!(st.frames_retransmitted.get(), 3);
         assert_eq!(drain(&data_rx).len(), 3);
     }
 
@@ -650,6 +704,8 @@ mod tests {
             None,
             tuning,
             crate::message::CHECKED_HEADER_BYTES,
+            RunObs::disabled(),
+            Arc::from("test-link"),
         );
         send.register(&frame(1));
         send.register(&frame(2));
@@ -671,11 +727,65 @@ mod tests {
             None,
             tuning,
             crate::message::CHECKED_HEADER_BYTES,
+            RunObs::disabled(),
+            Arc::from("test-link"),
         );
         for seq in 0..5 {
             send.register(&frame(seq));
         }
         assert_eq!(send.in_flight(), 2);
+    }
+
+    #[test]
+    fn backoff_doubling_saturates_instead_of_overflowing() {
+        // Regression: with a huge configured backoff the doubling used to
+        // be a plain `* 2`, which overflows u64 in debug builds on the
+        // first retransmission. The NACK forces the frame due despite the
+        // huge timeout, so the doubling line actually runs.
+        let (data_tx, data_rx) = unbounded();
+        let (ack_tx, ack_rx) = unbounded();
+        let st = stats();
+        let tuning = ArqTuning {
+            retransmit_ms: u64::MAX / 2 + 1,
+            backoff_cap_ms: u64::MAX,
+            ..ArqTuning::default()
+        };
+        let send = ArqSendState::new(
+            data_tx,
+            ack_rx,
+            Arc::clone(&st),
+            None,
+            tuning,
+            crate::message::CHECKED_HEADER_BYTES,
+            RunObs::disabled(),
+            Arc::from("test-link"),
+        );
+        send.register(&frame(1));
+        ack_tx.send(encode_ack(0, &[1])).unwrap();
+        send.tick(Instant::now());
+        assert_eq!(st.frames_retransmitted.get(), 1, "the NACKed frame was resent");
+        assert_eq!(drain(&data_rx).len(), 1);
+        assert_eq!(send.in_flight(), 1, "still awaiting its ack");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_arq_tunings() {
+        let deadlines = DeadlineConfig::fast();
+        for bad in [
+            ArqTuning { retransmit_ms: 0, ..ArqTuning::default() },
+            ArqTuning { backoff_cap_ms: 0, ..ArqTuning::default() },
+            ArqTuning { max_age_ms: 0, ..ArqTuning::default() },
+            ArqTuning { buffer_frames: 0, ..ArqTuning::default() },
+        ] {
+            let cfg = ReliabilityConfig { arq: bad, ..ReliabilityConfig::arq() };
+            assert!(
+                cfg.validate(&FaultPlan::none(), Some(&deadlines)).is_err(),
+                "degenerate tuning {bad:?} must be rejected"
+            );
+            // The same tuning is fine when no link runs ARQ.
+            let crc = ReliabilityConfig { arq: bad, ..ReliabilityConfig::crc() };
+            assert!(crc.validate(&FaultPlan::none(), Some(&deadlines)).is_ok());
+        }
     }
 
     #[test]

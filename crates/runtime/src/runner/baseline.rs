@@ -8,17 +8,17 @@ use super::PumpStopGuard;
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
 use crate::fault::CrashState;
-use crate::link::{inbox, LinkFactory, LinkStats};
+use crate::link::{inbox, LinkFactory};
 use crate::message::{dequantize_image, quantize_image, Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::blank_view;
 use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
 use crate::node::tier::{Escalation, FanIn, RawSection, TierNode};
+use crate::obs::{LinkCounters, NodeObs, RunObs};
 use crate::reliability::run_retransmit_pump;
 use crate::topology::HierarchyConfig;
 use ddnn_core::{DdnnPartition, ExitPoint, ExitPolicy};
 use ddnn_tensor::Tensor;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -56,8 +56,14 @@ pub fn run_cloud_only_baseline(
         .iter()
         .map(|c| (c.device, CrashState::new(c.after_frames)))
         .collect();
-    let mut factory =
-        LinkFactory::new(&cfg.fault_plan, &cfg.reliability, cfg.deadlines.as_ref(), tolerant);
+    let obs = Arc::new(RunObs::new(&cfg.obs));
+    let mut factory = LinkFactory::new(
+        &cfg.fault_plan,
+        &cfg.reliability,
+        cfg.deadlines.as_ref(),
+        tolerant,
+        Arc::clone(&obs),
+    );
 
     // The devices forward their captures unchanged, so the orchestrator
     // feeds the device->cloud links directly (no device threads) — but
@@ -66,7 +72,7 @@ pub fn run_cloud_only_baseline(
     let mut cloud_inbox = factory.make_inbox(cloud_rx);
     let (orch_tx, orch_rx) = inbox("orchestrator");
     let mut orch_inbox = factory.make_inbox(orch_rx);
-    let mut link_stats: Vec<(String, Arc<Mutex<LinkStats>>)> = Vec::new();
+    let mut link_stats: Vec<(String, Arc<LinkCounters>)> = Vec::new();
     let mut senders = Vec::new();
     for d in 0..num_devices {
         let name = format!("device{d}->cloud");
@@ -125,6 +131,7 @@ pub fn run_cloud_only_baseline(
             to_orchestrator: cloud_to_orch,
             escalation: Escalation::Terminal,
             collector,
+            obs: NodeObs::for_node(&obs, "cloud"),
         };
         let handle = scope.spawn(move || node.run());
 
@@ -159,6 +166,7 @@ pub fn run_cloud_only_baseline(
             send_captures,
             exit_point_of,
             |_| 0.0,
+            &obs,
         )?;
         pump_stop.store(true, Ordering::Release);
 
@@ -178,5 +186,5 @@ pub fn run_cloud_only_baseline(
     let tallies = tallies.ok_or_else(|| RuntimeError::Topology {
         reason: "baseline scope finished without producing tallies".to_string(),
     })?;
-    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices))
+    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices, &obs))
 }

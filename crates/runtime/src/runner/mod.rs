@@ -28,18 +28,18 @@ use orchestrate::{drive_samples, make_policy, validate_run};
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
 use crate::fault::CrashState;
-use crate::link::{inbox, LinkFactory, LinkSender, LinkStats};
+use crate::link::{inbox, LinkFactory, LinkSender};
 use crate::message::{Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::{blank_signature, device_node, BlankSignature};
 use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
 use crate::node::tier::{batched, Escalation, FanIn, FeatureSection, ScoresSection, TierNode};
+use crate::obs::{LinkCounters, NodeObs, RunObs};
 use crate::reliability::run_retransmit_pump;
 use crate::topology::{HierarchyConfig, TierExitRule, Topology};
 use ddnn_core::{DdnnPartition, ExitPolicy};
 use ddnn_nn::{Layer, Mode};
 use ddnn_tensor::{parallel, Tensor};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -129,13 +129,19 @@ pub fn run_topology(
         .iter()
         .map(|c| (c.device, CrashState::new(c.after_frames)))
         .collect();
-    let mut factory =
-        LinkFactory::new(&cfg.fault_plan, &cfg.reliability, cfg.deadlines.as_ref(), tolerant);
+    let obs = Arc::new(RunObs::new(&cfg.obs));
+    let mut factory = LinkFactory::new(
+        &cfg.fault_plan,
+        &cfg.reliability,
+        cfg.deadlines.as_ref(),
+        tolerant,
+        Arc::clone(&obs),
+    );
 
     // Wiring, in the exact legacy link order (the report lists links in
     // creation order).
-    let mut link_stats: Vec<(String, Arc<Mutex<LinkStats>>)> = Vec::new();
-    let mut track = |name: String, stats: Arc<Mutex<LinkStats>>| {
+    let mut link_stats: Vec<(String, Arc<LinkCounters>)> = Vec::new();
+    let mut track = |name: String, stats: Arc<LinkCounters>| {
         link_stats.push((name, stats));
     };
 
@@ -212,7 +218,9 @@ pub fn run_topology(
     // Zero-stat placeholders the legacy report format always lists (the
     // no-edge configs still report the edge links).
     for name in &topology.placeholder_links {
-        track(name.clone(), Arc::new(Mutex::new(LinkStats::default())));
+        let stats = Arc::new(LinkCounters::default());
+        obs.registry().register_link(name, Arc::clone(&stats));
+        track(name.clone(), stats);
     }
     // Per-tier verdict link + escalation target, back in chain order.
     let mut tier_node_io: Vec<(LinkSender, Escalation)> = Vec::new();
@@ -289,7 +297,10 @@ pub fn run_topology(
                 continue;
             }
             let part = part.clone();
-            handles.push(scope.spawn(move || device_node(d, part, rx, to_gw, to_upper, tolerant)));
+            let dev_obs = Arc::clone(&obs);
+            handles.push(
+                scope.spawn(move || device_node(d, part, rx, to_gw, to_upper, tolerant, dev_obs)),
+            );
         }
         // Gateway: score aggregation, entropy exit, device broadcast.
         {
@@ -304,6 +315,7 @@ pub fn run_topology(
                 to_orchestrator: gw_to_orch,
                 escalation: Escalation::RequestFromDevices(gateway_to_device),
                 collector: gateway_collector,
+                obs: NodeObs::for_node(&obs, "gateway"),
             };
             handles.push(scope.spawn(move || node.run()));
         }
@@ -337,6 +349,7 @@ pub fn run_topology(
                 to_orchestrator,
                 escalation,
                 collector,
+                obs: NodeObs::for_node(&obs, &spec.name),
             };
             handles.push(scope.spawn(move || node.run()));
         }
@@ -379,6 +392,7 @@ pub fn run_topology(
             send_captures,
             |tier| topology.exit_point_of(tier),
             latency_of,
+            &obs,
         )?;
         // Every sample resolved: stop retransmitting before shutdown.
         pump_stop.store(true, Ordering::Release);
@@ -413,5 +427,5 @@ pub fn run_topology(
     let tallies = tallies.ok_or_else(|| RuntimeError::Topology {
         reason: "run scope finished without producing tallies".to_string(),
     })?;
-    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices))
+    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices, &obs))
 }

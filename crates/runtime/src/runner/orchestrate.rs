@@ -10,6 +10,7 @@ use crate::link::NodeInbox;
 use crate::message::Payload;
 use crate::node::collector::AggPolicy;
 use crate::node::report::{RunTallies, SampleOutcome};
+use crate::obs::{ObsEvent, RunObs};
 use crate::topology::HierarchyConfig;
 use ddnn_core::ExitPoint;
 use ddnn_tensor::Tensor;
@@ -71,6 +72,7 @@ pub(super) fn make_policy(
 /// and the baseline: the legacy strict path without deadlines, the
 /// watchdog path (bounded waits, bounded capture retransmissions, typed
 /// per-sample timeouts) with them.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn drive_samples(
     n_samples: usize,
     deadlines: Option<DeadlineConfig>,
@@ -79,17 +81,23 @@ pub(super) fn drive_samples(
     mut send_captures: impl FnMut(usize) -> Result<()>,
     exit_point_of: impl Fn(u8) -> Result<ExitPoint>,
     latency_of: impl Fn(u8) -> f32,
+    obs: &RunObs,
 ) -> Result<RunTallies> {
     let mut predictions = vec![0usize; n_samples];
     let mut exits = vec![ExitPoint::Cloud; n_samples];
     let mut latencies = vec![0.0f32; n_samples];
     let mut outcomes = vec![SampleOutcome::Classified; n_samples];
     let mut capture_retries = 0usize;
+    let samples_ctr = obs.registry().counter("run.samples");
+    let retries_ctr = obs.registry().counter("run.capture_retries");
+    let timeouts_ctr = obs.registry().counter("run.watchdog_timeouts");
     match deadlines {
         None => {
             // Legacy exact path: block on each verdict, strict order.
             for i in 0..n_samples {
                 let seq = i as u64;
+                samples_ctr.incr();
+                obs.emit(|| ObsEvent::SampleEnqueued { seq });
                 send_captures(i)?;
                 let verdict = orch_rx.recv()?;
                 if verdict.seq != seq {
@@ -114,6 +122,8 @@ pub(super) fn drive_samples(
             // so a retried sample can never hang or corrupt the run.
             for i in 0..n_samples {
                 let seq = i as u64;
+                samples_ctr.incr();
+                obs.emit(|| ObsEvent::SampleEnqueued { seq });
                 let mut resolved = None;
                 let mut attempts = 0u32;
                 'sample: loop {
@@ -136,6 +146,7 @@ pub(super) fn drive_samples(
                     }
                     attempts += 1;
                     capture_retries += 1;
+                    retries_ctr.incr();
                 }
                 match resolved {
                     Some((prediction, exit_tier)) => {
@@ -145,6 +156,8 @@ pub(super) fn drive_samples(
                     }
                     None => {
                         let waited_ms = u64::from(attempts + 1) * dl.watchdog_ms;
+                        timeouts_ctr.incr();
+                        obs.emit(|| ObsEvent::WatchdogTimeout { seq, waited_ms });
                         outcomes[i] = SampleOutcome::TimedOut { waited_ms };
                         predictions[i] = usize::MAX; // never matches a label
                         latencies[i] = waited_ms as f32;

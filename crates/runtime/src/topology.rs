@@ -13,6 +13,7 @@ use crate::error::{Result, RuntimeError};
 use crate::fault::{DeadlineConfig, FaultPlan};
 use crate::link::LatencyModel;
 use crate::message::NodeId;
+use crate::obs::ObsConfig;
 use crate::reliability::ReliabilityConfig;
 use ddnn_core::{
     ConvPBlock, DdnnConfig, DdnnPartition, DevicePart, ExitHead, ExitPoint, ExitThreshold,
@@ -47,6 +48,10 @@ pub struct HierarchyConfig {
     /// corrupt frames (degradation recovers); [`ReliabilityConfig::arq`]
     /// adds ack/retransmit recovery under the sample deadline.
     pub reliability: ReliabilityConfig,
+    /// Observability: the default records counters only (always on, lock
+    /// free); attach an [`crate::ObsSink`] to also stream structured
+    /// timeline events.
+    pub obs: ObsConfig,
 }
 
 impl Default for HierarchyConfig {
@@ -60,6 +65,7 @@ impl Default for HierarchyConfig {
             fault_plan: FaultPlan::none(),
             deadlines: None,
             reliability: ReliabilityConfig::off(),
+            obs: ObsConfig::default(),
         }
     }
 }

@@ -86,15 +86,48 @@ proptest! {
         flips in prop::collection::vec(0usize..32768, 1..6),
         cut in 0usize..4096,
     ) {
-        // The legacy format has no integrity check, so damage may decode
-        // into a different frame — the property is only that the decoder
-        // returns (Ok or Err) instead of panicking or over-allocating.
+        // The legacy format has no integrity check, so bit flips may decode
+        // into a different frame — the property is that the decoder returns
+        // (Ok or Err) instead of panicking or over-allocating. A flipped
+        // length field makes the buffer short for its own claim, which must
+        // classify as Corrupt (truncation), not Protocol.
         let frame = Frame::new(seq, NodeId::Gateway, payload_of(kind, &floats, &raw));
         let wire = frame.encode();
         let (bad, _) = flip_bits(&wire, &flips);
-        let _ = Frame::decode(Bytes::from(bad));
+        if let Err(e) = Frame::decode(Bytes::from(bad)) {
+            prop_assert!(
+                matches!(e, RuntimeError::Corrupt { .. } | RuntimeError::Protocol { .. }),
+                "unexpected error class {e:?}"
+            );
+        }
+        // Truncating an honest frame strictly below its full length must be
+        // Corrupt: the buffer no longer holds what its fields claim.
         let cut = cut % wire.len();
-        let _ = Frame::decode(wire.slice(0..cut));
+        let err = Frame::decode(wire.slice(0..cut)).expect_err("truncation must be caught");
+        prop_assert!(matches!(err, RuntimeError::Corrupt { .. }), "expected Corrupt, got {err:?}");
+    }
+
+    #[test]
+    fn legacy_junk_length_fields_never_over_allocate(
+        junk in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        // Arbitrary buffers can claim multi-gigabyte payload lengths; the
+        // decoder must bound-check the claim against the buffer (and check
+        // the element-count arithmetic for overflow) before allocating.
+        // Decoding junk must therefore complete instantly with a bounded
+        // result — any Ok frame's payload came out of the buffer itself.
+        let buf = Bytes::from(junk);
+        let n = buf.len();
+        if let Ok(frame) = Frame::decode(buf) {
+            let bounded = match frame.payload {
+                Payload::Scores { scores } => scores.len() * 4 <= n,
+                Payload::Features { bits, .. } => bits.len() <= n,
+                Payload::RawImage { pixels } => pixels.len() <= n,
+                Payload::Capture { view } => view.data().len() * 4 <= n,
+                _ => true,
+            };
+            prop_assert!(bounded, "decoded payload larger than its wire buffer");
+        }
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Integration tests of the observability layer: fault-free runs must
+//! produce deterministic, mutually consistent counters; the timeline sink
+//! must capture the sample stream and every exit decision; and chaos runs
+//! must surface deadline, corruption and retransmission events instead of
+//! degrading silently.
+
+use ddnn_core::{Ddnn, DdnnConfig, ExitThreshold};
+use ddnn_runtime::{
+    run_distributed_inference, DeadlineConfig, DeviceCrash, FaultPlan, HierarchyConfig, MemorySink,
+    ObsConfig, ObsEvent, ReliabilityConfig, SimReport,
+};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::Tensor;
+use std::sync::Arc;
+
+fn small_model() -> Ddnn {
+    Ddnn::new(DdnnConfig {
+        num_devices: 3,
+        device_filters: 2,
+        cloud_filters: [4, 8],
+        ..DdnnConfig::default()
+    })
+}
+
+fn random_views(n: usize, devices: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = rng_from_seed(seed);
+    (0..devices).map(|_| Tensor::rand_uniform([n, 3, 32, 32], 0.0, 1.0, &mut rng)).collect()
+}
+
+fn counter(report: &SimReport, name: &str) -> u64 {
+    report
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("counter {name} missing from {:?}", report.counters))
+}
+
+#[test]
+fn fault_free_counters_are_deterministic_and_consistent() {
+    let model = small_model();
+    let views = random_views(8, 3, 40);
+    let labels = vec![0usize; 8];
+    let cfg =
+        HierarchyConfig { local_threshold: ExitThreshold::new(0.5), ..HierarchyConfig::default() };
+    let a = run_distributed_inference(&model.partition(), &views, &labels, &cfg).unwrap();
+    let b = run_distributed_inference(&model.partition(), &views, &labels, &cfg).unwrap();
+
+    // Two identical fault-free runs must snapshot identical counters,
+    // whatever the worker-thread configuration.
+    assert_eq!(a.counters, b.counters);
+    assert!(!a.counters.is_empty());
+
+    // The counters must agree with the rest of the report.
+    assert_eq!(counter(&a, "run.samples"), 8);
+    assert_eq!(counter(&a, "run.capture_retries"), 0);
+    assert_eq!(counter(&a, "run.watchdog_timeouts"), 0);
+    let exits = counter(&a, "node.gateway.exits");
+    let escalations = counter(&a, "node.gateway.escalations");
+    assert_eq!(exits + escalations, 8, "the gateway decides every sample exactly once");
+    assert_eq!(exits, (a.local_exit_fraction * 8.0).round() as u64);
+    assert_eq!(counter(&a, "node.gateway.aggregates"), 8);
+    assert_eq!(counter(&a, "node.cloud.aggregates"), escalations);
+    assert_eq!(counter(&a, "node.gateway.deadline_expiries"), 0);
+    for d in 0..3 {
+        assert_eq!(counter(&a, &format!("node.device{d}.captures")), 8);
+        assert_eq!(counter(&a, &format!("node.device{d}.offloads")), escalations);
+    }
+
+    // The per-link cells are the same atomics the legacy LinkStats view is
+    // snapshotted from, and without ARQ nothing is ever retransmitted.
+    for (name, stats) in &a.links {
+        assert_eq!(
+            counter(&a, &format!("link.{name}.payload_bytes")),
+            stats.payload_bytes as u64,
+            "{name}"
+        );
+        assert_eq!(stats.retx_payload_bytes, 0, "{name}");
+        assert_eq!(stats.first_payload_bytes(), stats.payload_bytes, "{name}");
+    }
+
+    // The JSON rendering carries every cell.
+    let json = a.counters_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"run.samples\": 8"), "{json}");
+}
+
+#[test]
+fn timeline_sink_captures_the_sample_stream_and_every_exit() {
+    let model = small_model();
+    let views = random_views(6, 3, 41);
+    let labels = vec![0usize; 6];
+    let sink = Arc::new(MemorySink::default());
+    let cfg = HierarchyConfig {
+        local_threshold: ExitThreshold::new(0.5),
+        obs: ObsConfig { sink: Some(sink.clone()) },
+        ..HierarchyConfig::default()
+    };
+    let report = run_distributed_inference(&model.partition(), &views, &labels, &cfg).unwrap();
+
+    assert_eq!(sink.count_kind("sample_enqueued"), 6);
+    let exits = sink.count_kind("exit_taken") as u64;
+    let escalated = sink.count_kind("escalated") as u64;
+    // Every sample produces one exit somewhere; escalated samples add a
+    // gateway escalation before their terminal exit.
+    assert_eq!(exits, 6);
+    assert_eq!(escalated, counter(&report, "node.gateway.escalations"));
+    assert_eq!(sink.count_kind("tier_aggregate") as u64, 6 + escalated);
+    assert_eq!(sink.count_kind("deadline_fired"), 0);
+    assert_eq!(sink.count_kind("frame_corrupt"), 0);
+
+    // Exit events carry a well-formed η and the gate it was tested against.
+    for (_, event) in sink.events() {
+        if let ObsEvent::ExitTaken { eta, threshold, node, .. } = &event {
+            assert!(eta.is_finite() && (0.0..=1.0).contains(eta), "{node}: eta {eta}");
+            assert!(*threshold > 0.0);
+        }
+    }
+}
+
+#[test]
+fn chaos_run_emits_deadline_and_corruption_events() {
+    // CRC framing, a corrupting link layer and a device that is dead on
+    // arrival: the timeline must show corrupt discards and deadline-driven
+    // finalization, and the counters must match the report's telemetry.
+    let model = small_model();
+    let views = random_views(8, 3, 42);
+    let labels = vec![0usize; 8];
+    let sink = Arc::new(MemorySink::default());
+    let cfg = HierarchyConfig {
+        local_threshold: ExitThreshold::new(0.5),
+        fault_plan: FaultPlan {
+            seed: 7,
+            corrupt_prob: 0.4,
+            crash_after: vec![DeviceCrash { device: 2, after_frames: 0 }],
+            ..FaultPlan::none()
+        },
+        deadlines: Some(DeadlineConfig { aggregation_ms: 150, ..DeadlineConfig::fast() }),
+        reliability: ReliabilityConfig::crc(),
+        obs: ObsConfig { sink: Some(sink.clone()) },
+        ..HierarchyConfig::default()
+    };
+    let report = run_distributed_inference(&model.partition(), &views, &labels, &cfg).unwrap();
+
+    assert!(sink.count_kind("exit_taken") > 0);
+    assert!(
+        sink.count_kind("deadline_fired") > 0,
+        "a dead device must force deadline finalization"
+    );
+    assert!(sink.count_kind("frame_corrupt") > 0, "corrupt_prob=0.4 left no corrupt frame");
+    assert_eq!(
+        sink.count_kind("frame_corrupt"),
+        report.corrupt_frames_discarded,
+        "timeline and report disagree on corrupt discards"
+    );
+    let expiries: u64 = report
+        .counters
+        .iter()
+        .filter(|(n, _)| n.ends_with(".deadline_expiries"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(expiries, sink.count_kind("deadline_fired") as u64);
+}
+
+#[test]
+fn arq_run_emits_retransmit_and_ack_events_and_splits_retx_bytes() {
+    // Lossy links under ARQ: the timeline must show retransmissions and
+    // acks, and the per-link stats must split first-transmission payload
+    // from retransmitted payload instead of conflating them.
+    let model = small_model();
+    let views = random_views(6, 3, 43);
+    let labels = vec![0usize; 6];
+    let sink = Arc::new(MemorySink::default());
+    let cfg = HierarchyConfig {
+        local_threshold: ExitThreshold::new(0.5),
+        fault_plan: FaultPlan { seed: 11, drop_prob: 0.3, ..FaultPlan::none() },
+        deadlines: Some(DeadlineConfig { aggregation_ms: 200, ..DeadlineConfig::fast() }),
+        reliability: ReliabilityConfig::arq(),
+        obs: ObsConfig { sink: Some(sink.clone()) },
+        ..HierarchyConfig::default()
+    };
+    let report = run_distributed_inference(&model.partition(), &views, &labels, &cfg).unwrap();
+
+    assert!(sink.count_kind("retransmit") > 0, "30% drops under ARQ must retransmit");
+    assert!(sink.count_kind("ack_sent") > 0, "ARQ receivers must ack");
+    let retx: usize = report.links.iter().map(|(_, s)| s.retx_payload_bytes).sum();
+    let total: usize = report.links.iter().map(|(_, s)| s.payload_bytes).sum();
+    assert!(retx > 0, "retransmissions must be accounted separately");
+    assert!(retx < total, "first transmissions must remain the majority share");
+    for (name, s) in &report.links {
+        assert_eq!(
+            s.first_payload_bytes() + s.retx_payload_bytes,
+            s.payload_bytes,
+            "{name}: first + retx must equal total"
+        );
+    }
+    assert!(report.device_first_payload_bytes() <= report.device_payload_bytes());
+}

@@ -52,6 +52,13 @@ pub enum TensorError {
         /// Short name of the operation that failed.
         op: &'static str,
     },
+    /// The operation's input contains a NaN or infinity where only finite
+    /// values are meaningful (e.g. a probability vector fed to an entropy
+    /// computation).
+    NonFinite {
+        /// Short name of the operation that failed.
+        op: &'static str,
+    },
     /// A sliding-window geometry is degenerate: the kernel does not fit in
     /// the padded input, the kernel is empty, or the stride is zero.
     InvalidGeometry {
@@ -87,6 +94,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::Empty { op } => {
                 write!(f, "operation `{op}` is undefined on an empty tensor")
+            }
+            TensorError::NonFinite { op } => {
+                write!(f, "operation `{op}` received a non-finite (NaN or infinite) input")
             }
             TensorError::InvalidGeometry { kernel, input, stride, padding } => write!(
                 f,
@@ -138,6 +148,13 @@ mod tests {
             TensorError::InvalidGeometry { kernel: (5, 5), input: (2, 2), stride: 1, padding: 0 };
         assert!(e.to_string().contains("5x5 kernel"));
         assert!(e.to_string().contains("2x2 input"));
+    }
+
+    #[test]
+    fn display_non_finite() {
+        let e = TensorError::NonFinite { op: "normalized_entropy" };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("normalized_entropy"));
     }
 
     #[test]

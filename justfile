@@ -28,11 +28,20 @@ topology-matrix:
     DDNN_THREADS=1 DDNN_MATRIX_DEADLINES=1 cargo test -p ddnn-runtime --test topology_matrix -q
     DDNN_THREADS=4 DDNN_MATRIX_DEADLINES=1 cargo test -p ddnn-runtime --test topology_matrix -q
 
-# The reliability sweep: chaos, wire-integrity and ARQ suites across
-# worker-pool sizes (fixed fault seeds, so every leg is deterministic).
+# The reliability sweep: chaos, wire-integrity, ARQ and observability
+# suites across worker-pool sizes (fixed fault seeds, so every leg is
+# deterministic).
 chaos-matrix:
-    DDNN_THREADS=1 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests -q
-    DDNN_THREADS=4 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests -q
+    DDNN_THREADS=1 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests --test obs_tests -q
+    DDNN_THREADS=4 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests --test obs_tests -q
+
+# Observability overhead + chaos timeline -> results/BENCH_obs.json and
+# results/obs_timeline.jsonl
+obs-smoke:
+    cargo run --release -p ddnn-bench --bin obs_overhead -- --smoke
+
+bench-obs:
+    cargo run --release -p ddnn-bench --bin obs_overhead
 
 build:
     cargo build --workspace --release
