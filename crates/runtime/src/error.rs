@@ -62,6 +62,16 @@ pub enum RuntimeError {
         /// The sample that was not pending.
         seq: u64,
     },
+    /// A frame from before the current topology epoch reached a node after
+    /// a reconfiguration (a re-joined or re-parented sender replaying old
+    /// traffic). Nodes discard such frames and count them instead of
+    /// acting on a topology that no longer exists.
+    StaleEpoch {
+        /// The sample the late frame carried.
+        seq: u64,
+        /// The topology epoch the receiver is on.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -81,6 +91,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Topology { reason } => write!(f, "topology wiring error: {reason}"),
             RuntimeError::Collector { seq } => {
                 write!(f, "collector finalized non-pending sample {seq}")
+            }
+            RuntimeError::StaleEpoch { seq, epoch } => {
+                write!(f, "frame for sample {seq} predates topology epoch {epoch}")
             }
         }
     }
@@ -128,6 +141,9 @@ mod tests {
         assert!(e.to_string().contains("missing tier io"));
         let e = RuntimeError::Collector { seq: 12 };
         assert!(e.to_string().contains("12"));
+        let e = RuntimeError::StaleEpoch { seq: 3, epoch: 5 };
+        assert!(e.to_string().contains("sample 3"));
+        assert!(e.to_string().contains("epoch 5"));
     }
 
     #[test]

@@ -35,6 +35,126 @@ pub struct DeviceCrash {
     pub after_frames: u64,
 }
 
+/// A non-device node that dies partway through a run (satellite of the
+/// elastic-orchestration work): after the node has transmitted
+/// `after_frames` frames, every outbound link it owns swallows traffic,
+/// exactly like a crashed device. The deadline/suspect path downstream
+/// then treats the silent tier the same as an expired device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierCrash {
+    /// Node name: `"gateway"` or a tier name from the topology chain.
+    pub node: String,
+    /// Frames the node successfully transmits before dying.
+    pub after_frames: u64,
+}
+
+/// Which node a churn event targets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ChurnTarget {
+    /// End device by index.
+    Device(usize),
+    /// The gateway (local aggregator).
+    Gateway,
+    /// A feature tier by topology name ("edge", "cloud", …).
+    Tier(String),
+}
+
+impl std::fmt::Display for ChurnTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnTarget::Device(d) => write!(f, "device{d}"),
+            ChurnTarget::Gateway => write!(f, "gateway"),
+            ChurnTarget::Tier(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// What happens to the target at a churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The node goes silent: it discards all traffic and stops answering
+    /// heartbeats until a later [`ChurnAction::Rejoin`].
+    Crash,
+    /// The node comes back and resynchronizes from the current topology
+    /// epoch.
+    Rejoin,
+}
+
+/// One scheduled membership change, applied just before the captures of
+/// `at_sample` are sent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEvent {
+    /// Sample index (0-based) the event fires before.
+    pub at_sample: u64,
+    /// The node whose membership changes.
+    pub target: ChurnTarget,
+    /// Crash or rejoin.
+    pub action: ChurnAction,
+}
+
+/// A deterministic membership-churn schedule: crash and rejoin events over
+/// the sample timeline, driven by the orchestrator's elastic control
+/// plane. The empty schedule (the default) leaves the run on its exact
+/// legacy code path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnSchedule {
+    /// The schedule, in any order; validation checks per-target
+    /// consistency, and the driver applies events sorted by sample.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// The empty schedule: no membership ever changes.
+    pub fn none() -> Self {
+        ChurnSchedule::default()
+    }
+
+    /// Whether the schedule contains no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A seeded flapping schedule: each target crashes roughly every
+    /// `period` samples (random per-target phase) and rejoins `down_for`
+    /// samples later, repeating for the whole run. `period` is clamped to
+    /// at least 2 and `down_for` into `[1, period - 1]`, so the generated
+    /// schedule always validates.
+    pub fn flapping(
+        seed: u64,
+        n_samples: u64,
+        targets: &[ChurnTarget],
+        period: u64,
+        down_for: u64,
+    ) -> Self {
+        let period = period.max(2);
+        let down_for = down_for.clamp(1, period - 1);
+        let mut events = Vec::new();
+        for target in targets {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ fnv1a(target.to_string().as_bytes()).wrapping_add(0x5eed),
+            );
+            let mut t = rng.gen_range(0..period);
+            while t < n_samples {
+                events.push(ChurnEvent {
+                    at_sample: t,
+                    target: target.clone(),
+                    action: ChurnAction::Crash,
+                });
+                let up_at = t + down_for;
+                if up_at < n_samples {
+                    events.push(ChurnEvent {
+                        at_sample: up_at,
+                        target: target.clone(),
+                        action: ChurnAction::Rejoin,
+                    });
+                }
+                t += period;
+            }
+        }
+        ChurnSchedule { events }
+    }
+}
+
 /// A seeded, deterministic plan of dynamic faults injected into the links
 /// of a run. [`FaultPlan::none`] (the default) injects nothing and leaves
 /// the runtime on its exact legacy code path.
@@ -61,6 +181,13 @@ pub struct FaultPlan {
     /// Probability that a frame is held back and delivered *after* the
     /// next frame on the same link (pairwise reordering).
     pub reorder_prob: f32,
+    /// Non-device nodes (gateway / tiers) that crash after transmitting a
+    /// given number of frames and never come back — the tier-level
+    /// counterpart of `crash_after`.
+    pub tier_crash_after: Vec<TierCrash>,
+    /// Scheduled crash-and-rejoin membership churn, driven by the elastic
+    /// control plane (requires `HierarchyConfig::elastic`).
+    pub churn: ChurnSchedule,
 }
 
 impl FaultPlan {
@@ -75,6 +202,8 @@ impl FaultPlan {
             corrupt_prob: 0.0,
             truncate_prob: 0.0,
             reorder_prob: 0.0,
+            tier_crash_after: Vec::new(),
+            churn: ChurnSchedule::none(),
         }
     }
 
@@ -86,6 +215,8 @@ impl FaultPlan {
             || !self.crash_after.is_empty()
             || self.corrupts_bytes()
             || self.reorder_prob > 0.0
+            || !self.tier_crash_after.is_empty()
+            || !self.churn.is_empty()
     }
 
     /// Whether this plan mutates bytes on the wire (corruption or
@@ -99,7 +230,9 @@ impl FaultPlan {
     /// # Errors
     ///
     /// Returns [`RuntimeError::Config`] for probabilities outside `[0, 1]`,
-    /// crash indices out of range, or several crashes for one device.
+    /// crash indices out of range, several crashes for one device, or an
+    /// inconsistent churn schedule (a rejoin before any crash, a double
+    /// crash, or two same-sample events for one target).
     pub fn validate(&self, num_devices: usize) -> Result<()> {
         for (what, p) in [
             ("drop_prob", self.drop_prob),
@@ -123,6 +256,137 @@ impl FaultPlan {
             if self.crash_after[..i].iter().any(|c| c.device == crash.device) {
                 return Err(RuntimeError::Config {
                     reason: format!("fault plan crashes device {} twice", crash.device),
+                });
+            }
+        }
+        for (i, crash) in self.tier_crash_after.iter().enumerate() {
+            if self.tier_crash_after[..i].iter().any(|c| c.node == crash.node) {
+                return Err(RuntimeError::Config {
+                    reason: format!("fault plan crashes node '{}' twice", crash.node),
+                });
+            }
+        }
+        self.validate_churn(num_devices)
+    }
+
+    /// Churn-schedule consistency: every target's event sequence must be a
+    /// strict crash/rejoin alternation starting with a crash, in strictly
+    /// increasing sample order, with device indices in range.
+    fn validate_churn(&self, num_devices: usize) -> Result<()> {
+        let mut per_target: Vec<(&ChurnTarget, Vec<&ChurnEvent>)> = Vec::new();
+        for event in &self.churn.events {
+            if let ChurnTarget::Device(d) = event.target {
+                if d >= num_devices {
+                    return Err(RuntimeError::Config {
+                        reason: format!("churn schedule targets device {d} out of range"),
+                    });
+                }
+            }
+            match per_target.iter_mut().find(|(t, _)| **t == event.target) {
+                Some((_, events)) => events.push(event),
+                None => per_target.push((&event.target, vec![event])),
+            }
+        }
+        for (target, mut events) in per_target {
+            events.sort_by_key(|e| e.at_sample);
+            let mut expected = ChurnAction::Crash;
+            let mut prev_sample = None;
+            for event in events {
+                if prev_sample == Some(event.at_sample) {
+                    return Err(RuntimeError::Config {
+                        reason: format!(
+                            "churn schedule has two events for {target} at sample {}",
+                            event.at_sample
+                        ),
+                    });
+                }
+                if event.action != expected {
+                    let what = match event.action {
+                        ChurnAction::Rejoin => "rejoin before any crash",
+                        ChurnAction::Crash => "crash of an already-crashed node",
+                    };
+                    return Err(RuntimeError::Config {
+                        reason: format!(
+                            "churn schedule: {what} for {target} at sample {}",
+                            event.at_sample
+                        ),
+                    });
+                }
+                expected = match event.action {
+                    ChurnAction::Crash => ChurnAction::Rejoin,
+                    ChurnAction::Rejoin => ChurnAction::Crash,
+                };
+                prev_sample = Some(event.at_sample);
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the plan's node-targeting faults against the actual node
+    /// set of a topology: tier names must exist, churned devices must not
+    /// be statically failed, and whenever the schedule has the terminal
+    /// tier down, at least one other exit-capable node (the gateway or
+    /// another tier) must be scheduled up — otherwise no verdict could ever
+    /// be produced during that window.
+    pub(crate) fn validate_nodes(
+        &self,
+        tier_names: &[String],
+        failed_devices: &[usize],
+    ) -> Result<()> {
+        let known = |name: &str| name == "gateway" || tier_names.iter().any(|t| t == name);
+        for crash in &self.tier_crash_after {
+            if !known(&crash.node) {
+                return Err(RuntimeError::Config {
+                    reason: format!("fault plan crashes unknown node '{}'", crash.node),
+                });
+            }
+        }
+        for event in &self.churn.events {
+            match &event.target {
+                ChurnTarget::Tier(name) if !known(name) => {
+                    return Err(RuntimeError::Config {
+                        reason: format!("churn schedule targets unknown node '{name}'"),
+                    });
+                }
+                ChurnTarget::Device(d) if failed_devices.contains(d) => {
+                    return Err(RuntimeError::Config {
+                        reason: format!("churn schedule targets statically failed device {d}"),
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Sweep the schedule: exit-capable nodes are the gateway and every
+        // tier (a non-terminal tier falls back to a forced local exit when
+        // its upstream is gone).
+        let Some(terminal) = tier_names.last() else { return Ok(()) };
+        let mut ordered: Vec<&ChurnEvent> = self.churn.events.iter().collect();
+        ordered.sort_by_key(|e| e.at_sample);
+        let mut gateway_up = true;
+        let mut tier_up = vec![true; tier_names.len()];
+        let mut i = 0;
+        while i < ordered.len() {
+            let at = ordered[i].at_sample;
+            while i < ordered.len() && ordered[i].at_sample == at {
+                let up = ordered[i].action == ChurnAction::Rejoin;
+                match &ordered[i].target {
+                    ChurnTarget::Device(_) => {}
+                    ChurnTarget::Gateway => gateway_up = up,
+                    ChurnTarget::Tier(name) => {
+                        if let Some(k) = tier_names.iter().position(|t| t == name) {
+                            tier_up[k] = up;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            let last = tier_up.len() - 1;
+            if !tier_up[last] && !gateway_up && !tier_up[..last].iter().any(|&u| u) {
+                return Err(RuntimeError::Config {
+                    reason: format!(
+                        "churn schedule crashes terminal tier '{terminal}' at sample {at} \
+                         with no exit-capable fallback scheduled up"
+                    ),
                 });
             }
         }
@@ -459,5 +723,109 @@ mod tests {
         assert!(plan.validate(4).is_ok());
         assert!(plan.is_active());
         assert!(!FaultPlan::none().is_active());
+    }
+
+    fn churn_plan(events: Vec<ChurnEvent>) -> FaultPlan {
+        FaultPlan { churn: ChurnSchedule { events }, ..FaultPlan::none() }
+    }
+
+    fn ev(at_sample: u64, target: ChurnTarget, action: ChurnAction) -> ChurnEvent {
+        ChurnEvent { at_sample, target, action }
+    }
+
+    #[test]
+    fn churn_validation_requires_crash_rejoin_alternation() {
+        use ChurnAction::{Crash, Rejoin};
+        // A rejoin with no preceding crash is rejected.
+        let plan = churn_plan(vec![ev(2, ChurnTarget::Device(0), Rejoin)]);
+        let err = plan.validate(3).unwrap_err();
+        assert!(matches!(err, RuntimeError::Config { .. }), "{err}");
+        assert!(err.to_string().contains("rejoin before any crash"), "{err}");
+        // Crashing an already-crashed node is rejected.
+        let plan = churn_plan(vec![
+            ev(1, ChurnTarget::Gateway, Crash),
+            ev(3, ChurnTarget::Gateway, Crash),
+        ]);
+        assert!(plan.validate(3).unwrap_err().to_string().contains("already-crashed"));
+        // Two events for one target at the same sample are rejected.
+        let plan = churn_plan(vec![
+            ev(1, ChurnTarget::Device(1), Crash),
+            ev(1, ChurnTarget::Device(1), Rejoin),
+        ]);
+        assert!(plan.validate(3).unwrap_err().to_string().contains("two events"));
+        // Out-of-range device targets are rejected.
+        let plan = churn_plan(vec![ev(0, ChurnTarget::Device(5), Crash)]);
+        assert!(plan.validate(3).is_err());
+        // A well-formed flap validates, is active, and events can arrive in
+        // any order (validation sorts per target).
+        let plan = churn_plan(vec![
+            ev(4, ChurnTarget::Device(0), Crash),
+            ev(2, ChurnTarget::Device(0), Rejoin),
+            ev(0, ChurnTarget::Device(0), Crash),
+            ev(3, ChurnTarget::Tier("edge".into()), Crash),
+        ]);
+        assert!(plan.validate(3).is_ok());
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn node_validation_checks_names_and_terminal_fallback() {
+        use ChurnAction::{Crash, Rejoin};
+        let tiers = ["edge".to_string(), "cloud".to_string()];
+        // Unknown tier names are rejected, for churn and tier crashes.
+        let plan = churn_plan(vec![ev(0, ChurnTarget::Tier("fog".into()), Crash)]);
+        assert!(plan.validate_nodes(&tiers, &[]).is_err());
+        let plan = FaultPlan {
+            tier_crash_after: vec![TierCrash { node: "fog".into(), after_frames: 3 }],
+            ..FaultPlan::none()
+        };
+        assert!(plan.validate_nodes(&tiers, &[]).is_err());
+        // Churning a statically failed device is rejected.
+        let plan = churn_plan(vec![ev(0, ChurnTarget::Device(1), Crash)]);
+        assert!(plan.validate_nodes(&tiers, &[1]).is_err());
+        assert!(plan.validate_nodes(&tiers, &[0]).is_ok());
+        // Crashing the terminal tier while every other exit-capable node is
+        // already scheduled down leaves no way to produce a verdict.
+        let plan = churn_plan(vec![
+            ev(1, ChurnTarget::Gateway, Crash),
+            ev(1, ChurnTarget::Tier("edge".into()), Crash),
+            ev(2, ChurnTarget::Tier("cloud".into()), Crash),
+        ]);
+        let err = plan.validate_nodes(&tiers, &[]).unwrap_err();
+        assert!(err.to_string().contains("no exit-capable fallback"), "{err}");
+        // The same terminal crash is fine while the gateway is up…
+        let plan = churn_plan(vec![ev(2, ChurnTarget::Tier("cloud".into()), Crash)]);
+        assert!(plan.validate_nodes(&tiers, &[]).is_ok());
+        // …and fine again once a fallback has rejoined by then.
+        let plan = churn_plan(vec![
+            ev(1, ChurnTarget::Gateway, Crash),
+            ev(1, ChurnTarget::Tier("edge".into()), Crash),
+            ev(2, ChurnTarget::Gateway, Rejoin),
+            ev(2, ChurnTarget::Tier("cloud".into()), Crash),
+        ]);
+        assert!(plan.validate_nodes(&tiers, &[]).is_ok());
+    }
+
+    #[test]
+    fn flapping_schedules_are_seeded_and_valid() {
+        let targets =
+            [ChurnTarget::Device(0), ChurnTarget::Device(2), ChurnTarget::Tier("edge".into())];
+        let a = ChurnSchedule::flapping(9, 40, &targets, 8, 3);
+        let b = ChurnSchedule::flapping(9, 40, &targets, 8, 3);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty());
+        let plan = FaultPlan { churn: a.clone(), ..FaultPlan::none() };
+        plan.validate(3).unwrap();
+        // Every target actually flaps at least once.
+        for t in &targets {
+            assert!(a.events.iter().any(|e| e.target == *t), "{t} never churns");
+        }
+        // Different seeds shift the phases.
+        let c = ChurnSchedule::flapping(10, 40, &targets, 8, 3);
+        assert_ne!(a, c);
+        // Degenerate periods are clamped into validity rather than
+        // generating rejoin-at-crash-sample schedules.
+        let d = ChurnSchedule::flapping(1, 20, &[ChurnTarget::Device(1)], 1, 9);
+        FaultPlan { churn: d, ..FaultPlan::none() }.validate(3).unwrap();
     }
 }

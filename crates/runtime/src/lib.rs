@@ -64,23 +64,30 @@ pub mod link;
 pub mod message;
 pub mod node;
 pub mod obs;
+pub mod orchestrator;
 pub mod reliability;
 mod runner;
 pub mod topology;
 
 pub use clock::SimClock;
 pub use error::{Result, RuntimeError};
-pub use fault::{DeadlineConfig, DeviceCrash, FaultPlan};
+pub use fault::{
+    ChurnAction, ChurnEvent, ChurnSchedule, ChurnTarget, DeadlineConfig, DeviceCrash, FaultPlan,
+    TierCrash,
+};
 pub use link::{LatencyModel, LinkStats};
 pub use message::{
     crc32, CheckedFrame, Frame, NodeId, Payload, CHECKED_HEADER_BYTES, FLAG_RETRANSMIT,
     HEADER_BYTES,
 };
-pub use node::report::{SampleOutcome, SimReport};
+pub use node::report::{ElasticSummary, SampleOutcome, SimReport};
 pub use obs::{
     counters_json, Counter, JsonlSink, LinkCounters, MemorySink, ObsConfig, ObsEvent, ObsRegistry,
     ObsSink, RunObs,
 };
+pub use orchestrator::rebalance::{compute_routing, Compat, RoutingTable};
+pub use orchestrator::reconfigure::{diff_routing, TopologyDiff};
+pub use orchestrator::ElasticConfig;
 pub use reliability::{ArqTuning, ReliabilityConfig, ReliabilityMode};
 pub use runner::{run_cloud_only_baseline, run_distributed_inference, run_topology};
 pub use topology::{HierarchyBuilder, HierarchyConfig, Topology};

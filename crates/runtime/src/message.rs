@@ -123,6 +123,12 @@ pub enum Payload {
     },
     /// Orderly shutdown of a node at end of experiment.
     Shutdown,
+    /// A liveness probe from the orchestrator's membership tracker,
+    /// piggybacked on the regular links; `seq` carries the heartbeat
+    /// round. Nodes answer with a [`Payload::Pong`] echoing the round.
+    Ping,
+    /// A node's answer to a [`Payload::Ping`] of the same `seq`.
+    Pong,
 }
 
 impl Payload {
@@ -135,6 +141,8 @@ impl Payload {
             Payload::RawImage { .. } => 4,
             Payload::Verdict { .. } => 5,
             Payload::Shutdown => 6,
+            Payload::Ping => 7,
+            Payload::Pong => 8,
         }
     }
 }
@@ -235,7 +243,7 @@ impl Frame {
         match &self.payload {
             Payload::Capture { view } => 6 + 4 * view.len(),
             Payload::Scores { scores } => 4 * scores.len(),
-            Payload::OffloadRequest | Payload::Shutdown => 0,
+            Payload::OffloadRequest | Payload::Shutdown | Payload::Ping | Payload::Pong => 0,
             Payload::Features { bits, .. } => 6 + bits.len(),
             Payload::RawImage { pixels } => pixels.len(),
             Payload::Verdict { .. } => 3,
@@ -287,7 +295,7 @@ impl Frame {
                     buf.put_f32_le(s);
                 }
             }
-            Payload::OffloadRequest | Payload::Shutdown => {}
+            Payload::OffloadRequest | Payload::Shutdown | Payload::Ping | Payload::Pong => {}
             Payload::Features { channels, height, width, bits } => {
                 buf.put_u16_le(*channels);
                 buf.put_u16_le(*height);
@@ -431,6 +439,8 @@ fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<Payload> {
             Payload::Verdict { prediction: buf.get_u16_le(), exit_tier: buf.get_u8() }
         }
         6 => Payload::Shutdown,
+        7 => Payload::Ping,
+        8 => Payload::Pong,
         other => {
             return Err(RuntimeError::Protocol { reason: format!("unknown payload tag {other}") })
         }
@@ -523,10 +533,25 @@ mod tests {
             Frame::new(2, NodeId::Gateway, Payload::OffloadRequest),
             Frame::new(3, NodeId::Cloud, Payload::Verdict { prediction: 2, exit_tier: 2 }),
             Frame::new(4, NodeId::Orchestrator, Payload::Shutdown),
+            Frame::new(5, NodeId::Orchestrator, Payload::Ping),
+            Frame::new(5, NodeId::Tier(1), Payload::Pong),
         ];
         for f in frames {
             let decoded = Frame::decode(f.encode()).unwrap();
             assert_eq!(decoded, f);
+        }
+    }
+
+    #[test]
+    fn heartbeat_frames_carry_no_payload_bytes() {
+        // Pings ride the regular links; keeping them payload-free means
+        // heartbeat traffic never perturbs the Eq. 1 payload accounting.
+        for p in [Payload::Ping, Payload::Pong] {
+            let f = Frame::new(9, NodeId::Gateway, p);
+            assert_eq!(f.payload_bytes(), 0);
+            assert_eq!(f.encode().len(), HEADER_BYTES);
+            let decoded = Frame::decode_checked(f.encode_checked(0, 3)).unwrap();
+            assert_eq!(decoded.frame, f);
         }
     }
 

@@ -84,6 +84,9 @@ pub(crate) struct Collector<T> {
     degraded: Vec<u64>,
     /// Highest completed sample.
     watermark: Option<u64>,
+    /// Per-device substitution counts carried over from before a
+    /// [`Collector::reconfigure`] changed the source geometry.
+    timeout_stash: Vec<(usize, usize)>,
 }
 
 impl<T: Clone> Collector<T> {
@@ -103,7 +106,63 @@ impl<T: Clone> Collector<T> {
             timeouts: vec![0; num_sources],
             degraded: Vec::new(),
             watermark: None,
+            timeout_stash: Vec::new(),
         }
+    }
+
+    /// Drops every pending partial and refuses samples below `floor` from
+    /// now on (the watermark advances to `floor - 1`): called on a
+    /// topology-epoch change, so traffic from the previous epoch can never
+    /// complete a sample under the new routing.
+    pub(crate) fn resync(&mut self, floor: u64) {
+        self.pending.clear();
+        if floor > 0 {
+            let w = floor - 1;
+            self.watermark = Some(self.watermark.map_or(w, |cur| cur.max(w)));
+        }
+    }
+
+    /// Marks a source as known-dead: the collector stops waiting for it
+    /// immediately (its slots substitute blanks at each deadline) instead
+    /// of paying `suspect_after` discovery misses. Any genuine frame from
+    /// the source revives it, exactly like organically suspected sources.
+    pub(crate) fn mark_suspect(&mut self, source: usize) {
+        self.misses[source] = u32::MAX;
+    }
+
+    /// Clears a source's suspicion (a membership join observed it alive).
+    pub(crate) fn clear_suspect(&mut self, source: usize) {
+        self.misses[source] = 0;
+    }
+
+    /// Replaces the collector's source geometry in place — a re-parented
+    /// tier switches between device fan-in and single-tier fan-in at an
+    /// epoch boundary. Pending partials are dropped (the epoch floor
+    /// guards them anyway), per-source state is rebuilt for the new
+    /// geometry, and accumulated per-device substitution counts are
+    /// stashed so the end-of-run report spans every geometry the node ran.
+    pub(crate) fn reconfigure(
+        &mut self,
+        num_sources: usize,
+        blanks: Vec<T>,
+        device_of_source: Vec<Option<usize>>,
+    ) {
+        debug_assert_eq!(blanks.len(), num_sources);
+        debug_assert_eq!(device_of_source.len(), num_sources);
+        let charged: Vec<(usize, usize)> = self
+            .device_of_source
+            .iter()
+            .zip(&self.timeouts)
+            .filter_map(|(d, &c)| d.map(|d| (d, c)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        self.timeout_stash.extend(charged);
+        self.num_sources = num_sources;
+        self.blanks = blanks;
+        self.device_of_source = device_of_source;
+        self.pending.clear();
+        self.misses = vec![0; num_sources];
+        self.timeouts = vec![0; num_sources];
     }
 
     /// Records one source's contribution for `seq`.
@@ -217,17 +276,25 @@ impl<T: Clone> Collector<T> {
     }
 
     pub(crate) fn into_report(self) -> NodeReport {
-        NodeReport {
-            device_timeouts: self
-                .device_of_source
+        let mut device_timeouts: Vec<(usize, usize)> = self.timeout_stash;
+        device_timeouts.extend(
+            self.device_of_source
                 .iter()
                 .zip(&self.timeouts)
                 .filter_map(|(d, &c)| d.map(|d| (d, c)))
-                .filter(|&(_, c)| c > 0)
-                .collect(),
-            degraded: self.degraded,
-            corrupt_discards: 0,
-        }
+                .filter(|&(_, c)| c > 0),
+        );
+        // Merge charges for the same device across geometry generations.
+        device_timeouts.sort_unstable();
+        device_timeouts.dedup_by(|next, acc| {
+            if next.0 == acc.0 {
+                acc.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+        NodeReport { device_timeouts, degraded: self.degraded, corrupt_discards: 0 }
     }
 }
 
@@ -362,6 +429,104 @@ mod tests {
         let report = c.into_report();
         assert!(report.device_timeouts.is_empty());
         assert!(report.degraded.is_empty());
+    }
+
+    #[test]
+    fn marked_suspect_source_is_not_waited_for_and_revives_on_a_frame() {
+        // 3 device sources under a deadline policy; source 1's upstream is
+        // known crashed (a tier-crash or membership leave), so the control
+        // plane marks it suspect up front.
+        let mut c = deadline_collector(3);
+        c.mark_suspect(1);
+        assert!(matches!(c.insert(0, 0, 7).unwrap(), Ingest::Pending));
+        match c.insert(0, 2, 9).unwrap() {
+            Ingest::Complete { seq, items, substituted } => {
+                assert_eq!(seq, 0);
+                assert_eq!(items, vec![7, 1001, 9], "blank substituted immediately");
+                assert_eq!(substituted, 1);
+            }
+            _ => panic!("suspect source must not be waited for"),
+        }
+        // The substitution is charged like any deadline miss.
+        // A genuine frame from the source revives it: sample 1 waits again.
+        assert!(matches!(c.insert(1, 1, 8).unwrap(), Ingest::Pending));
+        assert!(matches!(c.insert(1, 0, 7).unwrap(), Ingest::Pending));
+        assert!(matches!(c.insert(1, 2, 9).unwrap(), Ingest::Complete { .. }));
+        // clear_suspect is idempotent relief for a join without traffic.
+        c.mark_suspect(0);
+        c.clear_suspect(0);
+        assert!(matches!(c.insert(2, 1, 8).unwrap(), Ingest::Pending));
+        let report = c.into_report();
+        assert_eq!(report.device_timeouts, vec![(1, 1)]);
+        assert_eq!(report.degraded, vec![0]);
+    }
+
+    #[test]
+    fn suspect_tier_source_charges_no_device() {
+        // Single-tier fan-in: the source maps to no device, so crash
+        // substitutions must not leak into the per-device timeout report.
+        let mut c = Collector::new(
+            1,
+            vec![500u32],
+            AggPolicy::Deadline {
+                aggregation_ms: 60_000,
+                suspect_after: u32::MAX,
+                clock: SimClock::start(),
+            },
+            vec![None],
+        );
+        c.mark_suspect(0);
+        // With every source suspect, nothing can arrive to trigger the
+        // done-check; the deadline path finalizes instead. Simulate it.
+        c.pending.insert(0, PendingSample { slots: vec![None], deadline: Some(Instant::now()) });
+        let (seq, items, substituted) = c.expire(Instant::now()).unwrap().unwrap();
+        assert_eq!((seq, substituted), (0, 1));
+        assert_eq!(items, vec![500]);
+        let report = c.into_report();
+        assert!(report.device_timeouts.is_empty(), "tier sources charge no device");
+        assert_eq!(report.degraded, vec![0]);
+    }
+
+    #[test]
+    fn resync_discards_pending_and_floors_the_watermark() {
+        let mut c = deadline_collector(2);
+        assert!(matches!(c.insert(4, 0, 1).unwrap(), Ingest::Pending));
+        c.resync(6);
+        // The partial for sample 4 is gone and 4/5 are now stale; 5 == the
+        // new watermark replays, 6 onward collects normally.
+        assert!(matches!(c.insert(4, 1, 2).unwrap(), Ingest::Stale));
+        assert!(matches!(c.insert(5, 1, 2).unwrap(), Ingest::Replay { seq: 5 }));
+        assert!(matches!(c.insert(6, 0, 1).unwrap(), Ingest::Pending));
+        assert!(matches!(c.insert(6, 1, 2).unwrap(), Ingest::Complete { .. }));
+        // resync never regresses the watermark.
+        c.resync(2);
+        assert!(matches!(c.insert(6, 0, 1).unwrap(), Ingest::Replay { seq: 6 }));
+    }
+
+    #[test]
+    fn reconfigure_switches_geometry_and_preserves_device_charges() {
+        // Start as a device fan-in of 2, with one charged substitution.
+        let mut c = deadline_collector(2);
+        c.mark_suspect(1);
+        match c.insert(0, 0, 7).unwrap() {
+            Ingest::Complete { substituted, .. } => assert_eq!(substituted, 1),
+            _ => panic!("must complete around the suspect source"),
+        }
+        // Re-parent: now a single-tier fan-in.
+        c.reconfigure(1, vec![900], vec![None]);
+        match c.insert(1, 0, 3).unwrap() {
+            Ingest::Complete { items, substituted, .. } => {
+                assert_eq!(items, vec![3]);
+                assert_eq!(substituted, 0);
+            }
+            _ => panic!("single-source sample must complete at once"),
+        }
+        // And back to devices: old charges survive both transitions.
+        c.reconfigure(2, vec![1000, 1001], vec![Some(0), Some(1)]);
+        c.mark_suspect(1);
+        assert!(matches!(c.insert(2, 0, 7).unwrap(), Ingest::Complete { .. }));
+        let report = c.into_report();
+        assert_eq!(report.device_timeouts, vec![(1, 2)], "charges merged across geometries");
     }
 
     #[test]

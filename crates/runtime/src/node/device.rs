@@ -10,6 +10,7 @@ use crate::link::{LinkSender, NodeInbox};
 use crate::message::{features_payload, Frame, NodeId, Payload};
 use crate::node::report::NodeReport;
 use crate::obs::RunObs;
+use crate::orchestrator::DeviceElastic;
 use ddnn_core::{DdnnConfig, DevicePart, BLANK_INPUT_VALUE};
 use ddnn_nn::{Layer, Mode};
 use ddnn_tensor::Tensor;
@@ -47,6 +48,14 @@ pub(crate) fn blank_signature(part: &DevicePart, config: &DdnnConfig) -> Result<
 /// active) protocol hiccups that faults make possible — duplicated stale
 /// captures, offload requests racing a retried capture — are ignored
 /// instead of aborting the node.
+///
+/// With `elastic` the device participates in the control plane: it
+/// answers heartbeat pings, plays dead while its churn flag is raised
+/// (clearing its cached capture on revival), discards frames from a
+/// previous topology epoch, skips score uploads while the gateway is
+/// bypassed, and offloads feature maps to whichever tier the current
+/// routing names as the device parent.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn device_node(
     d: usize,
     part: DevicePart,
@@ -55,14 +64,51 @@ pub(crate) fn device_node(
     to_upper: LinkSender,
     tolerant: bool,
     obs: Arc<RunObs>,
+    elastic: Option<DeviceElastic>,
 ) -> Result<NodeReport> {
     let mut conv = part.conv;
     let mut exit = part.exit;
     let mut latest: Option<(u64, Tensor)> = None;
+    let mut was_down = false;
     let captures = obs.registry().counter(&format!("node.device{d}.captures"));
     let offloads = obs.registry().counter(&format!("node.device{d}.offloads"));
     loop {
         let frame = inbox.recv()?;
+        // Shutdown always lands, even on a churned-down device — the run
+        // is over and the thread must exit.
+        if matches!(frame.payload, Payload::Shutdown) {
+            return Ok(NodeReport {
+                corrupt_discards: inbox.corrupt_discards(),
+                ..NodeReport::default()
+            });
+        }
+        if let Some(el) = elastic.as_ref() {
+            if el.control.is_churn_down(el.ix) {
+                // Churned down: full silence — no pongs, no uploads. The
+                // membership layer will detect the crash from the missed
+                // heartbeats.
+                was_down = true;
+                continue;
+            }
+            if was_down {
+                // Revived: the cached capture predates the crash and must
+                // not feed a new epoch's offload.
+                was_down = false;
+                latest = None;
+            }
+            if matches!(frame.payload, Payload::Ping) {
+                el.to_orchestrator.send(&Frame::new(
+                    frame.seq,
+                    NodeId::Device(d as u8),
+                    Payload::Pong,
+                ))?;
+                continue;
+            }
+            if el.control.admit(frame.seq).is_err() {
+                el.stale_discards.incr();
+                continue;
+            }
+        }
         match frame.payload {
             Payload::Capture { view } => {
                 if tolerant {
@@ -82,21 +128,38 @@ pub(crate) fn device_node(
                 let scores = exit.forward(&map, Mode::Eval)?;
                 latest = Some((frame.seq, map.index_axis0(0)?));
                 captures.incr();
-                to_gateway.send(&Frame::new(
-                    frame.seq,
-                    NodeId::Device(d as u8),
-                    Payload::Scores { scores: scores.data().to_vec() },
-                ))?;
+                // While the gateway is bypassed its score aggregation is
+                // pointless: the orchestrator broadcasts the offload
+                // request itself and the sample goes straight to the
+                // feature chain.
+                let bypass = elastic.as_ref().is_some_and(|el| el.control.gateway_bypass());
+                if !bypass {
+                    to_gateway.send(&Frame::new(
+                        frame.seq,
+                        NodeId::Device(d as u8),
+                        Payload::Scores { scores: scores.data().to_vec() },
+                    ))?;
+                }
             }
             Payload::OffloadRequest => {
+                // The feature sink under the current routing: the device
+                // parent's link when elastic, the declared entry tier
+                // otherwise. An orphaned device (no live compatible tier)
+                // simply drops the request.
+                let sink = match elastic.as_ref() {
+                    Some(el) => el.control.device_parent().map(|k| &el.to_tiers[k]),
+                    None => Some(&to_upper),
+                };
                 match latest.as_ref() {
                     Some((seq, map)) if *seq == frame.seq => {
-                        offloads.incr();
-                        to_upper.send(&Frame::new(
-                            *seq,
-                            NodeId::Device(d as u8),
-                            features_payload(map)?,
-                        ))?;
+                        if let Some(sink) = sink {
+                            offloads.incr();
+                            sink.send(&Frame::new(
+                                *seq,
+                                NodeId::Device(d as u8),
+                                features_payload(map)?,
+                            ))?;
+                        }
                     }
                     _ if tolerant => {} // stale or premature request under faults
                     None => {
@@ -113,12 +176,6 @@ pub(crate) fn device_node(
                         })
                     }
                 }
-            }
-            Payload::Shutdown => {
-                return Ok(NodeReport {
-                    corrupt_discards: inbox.corrupt_discards(),
-                    ..NodeReport::default()
-                })
             }
             other => {
                 return Err(RuntimeError::Protocol {

@@ -65,6 +65,33 @@ pub struct SimReport {
     /// counter (run, per-node and flattened per-link cells), sorted by
     /// name. The [`SimReport::links`] view is derived from the same cells.
     pub counters: Vec<(String, u64)>,
+    /// Per-sample simulated end-to-end latencies (ms) — the raw series the
+    /// mean fields summarize, for percentile analysis under churn.
+    pub latencies_ms: Vec<f32>,
+    /// Elastic-orchestration summary; `None` when the control plane was
+    /// not enabled ([`crate::HierarchyConfig::elastic`]).
+    pub elastic: Option<ElasticSummary>,
+}
+
+/// What the elastic control plane observed over one run: how often the
+/// topology was republished and how membership moved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElasticSummary {
+    /// Reconfigurations published (epoch bumps) after the initial table.
+    pub epochs: u64,
+    /// Node (re-)joins across all epochs.
+    pub member_joins: u64,
+    /// Node leaves (crashes, churn-downs) across all epochs.
+    pub member_leaves: u64,
+    /// Surviving-node edge changes across all epochs.
+    pub reparents: u64,
+    /// Nodes alive when the run started.
+    pub initial_live: usize,
+    /// Nodes alive when the run finished.
+    pub final_live: usize,
+    /// Frames nodes discarded because they predated the current topology
+    /// epoch, summed across all nodes.
+    pub stale_epoch_discards: u64,
 }
 
 impl SimReport {
@@ -238,6 +265,8 @@ pub(crate) fn assemble_report(
         mean_latency_ms: mean(&latencies),
         mean_local_latency_ms: mean(&local_lat),
         mean_offload_latency_ms: mean(&offload_lat),
+        latencies_ms: latencies,
+        elastic: None,
         predictions,
         exits,
         outcomes,
@@ -279,6 +308,8 @@ mod tests {
             degraded_samples: Vec::new(),
             corrupt_frames_discarded: 0,
             counters: Vec::new(),
+            latencies_ms: Vec::new(),
+            elastic: None,
         }
     }
 

@@ -19,12 +19,14 @@ use crate::link::{LinkSender, NodeInbox};
 use crate::message::{dequantize_image, features_payload, features_tensor, Frame, NodeId, Payload};
 use crate::node::collector::{Collector, Ingest};
 use crate::node::report::NodeReport;
-use crate::obs::{NodeObs, ObsEvent};
+use crate::obs::{Counter, NodeObs, ObsEvent};
+use crate::orchestrator::ControlState;
 use ddnn_core::{
     ConvPBlock, DevicePart, EdgePart, ExitHead, ExitPolicy, FeatureAggregator, VectorAggregator,
 };
 use ddnn_nn::{Layer, Mode};
 use ddnn_tensor::{parallel, Tensor};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Prepends a batch axis to each rank-3 map.
@@ -225,6 +227,51 @@ enum Decision {
     Forward(Frame),
 }
 
+/// Who currently feeds a tier's collector under elastic routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Feeder {
+    /// The end devices fan in directly (the escalation path's entry tier).
+    Devices,
+    /// A single upstream tier (by tier index).
+    Tier(usize),
+    /// Off the escalation path: nothing routes here this epoch.
+    Dormant,
+}
+
+/// A tier's handle on the elastic control plane plus the per-epoch routing
+/// state it has applied so far. `T` is the tier's collector item.
+pub(crate) struct TierElastic<T> {
+    /// Shared control-plane state.
+    pub(crate) control: Arc<ControlState>,
+    /// This node's directory index.
+    pub(crate) ix: usize,
+    /// This node's tier index (`None` for the gateway, which has no
+    /// position on the feature chain).
+    pub(crate) tier_k: Option<usize>,
+    /// Forward link to each tier (`None` below or at this tier's own
+    /// position, and for the gateway).
+    pub(crate) to_tiers: Vec<Option<LinkSender>>,
+    /// Wire identity of each tier, for fan-in rebinding.
+    pub(crate) tier_ids: Vec<NodeId>,
+    /// Device blank items, for re-parenting onto device fan-in.
+    pub(crate) device_blanks: Vec<T>,
+    /// Each tier's blank *output* item, for re-parenting onto tier fan-in.
+    pub(crate) tier_out_blanks: Vec<T>,
+    /// `node.{name}.stale_epoch_discards`.
+    pub(crate) stale_discards: Arc<Counter>,
+    /// Last epoch whose routing this node applied (0 = the initial table,
+    /// which the wiring already reflects).
+    pub(crate) seen_epoch: u64,
+    /// Whether the node was churned down when last observed.
+    pub(crate) was_down: bool,
+    /// This epoch: classify locally instead of escalating.
+    pub(crate) forced_exit: bool,
+    /// This epoch: where escalations forward to (tier index).
+    pub(crate) route_target: Option<usize>,
+    /// This epoch: who feeds the collector.
+    pub(crate) cur_feeder: Feeder,
+}
+
 /// One aggregating node of the hierarchy, generic over its model section.
 pub(crate) struct TierNode<S: TierSection> {
     /// Display name ("gateway", "edge", …), used in protocol errors.
@@ -250,6 +297,8 @@ pub(crate) struct TierNode<S: TierSection> {
     pub(crate) collector: Collector<S::Item>,
     /// Per-node counters and the run-wide event sink.
     pub(crate) obs: NodeObs,
+    /// Elastic control-plane participation (`None`: static topology).
+    pub(crate) elastic: Option<TierElastic<S::Item>>,
 }
 
 impl<S: TierSection> TierNode<S> {
@@ -257,6 +306,18 @@ impl<S: TierSection> TierNode<S> {
     pub(crate) fn run(mut self) -> Result<NodeReport> {
         let mut last_decision: Option<(u64, Decision)> = None;
         loop {
+            // Elastic: fold in any new topology epoch first, and while
+            // churned down stay fully silent — no deadline firing, no
+            // pongs, no decisions — until revival or shutdown.
+            if self.elastic_sync() {
+                let frame = self.inbox.recv()?;
+                if matches!(frame.payload, Payload::Shutdown) {
+                    let mut report = self.collector.into_report();
+                    report.corrupt_discards = self.inbox.corrupt_discards();
+                    return Ok(report);
+                }
+                continue;
+            }
             let mut completed: Vec<(u64, Vec<S::Item>, usize)> = Vec::new();
             loop {
                 // A collector error here means the expired sample vanished
@@ -285,6 +346,33 @@ impl<S: TierSection> TierNode<S> {
                     let mut report = self.collector.into_report();
                     report.corrupt_discards = self.inbox.corrupt_discards();
                     return Ok(report);
+                }
+                match self.elastic.as_ref() {
+                    // Went down between the sync check and this recv: the
+                    // next loop pass enters the silent path.
+                    Some(el) if el.control.is_churn_down(el.ix) => continue,
+                    Some(_) if matches!(frame.payload, Payload::Ping) => {
+                        self.to_orchestrator.send(&Frame::new(
+                            frame.seq,
+                            self.id,
+                            Payload::Pong,
+                        ))?;
+                        continue;
+                    }
+                    _ => {}
+                }
+                // An epoch can install while this node is blocked in recv;
+                // fold it in *before* slotting the frame, so the fan-in
+                // geometry matches the epoch the frame belongs to (the
+                // floor check below then rejects anything older).
+                if self.elastic_sync() {
+                    continue;
+                }
+                if let Some(el) = self.elastic.as_ref() {
+                    if el.control.admit(frame.seq).is_err() {
+                        el.stale_discards.incr();
+                        continue;
+                    }
                 }
                 let source = self.fan_in.source_slot(frame.from, &self.name)?;
                 let item = self.section.item_from(frame.payload, &self.name)?;
@@ -321,10 +409,107 @@ impl<S: TierSection> TierNode<S> {
         }
     }
 
+    /// Folds any new topology epoch into this node's routing state.
+    /// Returns `true` while the node is churned down (the caller enters
+    /// the silent path).
+    fn elastic_sync(&mut self) -> bool {
+        let Some(el) = self.elastic.as_mut() else { return false };
+        if el.control.is_churn_down(el.ix) {
+            el.was_down = true;
+            return true;
+        }
+        if el.was_down {
+            // Revived: partials gathered before the crash belong to a dead
+            // epoch; refuse everything below the current floor.
+            el.was_down = false;
+            self.collector.resync(el.control.floor());
+        }
+        let epoch = el.control.epoch();
+        if epoch == el.seen_epoch {
+            return false;
+        }
+        el.seen_epoch = epoch;
+        let r = el.control.routing();
+        self.collector.resync(el.control.floor());
+        match el.tier_k {
+            // The gateway: `forced_local` pins every sample to the local
+            // exit; routing-dead devices are substituted without waiting.
+            None => {
+                el.forced_exit = r.forced_local;
+                el.route_target = None;
+            }
+            Some(k) => {
+                el.forced_exit = r.forced_exit[k];
+                el.route_target = r.escalate_to[k];
+                // Where this tier sits on the escalation path decides who
+                // feeds it: first hop collects the devices, later hops
+                // collect their predecessor, off-path tiers are dormant.
+                let path = r.escalation_path();
+                let desired = match path.iter().position(|&x| x == k) {
+                    Some(0) => Feeder::Devices,
+                    Some(p) => Feeder::Tier(path[p - 1]),
+                    None => Feeder::Dormant,
+                };
+                if desired != el.cur_feeder {
+                    match desired {
+                        Feeder::Devices => {
+                            let n = r.num_devices();
+                            self.collector.reconfigure(
+                                n,
+                                el.device_blanks.clone(),
+                                (0..n).map(Some).collect(),
+                            );
+                            self.fan_in = FanIn::Devices(n);
+                        }
+                        Feeder::Tier(i) => {
+                            self.collector.reconfigure(
+                                1,
+                                vec![el.tier_out_blanks[i].clone()],
+                                vec![None],
+                            );
+                            self.fan_in = FanIn::Tier(el.tier_ids[i]);
+                        }
+                        // Nothing routes here: keep the geometry; the
+                        // epoch floor blocks stragglers.
+                        Feeder::Dormant => {}
+                    }
+                    el.cur_feeder = desired;
+                }
+            }
+        }
+        // Whoever currently collects the devices must not wait for the
+        // routing-dead ones (and must wait again for re-joined ones).
+        let collects_devices = match el.tier_k {
+            None => true,
+            Some(_) => el.cur_feeder == Feeder::Devices,
+        };
+        if collects_devices {
+            for dix in 0..r.num_devices() {
+                if r.live[dix] {
+                    self.collector.clear_suspect(dix);
+                } else {
+                    self.collector.mark_suspect(dix);
+                }
+            }
+        }
+        false
+    }
+
     /// Evaluates the section and resolves the exit-or-escalate decision.
     fn decide(&mut self, seq: u64, items: Vec<S::Item>) -> Result<Decision> {
         let (logits, map) = self.section.evaluate(items)?;
-        let d = self.policy.evaluate(&logits)?;
+        let mut d = self.policy.evaluate(&logits)?;
+        // Elastic forced exits: a severed or target-less tier classifies
+        // locally — escalating would address a topology that no longer
+        // exists.
+        if let Some(el) = self.elastic.as_ref() {
+            let severed = el.tier_k.is_some()
+                && !matches!(self.escalation, Escalation::Terminal)
+                && el.route_target.is_none();
+            if el.forced_exit || severed {
+                d.exits = true;
+            }
+        }
         let threshold = match self.policy {
             ExitPolicy::Entropy(t) => t.value(),
             ExitPolicy::Terminal => 1.0,
@@ -371,7 +556,9 @@ impl<S: TierSection> TierNode<S> {
         }
     }
 
-    /// Sends a (possibly replayed) decision to its target.
+    /// Sends a (possibly replayed) decision to its target. Under elastic
+    /// routing a forward resolves against the *current* routing table, so
+    /// replays after a re-parent reach the live target.
     fn send(&self, decision: &Decision, seq: u64) -> Result<()> {
         match (decision, &self.escalation) {
             (Decision::Verdict(frame), _) => self.to_orchestrator.send(frame),
@@ -381,7 +568,17 @@ impl<S: TierSection> TierNode<S> {
                 }
                 Ok(())
             }
-            (Decision::Forward(frame), Escalation::ForwardMap(next)) => next.send(frame),
+            (Decision::Forward(frame), Escalation::ForwardMap(next)) => {
+                match self.elastic.as_ref() {
+                    Some(el) => match el.route_target.and_then(|j| el.to_tiers[j].as_ref()) {
+                        Some(link) => link.send(frame),
+                        // The target vanished since the decision was
+                        // cached: drop the replay, the epoch has moved on.
+                        None => Ok(()),
+                    },
+                    None => next.send(frame),
+                }
+            }
             _ => Err(RuntimeError::Protocol {
                 reason: format!("{}: decision does not match escalation target", self.name),
             }),

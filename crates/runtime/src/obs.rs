@@ -255,6 +255,33 @@ pub enum ObsEvent {
         /// Gap sequence numbers NACKed in this datagram.
         nacks: usize,
     },
+    /// The membership tracker admitted a node (back) into the topology.
+    MemberJoin {
+        /// Node name.
+        node: String,
+        /// Topology epoch installed by the reconfiguration.
+        epoch: u64,
+    },
+    /// The membership tracker declared a node dead and removed it.
+    MemberLeave {
+        /// Node name.
+        node: String,
+        /// Topology epoch installed by the reconfiguration.
+        epoch: u64,
+    },
+    /// A reconfiguration changed a surviving node's parent (a device's
+    /// offload target, or a tier's escalation target).
+    Reparent {
+        /// The re-parented node.
+        child: String,
+        /// Previous parent ("none" when it had no route).
+        from: String,
+        /// New parent ("local-exit" for a forced-exit fallback, "none"
+        /// when no route survives).
+        to: String,
+        /// Topology epoch installed by the reconfiguration.
+        epoch: u64,
+    },
 }
 
 impl ObsEvent {
@@ -270,6 +297,9 @@ impl ObsEvent {
             ObsEvent::FrameCorrupt { .. } => "frame_corrupt",
             ObsEvent::Retransmit { .. } => "retransmit",
             ObsEvent::AckSent { .. } => "ack_sent",
+            ObsEvent::MemberJoin { .. } => "member_join",
+            ObsEvent::MemberLeave { .. } => "member_leave",
+            ObsEvent::Reparent { .. } => "reparent",
         }
     }
 
@@ -320,6 +350,17 @@ impl ObsEvent {
                 s.push_str(&format!(
                     ", \"link\": \"{}\", \"cum\": {cum}, \"nacks\": {nacks}",
                     escape(link)
+                ));
+            }
+            ObsEvent::MemberJoin { node, epoch } | ObsEvent::MemberLeave { node, epoch } => {
+                s.push_str(&format!(", \"node\": \"{}\", \"epoch\": {epoch}", escape(node)));
+            }
+            ObsEvent::Reparent { child, from, to, epoch } => {
+                s.push_str(&format!(
+                    ", \"child\": \"{}\", \"from\": \"{}\", \"to\": \"{}\", \"epoch\": {epoch}",
+                    escape(child),
+                    escape(from),
+                    escape(to)
                 ));
             }
         }
@@ -558,6 +599,22 @@ mod tests {
         );
         let quoted = ObsEvent::FrameCorrupt { node: "a\"b".to_string() };
         assert!(quoted.to_json(0).contains("a\\\"b"));
+        let join = ObsEvent::MemberJoin { node: "edge".to_string(), epoch: 4 };
+        assert_eq!(
+            join.to_json(3),
+            "{\"t_ms\": 3, \"event\": \"member_join\", \"node\": \"edge\", \"epoch\": 4}"
+        );
+        let reparent = ObsEvent::Reparent {
+            child: "device1".to_string(),
+            from: "edge".to_string(),
+            to: "cloud".to_string(),
+            epoch: 5,
+        };
+        assert_eq!(
+            reparent.to_json(0),
+            "{\"t_ms\": 0, \"event\": \"reparent\", \"child\": \"device1\", \
+             \"from\": \"edge\", \"to\": \"cloud\", \"epoch\": 5}"
+        );
     }
 
     #[test]

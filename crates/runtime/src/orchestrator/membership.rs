@@ -1,0 +1,99 @@
+//! Heartbeat-driven membership: who is alive, who is suspected, who may
+//! ever come back.
+//!
+//! Each post-sample sweep pings every *eligible* node and records who
+//! answered. A node joins (or re-joins) the instant a pong arrives; it
+//! leaves only after `suspect_after` consecutive silent sweeps, so a
+//! single scheduling hiccup never reshapes the topology. Statically
+//! failed devices are ineligible: they are never pinged and never flip.
+
+/// Liveness state of every tracked node, indexed like
+/// [`super::NodeDirectory`].
+#[derive(Debug, Clone)]
+pub(crate) struct Membership {
+    alive: Vec<bool>,
+    misses: Vec<u32>,
+    eligible: Vec<bool>,
+    suspect_after: u32,
+}
+
+impl Membership {
+    pub(crate) fn new(alive: Vec<bool>, eligible: Vec<bool>, suspect_after: u32) -> Self {
+        let n = alive.len();
+        debug_assert_eq!(eligible.len(), n);
+        Membership { alive, misses: vec![0; n], eligible, suspect_after: suspect_after.max(1) }
+    }
+
+    pub(crate) fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Folds one sweep's responses in. Returns whether any node's
+    /// liveness changed (a reconfiguration is due).
+    pub(crate) fn sweep(&mut self, responded: &[bool]) -> bool {
+        let mut changed = false;
+        for (ix, &responded) in responded.iter().enumerate().take(self.alive.len()) {
+            if !self.eligible[ix] {
+                continue;
+            }
+            if responded {
+                self.misses[ix] = 0;
+                if !self.alive[ix] {
+                    self.alive[ix] = true;
+                    changed = true;
+                }
+            } else {
+                self.misses[ix] = self.misses[ix].saturating_add(1);
+                if self.alive[ix] && self.misses[ix] >= self.suspect_after {
+                    self.alive[ix] = false;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leave_needs_consecutive_misses_join_is_immediate() {
+        let mut m = Membership::new(vec![true, true], vec![true, true], 2);
+        // One miss: suspected, not yet gone.
+        assert!(!m.sweep(&[true, false]));
+        assert_eq!(m.alive(), &[true, true]);
+        // A pong wipes the suspicion.
+        assert!(!m.sweep(&[true, true]));
+        // Two consecutive misses: leave.
+        assert!(!m.sweep(&[true, false]));
+        assert!(m.sweep(&[true, false]));
+        assert_eq!(m.alive(), &[true, false]);
+        // Further silence changes nothing.
+        assert!(!m.sweep(&[true, false]));
+        // First pong after the crash re-joins immediately.
+        assert!(m.sweep(&[true, true]));
+        assert_eq!(m.alive(), &[true, true]);
+    }
+
+    #[test]
+    fn ineligible_nodes_never_flip() {
+        let mut m = Membership::new(vec![true, false], vec![true, false], 1);
+        // The statically failed node neither leaves (it is already down)
+        // nor joins, even if a stray response is attributed to it.
+        assert!(!m.sweep(&[true, true]));
+        assert_eq!(m.alive(), &[true, false]);
+        for _ in 0..3 {
+            m.sweep(&[true, false]);
+        }
+        assert_eq!(m.alive(), &[true, false]);
+    }
+
+    #[test]
+    fn suspect_after_is_clamped_to_one() {
+        let mut m = Membership::new(vec![true], vec![true], 0);
+        assert!(m.sweep(&[false]));
+        assert_eq!(m.alive(), &[false]);
+    }
+}

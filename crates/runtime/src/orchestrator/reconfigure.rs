@@ -1,0 +1,212 @@
+//! Topology diffs: what actually changed between two routing epochs.
+//!
+//! The driver does not re-announce the whole topology on every epoch — it
+//! computes the minimal set of [`TopologyDiff`]s between the outgoing and
+//! incoming [`RoutingTable`]s and emits exactly those through the
+//! observability layer. Joins and leaves come from liveness flips;
+//! re-parent diffs are reported only for nodes live in *both* epochs
+//! whose feeding edge changed (a crashed node's implicit un-parenting is
+//! already covered by its leave).
+
+use super::rebalance::RoutingTable;
+
+/// One node-level change between two consecutive topology epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyDiff {
+    /// A node (re-)joined the hierarchy.
+    Join {
+        /// The node's display name.
+        node: String,
+    },
+    /// A node left the hierarchy (crashed or churned down).
+    Leave {
+        /// The node's display name.
+        node: String,
+    },
+    /// A surviving node's upstream target changed.
+    Reparent {
+        /// The re-routed node.
+        child: String,
+        /// The previous target ("none" when it had no target,
+        /// "local-exit" when it was classifying locally).
+        from: String,
+        /// The new target, same conventions.
+        to: String,
+    },
+}
+
+/// The label a live device's feeding edge points at under a routing table.
+fn device_target(r: &RoutingTable, names: &[String]) -> String {
+    let d = r.num_devices();
+    match r.device_parent {
+        Some(k) => names[d + 1 + k].clone(),
+        None => "none".to_string(),
+    }
+}
+
+/// The label tier `k`'s escalation edge points at under a routing table.
+fn tier_target(r: &RoutingTable, names: &[String], k: usize) -> String {
+    let d = r.num_devices();
+    match r.escalate_to[k] {
+        Some(j) => names[d + 1 + j].clone(),
+        None if r.forced_exit[k] => "local-exit".to_string(),
+        None => "none".to_string(),
+    }
+}
+
+/// Computes the ordered diff between two routing tables: joins and leaves
+/// (directory order), then re-parent edges for surviving nodes.
+///
+/// `names` is the control directory's name table (devices, gateway,
+/// tiers — the same index space as [`RoutingTable::live`]).
+pub fn diff_routing(old: &RoutingTable, new: &RoutingTable, names: &[String]) -> Vec<TopologyDiff> {
+    let mut diffs = Vec::new();
+    for (ix, name) in names.iter().enumerate() {
+        match (old.live[ix], new.live[ix]) {
+            (false, true) => diffs.push(TopologyDiff::Join { node: name.clone() }),
+            (true, false) => diffs.push(TopologyDiff::Leave { node: name.clone() }),
+            _ => {}
+        }
+    }
+    let d = new.num_devices();
+    let (old_dev, new_dev) = (device_target(old, names), device_target(new, names));
+    if old_dev != new_dev {
+        for (ix, name) in names.iter().take(d).enumerate() {
+            if old.live[ix] && new.live[ix] {
+                diffs.push(TopologyDiff::Reparent {
+                    child: name.clone(),
+                    from: old_dev.clone(),
+                    to: new_dev.clone(),
+                });
+            }
+        }
+    }
+    let t = new.escalate_to.len();
+    for k in 0..t.saturating_sub(1) {
+        let ix = d + 1 + k;
+        if !(old.live[ix] && new.live[ix]) {
+            continue;
+        }
+        let (from, to) = (tier_target(old, names, k), tier_target(new, names, k));
+        if from != to {
+            diffs.push(TopologyDiff::Reparent { child: names[ix].clone(), from, to });
+        }
+    }
+    diffs
+}
+
+impl std::fmt::Display for TopologyDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyDiff::Join { node } => write!(f, "join {node}"),
+            TopologyDiff::Leave { node } => write!(f, "leave {node}"),
+            TopologyDiff::Reparent { child, from, to } => {
+                write!(f, "reparent {child}: {from} -> {to}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::rebalance::{compute_routing, Compat};
+
+    fn compat() -> Compat {
+        Compat {
+            device_to_tier: vec![true, true, false],
+            tier_to_tier: vec![
+                vec![false, true, true],
+                vec![false, false, true],
+                vec![false, false, false],
+            ],
+        }
+    }
+
+    fn names() -> Vec<String> {
+        ["device0", "device1", "gateway", "edge", "fog", "cloud"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn crash_emits_leave_and_reparents_survivors() {
+        let old = compute_routing(0, vec![true; 6], 2, &compat());
+        // The entry tier dies: devices re-parent to fog.
+        let new = compute_routing(1, vec![true, true, true, false, true, true], 2, &compat());
+        let diffs = diff_routing(&old, &new, &names());
+        assert_eq!(
+            diffs,
+            vec![
+                TopologyDiff::Leave { node: "edge".into() },
+                TopologyDiff::Reparent {
+                    child: "device0".into(),
+                    from: "edge".into(),
+                    to: "fog".into()
+                },
+                TopologyDiff::Reparent {
+                    child: "device1".into(),
+                    from: "edge".into(),
+                    to: "fog".into()
+                },
+            ]
+        );
+        assert_eq!(diffs[1].to_string(), "reparent device0: edge -> fog");
+    }
+
+    #[test]
+    fn rejoin_emits_join_and_restores_the_edge() {
+        let old = compute_routing(1, vec![true, true, true, false, true, true], 2, &compat());
+        let new = compute_routing(2, vec![true; 6], 2, &compat());
+        let diffs = diff_routing(&old, &new, &names());
+        assert_eq!(diffs[0], TopologyDiff::Join { node: "edge".into() });
+        assert!(diffs.contains(&TopologyDiff::Reparent {
+            child: "device0".into(),
+            from: "fog".into(),
+            to: "edge".into()
+        }));
+    }
+
+    #[test]
+    fn severed_tier_reports_a_local_exit_reparent() {
+        let old = compute_routing(0, vec![true; 6], 2, &compat());
+        // fog and cloud both die: edge keeps the devices but must exit
+        // locally — its escalation target changes edge->fog to local-exit.
+        let new = compute_routing(1, vec![true, true, true, true, false, false], 2, &compat());
+        let diffs = diff_routing(&old, &new, &names());
+        assert!(diffs.contains(&TopologyDiff::Leave { node: "fog".into() }));
+        assert!(diffs.contains(&TopologyDiff::Leave { node: "cloud".into() }));
+        assert!(diffs.contains(&TopologyDiff::Reparent {
+            child: "edge".into(),
+            from: "fog".into(),
+            to: "local-exit".into()
+        }));
+        // Devices kept their parent: no device re-parent diffs.
+        assert!(!diffs.iter().any(
+            |d| matches!(d, TopologyDiff::Reparent { child, .. } if child.starts_with("device"))
+        ));
+    }
+
+    #[test]
+    fn dead_nodes_do_not_get_reparent_diffs() {
+        // Device 1 is dead in the old epoch and stays dead; only device 0
+        // re-parents.
+        let mut old_live = vec![true; 6];
+        old_live[1] = false;
+        let old = compute_routing(0, old_live, 2, &compat());
+        let new = compute_routing(1, vec![true, false, true, false, true, true], 2, &compat());
+        let diffs = diff_routing(&old, &new, &names());
+        let reparents: Vec<_> =
+            diffs.iter().filter(|d| matches!(d, TopologyDiff::Reparent { .. })).collect();
+        assert_eq!(reparents.len(), 1);
+        assert_eq!(
+            reparents[0],
+            &TopologyDiff::Reparent {
+                child: "device0".into(),
+                from: "edge".into(),
+                to: "fog".into()
+            }
+        );
+    }
+}

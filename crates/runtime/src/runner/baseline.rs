@@ -45,6 +45,17 @@ pub fn run_cloud_only_baseline(
 ) -> Result<SimReport> {
     let num_devices = partition.devices.len();
     let live = validate_run(num_devices, device_views, labels, cfg)?;
+    if cfg.elastic.is_some() {
+        return Err(RuntimeError::Config {
+            reason: "the cloud-only baseline has no tiers to rebalance (unset cfg.elastic)"
+                .to_string(),
+        });
+    }
+    if !cfg.fault_plan.tier_crash_after.is_empty() {
+        return Err(RuntimeError::Config {
+            reason: "the cloud-only baseline has no gateway or tiers to crash".to_string(),
+        });
+    }
     let n_samples = labels.len();
     let tolerant = cfg.deadlines.is_some();
     let clock = SimClock::start();
@@ -132,6 +143,7 @@ pub fn run_cloud_only_baseline(
             escalation: Escalation::Terminal,
             collector,
             obs: NodeObs::for_node(&obs, "cloud"),
+            elastic: None,
         };
         let handle = scope.spawn(move || node.run());
 
@@ -167,6 +179,7 @@ pub fn run_cloud_only_baseline(
             exit_point_of,
             |_| 0.0,
             &obs,
+            None,
         )?;
         pump_stop.store(true, Ordering::Release);
 

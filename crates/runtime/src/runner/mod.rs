@@ -33,8 +33,12 @@ use crate::message::{Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::{blank_signature, device_node, BlankSignature};
 use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
-use crate::node::tier::{batched, Escalation, FanIn, FeatureSection, ScoresSection, TierNode};
+use crate::node::tier::{
+    batched, Escalation, FanIn, FeatureSection, Feeder, ScoresSection, TierElastic, TierNode,
+};
 use crate::obs::{LinkCounters, NodeObs, RunObs};
+use crate::orchestrator::rebalance::{compute_routing, probe};
+use crate::orchestrator::{ControlState, DeviceElastic, ElasticDriver, NodeDirectory};
 use crate::reliability::run_retransmit_pump;
 use crate::topology::{HierarchyConfig, TierExitRule, Topology};
 use ddnn_core::{DdnnPartition, ExitPolicy};
@@ -88,6 +92,8 @@ pub fn run_topology(
 ) -> Result<SimReport> {
     let num_devices = topology.num_devices();
     let live = validate_run(num_devices, device_views, labels, cfg)?;
+    let tier_names: Vec<String> = topology.tiers.iter().map(|t| t.name.clone()).collect();
+    cfg.fault_plan.validate_nodes(&tier_names, &cfg.failed_devices)?;
     let n_samples = labels.len();
     let tolerant = cfg.deadlines.is_some();
     let clock = SimClock::start();
@@ -120,6 +126,21 @@ pub fn run_topology(
         tier_blanks.push(vec![x.index_axis0(0)?]);
     }
 
+    // Elastic control plane: probe the empirical compatibility matrix
+    // (which feeders each tier's section accepts) while the blank chain is
+    // still at hand, and publish the epoch-0 routing table — the declared
+    // chain itself, since every non-device node starts live.
+    let probed = match cfg.elastic {
+        Some(_) => Some(probe(topology, &tier_blanks)?),
+        None => None,
+    };
+    let control: Option<Arc<ControlState>> = probed.as_ref().map(|(compat, _)| {
+        let mut init_live = live.clone();
+        init_live.push(true); // gateway
+        init_live.extend(std::iter::repeat_n(true, topology.tiers.len()));
+        ControlState::new(compute_routing(0, init_live, num_devices, compat))
+    });
+
     // Per-device crash counters; the LinkFactory owns the per-link fault
     // layers and the reliability (wire format / ARQ) wiring, leaving every
     // link on its exact legacy path when both are off.
@@ -128,6 +149,16 @@ pub fn run_topology(
         .crash_after
         .iter()
         .map(|c| (c.device, CrashState::new(c.after_frames)))
+        .collect();
+    // Per-node (gateway / tier) crash counters: a crashed node's outbound
+    // links all go silent at once, so downstream deadline degradation —
+    // and elastic membership, when enabled — see a permanently dead
+    // upstream.
+    let node_crash: HashMap<String, Arc<CrashState>> = cfg
+        .fault_plan
+        .tier_crash_after
+        .iter()
+        .map(|c| (c.node.clone(), CrashState::new(c.after_frames)))
         .collect();
     let obs = Arc::new(RunObs::new(&cfg.obs));
     let mut factory = LinkFactory::new(
@@ -164,6 +195,7 @@ pub fn run_topology(
     let mut capture_tx = Vec::new();
     let mut gateway_to_device: Vec<Option<LinkSender>> = Vec::new();
     let mut device_threads_io = Vec::new();
+    let mut device_elastic: Vec<Option<DeviceElastic>> = Vec::new();
     for d in 0..num_devices {
         let crash = crash_states.get(&d);
         let (dtx, drx) = inbox(&format!("device{d}"));
@@ -173,7 +205,8 @@ pub fn run_topology(
         dev_inbox.register(recv);
         capture_tx.push(cap);
         let g2d_name = format!("gateway->device{d}");
-        let (g2d, g2d_stats, recv) = factory.sender(&dtx, &g2d_name, NodeId::Gateway, None);
+        let (g2d, g2d_stats, recv) =
+            factory.sender(&dtx, &g2d_name, NodeId::Gateway, node_crash.get("gateway").cloned());
         dev_inbox.register(recv);
         track(g2d_name, g2d_stats);
         gateway_to_device.push(live[d].then_some(g2d));
@@ -187,30 +220,81 @@ pub fn run_topology(
             factory.sender(&tier_txs[0], &upper_name, NodeId::Device(d as u8), crash.cloned());
         tier_inboxes[0].register(recv);
         track(upper_name, upper_stats);
+        // Elastic extras: one feature link per re-parent candidate tier
+        // (tier 0's is the legacy link) and a pong channel back to the
+        // orchestrator, sharing the device's crash state so a crashed
+        // device's heartbeats die with its data.
+        device_elastic.push(match control.as_ref() {
+            Some(ctl) => {
+                let mut to_tiers = vec![to_upper.clone()];
+                for (j, spec) in topology.tiers.iter().enumerate().skip(1) {
+                    let name = format!("device{d}->{}", spec.name);
+                    let (s, stats, recv) = factory.sender(
+                        &tier_txs[j],
+                        &name,
+                        NodeId::Device(d as u8),
+                        crash.cloned(),
+                    );
+                    tier_inboxes[j].register(recv);
+                    track(name, stats);
+                    to_tiers.push(s);
+                }
+                let name = format!("device{d}->orchestrator");
+                let (to_orch, stats, recv) =
+                    factory.sender(&orch_tx, &name, NodeId::Device(d as u8), crash.cloned());
+                orch_inbox.register(recv);
+                track(name, stats);
+                Some(DeviceElastic {
+                    control: Arc::clone(ctl),
+                    ix: d,
+                    to_orchestrator: to_orch,
+                    to_tiers,
+                    stale_discards: obs
+                        .registry()
+                        .counter(&format!("node.device{d}.stale_epoch_discards")),
+                })
+            }
+            None => None,
+        });
         device_inboxes.push(dev_inbox);
         device_threads_io.push((to_gw, to_upper));
     }
-    let (gw_to_orch, s, recv) =
-        factory.sender(&orch_tx, "gateway->orchestrator", NodeId::Gateway, None);
+    let (gw_to_orch, s, recv) = factory.sender(
+        &orch_tx,
+        "gateway->orchestrator",
+        NodeId::Gateway,
+        node_crash.get("gateway").cloned(),
+    );
     orch_inbox.register(recv);
     track("gateway->orchestrator".to_string(), s);
     // Orchestrator-side tier links, in the legacy order: the terminal
     // tier's verdict link first, then each non-terminal tier's forward +
-    // verdict links along the chain.
+    // verdict links along the chain. Forward links are remembered in the
+    // tier-to-tier matrix so elastic nodes can route along the current
+    // escalation path.
+    let mut tier_fwd: Vec<Vec<Option<LinkSender>>> =
+        vec![vec![None; topology.tiers.len()]; topology.tiers.len()];
     let term_orch_name = format!("{}->orchestrator", topology.tiers[last].name);
-    let (term_to_orch, s, recv) =
-        factory.sender(&orch_tx, &term_orch_name, topology.tiers[last].id, None);
+    let (term_to_orch, s, recv) = factory.sender(
+        &orch_tx,
+        &term_orch_name,
+        topology.tiers[last].id,
+        node_crash.get(&topology.tiers[last].name).cloned(),
+    );
     orch_inbox.register(recv);
     track(term_orch_name, s);
     let mut fwd_io = Vec::new();
     for i in 0..last {
+        let tier_crash = node_crash.get(&topology.tiers[i].name);
         let fwd_name = format!("{}->{}", topology.tiers[i].name, topology.tiers[i + 1].name);
         let (to_next, s, recv) =
-            factory.sender(&tier_txs[i + 1], &fwd_name, topology.tiers[i].id, None);
+            factory.sender(&tier_txs[i + 1], &fwd_name, topology.tiers[i].id, tier_crash.cloned());
         tier_inboxes[i + 1].register(recv);
         track(fwd_name, s);
+        tier_fwd[i][i + 1] = Some(to_next.clone());
         let orch_name = format!("{}->orchestrator", topology.tiers[i].name);
-        let (to_orch, s, recv) = factory.sender(&orch_tx, &orch_name, topology.tiers[i].id, None);
+        let (to_orch, s, recv) =
+            factory.sender(&orch_tx, &orch_name, topology.tiers[i].id, tier_crash.cloned());
         orch_inbox.register(recv);
         track(orch_name, s);
         fwd_io.push((to_next, to_orch));
@@ -221,6 +305,98 @@ pub fn run_topology(
         let stats = Arc::new(LinkCounters::default());
         obs.registry().register_link(name, Arc::clone(&stats));
         track(name.clone(), stats);
+    }
+    // Elastic-only wiring: skip-level forward links (so a tier can route
+    // around a dead neighbor), heartbeat ping links, the per-node control
+    // handles and the membership driver itself.
+    let mut elastic_driver: Option<ElasticDriver> = None;
+    let mut gw_elastic: Option<TierElastic<Vec<f32>>> = None;
+    let mut tier_elastic: Vec<Option<TierElastic<Tensor>>> =
+        (0..topology.tiers.len()).map(|_| None).collect();
+    if let (Some(ctl), Some((compat, out_blanks)), Some(ecfg)) =
+        (control.as_ref(), probed.as_ref(), cfg.elastic)
+    {
+        for i in 0..topology.tiers.len() {
+            for j in i + 2..topology.tiers.len() {
+                let name = format!("{}->{}", topology.tiers[i].name, topology.tiers[j].name);
+                let (s, stats, recv) = factory.sender(
+                    &tier_txs[j],
+                    &name,
+                    topology.tiers[i].id,
+                    node_crash.get(&topology.tiers[i].name).cloned(),
+                );
+                tier_inboxes[j].register(recv);
+                track(name, stats);
+                tier_fwd[i][j] = Some(s);
+            }
+        }
+        // Heartbeat pings: devices are pinged over their capture channel,
+        // the gateway and tiers over dedicated orchestrator links.
+        // Statically failed devices are never pinged (and never rejoin).
+        let mut ping_links: Vec<Option<LinkSender>> = Vec::new();
+        for d in 0..num_devices {
+            ping_links.push(live[d].then(|| capture_tx[d].clone()));
+        }
+        let (gw_ping, stats, recv) =
+            factory.sender(&gateway_tx, "orchestrator->gateway", NodeId::Orchestrator, None);
+        gateway_inbox.register(recv);
+        track("orchestrator->gateway".to_string(), stats);
+        ping_links.push(Some(gw_ping));
+        for (k, spec) in topology.tiers.iter().enumerate() {
+            let name = format!("orchestrator->{}", spec.name);
+            let (s, stats, recv) = factory.sender(&tier_txs[k], &name, NodeId::Orchestrator, None);
+            tier_inboxes[k].register(recv);
+            track(name, stats);
+            ping_links.push(Some(s));
+        }
+        let initial = ctl.routing();
+        gw_elastic = Some(TierElastic {
+            control: Arc::clone(ctl),
+            ix: num_devices,
+            tier_k: None,
+            to_tiers: Vec::new(),
+            tier_ids: Vec::new(),
+            device_blanks: Vec::new(),
+            tier_out_blanks: Vec::new(),
+            stale_discards: obs.registry().counter("node.gateway.stale_epoch_discards"),
+            seen_epoch: 0,
+            was_down: false,
+            forced_exit: initial.forced_local,
+            route_target: None,
+            cur_feeder: Feeder::Devices,
+        });
+        let tier_ids: Vec<NodeId> = topology.tiers.iter().map(|t| t.id).collect();
+        let device_maps: Vec<Tensor> = blanks.iter().map(|b| b.map.clone()).collect();
+        for (k, spec) in topology.tiers.iter().enumerate() {
+            tier_elastic[k] = Some(TierElastic {
+                control: Arc::clone(ctl),
+                ix: num_devices + 1 + k,
+                tier_k: Some(k),
+                to_tiers: std::mem::take(&mut tier_fwd[k]),
+                tier_ids: tier_ids.clone(),
+                device_blanks: device_maps.clone(),
+                tier_out_blanks: out_blanks.clone(),
+                stale_discards: obs
+                    .registry()
+                    .counter(&format!("node.{}.stale_epoch_discards", spec.name)),
+                seen_epoch: 0,
+                was_down: false,
+                forced_exit: initial.forced_exit[k],
+                route_target: initial.escalate_to[k],
+                cur_feeder: if k == 0 { Feeder::Devices } else { Feeder::Tier(k - 1) },
+            });
+        }
+        let dir = NodeDirectory::new(num_devices, &tier_names, tier_ids);
+        elastic_driver = Some(ElasticDriver::new(
+            Arc::clone(ctl),
+            dir,
+            compat.clone(),
+            ecfg,
+            &cfg.fault_plan.churn,
+            ping_links,
+            clock,
+            Arc::clone(&obs),
+        ));
     }
     // Per-tier verdict link + escalation target, back in chain order.
     let mut tier_node_io: Vec<(LinkSender, Escalation)> = Vec::new();
@@ -287,10 +463,11 @@ pub fn run_topology(
         }
         let mut handles = Vec::new();
         // Devices.
-        for (d, ((rx, (to_gw, to_upper)), part)) in device_inboxes
+        for (d, (((rx, (to_gw, to_upper)), part), dev_el)) in device_inboxes
             .into_iter()
             .zip(device_threads_io)
             .zip(topology.devices.iter())
+            .zip(device_elastic)
             .enumerate()
         {
             if !live[d] {
@@ -298,9 +475,9 @@ pub fn run_topology(
             }
             let part = part.clone();
             let dev_obs = Arc::clone(&obs);
-            handles.push(
-                scope.spawn(move || device_node(d, part, rx, to_gw, to_upper, tolerant, dev_obs)),
-            );
+            handles.push(scope.spawn(move || {
+                device_node(d, part, rx, to_gw, to_upper, tolerant, dev_obs, dev_el)
+            }));
         }
         // Gateway: score aggregation, entropy exit, device broadcast.
         {
@@ -316,6 +493,7 @@ pub fn run_topology(
                 escalation: Escalation::RequestFromDevices(gateway_to_device),
                 collector: gateway_collector,
                 obs: NodeObs::for_node(&obs, "gateway"),
+                elastic: gw_elastic,
             };
             handles.push(scope.spawn(move || node.run()));
         }
@@ -323,6 +501,7 @@ pub fn run_topology(
         let mut rx_it = tier_inboxes.into_iter();
         let mut coll_it = tier_collectors.into_iter();
         let mut io_it = tier_node_io.into_iter();
+        let mut el_it = tier_elastic.into_iter();
         for (i, spec) in topology.tiers.iter().enumerate() {
             let missing = |what: &str| RuntimeError::Topology {
                 reason: format!("no {what} wired for tier {i} ({})", spec.name),
@@ -350,6 +529,7 @@ pub fn run_topology(
                 escalation,
                 collector,
                 obs: NodeObs::for_node(&obs, &spec.name),
+                elastic: el_it.next().ok_or_else(|| missing("elastic slot"))?,
             };
             handles.push(scope.spawn(move || node.run()));
         }
@@ -371,8 +551,14 @@ pub fn run_topology(
             ms
         };
         let send_captures = |i: usize| -> Result<()> {
+            // Under elastic routing, captures skip devices the membership
+            // layer currently believes dead (their churn flag will make
+            // them drop the frame anyway), and with the gateway bypassed
+            // the orchestrator broadcasts the offload request itself so
+            // the sample goes straight to the feature chain.
+            let routing = control.as_ref().map(|c| c.routing());
             for d in 0..num_devices {
-                if !live[d] {
+                if !live[d] || routing.as_ref().is_some_and(|r| !r.live[d]) {
                     continue;
                 }
                 let view = device_views[d].index_axis0(i)?;
@@ -381,6 +567,19 @@ pub fn run_topology(
                     NodeId::Orchestrator,
                     Payload::Capture { view },
                 ))?;
+            }
+            if let Some(r) = &routing {
+                if r.gateway_bypass && r.device_parent.is_some() {
+                    for d in 0..num_devices {
+                        if live[d] && r.live[d] {
+                            capture_tx[d].send(&Frame::new(
+                                i as u64,
+                                NodeId::Orchestrator,
+                                Payload::OffloadRequest,
+                            ))?;
+                        }
+                    }
+                }
             }
             Ok(())
         };
@@ -393,6 +592,7 @@ pub fn run_topology(
             |tier| topology.exit_point_of(tier),
             latency_of,
             &obs,
+            elastic_driver.as_mut(),
         )?;
         // Every sample resolved: stop retransmitting before shutdown.
         pump_stop.store(true, Ordering::Release);
@@ -427,5 +627,7 @@ pub fn run_topology(
     let tallies = tallies.ok_or_else(|| RuntimeError::Topology {
         reason: "run scope finished without producing tallies".to_string(),
     })?;
-    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices, &obs))
+    let mut report = assemble_report(tallies, labels, link_stats, node_reports, num_devices, &obs);
+    report.elastic = elastic_driver.map(|d| d.finish());
+    Ok(report)
 }

@@ -11,6 +11,7 @@ use crate::message::Payload;
 use crate::node::collector::AggPolicy;
 use crate::node::report::{RunTallies, SampleOutcome};
 use crate::obs::{ObsEvent, RunObs};
+use crate::orchestrator::ElasticDriver;
 use crate::topology::HierarchyConfig;
 use ddnn_core::ExitPoint;
 use ddnn_tensor::Tensor;
@@ -48,6 +49,22 @@ pub(super) fn validate_run(
         });
     }
     cfg.reliability.validate(&cfg.fault_plan, cfg.deadlines.as_ref())?;
+    if let Some(el) = &cfg.elastic {
+        if cfg.deadlines.is_none() {
+            return Err(RuntimeError::Config {
+                reason: "elastic orchestration requires deadlines (set cfg.deadlines)".to_string(),
+            });
+        }
+        if el.heartbeat_ms == 0 || el.suspect_after == 0 {
+            return Err(RuntimeError::Config {
+                reason: "elastic heartbeat_ms and suspect_after must be at least 1".to_string(),
+            });
+        }
+    } else if !cfg.fault_plan.churn.is_empty() {
+        return Err(RuntimeError::Config {
+            reason: "a churn schedule requires elastic orchestration (set cfg.elastic)".to_string(),
+        });
+    }
     Ok(live)
 }
 
@@ -82,6 +99,7 @@ pub(super) fn drive_samples(
     exit_point_of: impl Fn(u8) -> Result<ExitPoint>,
     latency_of: impl Fn(u8) -> f32,
     obs: &RunObs,
+    mut elastic: Option<&mut ElasticDriver>,
 ) -> Result<RunTallies> {
     let mut predictions = vec![0usize; n_samples];
     let mut exits = vec![ExitPoint::Cloud; n_samples];
@@ -124,6 +142,12 @@ pub(super) fn drive_samples(
                 let seq = i as u64;
                 samples_ctr.incr();
                 obs.emit(|| ObsEvent::SampleEnqueued { seq });
+                // Elastic: flip the churn flags due at this sample before
+                // its captures go out, so a scheduled crash takes effect
+                // exactly at `at_sample`.
+                if let Some(driver) = elastic.as_deref_mut() {
+                    driver.before_sample(seq);
+                }
                 let mut resolved = None;
                 let mut attempts = 0u32;
                 'sample: loop {
@@ -162,6 +186,12 @@ pub(super) fn drive_samples(
                         predictions[i] = usize::MAX; // never matches a label
                         latencies[i] = waited_ms as f32;
                     }
+                }
+                // Elastic: the post-sample heartbeat sweep — membership
+                // moves and topology epochs are published only here,
+                // strictly between samples.
+                if let Some(driver) = elastic.as_deref_mut() {
+                    driver.after_sample(seq, orch_rx)?;
                 }
             }
         }

@@ -14,6 +14,7 @@ use crate::fault::{DeadlineConfig, FaultPlan};
 use crate::link::LatencyModel;
 use crate::message::NodeId;
 use crate::obs::ObsConfig;
+use crate::orchestrator::ElasticConfig;
 use crate::reliability::ReliabilityConfig;
 use ddnn_core::{
     ConvPBlock, DdnnConfig, DdnnPartition, DevicePart, ExitHead, ExitPoint, ExitThreshold,
@@ -52,6 +53,11 @@ pub struct HierarchyConfig {
     /// free); attach an [`crate::ObsSink`] to also stream structured
     /// timeline events.
     pub obs: ObsConfig,
+    /// Elastic orchestration: heartbeat membership and runtime topology
+    /// reconfiguration. `None` (the default) keeps the static topology and
+    /// its exact legacy path; required when the fault plan schedules
+    /// churn, and requires `deadlines`.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl Default for HierarchyConfig {
@@ -66,6 +72,7 @@ impl Default for HierarchyConfig {
             deadlines: None,
             reliability: ReliabilityConfig::off(),
             obs: ObsConfig::default(),
+            elastic: None,
         }
     }
 }

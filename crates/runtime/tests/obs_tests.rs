@@ -196,3 +196,91 @@ fn arq_run_emits_retransmit_and_ack_events_and_splits_retx_bytes() {
     }
     assert!(report.device_first_payload_bytes() <= report.device_payload_bytes());
 }
+
+#[test]
+fn elastic_churn_events_counters_and_summary_reconcile() {
+    // Membership churn: the timeline events, the counter registry and the
+    // report's elastic summary are three views of the same ledger — they
+    // must agree exactly, and joins minus leaves must equal the live-set
+    // delta.
+    use ddnn_runtime::{ChurnAction, ChurnEvent, ChurnSchedule, ChurnTarget, ElasticConfig};
+    let model = Ddnn::new(DdnnConfig {
+        num_devices: 3,
+        device_filters: 2,
+        cloud_filters: [4, 8],
+        edge: Some(ddnn_core::EdgeConfig { filters: 4, agg: ddnn_core::AggregationScheme::Concat }),
+        ..DdnnConfig::default()
+    });
+    let views = random_views(10, 3, 44);
+    let labels = vec![0usize; 10];
+    let sink = Arc::new(MemorySink::default());
+    let ev = |at_sample, target, action| ChurnEvent { at_sample, target, action };
+    let cfg = HierarchyConfig {
+        local_threshold: ExitThreshold::new(0.5),
+        fault_plan: FaultPlan {
+            churn: ChurnSchedule {
+                events: vec![
+                    ev(2, ChurnTarget::Device(1), ChurnAction::Crash),
+                    ev(3, ChurnTarget::Tier("edge".to_string()), ChurnAction::Crash),
+                    ev(5, ChurnTarget::Device(1), ChurnAction::Rejoin),
+                    ev(7, ChurnTarget::Tier("edge".to_string()), ChurnAction::Rejoin),
+                ],
+            },
+            ..FaultPlan::none()
+        },
+        deadlines: Some(DeadlineConfig {
+            aggregation_ms: 150,
+            watchdog_ms: 800,
+            max_retries: 1,
+            suspect_after: 2,
+        }),
+        elastic: Some(ElasticConfig::fast()),
+        obs: ObsConfig { sink: Some(sink.clone()) },
+        ..HierarchyConfig::default()
+    };
+    let report = run_distributed_inference(&model.partition(), &views, &labels, &cfg).unwrap();
+    let summary = report.elastic.clone().expect("elastic summary");
+
+    // Counters, events and the summary agree cell for cell.
+    assert_eq!(counter(&report, "run.epochs"), summary.epochs);
+    assert_eq!(counter(&report, "run.member_joins"), summary.member_joins);
+    assert_eq!(counter(&report, "run.member_leaves"), summary.member_leaves);
+    assert_eq!(sink.count_kind("member_join") as u64, summary.member_joins);
+    assert_eq!(sink.count_kind("member_leave") as u64, summary.member_leaves);
+    assert_eq!(sink.count_kind("reparent") as u64, summary.reparents);
+    let reparent_counters: u64 =
+        report.counters.iter().filter(|(n, _)| n.ends_with(".reparents")).map(|(_, v)| *v).sum();
+    assert_eq!(reparent_counters, summary.reparents);
+    let stale_counters: u64 = report
+        .counters
+        .iter()
+        .filter(|(n, _)| n.ends_with(".stale_epoch_discards"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(stale_counters, summary.stale_epoch_discards);
+
+    // The membership ledger balances: joins − leaves == live-set delta.
+    assert!(summary.member_leaves >= 2, "two crashes: {summary:?}");
+    assert!(summary.epochs >= 2);
+    assert_eq!(
+        summary.member_joins as i64 - summary.member_leaves as i64,
+        summary.final_live as i64 - summary.initial_live as i64,
+        "{summary:?}"
+    );
+    assert_eq!(summary.final_live, summary.initial_live, "everything rejoined");
+
+    // Every membership event carries the epoch that published it, and
+    // epochs increase monotonically along the timeline.
+    let mut last_epoch = 0;
+    for (_, event) in sink.events() {
+        let e = match &event {
+            ObsEvent::MemberJoin { epoch, .. }
+            | ObsEvent::MemberLeave { epoch, .. }
+            | ObsEvent::Reparent { epoch, .. } => *epoch,
+            _ => continue,
+        };
+        assert!(e >= last_epoch, "epoch went backwards: {e} after {last_epoch}");
+        last_epoch = e;
+    }
+    assert_eq!(last_epoch, summary.epochs, "the last membership event is the newest epoch");
+}

@@ -35,6 +35,20 @@ chaos-matrix:
     DDNN_THREADS=1 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests --test obs_tests -q
     DDNN_THREADS=4 cargo test -p ddnn-runtime --test chaos_tests --test frame_integrity_proptest --test reliability_tests --test obs_tests -q
 
+# The elastic-orchestration suite on its own: continuous-churn chaos with
+# membership, reconfiguration and epoch-fencing assertions (fixed seeds).
+churn-smoke:
+    cargo test -p ddnn-runtime --test churn_tests -q
+
+# The churn sweep across worker-pool sizes and transports: the elastic
+# control plane must survive identically on the legacy transport and
+# under ARQ recovery, at any pool size.
+churn-matrix:
+    DDNN_THREADS=1 cargo test -p ddnn-runtime --test churn_tests -q
+    DDNN_THREADS=4 cargo test -p ddnn-runtime --test churn_tests -q
+    DDNN_CHURN_RELIABILITY=arq DDNN_THREADS=1 cargo test -p ddnn-runtime --test churn_tests -q
+    DDNN_CHURN_RELIABILITY=arq DDNN_THREADS=4 cargo test -p ddnn-runtime --test churn_tests -q
+
 # Observability overhead + chaos timeline -> results/BENCH_obs.json and
 # results/obs_timeline.jsonl
 obs-smoke:
@@ -62,6 +76,14 @@ bench-reliability:
 
 bench-reliability-smoke:
     cargo run --release -p ddnn-bench --bin reliability -- --smoke
+
+# Accuracy + tail latency vs membership-churn rate, legacy vs ARQ ->
+# results/BENCH_churn.json
+bench-churn:
+    cargo run --release -p ddnn-bench --bin churn
+
+bench-churn-smoke:
+    cargo run --release -p ddnn-bench --bin churn -- --smoke
 
 # Regenerate every paper table/figure (slow; accepts DDNN_EPOCHS)
 experiments:
