@@ -14,9 +14,9 @@
 //! Pass `--smoke` (or set `DDNN_BENCH_SMOKE=1`) for a seconds-long run on
 //! a test-set subset.
 
-use ddnn_bench::harness::{
-    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
-};
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate};
+use ddnn_bench::util::{classified_latencies, percentile, smoke_mode, write_results_json};
+use ddnn_bench::ExperimentContext;
 use ddnn_core::{AggregationScheme, DdnnConfig, EdgeConfig, ExitThreshold, TrainConfig};
 use ddnn_runtime::{
     run_distributed_inference, ChurnSchedule, ChurnTarget, DeadlineConfig, ElasticConfig,
@@ -32,23 +32,12 @@ struct Row {
     accuracy: f32,
     degraded: f32,
     timed_out: usize,
-    p50_ms: f32,
-    p95_ms: f32,
+    p50_ms: f64,
+    p95_ms: f64,
     epochs: u64,
     reparents: u64,
     leaves: u64,
     stale_discards: u64,
-}
-
-/// Percentile over the classified-sample latencies (nearest-rank).
-fn percentile(latencies: &[f32], p: f64) -> f32 {
-    if latencies.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = latencies.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 /// Every sample must resolve to a typed outcome — churn may degrade or
@@ -62,8 +51,7 @@ fn assert_all_accounted(report: &SimReport, n: usize) {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("DDNN_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let smoke = smoke_mode();
     let epochs = epochs_from_args(if smoke { 2 } else { 40 });
     let ctx = ExperimentContext::paper().expect("dataset generation");
     // The three-exit hierarchy (device -> edge -> cloud): churn needs an
@@ -126,6 +114,10 @@ fn main() {
                 run_distributed_inference(&part, &views, &labels, &cfg).expect("churn sweep run");
             assert_all_accounted(&report, n);
             let elastic = report.elastic.clone().expect("elastic summary");
+            // Percentiles over samples that actually classified: a
+            // timed-out sample's "latency" is the watchdog budget, not an
+            // end-to-end measurement.
+            let lat = classified_latencies(&report);
             rows.push(Row {
                 mode,
                 period,
@@ -133,8 +125,8 @@ fn main() {
                 accuracy: report.accuracy,
                 degraded: report.degraded_fraction,
                 timed_out: report.timed_out_count(),
-                p50_ms: percentile(&report.latencies_ms, 0.50),
-                p95_ms: percentile(&report.latencies_ms, 0.95),
+                p50_ms: percentile(&lat, 0.50),
+                p95_ms: percentile(&lat, 0.95),
                 epochs: elastic.epochs,
                 reparents: elastic.reparents,
                 leaves: elastic.member_leaves,
@@ -213,8 +205,5 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::create_dir_all("results").expect("create results dir");
-    let path = "results/BENCH_churn.json";
-    std::fs::write(path, json).expect("write BENCH_churn.json");
-    println!("wrote {path}");
+    write_results_json("results/BENCH_churn.json", &json);
 }

@@ -15,9 +15,9 @@
 //! table. Pass `--smoke` (or set `DDNN_BENCH_SMOKE=1`) for a
 //! seconds-long run on a test-set subset.
 
-use ddnn_bench::harness::{
-    epochs_from_args, format_table, pct, train_and_evaluate, ExperimentContext,
-};
+use ddnn_bench::harness::{epochs_from_args, format_table, pct, train_and_evaluate};
+use ddnn_bench::util::{smoke_mode, write_results_json};
+use ddnn_bench::ExperimentContext;
 use ddnn_core::{DdnnConfig, ExitThreshold, TrainConfig};
 use ddnn_runtime::{
     run_distributed_inference, DeadlineConfig, FaultPlan, HierarchyConfig, ReliabilityConfig,
@@ -68,8 +68,7 @@ fn wire_bytes(report: &SimReport) -> usize {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("DDNN_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let smoke = smoke_mode();
     let epochs = epochs_from_args(if smoke { 2 } else { 40 });
     let ctx = ExperimentContext::paper().expect("dataset generation");
     let trained = train_and_evaluate(
@@ -215,8 +214,5 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::create_dir_all("results").expect("create results dir");
-    let path = "results/BENCH_reliability.json";
-    std::fs::write(path, json).expect("write BENCH_reliability.json");
-    println!("wrote {path}");
+    write_results_json("results/BENCH_reliability.json", &json);
 }

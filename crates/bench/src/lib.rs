@@ -8,5 +8,6 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod util;
 
 pub use harness::{ExperimentContext, TrainedDdnn};

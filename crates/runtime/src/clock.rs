@@ -26,9 +26,18 @@ impl SimClock {
         Instant::now()
     }
 
-    /// Milliseconds elapsed since the run started.
+    /// Milliseconds elapsed since the run started, truncated to whole
+    /// milliseconds — deadline arithmetic only. Latency accounting must
+    /// use [`SimClock::elapsed_ms_f64`]: truncation here quantizes fast
+    /// local exits to 0 ms and collapses every sub-ms percentile.
     pub fn elapsed_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
+    }
+
+    /// Milliseconds elapsed since the run started, with sub-millisecond
+    /// resolution — the clock reading latency measurements record.
+    pub fn elapsed_ms_f64(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
     }
 
     /// The instant `ms` milliseconds from now — the deadline for a wait
@@ -63,6 +72,19 @@ mod tests {
         let clock = SimClock::start();
         let a = clock.elapsed_ms();
         let b = clock.elapsed_ms();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn elapsed_f64_keeps_sub_ms_resolution() {
+        let clock = SimClock::start();
+        std::thread::sleep(Duration::from_micros(300));
+        let ms = clock.elapsed_ms_f64();
+        // A ~0.3 ms wait truncates to 0 on the integral clock but must
+        // register on the f64 one.
+        assert!(ms > 0.0);
+        let a = clock.elapsed_ms_f64();
+        let b = clock.elapsed_ms_f64();
         assert!(b >= a);
     }
 }

@@ -433,6 +433,110 @@ impl DeadlineConfig {
     }
 }
 
+/// How sample arrivals are spaced when the runner feeds the hierarchy
+/// open-loop (see [`StreamConfig`]) instead of in per-sample lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: i.i.d. exponential inter-arrival gaps at
+    /// `rate_per_s` samples per second, drawn from a dedicated stream
+    /// seeded by `seed` — the arrival schedule is fully determined before
+    /// the run starts, independent of thread scheduling.
+    Poisson {
+        /// Mean offered load, in samples per second.
+        rate_per_s: f64,
+        /// Seed of the inter-arrival random stream.
+        seed: u64,
+    },
+    /// Deterministic fixed-rate arrivals: sample `i` is due exactly
+    /// `i / rate_per_s` seconds after the pump starts.
+    Fixed {
+        /// Offered load, in samples per second.
+        rate_per_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The configured offered load, in samples per second.
+    pub fn rate_per_s(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_s, .. } | ArrivalProcess::Fixed { rate_per_s } => {
+                rate_per_s
+            }
+        }
+    }
+
+    /// The precomputed arrival schedule: for each of `n` samples, its
+    /// offset from the pump start in (fractional) milliseconds,
+    /// non-decreasing.
+    pub(crate) fn offsets_ms(&self, n: usize) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::Fixed { rate_per_s } => {
+                (0..n).map(|i| i as f64 * 1000.0 / rate_per_s).collect()
+            }
+            ArrivalProcess::Poisson { rate_per_s, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        // Inverse-CDF exponential gap; 1 - u is in (0, 1].
+                        t += -(1.0 - u).ln() * 1000.0 / rate_per_s;
+                        t
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Open-loop streaming configuration: an arrival process that offers load
+/// regardless of completions, a bounded admission window with typed
+/// load-shedding, and the tier-side micro-batch budget. `None` on
+/// [`HierarchyConfig`](crate::topology::HierarchyConfig) (the default)
+/// keeps the closed-loop lockstep feed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// How arrivals are spaced over the run.
+    pub arrival: ArrivalProcess,
+    /// Maximum samples admitted but not yet resolved. An arrival that
+    /// finds the window full is shed — a typed
+    /// [`SampleOutcome::Shed`](crate::SampleOutcome::Shed), never a
+    /// silent drop.
+    pub queue_cap: usize,
+    /// Maximum completed samples a tier drains from its inbox and
+    /// evaluates as one batched tensor pass per iteration. `1` keeps
+    /// per-sample evaluation.
+    pub batch_max: usize,
+}
+
+impl StreamConfig {
+    /// Validates rates and bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for a non-finite or non-positive
+    /// arrival rate, or a zero `queue_cap`/`batch_max`.
+    pub fn validate(&self) -> Result<()> {
+        let rate = self.arrival.rate_per_s();
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(RuntimeError::Config {
+                reason: format!("stream arrival rate {rate} must be finite and positive"),
+            });
+        }
+        if self.queue_cap == 0 {
+            return Err(RuntimeError::Config {
+                reason: "stream queue_cap must be at least 1".to_string(),
+            });
+        }
+        if self.batch_max == 0 {
+            return Err(RuntimeError::Config {
+                reason: "stream batch_max must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Shared crash counter of one device, observed by all its outbound links.
 #[derive(Debug)]
 pub(crate) struct CrashState {
@@ -676,6 +780,44 @@ mod tests {
             assert!(cut < 100, "seed {seed}: {cut}");
         }
         assert_eq!(truncate_len(0, 7), 0);
+    }
+
+    #[test]
+    fn fixed_arrivals_are_evenly_spaced() {
+        let offs = ArrivalProcess::Fixed { rate_per_s: 200.0 }.offsets_ms(4);
+        assert_eq!(offs, vec![0.0, 5.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_seeded_and_nondecreasing() {
+        let p = ArrivalProcess::Poisson { rate_per_s: 100.0, seed: 9 };
+        let a = p.offsets_ms(500);
+        assert_eq!(a, p.offsets_ms(500), "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[1] >= w[0]), "offsets never go backwards");
+        let b = ArrivalProcess::Poisson { rate_per_s: 100.0, seed: 10 }.offsets_ms(500);
+        assert_ne!(a, b, "different seed, different schedule");
+        // Mean gap of 500 exponential draws at 100/s is near 10 ms.
+        let mean_gap = a.last().unwrap() / 500.0;
+        assert!((5.0..20.0).contains(&mean_gap), "mean gap {mean_gap} ms at 100/s");
+    }
+
+    #[test]
+    fn stream_config_validation_rejects_degenerate_values() {
+        let ok = StreamConfig {
+            arrival: ArrivalProcess::Fixed { rate_per_s: 50.0 },
+            queue_cap: 8,
+            batch_max: 4,
+        };
+        assert!(ok.validate().is_ok());
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let bad = StreamConfig {
+                arrival: ArrivalProcess::Poisson { rate_per_s: rate, seed: 0 },
+                ..ok
+            };
+            assert!(bad.validate().is_err(), "rate {rate} must be rejected");
+        }
+        assert!(StreamConfig { queue_cap: 0, ..ok }.validate().is_err());
+        assert!(StreamConfig { batch_max: 0, ..ok }.validate().is_err());
     }
 
     #[test]

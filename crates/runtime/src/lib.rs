@@ -72,8 +72,8 @@ pub mod topology;
 pub use clock::SimClock;
 pub use error::{Result, RuntimeError};
 pub use fault::{
-    ChurnAction, ChurnEvent, ChurnSchedule, ChurnTarget, DeadlineConfig, DeviceCrash, FaultPlan,
-    TierCrash,
+    ArrivalProcess, ChurnAction, ChurnEvent, ChurnSchedule, ChurnTarget, DeadlineConfig,
+    DeviceCrash, FaultPlan, StreamConfig, TierCrash,
 };
 pub use link::{LatencyModel, LinkStats};
 pub use message::{

@@ -329,6 +329,17 @@ impl LinkReceiver {
             }
         }
     }
+
+    /// Non-blocking raw receive; `Ok(None)` when the queue is empty.
+    pub(crate) fn try_recv_raw(&self) -> Result<Option<bytes::Bytes>> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(RuntimeError::Disconnected { node: self.name.to_string() })
+            }
+        }
+    }
 }
 
 /// A node's receive front end: decodes the run's wire format, discards
@@ -381,6 +392,22 @@ impl NodeInbox {
     pub(crate) fn recv_deadline(&mut self, deadline: Instant) -> Result<Option<Frame>> {
         loop {
             match self.rx.recv_raw_deadline(deadline)? {
+                None => return Ok(None),
+                Some(bytes) => {
+                    if let Some(frame) = self.admit(bytes)? {
+                        return Ok(Some(frame));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`NodeInbox::recv`] but non-blocking: `Ok(None)` when the
+    /// queue holds nothing (intact and fresh) right now — the micro-batch
+    /// drain a streaming tier runs after its first blocking completion.
+    pub(crate) fn try_recv(&mut self) -> Result<Option<Frame>> {
+        loop {
+            match self.rx.try_recv_raw()? {
                 None => return Ok(None),
                 Some(bytes) => {
                     if let Some(frame) = self.admit(bytes)? {

@@ -49,9 +49,15 @@ pub(crate) fn blank_signature(part: &DevicePart, config: &DdnnConfig) -> Result<
 /// captures, offload requests racing a retried capture — are ignored
 /// instead of aborting the node.
 ///
+/// `capture_cap` bounds the per-seq feature-map cache: the closed-loop
+/// runner passes 1 (one sample in flight — the legacy single-slot
+/// behavior), the streaming runner passes its admission-window size so
+/// every in-flight sample's offload can still be served out of order.
+/// The lowest sequence numbers are evicted first.
+///
 /// With `elastic` the device participates in the control plane: it
 /// answers heartbeat pings, plays dead while its churn flag is raised
-/// (clearing its cached capture on revival), discards frames from a
+/// (clearing its cached captures on revival), discards frames from a
 /// previous topology epoch, skips score uploads while the gateway is
 /// bypassed, and offloads feature maps to whichever tier the current
 /// routing names as the device parent.
@@ -63,12 +69,14 @@ pub(crate) fn device_node(
     to_gateway: LinkSender,
     to_upper: LinkSender,
     tolerant: bool,
+    capture_cap: usize,
     obs: Arc<RunObs>,
     elastic: Option<DeviceElastic>,
 ) -> Result<NodeReport> {
     let mut conv = part.conv;
     let mut exit = part.exit;
-    let mut latest: Option<(u64, Tensor)> = None;
+    let mut cache: std::collections::BTreeMap<u64, Tensor> = std::collections::BTreeMap::new();
+    let capture_cap = capture_cap.max(1);
     let mut was_down = false;
     let captures = obs.registry().counter(&format!("node.device{d}.captures"));
     let offloads = obs.registry().counter(&format!("node.device{d}.offloads"));
@@ -91,10 +99,10 @@ pub(crate) fn device_node(
                 continue;
             }
             if was_down {
-                // Revived: the cached capture predates the crash and must
+                // Revived: the cached captures predate the crash and must
                 // not feed a new epoch's offload.
                 was_down = false;
-                latest = None;
+                cache.clear();
             }
             if matches!(frame.payload, Payload::Ping) {
                 el.to_orchestrator.send(&Frame::new(
@@ -113,10 +121,15 @@ pub(crate) fn device_node(
             Payload::Capture { view } => {
                 if tolerant {
                     // A duplicated or jittered capture for an older sample
-                    // must not roll `latest` backwards.
-                    if let Some((seq, _)) = &latest {
-                        if frame.seq < *seq {
-                            continue;
+                    // must not roll the cache window backwards: once the
+                    // window is full, captures below its floor are dead on
+                    // arrival (with the legacy single slot this is exactly
+                    // the old "never replace latest with older" rule).
+                    if cache.len() >= capture_cap {
+                        if let Some((&oldest, _)) = cache.first_key_value() {
+                            if frame.seq < oldest {
+                                continue;
+                            }
                         }
                     }
                 }
@@ -126,7 +139,10 @@ pub(crate) fn device_node(
                 let batch = view.reshape(dims)?;
                 let map = conv.forward(&batch, Mode::Eval)?;
                 let scores = exit.forward(&map, Mode::Eval)?;
-                latest = Some((frame.seq, map.index_axis0(0)?));
+                cache.insert(frame.seq, map.index_axis0(0)?);
+                while cache.len() > capture_cap {
+                    cache.pop_first();
+                }
                 captures.incr();
                 // While the gateway is bypassed its score aggregation is
                 // pointless: the orchestrator broadcasts the offload
@@ -150,31 +166,33 @@ pub(crate) fn device_node(
                     Some(el) => el.control.device_parent().map(|k| &el.to_tiers[k]),
                     None => Some(&to_upper),
                 };
-                match latest.as_ref() {
-                    Some((seq, map)) if *seq == frame.seq => {
+                match cache.get(&frame.seq) {
+                    Some(map) => {
                         if let Some(sink) = sink {
                             offloads.incr();
                             sink.send(&Frame::new(
-                                *seq,
+                                frame.seq,
                                 NodeId::Device(d as u8),
                                 features_payload(map)?,
                             ))?;
                         }
                     }
-                    _ if tolerant => {} // stale or premature request under faults
-                    None => {
-                        return Err(RuntimeError::Protocol {
-                            reason: format!("device {d}: offload request before any capture"),
-                        })
-                    }
-                    Some((seq, _)) => {
-                        return Err(RuntimeError::Protocol {
-                            reason: format!(
-                                "device {d}: offload for sample {} but latest is {seq}",
-                                frame.seq
-                            ),
-                        })
-                    }
+                    None if tolerant => {} // stale or premature request under faults
+                    None => match cache.last_key_value() {
+                        None => {
+                            return Err(RuntimeError::Protocol {
+                                reason: format!("device {d}: offload request before any capture"),
+                            })
+                        }
+                        Some((seq, _)) => {
+                            return Err(RuntimeError::Protocol {
+                                reason: format!(
+                                    "device {d}: offload for sample {} but latest is {seq}",
+                                    frame.seq
+                                ),
+                            })
+                        }
+                    },
                 }
             }
             other => {

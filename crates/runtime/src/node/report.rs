@@ -20,6 +20,11 @@ pub enum SampleOutcome {
         /// Total time the orchestrator waited across all attempts (ms).
         waited_ms: u64,
     },
+    /// The sample arrived while the streaming admission window was full
+    /// and was never admitted: backpressure, not a fault. `predictions[i]`
+    /// is `usize::MAX` and the sample counts as incorrect, but it is *not*
+    /// degraded — shedding is the configured flow-control response.
+    Shed,
 }
 
 /// Result of a distributed inference run over a labeled test set.
@@ -65,9 +70,12 @@ pub struct SimReport {
     /// counter (run, per-node and flattened per-link cells), sorted by
     /// name. The [`SimReport::links`] view is derived from the same cells.
     pub counters: Vec<(String, u64)>,
-    /// Per-sample simulated end-to-end latencies (ms) — the raw series the
-    /// mean fields summarize, for percentile analysis under churn.
-    pub latencies_ms: Vec<f32>,
+    /// Per-sample end-to-end latencies (ms) — the raw series the mean
+    /// fields summarize, for percentile analysis under churn and load.
+    /// Closed-loop runs record the analytic link-model latency; streaming
+    /// runs record measured wall time from the sample's *scheduled*
+    /// arrival, at sub-millisecond resolution (shed samples record 0).
+    pub latencies_ms: Vec<f64>,
     /// Elastic-orchestration summary; `None` when the control plane was
     /// not enabled ([`crate::HierarchyConfig::elastic`]).
     pub elastic: Option<ElasticSummary>,
@@ -146,10 +154,14 @@ impl SimReport {
         self.outcomes.iter().filter(|o| matches!(o, SampleOutcome::TimedOut { .. })).count()
     }
 
-    /// Number of samples that received a verdict — the complement of
-    /// [`SimReport::timed_out_count`].
+    /// Number of samples that received a verdict.
     pub fn classified_count(&self) -> usize {
         self.outcomes.iter().filter(|o| matches!(o, SampleOutcome::Classified)).count()
+    }
+
+    /// Number of samples shed by streaming backpressure.
+    pub fn shed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, SampleOutcome::Shed)).count()
     }
 
     /// The per-sample result: the predicted class, or the typed timeout
@@ -158,13 +170,17 @@ impl SimReport {
     /// # Errors
     ///
     /// Returns [`RuntimeError::SampleIndex`] when `i` is out of range and
-    /// [`RuntimeError::Timeout`] for timed-out samples.
+    /// [`RuntimeError::Timeout`] for samples the watchdog abandoned or the
+    /// admission window shed (a shed sample waited 0 ms).
     pub fn sample_result(&self, i: usize) -> Result<usize> {
         match self.outcomes.get(i) {
             None => Err(RuntimeError::SampleIndex { index: i, len: self.outcomes.len() }),
             Some(SampleOutcome::Classified) => Ok(self.predictions[i]),
             Some(SampleOutcome::TimedOut { waited_ms }) => {
                 Err(RuntimeError::Timeout { node: format!("sample {i}"), waited_ms: *waited_ms })
+            }
+            Some(SampleOutcome::Shed) => {
+                Err(RuntimeError::Timeout { node: format!("sample {i} (shed)"), waited_ms: 0 })
             }
         }
     }
@@ -194,7 +210,7 @@ pub(crate) struct NodeReport {
 pub(crate) struct RunTallies {
     pub(crate) predictions: Vec<usize>,
     pub(crate) exits: Vec<ExitPoint>,
-    pub(crate) latencies: Vec<f32>,
+    pub(crate) latencies: Vec<f64>,
     pub(crate) outcomes: Vec<SampleOutcome>,
     pub(crate) capture_retries: usize,
 }
@@ -233,20 +249,24 @@ pub(crate) fn assemble_report(
 
     let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
     let local_exits = exits.iter().filter(|&&e| e == ExitPoint::Local).count();
-    let mean = |xs: &[f32]| {
+    // The mean fields stay f32 and are summed in f32: the closed-loop path
+    // stores exact f32 link-model values widened to f64, so casting each
+    // back and summing in order reproduces the legacy arithmetic bit for
+    // bit (the topology-equivalence goldens fingerprint these bits).
+    let mean = |xs: &[f64]| {
         if xs.is_empty() {
             0.0
         } else {
-            xs.iter().sum::<f32>() / xs.len() as f32
+            xs.iter().map(|&x| x as f32).sum::<f32>() / xs.len() as f32
         }
     };
-    let local_lat: Vec<f32> = latencies
+    let local_lat: Vec<f64> = latencies
         .iter()
         .zip(&exits)
         .filter(|(_, &e)| e == ExitPoint::Local)
         .map(|(&l, _)| l)
         .collect();
-    let offload_lat: Vec<f32> = latencies
+    let offload_lat: Vec<f64> = latencies
         .iter()
         .zip(&exits)
         .filter(|(_, &e)| e != ExitPoint::Local)
@@ -334,5 +354,27 @@ mod tests {
         assert_eq!(r.timed_out_count(), 1);
         assert_eq!(r.classified_count() + r.timed_out_count(), r.outcomes.len());
         assert!(matches!(r.sample_result(1), Err(RuntimeError::Timeout { .. })));
+    }
+
+    #[test]
+    fn shed_samples_are_typed_and_conserved() {
+        let r = report(vec![
+            SampleOutcome::Classified,
+            SampleOutcome::Shed,
+            SampleOutcome::TimedOut { waited_ms: 10 },
+            SampleOutcome::Shed,
+        ]);
+        assert_eq!(r.shed_count(), 2);
+        assert_eq!(
+            r.classified_count() + r.shed_count() + r.timed_out_count(),
+            r.outcomes.len(),
+            "every sample resolves to exactly one typed outcome"
+        );
+        match r.sample_result(1) {
+            Err(RuntimeError::Timeout { node, waited_ms: 0 }) => {
+                assert!(node.contains("shed"), "{node}");
+            }
+            other => panic!("expected a zero-wait timeout for a shed sample, got {other:?}"),
+        }
     }
 }

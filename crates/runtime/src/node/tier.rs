@@ -75,6 +75,18 @@ pub(crate) trait TierSection: Send {
     /// exit logits and (for feature tiers) the rank-4 output map a
     /// non-terminal tier forwards when it escalates.
     fn evaluate(&mut self, items: Vec<Self::Item>) -> Result<(Tensor, Option<Tensor>)>;
+
+    /// Evaluates a micro-batch of completed contribution sets, returning
+    /// one `(logits, map)` pair per sample. The default evaluates each
+    /// sample independently; sections whose compute batches along axis 0
+    /// (feature tiers) override this to run the tensor pass once over the
+    /// whole batch, amortizing bit-packing and kernel launches.
+    fn evaluate_batch(
+        &mut self,
+        batch: Vec<Vec<Self::Item>>,
+    ) -> Result<Vec<(Tensor, Option<Tensor>)>> {
+        batch.into_iter().map(|items| self.evaluate(items)).collect()
+    }
 }
 
 /// The gateway's section: aggregate per-device class-score vectors.
@@ -141,6 +153,33 @@ impl TierSection for FeatureSection {
         }
         let logits = self.exit.forward(&x, Mode::Eval)?;
         Ok((logits, Some(x)))
+    }
+
+    fn evaluate_batch(&mut self, batch: Vec<Vec<Tensor>>) -> Result<Vec<(Tensor, Option<Tensor>)>> {
+        let b = batch.len();
+        if b <= 1 {
+            return batch.into_iter().map(|items| self.evaluate(items)).collect();
+        }
+        // Batch along axis 0: per source slot, stack the B rank-3 maps
+        // into one (B, C, H, W) tensor, then run aggregation, the ConvP
+        // chain and the exit head once over the whole batch. Each batch
+        // row's arithmetic is independent, so per-sample logits and maps
+        // equal the one-at-a-time path — the gain is amortized bit-packing
+        // and one kernel pass instead of B.
+        let num_sources = batch[0].len();
+        let mut per_source = Vec::with_capacity(num_sources);
+        for s in 0..num_sources {
+            let maps: Vec<Tensor> = batch.iter().map(|items| items[s].clone()).collect();
+            per_source.push(Tensor::stack(&maps)?);
+        }
+        let mut x = self.agg.forward(&per_source)?;
+        for conv in &mut self.convs {
+            x = conv.forward(&x, Mode::Eval)?;
+        }
+        let logits = self.exit.forward(&x, Mode::Eval)?;
+        let logit_rows = logits.split(b, 0)?;
+        let map_rows = x.split(b, 0)?;
+        Ok(logit_rows.into_iter().zip(map_rows).map(|(l, m)| (l, Some(m))).collect())
     }
 }
 
@@ -295,6 +334,10 @@ pub(crate) struct TierNode<S: TierSection> {
     pub(crate) escalation: Escalation,
     /// The shared fan-in state machine.
     pub(crate) collector: Collector<S::Item>,
+    /// Micro-batch budget: completed samples drained (non-blocking) from
+    /// the inbox and evaluated as one tensor pass per loop iteration. `1`
+    /// is the legacy one-sample-at-a-time path, byte for byte.
+    pub(crate) batch_max: usize,
     /// Per-node counters and the run-wide event sink.
     pub(crate) obs: NodeObs,
     /// Elastic control-plane participation (`None`: static topology).
@@ -305,6 +348,15 @@ impl<S: TierSection> TierNode<S> {
     /// Runs the node until shutdown, returning its degradation telemetry.
     pub(crate) fn run(mut self) -> Result<NodeReport> {
         let mut last_decision: Option<(u64, Decision)> = None;
+        // Registered lazily so the legacy per-sample path (batch_max 1)
+        // leaves the counter snapshot untouched.
+        let batch_ctrs = (self.batch_max > 1).then(|| {
+            let r = self.obs.run.registry();
+            (
+                r.counter(&format!("node.{}.batches", self.name)),
+                r.counter(&format!("node.{}.batched_samples", self.name)),
+            )
+        });
         loop {
             // Elastic: fold in any new topology epoch first, and while
             // churned down stay fully silent — no deadline firing, no
@@ -394,17 +446,107 @@ impl<S: TierSection> TierNode<S> {
                     Err(e) => return Err(e),
                 }
             }
-            for (seq, items, substituted) in completed {
-                self.obs.aggregates.incr();
+            // Micro-batch drain: with a batch budget, greedily pull frames
+            // already queued (non-blocking) so several completed samples
+            // share one tensor pass. A shutdown seen mid-drain still
+            // flushes the gathered batch before the node exits.
+            let mut shutdown = false;
+            if self.batch_max > 1 && !completed.is_empty() {
+                while completed.len() < self.batch_max {
+                    let Some(frame) = self.inbox.try_recv()? else { break };
+                    if matches!(frame.payload, Payload::Shutdown) {
+                        shutdown = true;
+                        break;
+                    }
+                    match self.elastic.as_ref() {
+                        Some(el) if el.control.is_churn_down(el.ix) => continue,
+                        Some(_) if matches!(frame.payload, Payload::Ping) => {
+                            self.to_orchestrator.send(&Frame::new(
+                                frame.seq,
+                                self.id,
+                                Payload::Pong,
+                            ))?;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if self.elastic_sync() {
+                        break;
+                    }
+                    if let Some(el) = self.elastic.as_ref() {
+                        if el.control.admit(frame.seq).is_err() {
+                            el.stale_discards.incr();
+                            continue;
+                        }
+                    }
+                    let source = self.fan_in.source_slot(frame.from, &self.name)?;
+                    let item = self.section.item_from(frame.payload, &self.name)?;
+                    match self.collector.insert(frame.seq, source, item) {
+                        Ok(Ingest::Complete { seq, items, substituted }) => {
+                            completed.push((seq, items, substituted));
+                        }
+                        Ok(Ingest::Replay { seq }) => {
+                            if let Some((s, decision)) = &last_decision {
+                                if *s == seq {
+                                    self.send(decision, seq)?;
+                                }
+                            }
+                        }
+                        Ok(Ingest::Stale | Ingest::Pending) => {}
+                        Err(RuntimeError::Collector { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            if self.batch_max > 1 && completed.len() > 1 {
+                // Oldest first: the collector only ever replays its
+                // watermark sample, so the cached decision must end up
+                // being the batch's highest sequence.
+                completed.sort_by_key(|&(seq, _, _)| seq);
+                if let Some((batches, batched_samples)) = &batch_ctrs {
+                    batches.incr();
+                    batched_samples.add(completed.len() as u64);
+                }
                 let name = &self.name;
-                self.obs.run.emit(|| ObsEvent::TierAggregate {
-                    node: name.clone(),
-                    seq,
-                    substituted,
-                });
-                let decision = self.decide(seq, items)?;
-                self.send(&decision, seq)?;
-                last_decision = Some((seq, decision));
+                let size = completed.len();
+                self.obs.run.emit(|| ObsEvent::BatchEvaluated { node: name.clone(), size });
+                let mut metas = Vec::with_capacity(completed.len());
+                let mut batch = Vec::with_capacity(completed.len());
+                for (seq, items, substituted) in completed {
+                    metas.push((seq, substituted));
+                    batch.push(items);
+                }
+                let outputs = self.section.evaluate_batch(batch)?;
+                for ((seq, substituted), (logits, map)) in metas.into_iter().zip(outputs) {
+                    self.obs.aggregates.incr();
+                    let name = &self.name;
+                    self.obs.run.emit(|| ObsEvent::TierAggregate {
+                        node: name.clone(),
+                        seq,
+                        substituted,
+                    });
+                    let decision = self.resolve(seq, logits, map)?;
+                    self.send(&decision, seq)?;
+                    last_decision = Some((seq, decision));
+                }
+            } else {
+                for (seq, items, substituted) in completed {
+                    self.obs.aggregates.incr();
+                    let name = &self.name;
+                    self.obs.run.emit(|| ObsEvent::TierAggregate {
+                        node: name.clone(),
+                        seq,
+                        substituted,
+                    });
+                    let decision = self.decide(seq, items)?;
+                    self.send(&decision, seq)?;
+                    last_decision = Some((seq, decision));
+                }
+            }
+            if shutdown {
+                let mut report = self.collector.into_report();
+                report.corrupt_discards = self.inbox.corrupt_discards();
+                return Ok(report);
             }
         }
     }
@@ -498,6 +640,12 @@ impl<S: TierSection> TierNode<S> {
     /// Evaluates the section and resolves the exit-or-escalate decision.
     fn decide(&mut self, seq: u64, items: Vec<S::Item>) -> Result<Decision> {
         let (logits, map) = self.section.evaluate(items)?;
+        self.resolve(seq, logits, map)
+    }
+
+    /// Resolves the exit-or-escalate decision from already-evaluated
+    /// logits (shared by the per-sample and micro-batched paths).
+    fn resolve(&mut self, seq: u64, logits: Tensor, map: Option<Tensor>) -> Result<Decision> {
         let mut d = self.policy.evaluate(&logits)?;
         // Elastic forced exits: a severed or target-less tier classifies
         // locally — escalating would address a topology that no longer

@@ -269,6 +269,22 @@ pub enum ObsEvent {
         /// Topology epoch installed by the reconfiguration.
         epoch: u64,
     },
+    /// The streaming pump refused an arrival: the admission window was
+    /// full, so the sample was shed instead of queued.
+    SampleShed {
+        /// Sample sequence number.
+        seq: u64,
+        /// Samples in flight when the arrival was refused.
+        inflight: usize,
+    },
+    /// A tier evaluated a micro-batch of completed samples in one tensor
+    /// pass.
+    BatchEvaluated {
+        /// Tier node name.
+        node: String,
+        /// Samples in the batch.
+        size: usize,
+    },
     /// A reconfiguration changed a surviving node's parent (a device's
     /// offload target, or a tier's escalation target).
     Reparent {
@@ -299,6 +315,8 @@ impl ObsEvent {
             ObsEvent::AckSent { .. } => "ack_sent",
             ObsEvent::MemberJoin { .. } => "member_join",
             ObsEvent::MemberLeave { .. } => "member_leave",
+            ObsEvent::SampleShed { .. } => "sample_shed",
+            ObsEvent::BatchEvaluated { .. } => "batch_evaluated",
             ObsEvent::Reparent { .. } => "reparent",
         }
     }
@@ -354,6 +372,12 @@ impl ObsEvent {
             }
             ObsEvent::MemberJoin { node, epoch } | ObsEvent::MemberLeave { node, epoch } => {
                 s.push_str(&format!(", \"node\": \"{}\", \"epoch\": {epoch}", escape(node)));
+            }
+            ObsEvent::SampleShed { seq, inflight } => {
+                s.push_str(&format!(", \"seq\": {seq}, \"inflight\": {inflight}"));
+            }
+            ObsEvent::BatchEvaluated { node, size } => {
+                s.push_str(&format!(", \"node\": \"{}\", \"size\": {size}", escape(node)));
             }
             ObsEvent::Reparent { child, from, to, epoch } => {
                 s.push_str(&format!(
@@ -614,6 +638,16 @@ mod tests {
             reparent.to_json(0),
             "{\"t_ms\": 0, \"event\": \"reparent\", \"child\": \"device1\", \
              \"from\": \"edge\", \"to\": \"cloud\", \"epoch\": 5}"
+        );
+        let shed = ObsEvent::SampleShed { seq: 9, inflight: 8 };
+        assert_eq!(
+            shed.to_json(1),
+            "{\"t_ms\": 1, \"event\": \"sample_shed\", \"seq\": 9, \"inflight\": 8}"
+        );
+        let batch = ObsEvent::BatchEvaluated { node: "edge".to_string(), size: 4 };
+        assert_eq!(
+            batch.to_json(2),
+            "{\"t_ms\": 2, \"event\": \"batch_evaluated\", \"node\": \"edge\", \"size\": 4}"
         );
     }
 

@@ -301,6 +301,12 @@ impl ElasticDriver {
         }
     }
 
+    /// The configured heartbeat period — the streaming pump paces its
+    /// sweeps with this instead of sweeping after every sample.
+    pub(crate) fn heartbeat_ms(&self) -> u64 {
+        self.heartbeat_ms
+    }
+
     /// Applies every churn event scheduled at or before `seq` — called
     /// just before the sample's captures are sent.
     pub(crate) fn before_sample(&mut self, seq: u64) {
@@ -318,7 +324,18 @@ impl ElasticDriver {
     /// deadline (early exit only when *everyone* answered, so a reviving
     /// node's pong is never raced), update membership and reconfigure the
     /// routing when it changed.
-    pub(crate) fn after_sample(&mut self, seq: u64, orch_rx: &mut NodeInbox) -> Result<()> {
+    ///
+    /// Closed-loop callers pass `stray: None` — any non-pong frame seen
+    /// here belongs to an already-resolved sample and drains harmlessly.
+    /// The streaming pump passes a sink instead: its samples are still in
+    /// flight during the sweep, so verdicts that land mid-sweep must be
+    /// handed back rather than discarded.
+    pub(crate) fn after_sample(
+        &mut self,
+        seq: u64,
+        orch_rx: &mut NodeInbox,
+        mut stray: Option<&mut Vec<Frame>>,
+    ) -> Result<()> {
         let mut expected = vec![false; self.dir.len()];
         for (ix, link) in self.ping_links.iter().enumerate() {
             if let Some(link) = link {
@@ -335,9 +352,16 @@ impl ElasticDriver {
                         responded[ix] = true;
                     }
                 }
-                // Late verdicts, duplicate replays and stale pongs drain
-                // harmlessly; the sample itself already resolved.
-                Some(_) => {}
+                // Without a sink: late verdicts, duplicate replays and
+                // stale pongs drain harmlessly; the sample already
+                // resolved. With one: in-flight verdicts are preserved.
+                Some(frame) => {
+                    if let Some(sink) = stray.as_deref_mut() {
+                        if matches!(frame.payload, Payload::Verdict { .. }) {
+                            sink.push(frame);
+                        }
+                    }
+                }
                 None => break,
             }
         }

@@ -56,6 +56,11 @@ pub fn run_cloud_only_baseline(
             reason: "the cloud-only baseline has no gateway or tiers to crash".to_string(),
         });
     }
+    if cfg.stream.is_some() {
+        return Err(RuntimeError::Config {
+            reason: "the cloud-only baseline is closed-loop only (unset cfg.stream)".to_string(),
+        });
+    }
     let n_samples = labels.len();
     let tolerant = cfg.deadlines.is_some();
     let clock = SimClock::start();
@@ -144,6 +149,7 @@ pub fn run_cloud_only_baseline(
             collector,
             obs: NodeObs::for_node(&obs, "cloud"),
             elastic: None,
+            batch_max: 1,
         };
         let handle = scope.spawn(move || node.run());
 

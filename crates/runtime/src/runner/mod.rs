@@ -21,9 +21,11 @@
 
 mod baseline;
 mod orchestrate;
+mod streaming;
 
 pub use baseline::run_cloud_only_baseline;
 use orchestrate::{drive_samples, make_policy, validate_run};
+use streaming::drive_stream;
 
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
@@ -475,8 +477,12 @@ pub fn run_topology(
             }
             let part = part.clone();
             let dev_obs = Arc::clone(&obs);
+            // Streaming keeps up to queue_cap samples in flight, so the
+            // device must cache that many feature maps; the closed loop
+            // keeps the legacy single slot.
+            let capture_cap = cfg.stream.as_ref().map_or(1, |s| s.queue_cap);
             handles.push(scope.spawn(move || {
-                device_node(d, part, rx, to_gw, to_upper, tolerant, dev_obs, dev_el)
+                device_node(d, part, rx, to_gw, to_upper, tolerant, capture_cap, dev_obs, dev_el)
             }));
         }
         // Gateway: score aggregation, entropy exit, device broadcast.
@@ -494,6 +500,9 @@ pub fn run_topology(
                 collector: gateway_collector,
                 obs: NodeObs::for_node(&obs, "gateway"),
                 elastic: gw_elastic,
+                // Score aggregation is negligible compute; only the
+                // feature tiers batch.
+                batch_max: 1,
             };
             handles.push(scope.spawn(move || node.run()));
         }
@@ -530,6 +539,7 @@ pub fn run_topology(
                 collector,
                 obs: NodeObs::for_node(&obs, &spec.name),
                 elastic: el_it.next().ok_or_else(|| missing("elastic slot"))?,
+                batch_max: cfg.stream.as_ref().map_or(1, |s| s.batch_max),
             };
             handles.push(scope.spawn(move || node.run()));
         }
@@ -583,17 +593,38 @@ pub fn run_topology(
             }
             Ok(())
         };
-        let t = drive_samples(
-            n_samples,
-            cfg.deadlines,
-            clock,
-            &mut orch_inbox,
-            send_captures,
-            |tier| topology.exit_point_of(tier),
-            latency_of,
-            &obs,
-            elastic_driver.as_mut(),
-        )?;
+        let t = match &cfg.stream {
+            // Open loop: samples arrive on their own schedule, latency is
+            // measured wall time from the scheduled arrival.
+            Some(stream) => {
+                let dl = cfg.deadlines.ok_or_else(|| RuntimeError::Config {
+                    reason: "streaming arrivals require deadlines (set cfg.deadlines)".to_string(),
+                })?;
+                drive_stream(
+                    n_samples,
+                    stream,
+                    dl,
+                    clock,
+                    &mut orch_inbox,
+                    send_captures,
+                    |tier| topology.exit_point_of(tier),
+                    &obs,
+                    elastic_driver.as_mut(),
+                )?
+            }
+            // Closed loop: lockstep feed, analytic link-model latency.
+            None => drive_samples(
+                n_samples,
+                cfg.deadlines,
+                clock,
+                &mut orch_inbox,
+                send_captures,
+                |tier| topology.exit_point_of(tier),
+                latency_of,
+                &obs,
+                elastic_driver.as_mut(),
+            )?,
+        };
         // Every sample resolved: stop retransmitting before shutdown.
         pump_stop.store(true, Ordering::Release);
 

@@ -65,6 +65,14 @@ pub(super) fn validate_run(
             reason: "a churn schedule requires elastic orchestration (set cfg.elastic)".to_string(),
         });
     }
+    if let Some(stream) = &cfg.stream {
+        stream.validate()?;
+        if cfg.deadlines.is_none() {
+            return Err(RuntimeError::Config {
+                reason: "streaming arrivals require deadlines (set cfg.deadlines)".to_string(),
+            });
+        }
+    }
     Ok(live)
 }
 
@@ -103,7 +111,7 @@ pub(super) fn drive_samples(
 ) -> Result<RunTallies> {
     let mut predictions = vec![0usize; n_samples];
     let mut exits = vec![ExitPoint::Cloud; n_samples];
-    let mut latencies = vec![0.0f32; n_samples];
+    let mut latencies = vec![0.0f64; n_samples];
     let mut outcomes = vec![SampleOutcome::Classified; n_samples];
     let mut capture_retries = 0usize;
     let samples_ctr = obs.registry().counter("run.samples");
@@ -130,7 +138,9 @@ pub(super) fn drive_samples(
                 };
                 predictions[i] = prediction as usize;
                 exits[i] = exit_point_of(exit_tier)?;
-                latencies[i] = latency_of(exit_tier);
+                // Widening the f32 link-model latency is lossless, so the
+                // f32 mean fields stay bit-identical to the seed runtime.
+                latencies[i] = f64::from(latency_of(exit_tier));
             }
         }
         Some(dl) => {
@@ -176,7 +186,7 @@ pub(super) fn drive_samples(
                     Some((prediction, exit_tier)) => {
                         predictions[i] = prediction as usize;
                         exits[i] = exit_point_of(exit_tier)?;
-                        latencies[i] = latency_of(exit_tier);
+                        latencies[i] = f64::from(latency_of(exit_tier));
                     }
                     None => {
                         let waited_ms = u64::from(attempts + 1) * dl.watchdog_ms;
@@ -184,14 +194,14 @@ pub(super) fn drive_samples(
                         obs.emit(|| ObsEvent::WatchdogTimeout { seq, waited_ms });
                         outcomes[i] = SampleOutcome::TimedOut { waited_ms };
                         predictions[i] = usize::MAX; // never matches a label
-                        latencies[i] = waited_ms as f32;
+                        latencies[i] = waited_ms as f64;
                     }
                 }
                 // Elastic: the post-sample heartbeat sweep — membership
                 // moves and topology epochs are published only here,
                 // strictly between samples.
                 if let Some(driver) = elastic.as_deref_mut() {
-                    driver.after_sample(seq, orch_rx)?;
+                    driver.after_sample(seq, orch_rx, None)?;
                 }
             }
         }

@@ -10,7 +10,7 @@
 //! assembles arbitrary chains.
 
 use crate::error::{Result, RuntimeError};
-use crate::fault::{DeadlineConfig, FaultPlan};
+use crate::fault::{DeadlineConfig, FaultPlan, StreamConfig};
 use crate::link::LatencyModel;
 use crate::message::NodeId;
 use crate::obs::ObsConfig;
@@ -58,6 +58,11 @@ pub struct HierarchyConfig {
     /// its exact legacy path; required when the fault plan schedules
     /// churn, and requires `deadlines`.
     pub elastic: Option<ElasticConfig>,
+    /// Open-loop streaming: a seeded arrival process, a bounded admission
+    /// window with typed load-shedding, and micro-batched tier compute.
+    /// `None` (the default) keeps the closed-loop lockstep feed and its
+    /// exact legacy path; requires `deadlines`.
+    pub stream: Option<StreamConfig>,
 }
 
 impl Default for HierarchyConfig {
@@ -73,6 +78,7 @@ impl Default for HierarchyConfig {
             reliability: ReliabilityConfig::off(),
             obs: ObsConfig::default(),
             elastic: None,
+            stream: None,
         }
     }
 }

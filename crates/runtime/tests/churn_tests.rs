@@ -207,7 +207,7 @@ fn continuous_churn_survives_and_is_deterministic() {
     for i in 0..14 {
         match a.outcomes[i] {
             SampleOutcome::Classified => assert!(a.sample_result(i).is_ok()),
-            SampleOutcome::TimedOut { .. } => {
+            SampleOutcome::TimedOut { .. } | SampleOutcome::Shed => {
                 assert!(matches!(a.sample_result(i).unwrap_err(), RuntimeError::Timeout { .. }));
             }
         }

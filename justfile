@@ -85,6 +85,25 @@ bench-churn:
 bench-churn-smoke:
     cargo run --release -p ddnn-bench --bin churn -- --smoke
 
+# Open-loop streaming sweep: offered load vs goodput and tail latency,
+# micro-batching on/off -> results/BENCH_throughput.json
+bench-throughput:
+    cargo run --release -p ddnn-bench --bin throughput
+
+throughput-smoke:
+    cargo run --release -p ddnn-bench --bin throughput -- --smoke
+
+# The streaming conservation suite across worker-pool sizes and
+# transports (fixed seeds, so every leg is deterministic).
+streaming-matrix:
+    DDNN_THREADS=1 cargo test -p ddnn-runtime --test streaming_tests -q
+    DDNN_THREADS=4 cargo test -p ddnn-runtime --test streaming_tests -q
+
+# Experiment runners tee stderr to results/*.err; an empty .err means
+# the run was clean and the file is noise. Drop the stragglers.
+results-clean:
+    find results -name '*.err' -size 0 -delete
+
 # Regenerate every paper table/figure (slow; accepts DDNN_EPOCHS)
 experiments:
     cargo run --release -p ddnn-bench --bin table1
