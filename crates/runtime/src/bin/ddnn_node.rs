@@ -1,0 +1,133 @@
+//! `ddnn-node` — the runtime's multi-process face.
+//!
+//! * `ddnn-node host` hosts one topology role (all devices, the gateway,
+//!   or a feature tier) over the launcher's stdio handshake; data frames
+//!   travel over localhost TCP or UDP sockets. This is the subcommand
+//!   [`multiproc::launch`] spawns — it is not meant to be run by hand.
+//! * `ddnn-node demo --transport tcp|udp [--samples N]` is the
+//!   end-to-end smoke check: it runs a seeded edge hierarchy once
+//!   in-process and once as four OS processes on localhost, and exits
+//!   nonzero unless the two runs agree verdict for verdict. CI runs this
+//!   as the multi-process gate.
+
+use ddnn_core::{AggregationScheme, Ddnn, DdnnConfig, EdgeConfig, ExitThreshold};
+use ddnn_runtime::{
+    multiproc, run_topology, DeadlineConfig, HierarchyConfig, ReliabilityConfig, SimReport,
+    Topology, TransportConfig,
+};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::Tensor;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ddnn-node host");
+    eprintln!("       ddnn-node demo --transport tcp|udp [--samples N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("host") => match multiproc::host_role() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ddnn-node host: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("demo") => demo(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn demo(args: &[String]) -> ExitCode {
+    let mut transport = None;
+    let mut samples = 10usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--transport" => match it.next().map(|v| v.parse::<TransportConfig>()) {
+                Some(Ok(t)) if t.is_socket() => transport = Some(t),
+                _ => return usage(),
+            },
+            "--samples" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n > 0 => samples = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(transport) = transport else {
+        return usage();
+    };
+
+    // A seeded edge hierarchy: devices + gateway + edge tier + cloud
+    // tier, so the launcher spawns all four role processes.
+    let model = Ddnn::new(DdnnConfig {
+        num_devices: 2,
+        device_filters: 2,
+        cloud_filters: [4, 8],
+        edge: Some(EdgeConfig { filters: 4, agg: AggregationScheme::Concat }),
+        seed: 11,
+        ..DdnnConfig::default()
+    });
+    let mut rng = rng_from_seed(6);
+    let views: Vec<Tensor> =
+        (0..2).map(|_| Tensor::rand_uniform([samples, 3, 32, 32], 0.0, 1.0, &mut rng)).collect();
+    let labels: Vec<usize> = (0..samples).map(|i| i % 3).collect();
+    let cfg = HierarchyConfig {
+        local_threshold: ExitThreshold::new(0.4),
+        edge_threshold: ExitThreshold::new(0.7),
+        deadlines: Some(DeadlineConfig::default()),
+        // ARQ everywhere: required on UDP, exercised on TCP too so the
+        // demo covers the ack path on both socket transports.
+        reliability: ReliabilityConfig::arq(),
+        transport,
+        ..HierarchyConfig::default()
+    };
+
+    let topology = Topology::from_partition(&model.partition());
+    let reference = match run_topology(
+        &topology,
+        &views,
+        &labels,
+        &HierarchyConfig { transport: TransportConfig::Channel, ..cfg.clone() },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ddnn-node demo: in-process reference run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let node_exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ddnn-node demo: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let multi = match multiproc::launch(&node_exe, model.config(), &views, &labels, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ddnn-node demo: multi-process launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let verdicts = |r: &SimReport| (r.predictions.clone(), r.exits.clone());
+    if verdicts(&reference) != verdicts(&multi) {
+        eprintln!("ddnn-node demo: VERDICT MISMATCH over {}", transport.name());
+        eprintln!("  in-process: {:?} {:?}", reference.predictions, reference.exits);
+        eprintln!("  {}-process: {:?} {:?}", transport.name(), multi.predictions, multi.exits);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ddnn-node demo: {} samples over {} — 4 role processes agreed with the in-process run \
+         (accuracy {:.3}, local exits {:.2})",
+        samples,
+        transport.name(),
+        multi.accuracy,
+        multi.local_exit_fraction,
+    );
+    ExitCode::SUCCESS
+}

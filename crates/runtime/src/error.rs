@@ -62,6 +62,16 @@ pub enum RuntimeError {
         /// The sample that was not pending.
         seq: u64,
     },
+    /// A socket transport failed outside the fault-injection model: a bind,
+    /// connect, spawn or handshake hit a real OS error. Unlike simulated
+    /// loss (which the reliability layer absorbs), these surface before or
+    /// during wiring and abort the run.
+    Transport {
+        /// The link or endpoint involved.
+        endpoint: String,
+        /// The underlying error.
+        reason: String,
+    },
     /// A frame from before the current topology epoch reached a node after
     /// a reconfiguration (a re-joined or re-parented sender replaying old
     /// traffic). Nodes discard such frames and count them instead of
@@ -91,6 +101,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Topology { reason } => write!(f, "topology wiring error: {reason}"),
             RuntimeError::Collector { seq } => {
                 write!(f, "collector finalized non-pending sample {seq}")
+            }
+            RuntimeError::Transport { endpoint, reason } => {
+                write!(f, "transport error on {endpoint}: {reason}")
             }
             RuntimeError::StaleEpoch { seq, epoch } => {
                 write!(f, "frame for sample {seq} predates topology epoch {epoch}")
@@ -144,6 +157,9 @@ mod tests {
         let e = RuntimeError::StaleEpoch { seq: 3, epoch: 5 };
         assert!(e.to_string().contains("sample 3"));
         assert!(e.to_string().contains("epoch 5"));
+        let e = RuntimeError::Transport { endpoint: "ack:gw".into(), reason: "refused".into() };
+        assert!(e.to_string().contains("ack:gw"));
+        assert!(e.to_string().contains("refused"));
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!
 //! Determinism: every link draws from its own xoshiro stream seeded by
 //! `plan.seed` mixed with the link's name, so a given plan produces the
-//! same drops/duplicates/crashes regardless of thread scheduling.
+//! same drops/duplicates/crashes regardless of thread scheduling. Faults
+//! apply at the *send boundary* — in `LinkSender::send`, before the
+//! frame reaches the [`transport`](crate::transport) — so the seeded
+//! streams draw identically whichever dataplane (channel, TCP, UDP)
+//! carries the surviving bytes.
 //! [`Payload::Shutdown`](crate::message::Payload::Shutdown) frames are
 //! exempt from all faults so a chaotic run can always terminate cleanly.
 

@@ -32,6 +32,15 @@
 //!   registry snapshotting to JSON and span-style structured events
 //!   (exits, deadlines, corruption, retransmits) behind a
 //!   zero-cost-when-disabled [`ObsSink`];
+//! * [`transport`] — the dataplane under [`link`]: every link sends
+//!   through a [`transport::TransportConfig`]-selected transport (the
+//!   default in-process channel, length-prefixed TCP, or UDP datagrams),
+//!   so the same topology runs in one process or as real OS processes
+//!   over localhost sockets ([`multiproc`]);
+//! * [`multiproc`] — the multi-process launcher and per-role host: the
+//!   hierarchy's roles (devices, gateway, tiers) as separate OS
+//!   processes wired over sockets, folding per-role reports into one
+//!   [`SimReport`];
 //! * [`clock`] — the simulation clock deadlines are measured against.
 //!
 //! ```no_run
@@ -68,6 +77,7 @@ pub mod orchestrator;
 pub mod reliability;
 mod runner;
 pub mod topology;
+pub mod transport;
 
 pub use clock::SimClock;
 pub use error::{Result, RuntimeError};
@@ -89,5 +99,7 @@ pub use orchestrator::rebalance::{compute_routing, Compat, RoutingTable};
 pub use orchestrator::reconfigure::{diff_routing, TopologyDiff};
 pub use orchestrator::ElasticConfig;
 pub use reliability::{ArqTuning, ReliabilityConfig, ReliabilityMode};
+pub use runner::multiproc;
 pub use runner::{run_cloud_only_baseline, run_distributed_inference, run_topology};
 pub use topology::{HierarchyBuilder, HierarchyConfig, Topology};
+pub use transport::TransportConfig;

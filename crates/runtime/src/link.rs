@@ -1,5 +1,13 @@
-//! Instrumented links between hierarchy nodes: crossbeam channels with
-//! byte accounting and a simulated latency model.
+//! Instrumented links between hierarchy nodes: byte accounting, fault
+//! injection and a simulated latency model over a pluggable dataplane.
+//!
+//! A link's *transport* — in-process channel, TCP stream or UDP socket —
+//! is chosen per run by [`TransportConfig`](crate::TransportConfig) and
+//! hidden behind the [`TransportTx`](crate::transport::TransportTx)
+//! contract, so everything in this module (encoding, accounting, fault
+//! rolls, ARQ registration) is transport-neutral: the fault roll happens
+//! at the send boundary, *before* the bytes reach whichever dataplane
+//! carries them.
 //!
 //! A link speaks one of two wire formats (see [`crate::message`]): the
 //! legacy unchecked framing, or the checked framing of the reliability
@@ -19,6 +27,7 @@ use crate::obs::{LinkCounters, ObsEvent, RunObs};
 use crate::reliability::{
     ArqRecvState, ArqSendState, ArqTuning, ReliabilityConfig, ReliabilityMode,
 };
+use crate::transport::{channel_tx, InboxBinding, TransportConfig, TransportHost, TransportTx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -105,7 +114,7 @@ impl LatencyModel {
 /// Which framing a link speaks on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub(crate) enum WireFormat {
-    /// The seed's unchecked 11-byte header.
+    /// The seed's unchecked 13-byte header.
     #[default]
     Legacy,
     /// The reliability layer's CRC-framed header.
@@ -127,7 +136,7 @@ impl WireFormat {
 /// link really does survive serialization.
 #[derive(Debug, Clone)]
 pub struct LinkSender {
-    tx: Sender<bytes::Bytes>,
+    tx: Arc<dyn TransportTx>,
     stats: Arc<LinkCounters>,
     name: Arc<str>,
     fault: Option<Arc<LinkFault>>,
@@ -236,9 +245,9 @@ impl LinkSender {
         }
     }
 
-    /// Pushes raw wire bytes into the channel, honoring leniency.
+    /// Pushes raw wire bytes into the transport, honoring leniency.
     fn transmit(&self, wire: bytes::Bytes) -> Result<()> {
-        if self.tx.send(wire).is_err() && !self.lenient {
+        if !self.tx.transmit(wire) && !self.lenient {
             return Err(RuntimeError::Disconnected { node: self.name.to_string() });
         }
         Ok(())
@@ -471,7 +480,7 @@ pub fn link(name: &str) -> (LinkSender, LinkReceiver, Arc<LinkCounters>) {
     let name: Arc<str> = Arc::from(name);
     (
         LinkSender {
-            tx,
+            tx: channel_tx(tx),
             stats: Arc::clone(&stats),
             name: Arc::clone(&name),
             fault: None,
@@ -512,7 +521,7 @@ pub(crate) fn attach_faulty_sender(
     let stats = Arc::new(LinkCounters::default());
     (
         LinkSender {
-            tx: tx.clone(),
+            tx: channel_tx(tx.clone()),
             stats: Arc::clone(&stats),
             name: Arc::from(name),
             fault,
@@ -525,10 +534,11 @@ pub(crate) fn attach_faulty_sender(
     )
 }
 
-/// Builds every sender of a run with one consistent fault plan and
-/// reliability configuration, collecting the ARQ send states the run's
-/// retransmit pump must tick. Shared by the topology runner and the
-/// cloud-offload baseline so ARQ wiring exists in exactly one place.
+/// Builds every inbox and sender of a run over one dataplane, with one
+/// consistent fault plan and reliability configuration, collecting the
+/// ARQ send states the run's retransmit pump must tick. Shared by the
+/// topology runner, the cloud-offload baseline and the multi-process
+/// role hosts, so transport and ARQ wiring exist in exactly one place.
 pub(crate) struct LinkFactory<'a> {
     plan: &'a FaultPlan,
     fault_active: bool,
@@ -539,6 +549,9 @@ pub(crate) struct LinkFactory<'a> {
     /// Run observability: link counters are registered here, and inboxes
     /// plus ARQ states emit timeline events through it.
     obs: Arc<RunObs>,
+    /// The run's dataplane: binds inboxes, connects senders, owns every
+    /// socket reader thread (joined when the factory drops).
+    transport: TransportHost,
     /// Send states for the run's retransmit pump, in creation order.
     pub(crate) arq_states: Vec<Arc<ArqSendState>>,
 }
@@ -550,7 +563,9 @@ impl<'a> LinkFactory<'a> {
         deadlines: Option<&DeadlineConfig>,
         tolerant: bool,
         obs: Arc<RunObs>,
+        transport: TransportConfig,
     ) -> Self {
+        let host = TransportHost::new(transport, &obs);
         LinkFactory {
             plan,
             fault_active: plan.is_active(),
@@ -558,6 +573,7 @@ impl<'a> LinkFactory<'a> {
             tuning: reliability.arq.effective(deadlines),
             tolerant,
             obs,
+            transport: host,
             arq_states: Vec::new(),
         }
     }
@@ -572,13 +588,26 @@ impl<'a> LinkFactory<'a> {
     }
 
     /// Wraps a receiver in a [`NodeInbox`] speaking the run's format.
-    pub(crate) fn make_inbox(&self, rx: LinkReceiver) -> NodeInbox {
+    fn make_inbox(&self, rx: LinkReceiver) -> NodeInbox {
         NodeInbox::with_format(rx, self.wire_format(), Arc::clone(&self.obs))
     }
 
-    /// Creates an instrumented sender into `tx` named `name`, owned by
-    /// node `from`. Returns the sender, its stats handle, and — when the
-    /// link runs ARQ — the receiver-side state to
+    /// Binds a named node inbox on the run's transport. Senders attach to
+    /// the returned [`InboxBinding`]; socket bindings carry a real
+    /// `127.0.0.1` address that other processes can connect to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] when a socket bind fails.
+    pub(crate) fn inbox(&mut self, name: &str) -> Result<(InboxBinding, NodeInbox)> {
+        let (binding, rx) = self.transport.bind(name)?;
+        let receiver = LinkReceiver { rx, name: Arc::from(name) };
+        Ok((binding, self.make_inbox(receiver)))
+    }
+
+    /// Creates an instrumented sender into the inbox at `to`, named
+    /// `name` and owned by node `from`. Returns the sender, its stats
+    /// handle, and — when the link runs ARQ — the receiver-side state to
     /// [`register`](NodeInbox::register) with the destination inbox.
     ///
     /// ARQ links get three derived fault streams: the primary (`name`),
@@ -586,28 +615,55 @@ impl<'a> LinkFactory<'a> {
     /// state) and the ack path (`ack:name`, no crash — the receiver
     /// sends acks). Derived streams keep the primary stream's draws
     /// identical whether or not ARQ is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] when a socket connect or the
+    /// ARQ ack-path bind fails.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn sender(
         &mut self,
-        tx: &Sender<bytes::Bytes>,
+        to: &InboxBinding,
         name: &str,
         from: NodeId,
         crash: Option<Arc<CrashState>>,
-    ) -> (LinkSender, Arc<LinkCounters>, Option<(u16, ArqRecvState)>) {
+    ) -> Result<(LinkSender, Arc<LinkCounters>, Option<(u16, ArqRecvState)>)> {
+        let (sender, stats, ack_binding) = self.sender_with_ack_inbox(to, name, crash)?;
+        match ack_binding {
+            None => Ok((sender, stats, None)),
+            Some(binding) => {
+                let recv = self.recv_state(&binding, name, Arc::clone(&stats))?;
+                Ok((sender, stats, Some((from.encode(), recv))))
+            }
+        }
+    }
+
+    /// The sender half alone: when the link runs ARQ, the reverse ack
+    /// inbox is bound on this factory's transport and its binding
+    /// returned *instead of* a recv state, so the receiving process of a
+    /// multi-process run can construct the matching
+    /// [`remote_recv_state`](LinkFactory::remote_recv_state) against it.
+    /// In-process callers use [`sender`](LinkFactory::sender), which
+    /// closes the loop immediately.
+    pub(crate) fn sender_with_ack_inbox(
+        &mut self,
+        to: &InboxBinding,
+        name: &str,
+        crash: Option<Arc<CrashState>>,
+    ) -> Result<(LinkSender, Arc<LinkCounters>, Option<InboxBinding>)> {
         let stats = Arc::new(LinkCounters::default());
         self.obs.registry().register_link(name, Arc::clone(&stats));
         let fault =
             self.fault_active.then(|| Arc::new(LinkFault::new(self.plan, name, crash.clone())));
         let mode = self.reliability.mode_for(name);
-        let (arq, recv) = if matches!(mode, ReliabilityMode::Arq) {
-            let (ack_tx, ack_rx) = unbounded();
+        let data_tx = self.transport.connect(to, name)?;
+        let (arq, ack_binding) = if matches!(mode, ReliabilityMode::Arq) {
+            let (ack_binding, ack_rx) = self.transport.bind(&format!("ack:{name}"))?;
             let retx_fault = self
                 .fault_active
                 .then(|| Arc::new(LinkFault::new(self.plan, &format!("retx:{name}"), crash)));
-            let ack_fault = self
-                .fault_active
-                .then(|| Arc::new(LinkFault::new(self.plan, &format!("ack:{name}"), None)));
             let send_state = Arc::new(ArqSendState::new(
-                tx.clone(),
+                Arc::clone(&data_tx),
                 ack_rx,
                 Arc::clone(&stats),
                 retx_fault,
@@ -617,19 +673,12 @@ impl<'a> LinkFactory<'a> {
                 Arc::from(name),
             ));
             self.arq_states.push(Arc::clone(&send_state));
-            let recv = ArqRecvState::new(
-                ack_tx,
-                Arc::clone(&stats),
-                ack_fault,
-                Arc::clone(&self.obs),
-                Arc::from(name),
-            );
-            (Some(send_state), Some((from.encode(), recv)))
+            (Some(send_state), Some(ack_binding))
         } else {
             (None, None)
         };
         let sender = LinkSender {
-            tx: tx.clone(),
+            tx: data_tx,
             stats: Arc::clone(&stats),
             name: Arc::from(name),
             fault,
@@ -638,15 +687,49 @@ impl<'a> LinkFactory<'a> {
             arq,
             held: Arc::new(Mutex::new(None)),
         };
-        (sender, stats, recv)
+        Ok((sender, stats, ack_binding))
+    }
+
+    /// The receiver-side ARQ state of one inbound link whose sender
+    /// advertised `ack_binding`, pricing delivered acks into `stats`.
+    fn recv_state(
+        &mut self,
+        ack_binding: &InboxBinding,
+        name: &str,
+        stats: Arc<LinkCounters>,
+    ) -> Result<ArqRecvState> {
+        let ack_name = format!("ack:{name}");
+        let ack_fault =
+            self.fault_active.then(|| Arc::new(LinkFault::new(self.plan, &ack_name, None)));
+        let ack_tx = self.transport.connect(ack_binding, &ack_name)?;
+        Ok(ArqRecvState::new(ack_tx, stats, ack_fault, Arc::clone(&self.obs), Arc::from(name)))
+    }
+
+    /// The receiver-process half of a split ARQ link: fresh counter cells
+    /// (this process only ever books `ack_bytes` on them) plus the recv
+    /// state wired to the sender process's advertised ack inbox.
+    pub(crate) fn remote_recv_state(
+        &mut self,
+        ack_binding: &InboxBinding,
+        name: &str,
+        from: NodeId,
+    ) -> Result<(u16, ArqRecvState, Arc<LinkCounters>)> {
+        let stats = Arc::new(LinkCounters::default());
+        self.obs.registry().register_link(name, Arc::clone(&stats));
+        let recv = self.recv_state(ack_binding, name, Arc::clone(&stats))?;
+        Ok((from.encode(), recv, stats))
     }
 
     /// An uninstrumented, fault-exempt sender in the run's wire format —
     /// for the orchestrator's shutdown frames, which must decode at a
     /// checked inbox yet never participate in faults or ARQ.
-    pub(crate) fn shutdown_sender(&self, tx: &Sender<bytes::Bytes>, name: &str) -> LinkSender {
-        LinkSender {
-            tx: tx.clone(),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Transport`] when a socket connect fails.
+    pub(crate) fn shutdown_sender(&self, to: &InboxBinding, name: &str) -> Result<LinkSender> {
+        Ok(LinkSender {
+            tx: self.transport.connect(to, name)?,
             stats: Arc::new(LinkCounters::default()),
             name: Arc::from(name),
             fault: None,
@@ -654,7 +737,15 @@ impl<'a> LinkFactory<'a> {
             format: self.wire_format(),
             arq: None,
             held: Arc::new(Mutex::new(None)),
-        }
+        })
+    }
+
+    /// Stops and joins the dataplane's socket reader threads. Also runs
+    /// on drop; exposed so runners can tear the transport down at a
+    /// deterministic point (after nodes have joined, before reports are
+    /// folded).
+    pub(crate) fn shutdown_transport(&mut self) {
+        self.transport.shutdown();
     }
 }
 

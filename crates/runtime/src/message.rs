@@ -1,7 +1,11 @@
 //! Wire protocol of the simulated hierarchy.
 //!
-//! Every message is a [`Frame`]: an 11-byte header (sequence number, sender
-//! id, payload tag) followed by a typed payload. Payload encodings are
+//! Every message is a [`Frame`]: a 13-byte header (magic, version,
+//! sequence number, sender id, payload tag) followed by a typed payload.
+//! The magic/version pair identifies DDNN peers on real sockets: bytes
+//! from a foreign protocol (or an incompatible DDNN build) are rejected
+//! with a typed [`RuntimeError::Corrupt`] before any field is trusted,
+//! instead of being mis-decoded. Payload encodings are
 //! exactly the units the paper's Eq. 1 counts: class scores as 4-byte
 //! little-endian floats, binary feature maps bit-packed at 1 bit per
 //! activation, raw images as 1 byte per pixel channel (the 3072-byte
@@ -158,8 +162,18 @@ pub struct Frame {
     pub payload: Payload,
 }
 
-/// Bytes of the fixed legacy frame header (seq: u64, from: u16, tag: u8).
-pub const HEADER_BYTES: usize = 8 + 2 + 1;
+/// First byte of every DDNN frame, in both wire formats. A peer that is
+/// not speaking the DDNN protocol fails this check on its first byte.
+pub const FRAME_MAGIC: u8 = 0xDD;
+
+/// Wire-protocol version carried in every frame header. Bumped on any
+/// incompatible framing change, so mismatched builds reject each other's
+/// traffic as [`RuntimeError::Corrupt`] instead of decoding garbage.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Bytes of the fixed legacy frame header (magic: u8, version: u8,
+/// seq: u64, from: u16, tag: u8).
+pub const HEADER_BYTES: usize = 1 + 1 + 8 + 2 + 1;
 
 /// Bytes of the checked frame header: the legacy fields plus flags (u8),
 /// per-link transport sequence number (u32) and CRC-32 (u32).
@@ -253,6 +267,8 @@ impl Frame {
     /// Encodes the frame to legacy wire bytes (no integrity check).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEADER_BYTES + self.payload_bytes() + 4);
+        buf.put_u8(FRAME_MAGIC);
+        buf.put_u8(FRAME_VERSION);
         buf.put_u64_le(self.seq);
         buf.put_u16_le(self.from.encode());
         buf.put_u8(self.payload.tag());
@@ -266,6 +282,8 @@ impl Frame {
     /// then the payload.
     pub fn encode_checked(&self, flags: u8, tseq: u32) -> Bytes {
         let mut buf = Vec::with_capacity(CHECKED_HEADER_BYTES + self.payload_bytes() + 4);
+        buf.put_u8(FRAME_MAGIC);
+        buf.put_u8(FRAME_VERSION);
         buf.put_u64_le(self.seq);
         buf.put_u16_le(self.from.encode());
         buf.put_u8(self.payload.tag());
@@ -327,6 +345,7 @@ impl Frame {
     /// ids (a sender bug, not wire damage).
     pub fn decode(mut buf: Bytes) -> Result<Frame> {
         need(&buf, HEADER_BYTES)?;
+        check_magic(buf.get_u8(), buf.get_u8())?;
         let seq = buf.get_u64_le();
         let from = NodeId::decode(buf.get_u16_le())?;
         let tag = buf.get_u8();
@@ -350,7 +369,11 @@ impl Frame {
                 reason: format!("{} bytes is shorter than a checked header", buf.remaining()),
             });
         }
+        // Magic/version are checked before the CRC: a foreign peer's bytes
+        // should be rejected as "not DDNN", not as a checksum accident.
+        check_magic(buf[0], buf[1])?;
         let computed = crc32_parts(&buf[..CRC_OFFSET], &buf[CHECKED_HEADER_BYTES..]);
+        buf.advance(2);
         let seq = buf.get_u64_le();
         let from_code = buf.get_u16_le();
         let tag = buf.get_u8();
@@ -369,6 +392,26 @@ impl Frame {
         let payload = decode_payload(tag, &mut buf)?;
         Ok(CheckedFrame { frame: Frame { seq, from, payload }, flags, tseq })
     }
+}
+
+/// Validates the magic/version pair leading every frame, shared by both
+/// wire formats. Checked before any other field is trusted, so bytes from
+/// a non-DDNN peer (or an incompatible DDNN build) surface as a typed
+/// [`RuntimeError::Corrupt`] instead of being mis-decoded.
+fn check_magic(magic: u8, version: u8) -> Result<()> {
+    if magic != FRAME_MAGIC {
+        return Err(RuntimeError::Corrupt {
+            reason: format!("not a DDNN frame: magic {magic:#04x}, expected {FRAME_MAGIC:#04x}"),
+        });
+    }
+    if version != FRAME_VERSION {
+        return Err(RuntimeError::Corrupt {
+            reason: format!(
+                "protocol version mismatch: peer speaks v{version}, this build speaks v{FRAME_VERSION}"
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Truncation guard shared by the payload decoders. Classified as
@@ -618,8 +661,32 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(Frame::decode(Bytes::from_static(&[1, 2, 3])).is_err());
         let mut good = Frame::new(0, NodeId::Cloud, Payload::OffloadRequest).encode().to_vec();
-        good[10] = 99; // unknown tag
+        good[12] = 99; // unknown tag
         assert!(Frame::decode(Bytes::from(good)).is_err());
+    }
+
+    #[test]
+    fn foreign_magic_and_version_are_rejected_as_corrupt() {
+        // A peer that is not speaking DDNN (wrong magic) or runs an
+        // incompatible build (wrong version) is rejected before any field
+        // is trusted, in both wire formats.
+        let f = Frame::new(1, NodeId::Gateway, Payload::OffloadRequest);
+        for (pos, note) in [(0usize, "magic"), (1, "version")] {
+            let mut legacy = f.encode().to_vec();
+            legacy[pos] ^= 0xFF;
+            let err = Frame::decode(Bytes::from(legacy)).unwrap_err();
+            assert!(matches!(err, RuntimeError::Corrupt { .. }), "legacy {note}: {err}");
+            let mut checked = f.encode_checked(0, 7).to_vec();
+            checked[pos] ^= 0xFF;
+            let err = Frame::decode_checked(Bytes::from(checked)).unwrap_err();
+            assert!(matches!(err, RuntimeError::Corrupt { .. }), "checked {note}: {err}");
+        }
+        // The version error names both versions so the operator can tell
+        // a build mismatch from line noise.
+        let mut wire = f.encode().to_vec();
+        wire[1] = FRAME_VERSION + 1;
+        let err = Frame::decode(Bytes::from(wire)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
     }
 
     #[test]
@@ -644,7 +711,7 @@ mod tests {
         }
         // An unknown tag on an intact frame stays a Protocol error.
         let mut bad_tag = wire.to_vec();
-        bad_tag[10] = 99;
+        bad_tag[12] = 99;
         assert!(matches!(
             Frame::decode(Bytes::from(bad_tag)).unwrap_err(),
             RuntimeError::Protocol { .. }
@@ -756,8 +823,8 @@ mod tests {
 
     #[test]
     fn legacy_encoding_is_unchanged_by_the_checked_format() {
-        // The legacy wire format must stay byte-identical: header is 11
-        // bytes and carries no CRC.
+        // The legacy wire format must stay byte-identical: header is 13
+        // bytes (magic, version, seq, from, tag) and carries no CRC.
         let f = Frame::new(3, NodeId::Cloud, Payload::Verdict { prediction: 9, exit_tier: 1 });
         let wire = f.encode();
         assert_eq!(wire.len(), HEADER_BYTES + 3);

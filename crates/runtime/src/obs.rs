@@ -10,6 +10,10 @@
 //!   are *views* over the registry rather than a second bookkeeping
 //!   path. The run-wide [`ObsRegistry`] flattens every registered cell
 //!   into one sorted `(name, value)` snapshot (and its JSON rendering).
+//!   The dataplane books its own `transport.{channel,tcp,udp}.*` cells
+//!   (frames/bytes sent and received at the wire crossing), which on a
+//!   clean run reconcile exactly with the per-link views — see
+//!   [`transport`](crate::transport).
 //! * **Events** — structured timeline records ([`ObsEvent`]) emitted
 //!   through an [`ObsSink`]. With no sink installed (the default),
 //!   [`RunObs::emit`] is a single untaken branch: the event value is

@@ -7,9 +7,9 @@
 //! that backstop (cf. DistrEE's lossy edge links, arXiv:2502.15735): a
 //! link can run in
 //!
-//! * [`ReliabilityMode::Legacy`] — the seed's 11-byte header, no
-//!   integrity check, byte-identical to every run before this layer
-//!   existed;
+//! * [`ReliabilityMode::Legacy`] — the seed's plain header (magic,
+//!   version, seq, sender, tag), no integrity check, byte-identical to
+//!   every run before this layer existed;
 //! * [`ReliabilityMode::Crc`] — the checked wire format (CRC-32 + flags +
 //!   transport sequence number); corruption is *detected* and the frame
 //!   discarded, after which deadline degradation recovers as before;
@@ -31,8 +31,9 @@ use crate::error::{Result, RuntimeError};
 use crate::fault::{corrupt_bytes, truncate_len, DeadlineConfig, Delivery, FaultPlan, LinkFault};
 use crate::message::crc32;
 use crate::obs::{LinkCounters, ObsEvent, RunObs};
+use crate::transport::TransportTx;
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,7 +43,7 @@ use std::time::{Duration, Instant};
 /// How a link frames and recovers its traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReliabilityMode {
-    /// The seed's unchecked 11-byte framing; corruption is undetectable.
+    /// The seed's unchecked 13-byte framing; corruption is undetectable.
     #[default]
     Legacy,
     /// Checked framing: CRC-32 verification, corrupt frames discarded
@@ -298,8 +299,10 @@ struct SendInner {
 #[derive(Debug)]
 pub(crate) struct ArqSendState {
     inner: Mutex<SendInner>,
-    /// The data channel retransmissions are delivered into.
-    data_tx: Sender<Bytes>,
+    /// The data transport retransmissions are delivered into — the same
+    /// connection the owning `LinkSender` transmits on, whatever carries
+    /// it (channel, TCP stream, UDP socket).
+    data_tx: Arc<dyn TransportTx>,
     /// Acks flowing back from the receiving inbox (mutex-wrapped so the
     /// state can be shared with the pump thread; only the pump drains it).
     ack_rx: Mutex<Receiver<Bytes>>,
@@ -320,7 +323,7 @@ pub(crate) struct ArqSendState {
 impl ArqSendState {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
-        data_tx: Sender<Bytes>,
+        data_tx: Arc<dyn TransportTx>,
         ack_rx: Receiver<Bytes>,
         stats: Arc<LinkCounters>,
         fault: Option<Arc<LinkFault>>,
@@ -445,7 +448,7 @@ impl ArqSendState {
                     });
                     // A departed receiver means the run is over for this
                     // link; the retransmission is simply lost in flight.
-                    let _ = self.data_tx.send(wire);
+                    self.data_tx.transmit(wire);
                 }
             }
         }
@@ -482,8 +485,9 @@ pub(crate) struct ArqRecvState {
     cum: u32,
     /// Received sequence numbers above `cum`.
     window: BTreeSet<u32>,
-    /// Reverse channel to the sender's [`ArqSendState`].
-    ack_tx: Sender<Bytes>,
+    /// Reverse transport to the sender's [`ArqSendState`] — in a
+    /// multi-process run this crosses back to the sending process.
+    ack_tx: Arc<dyn TransportTx>,
     /// The data link's counter cells: delivered ack bytes are priced here.
     stats: Arc<LinkCounters>,
     /// Fault stream of the ack path (`ack:<link>`) — acks cross the same
@@ -497,7 +501,7 @@ pub(crate) struct ArqRecvState {
 
 impl ArqRecvState {
     pub(crate) fn new(
-        ack_tx: Sender<Bytes>,
+        ack_tx: Arc<dyn TransportTx>,
         stats: Arc<LinkCounters>,
         fault: Option<Arc<LinkFault>>,
         obs: Arc<RunObs>,
@@ -555,7 +559,7 @@ impl ArqRecvState {
             cum: self.cum,
             nacks: nacks.len(),
         });
-        let _ = self.ack_tx.send(wire); // sender gone: run is over
+        self.ack_tx.transmit(wire); // sender gone: run is over
     }
 }
 
@@ -563,6 +567,7 @@ impl ArqRecvState {
 mod tests {
     use super::*;
     use crate::message::{Frame, NodeId, Payload};
+    use crate::transport::channel_tx;
     use crossbeam::channel::unbounded;
 
     fn frame(seq: u64) -> Frame {
@@ -601,7 +606,7 @@ mod tests {
         let (ack_tx, ack_rx) = unbounded();
         let st = stats();
         let mut recv = ArqRecvState::new(
-            ack_tx,
+            channel_tx(ack_tx),
             Arc::clone(&st),
             None,
             RunObs::disabled(),
@@ -629,7 +634,7 @@ mod tests {
         let st = stats();
         let tuning = ArqTuning { retransmit_ms: 1, backoff_cap_ms: 2, ..ArqTuning::default() };
         let send = ArqSendState::new(
-            data_tx,
+            channel_tx(data_tx),
             ack_rx,
             Arc::clone(&st),
             None,
@@ -671,7 +676,7 @@ mod tests {
             ..ArqTuning::default()
         };
         let send = ArqSendState::new(
-            data_tx,
+            channel_tx(data_tx),
             ack_rx,
             Arc::clone(&st),
             None,
@@ -698,7 +703,7 @@ mod tests {
         // A long timeout: only the NACK can trigger the resend.
         let tuning = ArqTuning { retransmit_ms: 10_000, ..ArqTuning::default() };
         let send = ArqSendState::new(
-            data_tx,
+            channel_tx(data_tx),
             ack_rx,
             Arc::clone(&st),
             None,
@@ -721,7 +726,7 @@ mod tests {
         let (_ack_tx, ack_rx) = unbounded();
         let tuning = ArqTuning { buffer_frames: 2, ..ArqTuning::default() };
         let send = ArqSendState::new(
-            data_tx,
+            channel_tx(data_tx),
             ack_rx,
             stats(),
             None,
@@ -751,7 +756,7 @@ mod tests {
             ..ArqTuning::default()
         };
         let send = ArqSendState::new(
-            data_tx,
+            channel_tx(data_tx),
             ack_rx,
             Arc::clone(&st),
             None,

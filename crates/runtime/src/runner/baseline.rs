@@ -8,7 +8,7 @@ use super::PumpStopGuard;
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
 use crate::fault::CrashState;
-use crate::link::{inbox, LinkFactory};
+use crate::link::LinkFactory;
 use crate::message::{dequantize_image, quantize_image, Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::blank_view;
@@ -61,6 +61,15 @@ pub fn run_cloud_only_baseline(
             reason: "the cloud-only baseline is closed-loop only (unset cfg.stream)".to_string(),
         });
     }
+    if cfg.transport.is_socket() {
+        return Err(RuntimeError::Config {
+            reason: format!(
+                "the cloud-only baseline runs in-process only (transport {} is for run_topology \
+                 and the multi-process launcher; set cfg.transport to channel)",
+                cfg.transport.name()
+            ),
+        });
+    }
     let n_samples = labels.len();
     let tolerant = cfg.deadlines.is_some();
     let clock = SimClock::start();
@@ -79,15 +88,14 @@ pub fn run_cloud_only_baseline(
         cfg.deadlines.as_ref(),
         tolerant,
         Arc::clone(&obs),
+        cfg.transport,
     );
 
     // The devices forward their captures unchanged, so the orchestrator
     // feeds the device->cloud links directly (no device threads) — but
     // through the shared fault layer, and into the shared collector.
-    let (cloud_tx, cloud_rx) = inbox("cloud");
-    let mut cloud_inbox = factory.make_inbox(cloud_rx);
-    let (orch_tx, orch_rx) = inbox("orchestrator");
-    let mut orch_inbox = factory.make_inbox(orch_rx);
+    let (cloud_tx, mut cloud_inbox) = factory.inbox("cloud")?;
+    let (orch_tx, mut orch_inbox) = factory.inbox("orchestrator")?;
     let mut link_stats: Vec<(String, Arc<LinkCounters>)> = Vec::new();
     let mut senders = Vec::new();
     for d in 0..num_devices {
@@ -97,13 +105,13 @@ pub fn run_cloud_only_baseline(
             &name,
             NodeId::Device(d as u8),
             crash_states.get(&d).cloned(),
-        );
+        )?;
         cloud_inbox.register(recv);
         senders.push(s);
         link_stats.push((name, st));
     }
     let (cloud_to_orch, s, recv) =
-        factory.sender(&orch_tx, "cloud->orchestrator", NodeId::Cloud, None);
+        factory.sender(&orch_tx, "cloud->orchestrator", NodeId::Cloud, None)?;
     orch_inbox.register(recv);
     link_stats.push(("cloud->orchestrator".to_string(), s));
 
@@ -189,7 +197,7 @@ pub fn run_cloud_only_baseline(
         )?;
         pump_stop.store(true, Ordering::Release);
 
-        let s = factory.shutdown_sender(&cloud_tx, "orchestrator->cloud");
+        let s = factory.shutdown_sender(&cloud_tx, "orchestrator->cloud")?;
         s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
         node_reports.push(handle.join().map_err(|_| RuntimeError::Disconnected {
             node: "baseline cloud thread".to_string(),

@@ -20,6 +20,7 @@
 //! 6. the terminal tier always classifies what reaches it.
 
 mod baseline;
+pub mod multiproc;
 mod orchestrate;
 mod streaming;
 
@@ -30,7 +31,7 @@ use streaming::drive_stream;
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
 use crate::fault::CrashState;
-use crate::link::{inbox, LinkFactory, LinkSender};
+use crate::link::{LinkFactory, LinkSender};
 use crate::message::{Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::{blank_signature, device_node, BlankSignature};
@@ -52,12 +53,44 @@ use std::sync::Arc;
 
 /// Raises a stop flag when dropped, so the retransmit pump always exits —
 /// even when the run's scope closure returns early with an error.
-struct PumpStopGuard<'a>(&'a AtomicBool);
+pub(super) struct PumpStopGuard<'a>(pub(super) &'a AtomicBool);
 
 impl Drop for PumpStopGuard<'_> {
     fn drop(&mut self) {
         self.0.store(true, Ordering::Release);
     }
+}
+
+/// Blank signatures for failed-device substitution plus the chained
+/// per-tier blanks: tier 0 collects the device maps, so its blanks are
+/// the device blank signatures; tier k>0 collects tier k−1's output, so
+/// its blank is tier k−1's section applied to its own blanks — a silent
+/// tier degrades to "nothing was seen" rather than garbage. Shared by
+/// the in-process runner and the multi-process role hosts, which must
+/// compute identical blanks from the same seeded model.
+pub(super) fn compute_blanks(
+    topology: &Topology,
+) -> Result<(Vec<BlankSignature>, Vec<Vec<Tensor>>)> {
+    // One forward pass per device on identical cloned sections — fan out
+    // across the worker pool (results are collected in device order).
+    let blanks: Vec<BlankSignature> = parallel::par_map_indexed(topology.num_devices(), |d| {
+        blank_signature(&topology.devices[d], &topology.config)
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
+    let mut tier_blanks: Vec<Vec<Tensor>> = Vec::with_capacity(topology.tiers.len());
+    tier_blanks.push(blanks.iter().map(|b| b.map.clone()).collect());
+    for k in 1..topology.tiers.len() {
+        let spec = &topology.tiers[k - 1];
+        let mut agg = spec.agg.clone();
+        let mut convs = spec.convs.clone();
+        let mut x = agg.forward(&batched(tier_blanks[k - 1].clone())?)?;
+        for conv in &mut convs {
+            x = conv.forward(&x, Mode::Eval)?;
+        }
+        tier_blanks.push(vec![x.index_axis0(0)?]);
+    }
+    Ok((blanks, tier_blanks))
 }
 
 /// Executes distributed staged inference of a partitioned DDNN over a test
@@ -101,32 +134,7 @@ pub fn run_topology(
     let clock = SimClock::start();
     let last = topology.tiers.len() - 1; // the chain is never empty
 
-    // Blank signatures for failed-device substitution: one forward pass
-    // per device on identical cloned sections — fan out across the worker
-    // pool (results are collected in device order).
-    let blanks: Vec<BlankSignature> = parallel::par_map_indexed(num_devices, |d| {
-        blank_signature(&topology.devices[d], &topology.config)
-    })
-    .into_iter()
-    .collect::<Result<_>>()?;
-
-    // Chained tier blanks: tier 0 collects the device maps, so its blanks
-    // are the device blank signatures; tier k>0 collects tier k−1's
-    // output, so its blank is tier k−1's section applied to its own
-    // blanks — a silent tier degrades to "nothing was seen" rather than
-    // garbage.
-    let mut tier_blanks: Vec<Vec<Tensor>> = Vec::with_capacity(topology.tiers.len());
-    tier_blanks.push(blanks.iter().map(|b| b.map.clone()).collect());
-    for k in 1..topology.tiers.len() {
-        let spec = &topology.tiers[k - 1];
-        let mut agg = spec.agg.clone();
-        let mut convs = spec.convs.clone();
-        let mut x = agg.forward(&batched(tier_blanks[k - 1].clone())?)?;
-        for conv in &mut convs {
-            x = conv.forward(&x, Mode::Eval)?;
-        }
-        tier_blanks.push(vec![x.index_axis0(0)?]);
-    }
+    let (blanks, tier_blanks) = compute_blanks(topology)?;
 
     // Elastic control plane: probe the empirical compatibility matrix
     // (which feeders each tier's section accepts) while the blank chain is
@@ -169,6 +177,7 @@ pub fn run_topology(
         cfg.deadlines.as_ref(),
         tolerant,
         Arc::clone(&obs),
+        cfg.transport,
     );
 
     // Wiring, in the exact legacy link order (the report lists links in
@@ -178,17 +187,15 @@ pub fn run_topology(
         link_stats.push((name, stats));
     };
 
-    let (gateway_tx, gateway_rx) = inbox("gateway");
-    let mut gateway_inbox = factory.make_inbox(gateway_rx);
+    let (gateway_tx, mut gateway_inbox) = factory.inbox("gateway")?;
     let mut tier_txs = Vec::new();
     let mut tier_inboxes = Vec::new();
     for spec in &topology.tiers {
-        let (tx, rx) = inbox(&spec.name);
+        let (tx, rx) = factory.inbox(&spec.name)?;
         tier_txs.push(tx);
-        tier_inboxes.push(factory.make_inbox(rx));
+        tier_inboxes.push(rx);
     }
-    let (orch_tx, orch_rx) = inbox("orchestrator");
-    let mut orch_inbox = factory.make_inbox(orch_rx);
+    let (orch_tx, mut orch_inbox) = factory.inbox("orchestrator")?;
 
     // Device inboxes + their outbound links. A crashing device's outbound
     // links share one crash counter, so the N-th transmitted frame kills
@@ -200,26 +207,26 @@ pub fn run_topology(
     let mut device_elastic: Vec<Option<DeviceElastic>> = Vec::new();
     for d in 0..num_devices {
         let crash = crash_states.get(&d);
-        let (dtx, drx) = inbox(&format!("device{d}"));
-        let mut dev_inbox = factory.make_inbox(drx);
+        let (dtx, mut dev_inbox) = factory.inbox(&format!("device{d}"))?;
         let cap_name = format!("sensor->device{d}");
-        let (cap, _cap_stats, recv) = factory.sender(&dtx, &cap_name, NodeId::Orchestrator, None);
+        let (cap, _cap_stats, recv) =
+            factory.sender(&dtx, &cap_name, NodeId::Orchestrator, None)?;
         dev_inbox.register(recv);
         capture_tx.push(cap);
         let g2d_name = format!("gateway->device{d}");
         let (g2d, g2d_stats, recv) =
-            factory.sender(&dtx, &g2d_name, NodeId::Gateway, node_crash.get("gateway").cloned());
+            factory.sender(&dtx, &g2d_name, NodeId::Gateway, node_crash.get("gateway").cloned())?;
         dev_inbox.register(recv);
         track(g2d_name, g2d_stats);
         gateway_to_device.push(live[d].then_some(g2d));
         let gw_name = format!("device{d}->gateway");
         let (to_gw, gw_stats, recv) =
-            factory.sender(&gateway_tx, &gw_name, NodeId::Device(d as u8), crash.cloned());
+            factory.sender(&gateway_tx, &gw_name, NodeId::Device(d as u8), crash.cloned())?;
         gateway_inbox.register(recv);
         track(gw_name, gw_stats);
         let upper_name = format!("device{d}->{}", topology.tiers[0].name);
         let (to_upper, upper_stats, recv) =
-            factory.sender(&tier_txs[0], &upper_name, NodeId::Device(d as u8), crash.cloned());
+            factory.sender(&tier_txs[0], &upper_name, NodeId::Device(d as u8), crash.cloned())?;
         tier_inboxes[0].register(recv);
         track(upper_name, upper_stats);
         // Elastic extras: one feature link per re-parent candidate tier
@@ -236,14 +243,14 @@ pub fn run_topology(
                         &name,
                         NodeId::Device(d as u8),
                         crash.cloned(),
-                    );
+                    )?;
                     tier_inboxes[j].register(recv);
                     track(name, stats);
                     to_tiers.push(s);
                 }
                 let name = format!("device{d}->orchestrator");
                 let (to_orch, stats, recv) =
-                    factory.sender(&orch_tx, &name, NodeId::Device(d as u8), crash.cloned());
+                    factory.sender(&orch_tx, &name, NodeId::Device(d as u8), crash.cloned())?;
                 orch_inbox.register(recv);
                 track(name, stats);
                 Some(DeviceElastic {
@@ -266,7 +273,7 @@ pub fn run_topology(
         "gateway->orchestrator",
         NodeId::Gateway,
         node_crash.get("gateway").cloned(),
-    );
+    )?;
     orch_inbox.register(recv);
     track("gateway->orchestrator".to_string(), s);
     // Orchestrator-side tier links, in the legacy order: the terminal
@@ -282,21 +289,25 @@ pub fn run_topology(
         &term_orch_name,
         topology.tiers[last].id,
         node_crash.get(&topology.tiers[last].name).cloned(),
-    );
+    )?;
     orch_inbox.register(recv);
     track(term_orch_name, s);
     let mut fwd_io = Vec::new();
     for i in 0..last {
         let tier_crash = node_crash.get(&topology.tiers[i].name);
         let fwd_name = format!("{}->{}", topology.tiers[i].name, topology.tiers[i + 1].name);
-        let (to_next, s, recv) =
-            factory.sender(&tier_txs[i + 1], &fwd_name, topology.tiers[i].id, tier_crash.cloned());
+        let (to_next, s, recv) = factory.sender(
+            &tier_txs[i + 1],
+            &fwd_name,
+            topology.tiers[i].id,
+            tier_crash.cloned(),
+        )?;
         tier_inboxes[i + 1].register(recv);
         track(fwd_name, s);
         tier_fwd[i][i + 1] = Some(to_next.clone());
         let orch_name = format!("{}->orchestrator", topology.tiers[i].name);
         let (to_orch, s, recv) =
-            factory.sender(&orch_tx, &orch_name, topology.tiers[i].id, tier_crash.cloned());
+            factory.sender(&orch_tx, &orch_name, topology.tiers[i].id, tier_crash.cloned())?;
         orch_inbox.register(recv);
         track(orch_name, s);
         fwd_io.push((to_next, to_orch));
@@ -326,7 +337,7 @@ pub fn run_topology(
                     &name,
                     topology.tiers[i].id,
                     node_crash.get(&topology.tiers[i].name).cloned(),
-                );
+                )?;
                 tier_inboxes[j].register(recv);
                 track(name, stats);
                 tier_fwd[i][j] = Some(s);
@@ -340,13 +351,14 @@ pub fn run_topology(
             ping_links.push(live[d].then(|| capture_tx[d].clone()));
         }
         let (gw_ping, stats, recv) =
-            factory.sender(&gateway_tx, "orchestrator->gateway", NodeId::Orchestrator, None);
+            factory.sender(&gateway_tx, "orchestrator->gateway", NodeId::Orchestrator, None)?;
         gateway_inbox.register(recv);
         track("orchestrator->gateway".to_string(), stats);
         ping_links.push(Some(gw_ping));
         for (k, spec) in topology.tiers.iter().enumerate() {
             let name = format!("orchestrator->{}", spec.name);
-            let (s, stats, recv) = factory.sender(&tier_txs[k], &name, NodeId::Orchestrator, None);
+            let (s, stats, recv) =
+                factory.sender(&tier_txs[k], &name, NodeId::Orchestrator, None)?;
             tier_inboxes[k].register(recv);
             track(name, stats);
             ping_links.push(Some(s));
@@ -634,10 +646,10 @@ pub fn run_topology(
                 cap.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
             }
         }
-        let s = factory.shutdown_sender(&gateway_tx, "orchestrator->gateway");
+        let s = factory.shutdown_sender(&gateway_tx, "orchestrator->gateway")?;
         s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
         for (spec, tx) in topology.tiers.iter().zip(&tier_txs) {
-            let s = factory.shutdown_sender(tx, &format!("orchestrator->{}", spec.name));
+            let s = factory.shutdown_sender(tx, &format!("orchestrator->{}", spec.name))?;
             s.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
         }
 
@@ -649,6 +661,10 @@ pub fn run_topology(
         tallies = Some(t);
         Ok(())
     })?;
+
+    // Tear down socket reader threads deterministically before assembling
+    // the report (a no-op for the in-process channel transport).
+    factory.shutdown_transport();
 
     // What the orchestrator's own inbox discarded as corrupt.
     node_reports.push(NodeReport {

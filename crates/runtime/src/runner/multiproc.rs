@@ -1,0 +1,945 @@
+//! Multi-process deployment: the hierarchy's roles as real OS processes
+//! wired over localhost sockets.
+//!
+//! [`launch`] spawns one `ddnn-node host` process per role — all end
+//! devices together, the gateway, and each feature tier — and plays the
+//! orchestrator itself: it drives the samples, collects the verdicts and
+//! folds every role's link/node telemetry into the same [`SimReport`]
+//! the in-process runner produces. [`host_role`] is the other side: it
+//! reads a role assignment plus a role manifest from stdin, rebuilds its
+//! slice of the seeded model (weights re-derive bit-identically from the
+//! seed in every process), and serves its nodes over the socket
+//! dataplane until the orchestrator shuts the run down.
+//!
+//! The stdio handshake, line oriented and human readable:
+//!
+//! ```text
+//! launcher -> child   ROLE <devices|gateway|tier:<k>>, manifest, END
+//! child -> launcher   PORT <inbox> <ip:port> ..., BOUND
+//! launcher -> child   ADDR <inbox> <ip:port> ..., SENDERS
+//! child -> launcher   PORT ack:<link> <ip:port> ..., ACKBOUND
+//! launcher -> child   ACK <link> <ip:port> ..., GO
+//! (run: frames flow over TCP/UDP, stdio is quiet)
+//! child -> launcher   LINK <name> <9 counters> ..., NODE ... , DONE
+//! ```
+//!
+//! Scope: multi-process runs cover the closed-loop protocol on the
+//! partition-implied topology. Elastic orchestration, streaming
+//! arrivals, fault injection and static device failures stay in-process
+//! — their seeded state cannot span OS processes — and [`launch`]
+//! rejects them with typed configuration errors before spawning
+//! anything.
+
+use super::orchestrate::{drive_samples, make_policy, validate_run};
+use super::{compute_blanks, PumpStopGuard};
+use crate::clock::SimClock;
+use crate::error::{Result, RuntimeError};
+use crate::link::{LinkFactory, LinkSender, NodeInbox};
+use crate::message::{Frame, NodeId, Payload};
+use crate::node::collector::Collector;
+use crate::node::device::device_node;
+use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
+use crate::node::tier::{Escalation, FanIn, FeatureSection, ScoresSection, TierNode};
+use crate::obs::{LinkCounters, NodeObs, RunObs};
+use crate::reliability::{run_retransmit_pump, ReliabilityMode};
+use crate::topology::{
+    decode_role_manifest, encode_role_manifest, HierarchyConfig, TierExitRule, Topology,
+};
+use crate::transport::{InboxBinding, TransportConfig};
+use ddnn_core::{Ddnn, DdnnConfig, ExitPolicy};
+use ddnn_tensor::Tensor;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Which OS process hosts a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Role {
+    /// All end devices (one thread per device, like the in-process run).
+    Devices,
+    /// The score-aggregating gateway.
+    Gateway,
+    /// Feature tier `k` of the chain.
+    Tier(usize),
+}
+
+impl Role {
+    fn token(&self) -> String {
+        match self {
+            Role::Devices => "devices".to_string(),
+            Role::Gateway => "gateway".to_string(),
+            Role::Tier(k) => format!("tier:{k}"),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Role> {
+        match s {
+            "devices" => Ok(Role::Devices),
+            "gateway" => Ok(Role::Gateway),
+            other => match other.strip_prefix("tier:").and_then(|k| k.parse().ok()) {
+                Some(k) => Ok(Role::Tier(k)),
+                None => Err(RuntimeError::Protocol { reason: format!("unknown role {other:?}") }),
+            },
+        }
+    }
+}
+
+/// Which endpoint of a link lives where: the launcher (orchestrator) or
+/// one of the spawned roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Host {
+    Launcher,
+    Role(Role),
+}
+
+/// One link of the canonical wiring, in report-creation order.
+struct LinkSpec {
+    name: String,
+    /// Sending node's wire identity (receivers key ARQ state by it).
+    from: NodeId,
+    sender: Host,
+    receiver: Host,
+    /// Destination inbox the sender connects to.
+    inbox: String,
+    /// Whether the link appears in the report's per-link stats (the
+    /// sensor feeds never did).
+    tracked: bool,
+}
+
+/// The canonical link table of a partition-implied topology, in the
+/// exact order the in-process runner creates (and reports) them.
+fn link_table(topology: &Topology) -> Vec<LinkSpec> {
+    let n = topology.num_devices();
+    let last = topology.tiers.len() - 1;
+    let mut table = Vec::new();
+    for d in 0..n {
+        table.push(LinkSpec {
+            name: format!("sensor->device{d}"),
+            from: NodeId::Orchestrator,
+            sender: Host::Launcher,
+            receiver: Host::Role(Role::Devices),
+            inbox: format!("device{d}"),
+            tracked: false,
+        });
+        table.push(LinkSpec {
+            name: format!("gateway->device{d}"),
+            from: NodeId::Gateway,
+            sender: Host::Role(Role::Gateway),
+            receiver: Host::Role(Role::Devices),
+            inbox: format!("device{d}"),
+            tracked: true,
+        });
+        table.push(LinkSpec {
+            name: format!("device{d}->gateway"),
+            from: NodeId::Device(d as u8),
+            sender: Host::Role(Role::Devices),
+            receiver: Host::Role(Role::Gateway),
+            inbox: "gateway".to_string(),
+            tracked: true,
+        });
+        table.push(LinkSpec {
+            name: format!("device{d}->{}", topology.tiers[0].name),
+            from: NodeId::Device(d as u8),
+            sender: Host::Role(Role::Devices),
+            receiver: Host::Role(Role::Tier(0)),
+            inbox: topology.tiers[0].name.clone(),
+            tracked: true,
+        });
+    }
+    table.push(LinkSpec {
+        name: "gateway->orchestrator".to_string(),
+        from: NodeId::Gateway,
+        sender: Host::Role(Role::Gateway),
+        receiver: Host::Launcher,
+        inbox: "orchestrator".to_string(),
+        tracked: true,
+    });
+    table.push(LinkSpec {
+        name: format!("{}->orchestrator", topology.tiers[last].name),
+        from: topology.tiers[last].id,
+        sender: Host::Role(Role::Tier(last)),
+        receiver: Host::Launcher,
+        inbox: "orchestrator".to_string(),
+        tracked: true,
+    });
+    for i in 0..last {
+        table.push(LinkSpec {
+            name: format!("{}->{}", topology.tiers[i].name, topology.tiers[i + 1].name),
+            from: topology.tiers[i].id,
+            sender: Host::Role(Role::Tier(i)),
+            receiver: Host::Role(Role::Tier(i + 1)),
+            inbox: topology.tiers[i + 1].name.clone(),
+            tracked: true,
+        });
+        table.push(LinkSpec {
+            name: format!("{}->orchestrator", topology.tiers[i].name),
+            from: topology.tiers[i].id,
+            sender: Host::Role(Role::Tier(i)),
+            receiver: Host::Launcher,
+            inbox: "orchestrator".to_string(),
+            tracked: true,
+        });
+    }
+    table
+}
+
+/// The inboxes a role binds (one per hosted node).
+fn role_inboxes(role: &Role, topology: &Topology) -> Vec<String> {
+    match role {
+        Role::Devices => (0..topology.num_devices()).map(|d| format!("device{d}")).collect(),
+        Role::Gateway => vec!["gateway".to_string()],
+        Role::Tier(k) => vec![topology.tiers[*k].name.clone()],
+    }
+}
+
+fn peer_err(endpoint: &str, reason: impl std::fmt::Display) -> RuntimeError {
+    RuntimeError::Transport { endpoint: endpoint.to_string(), reason: reason.to_string() }
+}
+
+/// Reads protocol lines until `stop`, feeding every other line to `f`.
+/// An `ERROR <msg>` line or EOF becomes a typed transport error.
+fn read_until(
+    reader: &mut impl BufRead,
+    endpoint: &str,
+    stop: &str,
+    mut f: impl FnMut(&str) -> Result<()>,
+) -> Result<()> {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| peer_err(endpoint, e))?;
+        if n == 0 {
+            return Err(peer_err(endpoint, format!("peer exited before sending {stop}")));
+        }
+        let line = line.trim_end();
+        if line == stop {
+            return Ok(());
+        }
+        if let Some(msg) = line.strip_prefix("ERROR ") {
+            return Err(peer_err(endpoint, msg));
+        }
+        f(line)?;
+    }
+}
+
+/// Parses an address-exchange line (`<prefix> <key> <ip:port>`).
+fn parse_addr_line<'l>(
+    line: &'l str,
+    prefix: &str,
+    kind: TransportConfig,
+) -> Result<Option<(&'l str, InboxBinding)>> {
+    let Some(rest) = line.strip_prefix(prefix) else {
+        return Ok(None);
+    };
+    let (key, addr) = rest.trim().split_once(' ').ok_or_else(|| RuntimeError::Protocol {
+        reason: format!("malformed address line {line:?}"),
+    })?;
+    let addr = addr.parse().map_err(|_| RuntimeError::Protocol {
+        reason: format!("malformed socket address in {line:?}"),
+    })?;
+    Ok(Some((key, InboxBinding::socket(kind, addr)?)))
+}
+
+fn fmt_link_line(name: &str, stats: &LinkCounters) -> String {
+    let s = stats.snapshot();
+    format!(
+        "LINK {name} {} {} {} {} {} {} {} {} {}",
+        s.frames,
+        s.payload_bytes,
+        s.retx_payload_bytes,
+        s.header_bytes,
+        s.frames_dropped,
+        s.frames_duplicated,
+        s.frames_retransmitted,
+        s.ack_bytes,
+        s.frames_corrupted,
+    )
+}
+
+/// Adds a `LINK` line's counters into the launcher's folded cell block.
+fn fold_link_line(line: &str, by_name: &HashMap<String, Arc<LinkCounters>>) -> Result<()> {
+    let mut it = line.split_whitespace().skip(1);
+    let name = it.next().ok_or_else(|| RuntimeError::Protocol {
+        reason: format!("malformed LINK line {line:?}"),
+    })?;
+    let cells = by_name.get(name).ok_or_else(|| RuntimeError::Protocol {
+        reason: format!("LINK line for unknown link {name:?}"),
+    })?;
+    let fields = [
+        &cells.frames,
+        &cells.payload_bytes,
+        &cells.retx_payload_bytes,
+        &cells.header_bytes,
+        &cells.frames_dropped,
+        &cells.frames_duplicated,
+        &cells.frames_retransmitted,
+        &cells.ack_bytes,
+        &cells.frames_corrupted,
+    ];
+    for cell in fields {
+        let v: u64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+            RuntimeError::Protocol { reason: format!("malformed LINK line {line:?}") }
+        })?;
+        cell.add(v);
+    }
+    Ok(())
+}
+
+fn fmt_node_line(report: &NodeReport) -> String {
+    let timeouts: Vec<String> =
+        report.device_timeouts.iter().map(|(d, c)| format!("{d}:{c}")).collect();
+    let degraded: Vec<String> = report.degraded.iter().map(u64::to_string).collect();
+    format!(
+        "NODE corrupt={} timeouts={} degraded={}",
+        report.corrupt_discards,
+        timeouts.join(","),
+        degraded.join(","),
+    )
+}
+
+fn parse_node_line(line: &str) -> Result<NodeReport> {
+    let malformed = || RuntimeError::Protocol { reason: format!("malformed NODE line {line:?}") };
+    let mut report = NodeReport::default();
+    for tok in line.split_whitespace().skip(1) {
+        if let Some(v) = tok.strip_prefix("corrupt=") {
+            report.corrupt_discards = v.parse().map_err(|_| malformed())?;
+        } else if let Some(v) = tok.strip_prefix("timeouts=") {
+            for pair in v.split(',').filter(|p| !p.is_empty()) {
+                let (d, c) = pair.split_once(':').ok_or_else(malformed)?;
+                report.device_timeouts.push((
+                    d.parse().map_err(|_| malformed())?,
+                    c.parse().map_err(|_| malformed())?,
+                ));
+            }
+        } else if let Some(v) = tok.strip_prefix("degraded=") {
+            for s in v.split(',').filter(|s| !s.is_empty()) {
+                report.degraded.push(s.parse().map_err(|_| malformed())?);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Typed rejection of everything a multi-process run cannot carry across
+/// process boundaries — raised before any process is spawned.
+fn validate_launch(cfg: &HierarchyConfig) -> Result<()> {
+    let reject = |reason: String| Err(RuntimeError::Config { reason });
+    if !cfg.transport.is_socket() {
+        return reject(
+            "multi-process runs need a socket transport (set cfg.transport to tcp or udp)"
+                .to_string(),
+        );
+    }
+    if cfg.deadlines.is_none() {
+        return reject("multi-process runs require deadlines (set cfg.deadlines)".to_string());
+    }
+    if cfg.elastic.is_some() {
+        return reject("elastic orchestration is in-process only (unset cfg.elastic)".to_string());
+    }
+    if cfg.stream.is_some() {
+        return reject("streaming arrivals are in-process only (unset cfg.stream)".to_string());
+    }
+    if cfg.fault_plan.is_active() {
+        return reject(
+            "fault injection is in-process only (its seeded per-link state cannot span \
+             processes); unset cfg.fault_plan"
+                .to_string(),
+        );
+    }
+    if !cfg.failed_devices.is_empty() {
+        return reject(
+            "static device failures are in-process only (unset cfg.failed_devices)".to_string(),
+        );
+    }
+    if !cfg.reliability.link_overrides.is_empty() {
+        return reject(
+            "per-link reliability overrides are in-process only (unset link_overrides)".to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// One spawned role process and its stdio endpoints.
+struct RoleProc {
+    role: Role,
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Drop for RoleProc {
+    fn drop(&mut self) {
+        // Only reached without a clean wait() on error paths: don't leave
+        // orphan processes serving sockets.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs the hierarchy as real OS processes on localhost: one process per
+/// role (all devices, the gateway, each tier), spawned from `node_exe`
+/// (the `ddnn-node` binary, `host` subcommand), with this process acting
+/// as the orchestrator. The model is rebuilt in every process from the
+/// seeded `model_cfg`, so weights — and therefore verdicts — are
+/// bit-identical to an in-process [`run_topology`](super::run_topology)
+/// of the same configuration.
+///
+/// `cfg.transport` must be a socket transport; elastic orchestration,
+/// streaming, fault injection and static device failures are rejected
+/// (they are in-process features).
+///
+/// # Errors
+///
+/// Returns typed configuration errors for unsupported configurations,
+/// and transport errors when spawning, the handshake, or a socket
+/// operation fails.
+pub fn launch(
+    node_exe: &Path,
+    model_cfg: &DdnnConfig,
+    device_views: &[Tensor],
+    labels: &[usize],
+    cfg: &HierarchyConfig,
+) -> Result<SimReport> {
+    validate_launch(cfg)?;
+    let model = Ddnn::new(model_cfg.clone());
+    let partition = model.partition();
+    let topology = Topology::from_partition(&partition);
+    let num_devices = topology.num_devices();
+    validate_run(num_devices, device_views, labels, cfg)?;
+    let n_samples = labels.len();
+    let clock = SimClock::start();
+    let obs = Arc::new(RunObs::new(&cfg.obs));
+    let mut factory = LinkFactory::new(
+        &cfg.fault_plan,
+        &cfg.reliability,
+        cfg.deadlines.as_ref(),
+        true,
+        Arc::clone(&obs),
+        cfg.transport,
+    );
+    let table = link_table(&topology);
+    let manifest = encode_role_manifest(&topology.config, cfg);
+
+    // Spawn one process per role.
+    let mut roles = vec![Role::Devices, Role::Gateway];
+    roles.extend((0..topology.tiers.len()).map(Role::Tier));
+    let mut procs: Vec<RoleProc> = Vec::new();
+    for role in roles {
+        let endpoint = role.token();
+        let mut child = Command::new(node_exe)
+            .arg("host")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| peer_err(&endpoint, format!("spawn failed: {e}")))?;
+        let stdin = child.stdin.take().ok_or_else(|| peer_err(&endpoint, "no stdin pipe"))?;
+        let stdout =
+            BufReader::new(child.stdout.take().ok_or_else(|| peer_err(&endpoint, "no stdout"))?);
+        procs.push(RoleProc { role, child, stdin, stdout });
+    }
+    for p in &mut procs {
+        let endpoint = p.role.token();
+        write!(p.stdin, "ROLE {endpoint}\n{manifest}END\n")
+            .and_then(|()| p.stdin.flush())
+            .map_err(|e| peer_err(&endpoint, e))?;
+    }
+
+    // Phase A: collect every role's inbox addresses, add the launcher's.
+    let mut addrs: HashMap<String, InboxBinding> = HashMap::new();
+    for p in &mut procs {
+        let endpoint = p.role.token();
+        read_until(&mut p.stdout, &endpoint, "BOUND", |line| {
+            if let Some((name, binding)) = parse_addr_line(line, "PORT ", cfg.transport)? {
+                addrs.insert(name.to_string(), binding);
+            }
+            Ok(())
+        })?;
+    }
+    let (orch_binding, mut orch_inbox) = factory.inbox("orchestrator")?;
+    addrs.insert("orchestrator".to_string(), orch_binding);
+
+    // The launcher's own senders: the per-device sensor feeds. Their ack
+    // inboxes (under ARQ) join the ack exchange like any role's.
+    let mut ack_map: HashMap<String, InboxBinding> = HashMap::new();
+    let mut capture_tx: Vec<LinkSender> = Vec::new();
+    for spec in table.iter().filter(|s| s.sender == Host::Launcher) {
+        let to = addrs.get(&spec.inbox).ok_or_else(|| {
+            peer_err(&spec.name, format!("no advertised address for inbox {:?}", spec.inbox))
+        })?;
+        let to = to.clone();
+        let (s, _stats, ack) = factory.sender_with_ack_inbox(&to, &spec.name, None)?;
+        if let Some(binding) = ack {
+            ack_map.insert(spec.name.clone(), binding);
+        }
+        capture_tx.push(s);
+    }
+    for p in &mut procs {
+        let endpoint = p.role.token();
+        let mut msg = String::new();
+        for (name, binding) in &addrs {
+            if let Some(addr) = binding.addr() {
+                msg.push_str(&format!("ADDR {name} {addr}\n"));
+            }
+        }
+        msg.push_str("SENDERS\n");
+        p.stdin
+            .write_all(msg.as_bytes())
+            .and_then(|()| p.stdin.flush())
+            .map_err(|e| peer_err(&endpoint, e))?;
+    }
+
+    // Phase B: collect ack-inbox addresses; wire the launcher's own
+    // inbound ARQ links (the verdict links into the orchestrator inbox).
+    for p in &mut procs {
+        let endpoint = p.role.token();
+        read_until(&mut p.stdout, &endpoint, "ACKBOUND", |line| {
+            if let Some((name, binding)) = parse_addr_line(line, "PORT ack:", cfg.transport)? {
+                ack_map.insert(name.to_string(), binding);
+            }
+            Ok(())
+        })?;
+    }
+    let mut recv_side_stats: Vec<(String, Arc<LinkCounters>)> = Vec::new();
+    if matches!(cfg.reliability.mode, ReliabilityMode::Arq) {
+        for spec in table.iter().filter(|s| s.receiver == Host::Launcher) {
+            let ack = ack_map.get(&spec.name).ok_or_else(|| {
+                peer_err(&spec.name, "sender advertised no ack inbox for an ARQ link")
+            })?;
+            let ack = ack.clone();
+            let (from, recv, stats) = factory.remote_recv_state(&ack, &spec.name, spec.from)?;
+            orch_inbox.register(Some((from, recv)));
+            recv_side_stats.push((spec.name.clone(), stats));
+        }
+    }
+    for p in &mut procs {
+        let endpoint = p.role.token();
+        let mut msg = String::new();
+        for (name, binding) in &ack_map {
+            if let Some(addr) = binding.addr() {
+                msg.push_str(&format!("ACK {name} {addr}\n"));
+            }
+        }
+        msg.push_str("GO\n");
+        p.stdin
+            .write_all(msg.as_bytes())
+            .and_then(|()| p.stdin.flush())
+            .map_err(|e| peer_err(&endpoint, e))?;
+    }
+
+    // Drive the samples exactly like the in-process orchestrator, with
+    // the same analytic latency model.
+    let classes = topology.config.num_classes;
+    let header = factory.wire_format().header_bytes();
+    let summary_bytes = header + 4 + 4 * classes;
+    let map_bytes = header + 6 + 4 + topology.config.device_map_elems().div_ceil(8);
+    let latency_of = |tier: u8| {
+        let mut ms = cfg.local_link.transfer_ms(summary_bytes);
+        for _ in 0..tier {
+            ms += cfg.uplink.transfer_ms(map_bytes);
+        }
+        ms
+    };
+    let arq_states = std::mem::take(&mut factory.arq_states);
+    let pump_stop = AtomicBool::new(false);
+    let mut tallies: Option<RunTallies> = None;
+    std::thread::scope(|scope| -> Result<()> {
+        let _pump_guard = PumpStopGuard(&pump_stop);
+        if !arq_states.is_empty() {
+            scope.spawn(|| run_retransmit_pump(&arq_states, &pump_stop));
+        }
+        let send_captures = |i: usize| -> Result<()> {
+            for (d, cap) in capture_tx.iter().enumerate() {
+                let view = device_views[d].index_axis0(i)?;
+                cap.send(&Frame::new(i as u64, NodeId::Orchestrator, Payload::Capture { view }))?;
+            }
+            Ok(())
+        };
+        let t = drive_samples(
+            n_samples,
+            cfg.deadlines,
+            clock,
+            &mut orch_inbox,
+            send_captures,
+            |tier| topology.exit_point_of(tier),
+            latency_of,
+            &obs,
+            None,
+        )?;
+        pump_stop.store(true, Ordering::Release);
+
+        // Orderly shutdown, devices first. Real UDP can drop a datagram
+        // outright, and a lost shutdown frame would hang a role forever —
+        // repeat it; extra shutdowns land unread in a dead node's inbox.
+        let repeats = if cfg.transport == TransportConfig::Udp { 3 } else { 1 };
+        for _ in 0..repeats {
+            for cap in &capture_tx {
+                cap.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+            }
+            let gw = addrs.get("gateway").ok_or_else(|| {
+                peer_err("gateway", "no advertised address for the gateway inbox")
+            })?;
+            factory.shutdown_sender(gw, "orchestrator->gateway")?.send(&Frame::new(
+                0,
+                NodeId::Orchestrator,
+                Payload::Shutdown,
+            ))?;
+            for spec in &topology.tiers {
+                let to = addrs.get(&spec.name).ok_or_else(|| {
+                    peer_err(&spec.name, "no advertised address for a tier inbox")
+                })?;
+                factory
+                    .shutdown_sender(to, &format!("orchestrator->{}", spec.name))?
+                    .send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
+            }
+        }
+        tallies = Some(t);
+        Ok(())
+    })?;
+
+    // Fold every role's telemetry into the canonical report shape: one
+    // counter block per tracked link (sender-side counters and the
+    // receiver's ack accounting sum under the same name), the legacy
+    // zero-stat placeholders, and the node reports in role order.
+    let mut link_stats: Vec<(String, Arc<LinkCounters>)> = table
+        .iter()
+        .filter(|s| s.tracked)
+        .map(|s| (s.name.clone(), Arc::new(LinkCounters::default())))
+        .collect();
+    for name in &topology.placeholder_links {
+        link_stats.push((name.clone(), Arc::new(LinkCounters::default())));
+    }
+    let by_name: HashMap<String, Arc<LinkCounters>> =
+        link_stats.iter().map(|(n, s)| (n.clone(), Arc::clone(s))).collect();
+    let mut node_reports: Vec<NodeReport> = Vec::new();
+    for p in &mut procs {
+        let endpoint = p.role.token();
+        read_until(&mut p.stdout, &endpoint, "DONE", |line| {
+            if line.starts_with("LINK ") {
+                fold_link_line(line, &by_name)?;
+            } else if line.starts_with("NODE ") {
+                node_reports.push(parse_node_line(line)?);
+            }
+            Ok(())
+        })?;
+    }
+    for (name, stats) in &recv_side_stats {
+        if let Some(cells) = by_name.get(name) {
+            cells.ack_bytes.add(stats.ack_bytes.get());
+        }
+    }
+    for p in &mut procs {
+        let endpoint = p.role.token();
+        let status = p.child.wait().map_err(|e| peer_err(&endpoint, e))?;
+        if !status.success() {
+            return Err(peer_err(&endpoint, format!("role process exited with {status}")));
+        }
+    }
+    factory.shutdown_transport();
+
+    node_reports.push(NodeReport {
+        corrupt_discards: orch_inbox.corrupt_discards(),
+        ..NodeReport::default()
+    });
+    let tallies = tallies.ok_or_else(|| RuntimeError::Topology {
+        reason: "launcher scope finished without producing tallies".to_string(),
+    })?;
+    Ok(assemble_report(tallies, labels, link_stats, node_reports, num_devices, &obs))
+}
+
+/// Serves one role of a multi-process run over stdin/stdout — the body
+/// of the `ddnn-node host` subcommand. Reads the role assignment and
+/// manifest, performs the socket handshake, runs the role's nodes until
+/// the orchestrator's shutdown, and reports link/node telemetry back.
+///
+/// # Errors
+///
+/// Any failure is also written to stdout as an `ERROR <msg>` line (so
+/// the launcher sees it) before being returned.
+pub fn host_role() -> Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut out = stdout.lock();
+    let result = host_role_io(&mut input, &mut out);
+    if let Err(e) = &result {
+        let _ = writeln!(out, "ERROR {e}");
+        let _ = out.flush();
+    }
+    result
+}
+
+fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| peer_err("launcher", e);
+    let read_line = |input: &mut dyn BufRead| -> Result<String> {
+        let mut line = String::new();
+        let n = input.read_line(&mut line).map_err(io_err)?;
+        if n == 0 {
+            return Err(peer_err("launcher", "stdin closed mid-handshake"));
+        }
+        Ok(line.trim_end().to_string())
+    };
+
+    // Role + manifest.
+    let role_line = read_line(input)?;
+    let role = Role::parse(role_line.strip_prefix("ROLE ").ok_or_else(|| {
+        RuntimeError::Protocol { reason: format!("expected ROLE line, got {role_line:?}") }
+    })?)?;
+    let mut manifest = String::new();
+    loop {
+        let line = read_line(input)?;
+        if line == "END" {
+            break;
+        }
+        manifest.push_str(&line);
+        manifest.push('\n');
+    }
+    let (model_cfg, cfg) = decode_role_manifest(&manifest)?;
+
+    // Rebuild this role's slice of the run: same seed, same weights,
+    // same blanks as every other process.
+    let model = Ddnn::new(model_cfg);
+    let partition = model.partition();
+    let topology = Topology::from_partition(&partition);
+    let (blanks, tier_blanks) = compute_blanks(&topology)?;
+    let num_devices = topology.num_devices();
+    let live = vec![true; num_devices];
+    let clock = SimClock::start();
+    let obs = Arc::new(RunObs::new(&cfg.obs));
+    let mut factory = LinkFactory::new(
+        &cfg.fault_plan,
+        &cfg.reliability,
+        cfg.deadlines.as_ref(),
+        true,
+        Arc::clone(&obs),
+        cfg.transport,
+    );
+    let table = link_table(&topology);
+    let me = Host::Role(role.clone());
+
+    // Phase A: bind this role's inboxes and advertise their ports.
+    let mut inboxes: HashMap<String, NodeInbox> = HashMap::new();
+    for name in role_inboxes(&role, &topology) {
+        let (binding, inbox) = factory.inbox(&name)?;
+        let addr = binding
+            .addr()
+            .ok_or_else(|| peer_err(&name, "socket transport produced an addressless binding"))?;
+        writeln!(out, "PORT {name} {addr}").map_err(io_err)?;
+        inboxes.insert(name, inbox);
+    }
+    writeln!(out, "BOUND").and_then(|()| out.flush()).map_err(io_err)?;
+
+    // Learn where every inbox lives.
+    let mut addrs: HashMap<String, InboxBinding> = HashMap::new();
+    loop {
+        let line = read_line(input)?;
+        if line == "SENDERS" {
+            break;
+        }
+        if let Some((name, binding)) = parse_addr_line(&line, "ADDR ", cfg.transport)? {
+            addrs.insert(name.to_string(), binding);
+        }
+    }
+
+    // Phase B: connect this role's senders (binding ack inboxes for ARQ
+    // links along the way) and advertise the ack ports.
+    let mut senders: HashMap<String, LinkSender> = HashMap::new();
+    let mut reported: Vec<(String, Arc<LinkCounters>)> = Vec::new();
+    for spec in table.iter().filter(|s| s.sender == me) {
+        let to = addrs.get(&spec.inbox).ok_or_else(|| {
+            peer_err(&spec.name, format!("launcher advertised no address for {:?}", spec.inbox))
+        })?;
+        let to = to.clone();
+        let (s, stats, ack) = factory.sender_with_ack_inbox(&to, &spec.name, None)?;
+        if spec.tracked {
+            reported.push((spec.name.clone(), stats));
+        }
+        if let Some(binding) = ack {
+            let addr = binding.addr().ok_or_else(|| {
+                peer_err(&spec.name, "socket transport produced an addressless ack binding")
+            })?;
+            writeln!(out, "PORT ack:{} {addr}", spec.name).map_err(io_err)?;
+        }
+        senders.insert(spec.name.clone(), s);
+    }
+    writeln!(out, "ACKBOUND").and_then(|()| out.flush()).map_err(io_err)?;
+
+    // Learn the ack inboxes and wire the receive side of inbound ARQ
+    // links before any node starts consuming frames.
+    let mut acks: HashMap<String, InboxBinding> = HashMap::new();
+    loop {
+        let line = read_line(input)?;
+        if line == "GO" {
+            break;
+        }
+        if let Some((name, binding)) = parse_addr_line(&line, "ACK ", cfg.transport)? {
+            acks.insert(name.to_string(), binding);
+        }
+    }
+    if matches!(cfg.reliability.mode, ReliabilityMode::Arq) {
+        for spec in table.iter().filter(|s| s.receiver == me) {
+            let ack = acks
+                .get(&spec.name)
+                .ok_or_else(|| peer_err(&spec.name, "no ack inbox advertised for an ARQ link"))?;
+            let ack = ack.clone();
+            let (from, recv, stats) = factory.remote_recv_state(&ack, &spec.name, spec.from)?;
+            let inbox = inboxes.get_mut(&spec.inbox).ok_or_else(|| RuntimeError::Topology {
+                reason: format!(
+                    "inbound link {:?} targets unbound inbox {:?}",
+                    spec.name, spec.inbox
+                ),
+            })?;
+            inbox.register(Some((from, recv)));
+            if spec.tracked {
+                reported.push((spec.name.clone(), stats));
+            }
+        }
+    }
+
+    // Run the role's nodes until the orchestrator's shutdown frames.
+    let missing = |what: &str| RuntimeError::Topology {
+        reason: format!("role {} is missing {what}", role.token()),
+    };
+    let arq_states = std::mem::take(&mut factory.arq_states);
+    let pump_stop = AtomicBool::new(false);
+    let mut node_reports: Vec<NodeReport> = Vec::new();
+    std::thread::scope(|scope| -> Result<()> {
+        let _pump_guard = PumpStopGuard(&pump_stop);
+        if !arq_states.is_empty() {
+            scope.spawn(|| run_retransmit_pump(&arq_states, &pump_stop));
+        }
+        let mut handles = Vec::new();
+        match &role {
+            Role::Devices => {
+                for d in 0..num_devices {
+                    let rx = inboxes
+                        .remove(&format!("device{d}"))
+                        .ok_or_else(|| missing("a device inbox"))?;
+                    let to_gw = senders
+                        .remove(&format!("device{d}->gateway"))
+                        .ok_or_else(|| missing("a gateway link"))?;
+                    let to_upper = senders
+                        .remove(&format!("device{d}->{}", topology.tiers[0].name))
+                        .ok_or_else(|| missing("an uplink"))?;
+                    let part = topology.devices[d].clone();
+                    let dev_obs = Arc::clone(&obs);
+                    handles.push(scope.spawn(move || {
+                        device_node(d, part, rx, to_gw, to_upper, true, 1, dev_obs, None)
+                    }));
+                }
+            }
+            Role::Gateway => {
+                let gateway_to_device: Vec<Option<LinkSender>> = (0..num_devices)
+                    .map(|d| senders.remove(&format!("gateway->device{d}")))
+                    .collect();
+                if gateway_to_device.iter().any(Option::is_none) {
+                    return Err(missing("a device broadcast link"));
+                }
+                let collector = Collector::new(
+                    num_devices,
+                    blanks.iter().map(|b| b.scores.clone()).collect(),
+                    make_policy(cfg.deadlines, clock, &live),
+                    (0..num_devices).map(Some).collect(),
+                );
+                let node = TierNode {
+                    name: "gateway".to_string(),
+                    id: NodeId::Gateway,
+                    exit_tier: 0,
+                    section: ScoresSection { agg: topology.gateway.agg.clone() },
+                    policy: ExitPolicy::Entropy(cfg.local_threshold),
+                    fan_in: FanIn::Devices(num_devices),
+                    inbox: inboxes.remove("gateway").ok_or_else(|| missing("its inbox"))?,
+                    to_orchestrator: senders
+                        .remove("gateway->orchestrator")
+                        .ok_or_else(|| missing("its verdict link"))?,
+                    escalation: Escalation::RequestFromDevices(gateway_to_device),
+                    collector,
+                    obs: NodeObs::for_node(&obs, "gateway"),
+                    elastic: None,
+                    batch_max: 1,
+                };
+                handles.push(scope.spawn(move || node.run()));
+            }
+            Role::Tier(k) => {
+                let k = *k;
+                let spec = topology.tiers.get(k).ok_or_else(|| missing("its tier spec"))?;
+                let last = topology.tiers.len() - 1;
+                let collector = if k == 0 {
+                    Collector::new(
+                        num_devices,
+                        tier_blanks[0].clone(),
+                        make_policy(cfg.deadlines, clock, &live),
+                        (0..num_devices).map(Some).collect(),
+                    )
+                } else {
+                    Collector::new(
+                        1,
+                        tier_blanks[k].clone(),
+                        make_policy(cfg.deadlines, clock, &[true]),
+                        vec![None],
+                    )
+                };
+                let escalation = if k == last {
+                    Escalation::Terminal
+                } else {
+                    Escalation::ForwardMap(
+                        senders
+                            .remove(&format!("{}->{}", spec.name, topology.tiers[k + 1].name))
+                            .ok_or_else(|| missing("its forward link"))?,
+                    )
+                };
+                let node = TierNode {
+                    name: spec.name.clone(),
+                    id: spec.id,
+                    exit_tier: (k + 1).min(usize::from(u8::MAX)) as u8,
+                    section: FeatureSection {
+                        agg: spec.agg.clone(),
+                        convs: spec.convs.clone(),
+                        exit: spec.exit.clone(),
+                    },
+                    policy: match &spec.rule {
+                        TierExitRule::ConfigEdgeThreshold => {
+                            ExitPolicy::Entropy(cfg.edge_threshold)
+                        }
+                        TierExitRule::Fixed(t) => ExitPolicy::Entropy(*t),
+                        TierExitRule::Terminal => ExitPolicy::Terminal,
+                    },
+                    fan_in: if k == 0 {
+                        FanIn::Devices(num_devices)
+                    } else {
+                        FanIn::Tier(topology.tiers[k - 1].id)
+                    },
+                    inbox: inboxes.remove(&spec.name).ok_or_else(|| missing("its inbox"))?,
+                    to_orchestrator: senders
+                        .remove(&format!("{}->orchestrator", spec.name))
+                        .ok_or_else(|| missing("its verdict link"))?,
+                    escalation,
+                    collector,
+                    obs: NodeObs::for_node(&obs, &spec.name),
+                    elastic: None,
+                    batch_max: 1,
+                };
+                handles.push(scope.spawn(move || node.run()));
+            }
+        }
+        for h in handles {
+            node_reports.push(h.join().map_err(|_| RuntimeError::Disconnected {
+                node: "panicked node thread".to_string(),
+            })??);
+        }
+        Ok(())
+    })?;
+    factory.shutdown_transport();
+
+    // Report what this role measured.
+    for (name, stats) in &reported {
+        writeln!(out, "{}", fmt_link_line(name, stats)).map_err(io_err)?;
+    }
+    for report in &node_reports {
+        writeln!(out, "{}", fmt_node_line(report)).map_err(io_err)?;
+    }
+    writeln!(out, "DONE").and_then(|()| out.flush()).map_err(io_err)?;
+    Ok(())
+}

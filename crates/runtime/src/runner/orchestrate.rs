@@ -73,6 +73,29 @@ pub(super) fn validate_run(
             });
         }
     }
+    if cfg.transport.is_socket() {
+        // Socket reads are deadline-budgeted timed polls; without
+        // deadlines the receive loops would rely on channel-disconnect
+        // semantics that sockets do not provide.
+        if cfg.deadlines.is_none() {
+            return Err(RuntimeError::Config {
+                reason: format!(
+                    "the {} transport requires deadlines (set cfg.deadlines)",
+                    cfg.transport.name()
+                ),
+            });
+        }
+        if cfg.transport == crate::transport::TransportConfig::Udp
+            && !cfg.reliability.mode.is_checked()
+        {
+            return Err(RuntimeError::Config {
+                reason: "the udp transport requires a checked wire format \
+                         (ReliabilityConfig::crc or ::arq); legacy frames carry no \
+                         integrity or loss protection on real datagrams"
+                    .to_string(),
+            });
+        }
+    }
     Ok(live)
 }
 

@@ -16,9 +16,10 @@ use crate::message::NodeId;
 use crate::obs::ObsConfig;
 use crate::orchestrator::ElasticConfig;
 use crate::reliability::ReliabilityConfig;
+use crate::transport::TransportConfig;
 use ddnn_core::{
-    ConvPBlock, DdnnConfig, DdnnPartition, DevicePart, ExitHead, ExitPoint, ExitThreshold,
-    FeatureAggregator, GatewayPart,
+    AggregationScheme, ConvPBlock, DdnnConfig, DdnnPartition, DevicePart, EdgeConfig, ExitHead,
+    ExitPoint, ExitThreshold, FeatureAggregator, GatewayPart,
 };
 
 /// Configuration of a simulated hierarchy run.
@@ -63,6 +64,12 @@ pub struct HierarchyConfig {
     /// `None` (the default) keeps the closed-loop lockstep feed and its
     /// exact legacy path; requires `deadlines`.
     pub stream: Option<StreamConfig>,
+    /// Which dataplane carries the frames: the default in-process
+    /// channel (bit-identical to the legacy runner), length-prefixed
+    /// TCP streams, or UDP datagrams (pair with
+    /// [`ReliabilityConfig::arq`] to recover real datagram loss).
+    /// Socket transports require `deadlines`.
+    pub transport: TransportConfig,
 }
 
 impl Default for HierarchyConfig {
@@ -79,6 +86,7 @@ impl Default for HierarchyConfig {
             obs: ObsConfig::default(),
             elastic: None,
             stream: None,
+            transport: TransportConfig::Channel,
         }
     }
 }
@@ -312,6 +320,180 @@ impl HierarchyBuilder {
             placeholder_links: Vec::new(),
         })
     }
+}
+
+// --- Role manifest -------------------------------------------------------
+//
+// The multi-process launcher ships each role host everything it needs to
+// rebuild its slice of the run: the seeded model geometry (weights are
+// re-derived from the seed, so they are bit-identical in every process)
+// and the run parameters that shape node behavior. Hand-rolled
+// `key=value` lines — the whole config is scalars and two enums, and the
+// format must stay stable across the stdio handshake without a serde
+// dependency. Thresholds travel as f32 bit patterns so no decimal
+// round-trip can perturb an exit decision.
+
+fn agg_name(a: AggregationScheme) -> &'static str {
+    match a {
+        AggregationScheme::MaxPool => "maxpool",
+        AggregationScheme::AvgPool => "avgpool",
+        AggregationScheme::Concat => "concat",
+    }
+}
+
+fn parse_agg(s: &str) -> Result<AggregationScheme> {
+    match s {
+        "maxpool" => Ok(AggregationScheme::MaxPool),
+        "avgpool" => Ok(AggregationScheme::AvgPool),
+        "concat" => Ok(AggregationScheme::Concat),
+        other => Err(RuntimeError::Protocol { reason: format!("unknown aggregation {other:?}") }),
+    }
+}
+
+/// Serializes the model + run configuration a role host needs. The
+/// launcher validates before encoding, so only multiproc-compatible
+/// configurations (no elastic/stream/fault extras) ever travel.
+pub(crate) fn encode_role_manifest(model: &DdnnConfig, cfg: &HierarchyConfig) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let dl = cfg.deadlines.unwrap_or_default();
+    writeln!(s, "num_devices={}", model.num_devices).unwrap();
+    writeln!(s, "num_classes={}", model.num_classes).unwrap();
+    writeln!(s, "device_filters={}", model.device_filters).unwrap();
+    writeln!(s, "local_agg={}", agg_name(model.local_agg)).unwrap();
+    writeln!(s, "cloud_agg={}", agg_name(model.cloud_agg)).unwrap();
+    match &model.edge {
+        Some(e) => writeln!(s, "edge={}:{}", e.filters, agg_name(e.agg)).unwrap(),
+        None => writeln!(s, "edge=none").unwrap(),
+    }
+    writeln!(s, "cloud_filters={},{}", model.cloud_filters[0], model.cloud_filters[1]).unwrap();
+    let precision = match model.cloud_precision {
+        ddnn_core::Precision::Binary => "binary",
+        ddnn_core::Precision::Float => "float",
+    };
+    writeln!(s, "cloud_precision={precision}").unwrap();
+    writeln!(s, "seed={}", model.seed).unwrap();
+    writeln!(s, "local_threshold={:08x}", cfg.local_threshold.value().to_bits()).unwrap();
+    writeln!(s, "edge_threshold={:08x}", cfg.edge_threshold.value().to_bits()).unwrap();
+    writeln!(s, "aggregation_ms={}", dl.aggregation_ms).unwrap();
+    writeln!(s, "watchdog_ms={}", dl.watchdog_ms).unwrap();
+    writeln!(s, "max_retries={}", dl.max_retries).unwrap();
+    writeln!(s, "suspect_after={}", dl.suspect_after).unwrap();
+    let mode = match cfg.reliability.mode {
+        crate::reliability::ReliabilityMode::Legacy => "legacy",
+        crate::reliability::ReliabilityMode::Crc => "crc",
+        crate::reliability::ReliabilityMode::Arq => "arq",
+    };
+    writeln!(s, "reliability={mode}").unwrap();
+    let arq = &cfg.reliability.arq;
+    writeln!(s, "retransmit_ms={}", arq.retransmit_ms).unwrap();
+    writeln!(s, "backoff_cap_ms={}", arq.backoff_cap_ms).unwrap();
+    writeln!(s, "arq_max_retries={}", arq.max_retries).unwrap();
+    writeln!(s, "buffer_frames={}", arq.buffer_frames).unwrap();
+    writeln!(s, "max_age_ms={}", arq.max_age_ms).unwrap();
+    writeln!(s, "transport={}", cfg.transport.name()).unwrap();
+    s
+}
+
+/// Decodes a role manifest back into the model geometry and the
+/// hierarchy configuration a role host runs under.
+///
+/// # Errors
+///
+/// Returns a protocol error for missing keys or malformed values.
+pub(crate) fn decode_role_manifest(text: &str) -> Result<(DdnnConfig, HierarchyConfig)> {
+    let mut map: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once('=').ok_or_else(|| RuntimeError::Protocol {
+            reason: format!("manifest line without '=': {line:?}"),
+        })?;
+        map.insert(k, v);
+    }
+    let get = |k: &str| {
+        map.get(k).copied().ok_or_else(|| RuntimeError::Protocol {
+            reason: format!("manifest is missing key {k:?}"),
+        })
+    };
+    fn num<T: std::str::FromStr>(k: &str, v: &str) -> Result<T> {
+        v.parse().map_err(|_| RuntimeError::Protocol {
+            reason: format!("manifest key {k:?} has malformed value {v:?}"),
+        })
+    }
+    let f32_bits = |k: &str| -> Result<f32> {
+        let v = get(k)?;
+        u32::from_str_radix(v, 16).map(f32::from_bits).map_err(|_| RuntimeError::Protocol {
+            reason: format!("manifest key {k:?} has malformed f32 bits {v:?}"),
+        })
+    };
+    let edge = match get("edge")? {
+        "none" => None,
+        spec => {
+            let (filters, agg) = spec.split_once(':').ok_or_else(|| RuntimeError::Protocol {
+                reason: format!("malformed edge spec {spec:?}"),
+            })?;
+            Some(EdgeConfig { filters: num("edge", filters)?, agg: parse_agg(agg)? })
+        }
+    };
+    let (cf0, cf1) = get("cloud_filters")?
+        .split_once(',')
+        .ok_or_else(|| RuntimeError::Protocol { reason: "malformed cloud_filters".to_string() })?;
+    let model = DdnnConfig {
+        num_devices: num("num_devices", get("num_devices")?)?,
+        num_classes: num("num_classes", get("num_classes")?)?,
+        device_filters: num("device_filters", get("device_filters")?)?,
+        local_agg: parse_agg(get("local_agg")?)?,
+        cloud_agg: parse_agg(get("cloud_agg")?)?,
+        edge,
+        cloud_filters: [num("cloud_filters", cf0)?, num("cloud_filters", cf1)?],
+        cloud_precision: match get("cloud_precision")? {
+            "binary" => ddnn_core::Precision::Binary,
+            "float" => ddnn_core::Precision::Float,
+            other => {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("unknown precision {other:?}"),
+                })
+            }
+        },
+        seed: num("seed", get("seed")?)?,
+    };
+    let reliability = ReliabilityConfig {
+        mode: match get("reliability")? {
+            "legacy" => crate::reliability::ReliabilityMode::Legacy,
+            "crc" => crate::reliability::ReliabilityMode::Crc,
+            "arq" => crate::reliability::ReliabilityMode::Arq,
+            other => {
+                return Err(RuntimeError::Protocol {
+                    reason: format!("unknown reliability mode {other:?}"),
+                })
+            }
+        },
+        arq: crate::reliability::ArqTuning {
+            retransmit_ms: num("retransmit_ms", get("retransmit_ms")?)?,
+            backoff_cap_ms: num("backoff_cap_ms", get("backoff_cap_ms")?)?,
+            max_retries: num("arq_max_retries", get("arq_max_retries")?)?,
+            buffer_frames: num("buffer_frames", get("buffer_frames")?)?,
+            max_age_ms: num("max_age_ms", get("max_age_ms")?)?,
+        },
+        ..ReliabilityConfig::default()
+    };
+    let cfg = HierarchyConfig {
+        local_threshold: ExitThreshold::new(f32_bits("local_threshold")?),
+        edge_threshold: ExitThreshold::new(f32_bits("edge_threshold")?),
+        deadlines: Some(DeadlineConfig {
+            aggregation_ms: num("aggregation_ms", get("aggregation_ms")?)?,
+            watchdog_ms: num("watchdog_ms", get("watchdog_ms")?)?,
+            max_retries: num("max_retries", get("max_retries")?)?,
+            suspect_after: num("suspect_after", get("suspect_after")?)?,
+        }),
+        reliability,
+        transport: get("transport")?.parse()?,
+        ..HierarchyConfig::default()
+    };
+    Ok((model, cfg))
 }
 
 #[cfg(test)]

@@ -203,6 +203,15 @@ fn streaming_survives_churn_while_loaded() {
     // admission window loaded — on both wire formats. Conservation and
     // the queue bound must hold; churn may degrade or time samples out,
     // never lose them.
+    //
+    // Pacing matters for the liveness assertion at the bottom: churn
+    // flags flip at arrival index, so arrivals must be spread wide enough
+    // that up-windows outlast the pipeline and elastic detection
+    // (~2 heartbeats), and the watchdog budget short enough that stalled
+    // samples release their admission slots mid-stream. A flood-rate
+    // stream with a budget longer than the whole run turns the scenario
+    // into a wall-clock race where every slot can stall behind the first
+    // crash and nothing ever classifies on a slow machine.
     let model = Ddnn::new(DdnnConfig {
         num_devices: 3,
         device_filters: 2,
@@ -226,15 +235,15 @@ fn streaming_survives_churn_while_loaded() {
                 ..FaultPlan::none()
             },
             deadlines: Some(DeadlineConfig {
-                aggregation_ms: 150,
-                watchdog_ms: 800,
+                aggregation_ms: 60,
+                watchdog_ms: 250,
                 max_retries: 1,
                 suspect_after: 2,
             }),
             elastic: Some(ElasticConfig::fast()),
             reliability,
             stream: Some(StreamConfig {
-                arrival: ArrivalProcess::Poisson { rate_per_s: 300.0, seed: 5 },
+                arrival: ArrivalProcess::Poisson { rate_per_s: 30.0, seed: 5 },
                 queue_cap: 4,
                 batch_max: 4,
             }),

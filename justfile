@@ -99,6 +99,27 @@ streaming-matrix:
     DDNN_THREADS=1 cargo test -p ddnn-runtime --test streaming_tests -q
     DDNN_THREADS=4 cargo test -p ddnn-runtime --test streaming_tests -q
 
+# The transport suite: loopback verdict equivalence across channel/TCP/
+# UDP+ARQ, socket junk resilience, and the multi-process launcher tests.
+transport-smoke:
+    cargo test -p ddnn-runtime --test transport_tests --test multiproc_tests -q
+    cargo test -p ddnn-runtime --lib -q transport
+
+# End-to-end multi-process smoke: the hierarchy as four OS processes on
+# localhost (TCP, then UDP under ARQ), verdicts checked against the
+# in-process run by the binary itself.
+multiproc-smoke:
+    cargo run --release -p ddnn-runtime --bin ddnn-node -- demo --transport tcp --samples 12
+    cargo run --release -p ddnn-runtime --bin ddnn-node -- demo --transport udp --samples 12
+
+# In-process channel vs localhost TCP vs UDP+ARQ: goodput and measured
+# tail latency of the same streamed workload -> results/BENCH_transport.json
+bench-transport:
+    cargo run --release -p ddnn-bench --bin transport
+
+bench-transport-smoke:
+    cargo run --release -p ddnn-bench --bin transport -- --smoke
+
 # Experiment runners tee stderr to results/*.err; an empty .err means
 # the run was clean and the file is noise. Drop the stragglers.
 results-clean:
