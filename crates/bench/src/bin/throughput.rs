@@ -74,10 +74,10 @@ fn outcome_counts(report: &SimReport) -> (usize, usize, usize) {
 /// timed-out samples never produced a verdict to score.
 fn classified_accuracy(report: &SimReport, labels: &[usize]) -> f32 {
     let (mut classified, mut correct) = (0usize, 0usize);
-    for i in 0..labels.len() {
+    for (i, label) in labels.iter().enumerate() {
         if matches!(report.outcomes[i], SampleOutcome::Classified) {
             classified += 1;
-            if report.predictions[i] == labels[i] {
+            if report.predictions[i] == *label {
                 correct += 1;
             }
         }

@@ -9,11 +9,17 @@
 //!   in-process and once as four OS processes on localhost, and exits
 //!   nonzero unless the two runs agree verdict for verdict. CI runs this
 //!   as the multi-process gate.
+//! * `ddnn-node demo ... --kill <role>@<sample> [--respawn-after N]`
+//!   SIGKILLs a role process (`devices`, `gateway`, `tier0`, `tier1`,
+//!   ...) mid-run — optionally respawning it N samples later — and shows
+//!   the supervised runtime degrading with typed outcomes instead of
+//!   hanging. Pre-kill verdicts must still match the fault-free run.
 
 use ddnn_core::{AggregationScheme, Ddnn, DdnnConfig, EdgeConfig, ExitThreshold};
 use ddnn_runtime::{
-    multiproc, run_topology, DeadlineConfig, HierarchyConfig, ReliabilityConfig, SimReport,
-    Topology, TransportConfig,
+    multiproc, run_topology, DeadlineConfig, HierarchyConfig, ProcAction, ProcChaosEvent,
+    ProcChaosPlan, ProcTarget, ReliabilityConfig, SampleOutcome, SimReport, Topology,
+    TransportConfig,
 };
 use ddnn_tensor::rng::rng_from_seed;
 use ddnn_tensor::Tensor;
@@ -21,8 +27,24 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: ddnn-node host");
-    eprintln!("       ddnn-node demo --transport tcp|udp [--samples N]");
+    eprintln!(
+        "       ddnn-node demo --transport tcp|udp [--samples N] \
+         [--kill <role>@<sample> [--respawn-after N]]"
+    );
+    eprintln!("       roles: devices, gateway, tier0, tier1, ...");
     ExitCode::FAILURE
+}
+
+/// Parses `<role>@<sample>`, e.g. `gateway@3` or `tier0@5`.
+fn parse_kill(spec: &str) -> Option<(ProcTarget, u64)> {
+    let (role, at) = spec.split_once('@')?;
+    let at = at.parse().ok()?;
+    let role = match role {
+        "devices" => ProcTarget::Devices,
+        "gateway" => ProcTarget::Gateway,
+        tier => ProcTarget::Tier(tier.strip_prefix("tier")?.parse().ok()?),
+    };
+    Some((role, at))
 }
 
 fn main() -> ExitCode {
@@ -43,6 +65,8 @@ fn main() -> ExitCode {
 fn demo(args: &[String]) -> ExitCode {
     let mut transport = None;
     let mut samples = 10usize;
+    let mut kill: Option<(ProcTarget, u64)> = None;
+    let mut respawn_after = 0u64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -54,11 +78,33 @@ fn demo(args: &[String]) -> ExitCode {
                 Some(Ok(n)) if n > 0 => samples = n,
                 _ => return usage(),
             },
+            "--kill" => match it.next().map(|v| parse_kill(v)) {
+                Some(Some(k)) => kill = Some(k),
+                _ => return usage(),
+            },
+            "--respawn-after" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => respawn_after = n,
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
     let Some(transport) = transport else {
         return usage();
+    };
+    let proc_chaos = match kill {
+        None => ProcChaosPlan::none(),
+        Some((role, at)) => {
+            let mut events = vec![ProcChaosEvent { at_sample: at, role, action: ProcAction::Kill }];
+            if respawn_after > 0 {
+                events.push(ProcChaosEvent {
+                    at_sample: at + respawn_after,
+                    role,
+                    action: ProcAction::Respawn,
+                });
+            }
+            ProcChaosPlan { events }
+        }
     };
 
     // A seeded edge hierarchy: devices + gateway + edge tier + cloud
@@ -83,15 +129,22 @@ fn demo(args: &[String]) -> ExitCode {
         // demo covers the ack path on both socket transports.
         reliability: ReliabilityConfig::arq(),
         transport,
+        proc_chaos,
         ..HierarchyConfig::default()
     };
 
     let topology = Topology::from_partition(&model.partition());
+    // The in-process reference is always fault-free: it is what the
+    // surviving samples of a chaotic run are compared against.
     let reference = match run_topology(
         &topology,
         &views,
         &labels,
-        &HierarchyConfig { transport: TransportConfig::Channel, ..cfg.clone() },
+        &HierarchyConfig {
+            transport: TransportConfig::Channel,
+            proc_chaos: ProcChaosPlan::none(),
+            ..cfg.clone()
+        },
     ) {
         Ok(r) => r,
         Err(e) => {
@@ -113,6 +166,36 @@ fn demo(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some((role, at)) = kill {
+        // Chaotic run: every sample must end typed, and the samples
+        // classified before the kill must still match the fault-free run.
+        let classified =
+            multi.outcomes.iter().filter(|o| matches!(o, SampleOutcome::Classified)).count();
+        let timed_out =
+            multi.outcomes.iter().filter(|o| matches!(o, SampleOutcome::TimedOut { .. })).count();
+        if classified + timed_out != samples {
+            eprintln!("ddnn-node demo: untyped outcome in {:?}", multi.outcomes);
+            return ExitCode::FAILURE;
+        }
+        let pre_kill = at.min(samples as u64) as usize;
+        if multi.predictions[..pre_kill] != reference.predictions[..pre_kill] {
+            eprintln!("ddnn-node demo: pre-kill verdicts diverged from the fault-free run");
+            return ExitCode::FAILURE;
+        }
+        let counter = |suffix: &str| {
+            let name = format!("proc.{role}.{suffix}");
+            multi.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+        };
+        println!(
+            "ddnn-node demo: killed {role} at sample {at} over {} — {classified} classified, \
+             {timed_out} typed timeouts, kills={}, respawns={}; no hang, no panic",
+            transport.name(),
+            counter("kills"),
+            counter("respawns"),
+        );
+        return ExitCode::SUCCESS;
+    }
 
     let verdicts = |r: &SimReport| (r.predictions.clone(), r.exits.clone());
     if verdicts(&reference) != verdicts(&multi) {

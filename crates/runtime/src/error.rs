@@ -72,6 +72,17 @@ pub enum RuntimeError {
         /// The underlying error.
         reason: String,
     },
+    /// A peer *process* of the multi-process launcher misbehaved at the
+    /// supervision layer: it hung past a handshake or reap deadline, died
+    /// unexpectedly, or went silent on heartbeats. Unlike
+    /// [`RuntimeError::Transport`] (a socket-level OS error), this is the
+    /// launcher's typed verdict about a child process it supervises.
+    Peer {
+        /// The role process involved ("devices", "gateway", "tier0", …).
+        role: String,
+        /// What the supervisor observed.
+        reason: String,
+    },
     /// A frame from before the current topology epoch reached a node after
     /// a reconfiguration (a re-joined or re-parented sender replaying old
     /// traffic). Nodes discard such frames and count them instead of
@@ -104,6 +115,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Transport { endpoint, reason } => {
                 write!(f, "transport error on {endpoint}: {reason}")
+            }
+            RuntimeError::Peer { role, reason } => {
+                write!(f, "peer process {role}: {reason}")
             }
             RuntimeError::StaleEpoch { seq, epoch } => {
                 write!(f, "frame for sample {seq} predates topology epoch {epoch}")
@@ -160,6 +174,9 @@ mod tests {
         let e = RuntimeError::Transport { endpoint: "ack:gw".into(), reason: "refused".into() };
         assert!(e.to_string().contains("ack:gw"));
         assert!(e.to_string().contains("refused"));
+        let e = RuntimeError::Peer { role: "tier0".into(), reason: "handshake timed out".into() };
+        assert!(e.to_string().contains("tier0"));
+        assert!(e.to_string().contains("handshake timed out"));
     }
 
     #[test]

@@ -159,6 +159,240 @@ impl ChurnSchedule {
     }
 }
 
+/// Which role *process* of the multi-process launcher a chaos event
+/// targets. Unlike [`ChurnTarget`] (a simulated membership change inside
+/// one process), these name the actual OS processes the launcher spawns:
+/// the devices host, the gateway host, or the k-th feature-tier host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcTarget {
+    /// The process hosting every end-device thread.
+    Devices,
+    /// The gateway (local aggregator) process.
+    Gateway,
+    /// The k-th feature tier process (0-based along the tier chain).
+    Tier(usize),
+}
+
+impl std::fmt::Display for ProcTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcTarget::Devices => write!(f, "devices"),
+            ProcTarget::Gateway => write!(f, "gateway"),
+            ProcTarget::Tier(k) => write!(f, "tier{k}"),
+        }
+    }
+}
+
+/// What happens to the target process at a chaos event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcAction {
+    /// SIGKILL the role process. Its sockets die with it; the launcher
+    /// folds the loss into deadline degradation (blank substitution,
+    /// forced local exits, typed timeouts) instead of hanging.
+    Kill,
+    /// Spawn a fresh process for the role, re-handshake it with the same
+    /// manifest, rewire the surviving processes' sockets to it, and let it
+    /// rejoin at the current sample index.
+    Respawn,
+}
+
+/// One scheduled process kill or respawn, applied just before the
+/// captures of `at_sample` are sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcChaosEvent {
+    /// Sample index (0-based) the event fires before.
+    pub at_sample: u64,
+    /// The role process affected.
+    pub role: ProcTarget,
+    /// Kill or respawn.
+    pub action: ProcAction,
+}
+
+/// A deterministic schedule of real process kills and respawns for the
+/// multi-process launcher — the OS-level counterpart of PR 6's
+/// [`ChurnSchedule`]. The empty plan (the default) leaves the launcher on
+/// its exact legacy code path; an active plan is launcher-only and is
+/// rejected by the in-process runners.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcChaosPlan {
+    /// The schedule, in any order; validation checks per-role
+    /// consistency, and the supervisor applies events sorted by sample.
+    pub events: Vec<ProcChaosEvent>,
+}
+
+impl ProcChaosPlan {
+    /// The empty plan: no process is ever killed.
+    pub fn none() -> Self {
+        ProcChaosPlan::default()
+    }
+
+    /// Whether the plan contains no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A seeded kill schedule: each role is killed once at a random sample
+    /// in `[1, n_samples)` (never before the first sample, so every run
+    /// does some work first). When `respawn_after > 0`, a respawn is
+    /// scheduled that many samples after each kill when it still fits the
+    /// run. The generated plan always validates.
+    pub fn seeded_kills(
+        seed: u64,
+        n_samples: u64,
+        roles: &[ProcTarget],
+        respawn_after: u64,
+    ) -> Self {
+        let mut events = Vec::new();
+        let hi = n_samples.max(2);
+        for role in roles {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ fnv1a(role.to_string().as_bytes()).wrapping_add(0x6b11),
+            );
+            let at = rng.gen_range(1..hi);
+            events.push(ProcChaosEvent { at_sample: at, role: *role, action: ProcAction::Kill });
+            if respawn_after > 0 {
+                let up_at = at + respawn_after;
+                if up_at < n_samples {
+                    events.push(ProcChaosEvent {
+                        at_sample: up_at,
+                        role: *role,
+                        action: ProcAction::Respawn,
+                    });
+                }
+            }
+        }
+        ProcChaosPlan { events }
+    }
+
+    /// Validates the plan against the hierarchy it will supervise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for a tier index out of range, two
+    /// same-sample events for one role, or a sequence that is not a strict
+    /// kill/respawn alternation starting with a kill.
+    pub fn validate(&self, num_tiers: usize) -> Result<()> {
+        let mut per_role: Vec<(ProcTarget, Vec<&ProcChaosEvent>)> = Vec::new();
+        for event in &self.events {
+            if let ProcTarget::Tier(k) = event.role {
+                if k >= num_tiers {
+                    return Err(RuntimeError::Config {
+                        reason: format!("proc chaos plan targets tier {k} out of range"),
+                    });
+                }
+            }
+            match per_role.iter_mut().find(|(r, _)| *r == event.role) {
+                Some((_, events)) => events.push(event),
+                None => per_role.push((event.role, vec![event])),
+            }
+        }
+        for (role, mut events) in per_role {
+            events.sort_by_key(|e| e.at_sample);
+            let mut expected = ProcAction::Kill;
+            let mut prev_sample = None;
+            for event in events {
+                if prev_sample == Some(event.at_sample) {
+                    return Err(RuntimeError::Config {
+                        reason: format!(
+                            "proc chaos plan has two events for {role} at sample {}",
+                            event.at_sample
+                        ),
+                    });
+                }
+                if event.action != expected {
+                    let what = match event.action {
+                        ProcAction::Respawn => "respawn before any kill",
+                        ProcAction::Kill => "kill of an already-dead role",
+                    };
+                    return Err(RuntimeError::Config {
+                        reason: format!(
+                            "proc chaos plan: {what} for {role} at sample {}",
+                            event.at_sample
+                        ),
+                    });
+                }
+                expected = match event.action {
+                    ProcAction::Kill => ProcAction::Respawn,
+                    ProcAction::Respawn => ProcAction::Kill,
+                };
+                prev_sample = Some(event.at_sample);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Seeded chaos injected at the socket boundary of the real-FD
+/// transports: UDP datagrams are dropped, duplicated or delayed and TCP
+/// streams are severed mid-frame *below* the [`FaultPlan`] send boundary,
+/// so ARQ retransmission, CRC framing and the transport's reconnect path
+/// face pathology on actual file descriptors. Each link draws from its
+/// own stream seeded by `seed` mixed with the link's name, exactly like
+/// [`LinkFault`], so a plan replays identically across runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocketChaosPlan {
+    /// Seed of the per-link chaos streams.
+    pub seed: u64,
+    /// Probability that a UDP datagram is silently dropped at the socket.
+    pub drop_prob: f32,
+    /// Probability that a UDP datagram is sent twice.
+    pub duplicate_prob: f32,
+    /// Maximum extra delay per transmission, in milliseconds (uniform in
+    /// `[0, delay_ms]`), applied before the bytes hit the socket.
+    pub delay_ms: u32,
+    /// Probability that a TCP transmission severs the stream mid-frame:
+    /// a partial frame is written, then the connection is closed, so the
+    /// peer observes a real half-open/EOF condition.
+    pub sever_prob: f32,
+}
+
+impl SocketChaosPlan {
+    /// A plan that injects nothing at the socket boundary.
+    pub fn none() -> Self {
+        SocketChaosPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay_ms: 0,
+            sever_prob: 0.0,
+        }
+    }
+
+    /// Whether this plan injects any socket-level chaos.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.delay_ms > 0
+            || self.sever_prob > 0.0
+    }
+
+    /// Validates the probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for probabilities outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        for (what, p) in [
+            ("drop_prob", self.drop_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("sever_prob", self.sever_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(RuntimeError::Config {
+                    reason: format!("socket chaos {what} {p} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SocketChaosPlan {
+    fn default() -> Self {
+        SocketChaosPlan::none()
+    }
+}
+
 /// A seeded, deterministic plan of dynamic faults injected into the links
 /// of a run. [`FaultPlan::none`] (the default) injects nothing and leaves
 /// the runtime on its exact legacy code path.
@@ -611,7 +845,7 @@ pub(crate) struct LinkFault {
 
 /// FNV-1a, used to derive a per-link seed from the plan seed and the
 /// link's name so streams are independent of spawn/scheduling order.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -950,6 +1184,87 @@ mod tests {
             ev(2, ChurnTarget::Tier("cloud".into()), Crash),
         ]);
         assert!(plan.validate_nodes(&tiers, &[]).is_ok());
+    }
+
+    #[test]
+    fn proc_chaos_validation_requires_kill_respawn_alternation() {
+        use ProcAction::{Kill, Respawn};
+        let pev = |at_sample: u64, role: ProcTarget, action: ProcAction| ProcChaosEvent {
+            at_sample,
+            role,
+            action,
+        };
+        // A respawn with no preceding kill is rejected.
+        let plan = ProcChaosPlan { events: vec![pev(2, ProcTarget::Gateway, Respawn)] };
+        let err = plan.validate(2).unwrap_err();
+        assert!(err.to_string().contains("respawn before any kill"), "{err}");
+        // Killing an already-dead role is rejected.
+        let plan = ProcChaosPlan {
+            events: vec![pev(1, ProcTarget::Devices, Kill), pev(3, ProcTarget::Devices, Kill)],
+        };
+        assert!(plan.validate(2).unwrap_err().to_string().contains("already-dead"));
+        // Two events for one role at the same sample are rejected.
+        let plan = ProcChaosPlan {
+            events: vec![pev(1, ProcTarget::Tier(0), Kill), pev(1, ProcTarget::Tier(0), Respawn)],
+        };
+        assert!(plan.validate(2).unwrap_err().to_string().contains("two events"));
+        // Tier indices out of range are rejected.
+        let plan = ProcChaosPlan { events: vec![pev(0, ProcTarget::Tier(2), Kill)] };
+        assert!(plan.validate(2).is_err());
+        // A well-formed kill→respawn→kill sequence validates in any order.
+        let plan = ProcChaosPlan {
+            events: vec![
+                pev(5, ProcTarget::Gateway, Kill),
+                pev(3, ProcTarget::Gateway, Respawn),
+                pev(1, ProcTarget::Gateway, Kill),
+                pev(2, ProcTarget::Tier(1), Kill),
+            ],
+        };
+        plan.validate(2).unwrap();
+        assert!(!plan.is_empty());
+        assert!(ProcChaosPlan::none().is_empty());
+    }
+
+    #[test]
+    fn seeded_kill_plans_are_deterministic_and_valid() {
+        let roles = [ProcTarget::Devices, ProcTarget::Gateway, ProcTarget::Tier(0)];
+        let a = ProcChaosPlan::seeded_kills(7, 10, &roles, 0);
+        let b = ProcChaosPlan::seeded_kills(7, 10, &roles, 0);
+        assert_eq!(a, b, "same seed, same plan");
+        a.validate(1).unwrap();
+        assert_eq!(a.events.len(), 3, "one kill per role, no respawns");
+        for e in &a.events {
+            assert!(e.at_sample >= 1, "never kills before the first sample");
+            assert_eq!(e.action, ProcAction::Kill);
+        }
+        let c = ProcChaosPlan::seeded_kills(8, 10, &roles, 0);
+        assert_ne!(a, c, "different seed, different kill points");
+        // With respawns requested, each in-range kill gains a respawn and
+        // the plan still validates.
+        let d = ProcChaosPlan::seeded_kills(7, 40, &roles, 3);
+        d.validate(1).unwrap();
+        let kills = d.events.iter().filter(|e| e.action == ProcAction::Kill).count();
+        let respawns = d.events.iter().filter(|e| e.action == ProcAction::Respawn).count();
+        assert_eq!(kills, 3);
+        assert!(respawns >= 1, "a 40-sample run fits at least one respawn");
+    }
+
+    #[test]
+    fn socket_chaos_validation_and_activity() {
+        assert!(!SocketChaosPlan::none().is_active());
+        SocketChaosPlan::none().validate().unwrap();
+        let plan = SocketChaosPlan { seed: 3, drop_prob: 0.1, ..SocketChaosPlan::none() };
+        assert!(plan.is_active());
+        plan.validate().unwrap();
+        for bad in [
+            SocketChaosPlan { drop_prob: 1.5, ..SocketChaosPlan::none() },
+            SocketChaosPlan { duplicate_prob: -0.1, ..SocketChaosPlan::none() },
+            SocketChaosPlan { sever_prob: 2.0, ..SocketChaosPlan::none() },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        assert!(SocketChaosPlan { delay_ms: 5, ..SocketChaosPlan::none() }.is_active());
+        assert!(SocketChaosPlan { sever_prob: 0.2, ..SocketChaosPlan::none() }.is_active());
     }
 
     #[test]

@@ -83,7 +83,8 @@ pub use clock::SimClock;
 pub use error::{Result, RuntimeError};
 pub use fault::{
     ArrivalProcess, ChurnAction, ChurnEvent, ChurnSchedule, ChurnTarget, DeadlineConfig,
-    DeviceCrash, FaultPlan, StreamConfig, TierCrash,
+    DeviceCrash, FaultPlan, ProcAction, ProcChaosEvent, ProcChaosPlan, ProcTarget, SocketChaosPlan,
+    StreamConfig, TierCrash,
 };
 pub use link::{LatencyModel, LinkStats};
 pub use message::{

@@ -21,13 +21,16 @@
 use crate::error::{Result, RuntimeError};
 use crate::fault::{
     corrupt_bytes, truncate_len, CrashState, DeadlineConfig, Delivery, FaultPlan, LinkFault,
+    SocketChaosPlan,
 };
 use crate::message::{Frame, NodeId, CHECKED_HEADER_BYTES, HEADER_BYTES};
 use crate::obs::{LinkCounters, ObsEvent, RunObs};
 use crate::reliability::{
     ArqRecvState, ArqSendState, ArqTuning, ReliabilityConfig, ReliabilityMode,
 };
-use crate::transport::{channel_tx, InboxBinding, TransportConfig, TransportHost, TransportTx};
+use crate::transport::{
+    channel_tx, InboxBinding, RedialHandle, TransportConfig, TransportHost, TransportTx,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -552,6 +555,10 @@ pub(crate) struct LinkFactory<'a> {
     /// The run's dataplane: binds inboxes, connects senders, owns every
     /// socket reader thread (joined when the factory drops).
     transport: TransportHost,
+    /// Base transport sequence number for every ARQ sender this factory
+    /// creates (see [`ArqSendState::with_tseq_base`]); nonzero only in a
+    /// respawned role process.
+    tseq_base: u32,
     /// Send states for the run's retransmit pump, in creation order.
     pub(crate) arq_states: Vec<Arc<ArqSendState>>,
 }
@@ -574,8 +581,31 @@ impl<'a> LinkFactory<'a> {
             tolerant,
             obs,
             transport: host,
+            tseq_base: 0,
             arq_states: Vec::new(),
         }
+    }
+
+    /// Seeds the deterministic socket-chaos interposer on this factory's
+    /// dataplane; senders created afterwards roll drop/duplicate/delay
+    /// (UDP) and delay/sever (TCP) fates per the plan. No-op for an
+    /// inactive plan or the in-process channel transport.
+    pub(crate) fn set_socket_chaos(&mut self, plan: SocketChaosPlan) {
+        self.transport.set_socket_chaos(plan);
+    }
+
+    /// Starts every ARQ sender created after this call at transport
+    /// sequence `base + 1` — the respawn path of the multi-process
+    /// launcher, where a restarted role must number its frames above its
+    /// predecessor's range.
+    pub(crate) fn set_tseq_base(&mut self, base: u32) {
+        self.tseq_base = base;
+    }
+
+    /// A cloneable handle that can re-point this factory's named senders
+    /// at new socket addresses after a peer respawns.
+    pub(crate) fn redial_handle(&self) -> RedialHandle {
+        self.transport.redial_handle()
     }
 
     /// The wire format every inbox of this run decodes.
@@ -662,16 +692,19 @@ impl<'a> LinkFactory<'a> {
             let retx_fault = self
                 .fault_active
                 .then(|| Arc::new(LinkFault::new(self.plan, &format!("retx:{name}"), crash)));
-            let send_state = Arc::new(ArqSendState::new(
-                Arc::clone(&data_tx),
-                ack_rx,
-                Arc::clone(&stats),
-                retx_fault,
-                self.tuning,
-                CHECKED_HEADER_BYTES,
-                Arc::clone(&self.obs),
-                Arc::from(name),
-            ));
+            let send_state = Arc::new(
+                ArqSendState::new(
+                    Arc::clone(&data_tx),
+                    ack_rx,
+                    Arc::clone(&stats),
+                    retx_fault,
+                    self.tuning,
+                    CHECKED_HEADER_BYTES,
+                    Arc::clone(&self.obs),
+                    Arc::from(name),
+                )
+                .with_tseq_base(self.tseq_base),
+            );
             self.arq_states.push(Arc::clone(&send_state));
             (Some(send_state), Some(ack_binding))
         } else {

@@ -289,6 +289,22 @@ pub enum ObsEvent {
         /// Samples in the batch.
         size: usize,
     },
+    /// The multi-process supervisor killed a role process (scheduled
+    /// chaos), or observed it die / go heartbeat-silent.
+    ProcKilled {
+        /// Role token ("devices", "gateway", "tier0", …).
+        role: String,
+        /// Sample index the supervisor was driving when the role died.
+        at_sample: u64,
+    },
+    /// The multi-process supervisor respawned a role process and rewired
+    /// the surviving processes to it.
+    ProcRespawned {
+        /// Role token ("devices", "gateway", "tier0", …).
+        role: String,
+        /// Sample index the role rejoined at.
+        at_sample: u64,
+    },
     /// A reconfiguration changed a surviving node's parent (a device's
     /// offload target, or a tier's escalation target).
     Reparent {
@@ -321,6 +337,8 @@ impl ObsEvent {
             ObsEvent::MemberLeave { .. } => "member_leave",
             ObsEvent::SampleShed { .. } => "sample_shed",
             ObsEvent::BatchEvaluated { .. } => "batch_evaluated",
+            ObsEvent::ProcKilled { .. } => "proc_killed",
+            ObsEvent::ProcRespawned { .. } => "proc_respawned",
             ObsEvent::Reparent { .. } => "reparent",
         }
     }
@@ -382,6 +400,13 @@ impl ObsEvent {
             }
             ObsEvent::BatchEvaluated { node, size } => {
                 s.push_str(&format!(", \"node\": \"{}\", \"size\": {size}", escape(node)));
+            }
+            ObsEvent::ProcKilled { role, at_sample }
+            | ObsEvent::ProcRespawned { role, at_sample } => {
+                s.push_str(&format!(
+                    ", \"role\": \"{}\", \"at_sample\": {at_sample}",
+                    escape(role)
+                ));
             }
             ObsEvent::Reparent { child, from, to, epoch } => {
                 s.push_str(&format!(
@@ -652,6 +677,17 @@ mod tests {
         assert_eq!(
             batch.to_json(2),
             "{\"t_ms\": 2, \"event\": \"batch_evaluated\", \"node\": \"edge\", \"size\": 4}"
+        );
+        let killed = ObsEvent::ProcKilled { role: "tier0".to_string(), at_sample: 3 };
+        assert_eq!(
+            killed.to_json(5),
+            "{\"t_ms\": 5, \"event\": \"proc_killed\", \"role\": \"tier0\", \"at_sample\": 3}"
+        );
+        let respawned = ObsEvent::ProcRespawned { role: "gateway".to_string(), at_sample: 6 };
+        assert_eq!(
+            respawned.to_json(9),
+            "{\"t_ms\": 9, \"event\": \"proc_respawned\", \"role\": \"gateway\", \
+             \"at_sample\": 6}"
         );
     }
 

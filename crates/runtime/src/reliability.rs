@@ -229,6 +229,11 @@ const ACK_MAGIC: u8 = 0xA5;
 /// Most NACKed gaps one ack carries; deeper gaps wait for the next ack.
 const MAX_NACKS: usize = 16;
 
+/// A forward tseq jump larger than this is a sender restart, not packet
+/// loss: in-flight gaps are bounded by the retransmit buffer (hundreds of
+/// frames), while respawned processes start 2^20 sequence numbers apart.
+const REBASE_GAP: u32 = 1 << 16;
+
 /// Encodes an ack: `[magic][cum u32][n u8][n × u32 nacks][crc u32]`, all
 /// little-endian, CRC-32 over everything before the CRC field.
 fn encode_ack(cum: u32, nacks: &[u32]) -> Bytes {
@@ -343,6 +348,17 @@ impl ArqSendState {
             obs,
             link,
         }
+    }
+
+    /// Starts this sender's transport sequence numbers just past `base`
+    /// instead of at 1. A respawned role process uses a per-generation
+    /// base strictly above everything its predecessor could have sent, so
+    /// surviving receivers (whose cumulative ack already covers the old
+    /// range) treat the new process's frames as fresh rather than
+    /// discarding them as duplicates.
+    pub(crate) fn with_tseq_base(self, base: u32) -> Self {
+        self.inner.lock().next_tseq = base.wrapping_add(1).max(1);
+        self
     }
 
     /// Assigns the next transport sequence number and buffers the frame's
@@ -513,12 +529,23 @@ impl ArqRecvState {
     /// Records the arrival of transport sequence number `tseq` and sends
     /// an ack (cumulative + gap NACKs). Returns whether the frame is
     /// fresh (`false` = duplicate, already delivered once).
+    ///
+    /// A forward jump past [`REBASE_GAP`] is read as a sender restart
+    /// (respawned role processes number their frames from a fresh
+    /// per-generation base; see `ArqSendState::with_tseq_base`): the
+    /// window resets and the cumulative ack snaps to the new range, so
+    /// the restarted sender's frames ack normally instead of piling up
+    /// behind a gap that no retransmission can ever fill.
     pub(crate) fn accept(&mut self, tseq: u32) -> bool {
         let fresh = if tseq == 0 {
             true // sender does not run ARQ on this link
         } else if tseq <= self.cum || self.window.contains(&tseq) {
             false
         } else {
+            if tseq - self.cum > REBASE_GAP {
+                self.window.clear();
+                self.cum = tseq - 1;
+            }
             self.window.insert(tseq);
             while self.window.remove(&(self.cum + 1)) {
                 self.cum += 1;
@@ -625,6 +652,52 @@ mod tests {
         assert!(recv.accept(2));
         let last = drain(&ack_rx).pop().unwrap();
         assert_eq!(decode_ack(&last), Some((3, vec![])));
+    }
+
+    #[test]
+    fn recv_state_rebases_on_a_generational_tseq_jump() {
+        let (ack_tx, ack_rx) = unbounded();
+        let mut recv = ArqRecvState::new(
+            channel_tx(ack_tx),
+            stats(),
+            None,
+            RunObs::disabled(),
+            Arc::from("test-link"),
+        );
+        assert!(recv.accept(1));
+        assert!(recv.accept(2));
+        // A respawned sender restarts one generation up (2^20 apart):
+        // fresh, and the cumulative ack snaps to the new range instead of
+        // NACKing an unfillable million-frame gap.
+        let base = 1u32 << 20;
+        assert!(recv.accept(base + 1));
+        let last = drain(&ack_rx).pop().unwrap();
+        assert_eq!(decode_ack(&last), Some((base + 1, vec![])));
+        // Ordinary in-flight gaps (bounded by the retransmit buffer) are
+        // still tracked as losses, not read as restarts.
+        assert!(recv.accept(base + 5));
+        let last = drain(&ack_rx).pop().unwrap();
+        assert_eq!(decode_ack(&last), Some((base + 1, vec![base + 2, base + 3, base + 4])));
+    }
+
+    #[test]
+    fn send_state_numbers_frames_from_its_tseq_base() {
+        let (data_tx, data_rx) = unbounded();
+        let (_ack_tx, ack_rx) = unbounded();
+        let send = ArqSendState::new(
+            channel_tx(data_tx),
+            ack_rx,
+            stats(),
+            None,
+            ArqTuning::default(),
+            crate::message::CHECKED_HEADER_BYTES,
+            RunObs::disabled(),
+            Arc::from("test-link"),
+        )
+        .with_tseq_base(1 << 20);
+        assert_eq!(send.register(&frame(0)), (1 << 20) + 1);
+        assert_eq!(send.register(&frame(1)), (1 << 20) + 2);
+        drop(data_rx);
     }
 
     #[test]

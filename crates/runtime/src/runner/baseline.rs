@@ -61,6 +61,13 @@ pub fn run_cloud_only_baseline(
             reason: "the cloud-only baseline is closed-loop only (unset cfg.stream)".to_string(),
         });
     }
+    if !cfg.proc_chaos.is_empty() {
+        return Err(RuntimeError::Config {
+            reason: "process chaos needs real OS processes to kill; use the multi-process \
+                     launcher (multiproc::launch) or unset cfg.proc_chaos"
+                .to_string(),
+        });
+    }
     if cfg.transport.is_socket() {
         return Err(RuntimeError::Config {
             reason: format!(

@@ -127,6 +127,13 @@ pub fn run_topology(
 ) -> Result<SimReport> {
     let num_devices = topology.num_devices();
     let live = validate_run(num_devices, device_views, labels, cfg)?;
+    if !cfg.proc_chaos.is_empty() {
+        return Err(RuntimeError::Config {
+            reason: "process chaos needs real OS processes to kill; use the multi-process \
+                     launcher (multiproc::launch) or unset cfg.proc_chaos"
+                .to_string(),
+        });
+    }
     let tier_names: Vec<String> = topology.tiers.iter().map(|t| t.name.clone()).collect();
     cfg.fault_plan.validate_nodes(&tier_names, &cfg.failed_devices)?;
     let n_samples = labels.len();
@@ -179,6 +186,7 @@ pub fn run_topology(
         Arc::clone(&obs),
         cfg.transport,
     );
+    factory.set_socket_chaos(cfg.socket_chaos);
 
     // Wiring, in the exact legacy link order (the report lists links in
     // creation order).

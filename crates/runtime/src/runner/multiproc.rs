@@ -19,41 +19,85 @@
 //! launcher -> child   ADDR <inbox> <ip:port> ..., SENDERS
 //! child -> launcher   PORT ack:<link> <ip:port> ..., ACKBOUND
 //! launcher -> child   ACK <link> <ip:port> ..., GO
-//! (run: frames flow over TCP/UDP, stdio is quiet)
+//! (run: frames flow over TCP/UDP; the child emits HB <n> heartbeat
+//!  lines; the launcher may send REWIRE <link> <ip:port> after a peer
+//!  role respawned at new ports)
 //! child -> launcher   LINK <name> <9 counters> ..., NODE ... , DONE
 //! ```
 //!
+//! The launcher is also a *supervisor*: every handshake read is
+//! deadline-bounded, every child's exit status and heartbeat stream are
+//! polled while samples are driven, and a seeded
+//! [`ProcChaosPlan`](crate::ProcChaosPlan) can SIGKILL role processes
+//! mid-run (and respawn them). A dead role folds into the same graceful
+//! degradation as an in-process deadline miss — blank substitution,
+//! forced local exits, typed per-sample timeouts — instead of a hung
+//! pipe read. A respawned role re-handshakes with the same manifest
+//! plus a per-generation `tseq_base`, rebinds fresh ports, and the
+//! survivors are re-pointed at them with `REWIRE` lines.
+//!
 //! Scope: multi-process runs cover the closed-loop protocol on the
 //! partition-implied topology. Elastic orchestration, streaming
-//! arrivals, fault injection and static device failures stay in-process
-//! — their seeded state cannot span OS processes — and [`launch`]
-//! rejects them with typed configuration errors before spawning
-//! anything.
+//! arrivals, link fault injection and static device failures stay
+//! in-process — their seeded state cannot span OS processes — and
+//! [`launch`] rejects them with typed configuration errors before
+//! spawning anything. Process chaos ([`ProcChaosPlan`](crate::ProcChaosPlan))
+//! and socket chaos ([`SocketChaosPlan`](crate::SocketChaosPlan)) are the
+//! multi-process counterparts of that in-process fault plan.
 
 use super::orchestrate::{drive_samples, make_policy, validate_run};
 use super::{compute_blanks, PumpStopGuard};
 use crate::clock::SimClock;
 use crate::error::{Result, RuntimeError};
+use crate::fault::{ProcAction, ProcChaosEvent, ProcTarget};
 use crate::link::{LinkFactory, LinkSender, NodeInbox};
 use crate::message::{Frame, NodeId, Payload};
 use crate::node::collector::Collector;
 use crate::node::device::device_node;
 use crate::node::report::{assemble_report, NodeReport, RunTallies, SimReport};
 use crate::node::tier::{Escalation, FanIn, FeatureSection, ScoresSection, TierNode};
-use crate::obs::{LinkCounters, NodeObs, RunObs};
+use crate::obs::{Counter, LinkCounters, NodeObs, ObsEvent, RunObs};
 use crate::reliability::{run_retransmit_pump, ReliabilityMode};
 use crate::topology::{
-    decode_role_manifest, encode_role_manifest, HierarchyConfig, TierExitRule, Topology,
+    decode_role_manifest, encode_role_manifest, HierarchyConfig, RoleExtras, TierExitRule, Topology,
 };
-use crate::transport::{InboxBinding, TransportConfig};
+use crate::transport::{InboxBinding, RedialHandle, TransportConfig};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use ddnn_core::{Ddnn, DdnnConfig, ExitPolicy};
 use ddnn_tensor::Tensor;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
 use std::path::Path;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Budget for each stdio handshake phase (and the post-run telemetry
+/// read) before the launcher declares the child hung and kills it.
+/// Generous: debug-build children rebuild the model before answering.
+const PHASE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How long a role process may linger after its `DONE` line before the
+/// bounded reap kills it and reports a typed error.
+const REAP_GRACE: Duration = Duration::from_secs(15);
+
+/// Heartbeat staleness (in heartbeat periods) that books a
+/// `proc.{role}.heartbeat_misses` count.
+const MISS_PERIODS: u64 = 4;
+
+/// A live child whose heartbeat is older than this is declared hung and
+/// folded into degradation exactly like a dead one. Far above any
+/// scheduling jitter a loaded CI machine produces.
+const HEARTBEAT_HANG: Duration = Duration::from_secs(10);
+
+/// Respawn generations space their ARQ transport sequence numbers this
+/// far apart, so a restarted sender's frames land above everything its
+/// predecessor could have sent (see `ArqRecvState` rebasing).
+const TSEQ_GENERATION_STRIDE: u32 = 1 << 20;
 
 /// Which OS process hosts a node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +127,26 @@ impl Role {
                 Some(k) => Ok(Role::Tier(k)),
                 None => Err(RuntimeError::Protocol { reason: format!("unknown role {other:?}") }),
             },
+        }
+    }
+
+    /// The observability label (`devices`, `gateway`, `tier{k}`) —
+    /// matches [`ProcTarget`]'s display form, used in `proc.{role}.*`
+    /// counters, timeline events and [`RuntimeError::Peer`].
+    fn label(&self) -> String {
+        match self {
+            Role::Devices => "devices".to_string(),
+            Role::Gateway => "gateway".to_string(),
+            Role::Tier(k) => format!("tier{k}"),
+        }
+    }
+
+    /// The role a chaos event targets.
+    fn of_target(t: ProcTarget) -> Role {
+        match t {
+            ProcTarget::Devices => Role::Devices,
+            ProcTarget::Gateway => Role::Gateway,
+            ProcTarget::Tier(k) => Role::Tier(k),
         }
     }
 }
@@ -199,28 +263,42 @@ fn peer_err(endpoint: &str, reason: impl std::fmt::Display) -> RuntimeError {
     RuntimeError::Transport { endpoint: endpoint.to_string(), reason: reason.to_string() }
 }
 
-/// Reads protocol lines until `stop`, feeding every other line to `f`.
-/// An `ERROR <msg>` line or EOF becomes a typed transport error.
-fn read_until(
-    reader: &mut impl BufRead,
-    endpoint: &str,
+/// Reads a child's protocol lines until `stop`, feeding every other line
+/// to `f` — bounded by `timeout`, so a wedged or dead child becomes a
+/// typed [`RuntimeError::Peer`] instead of a hung pipe read. An `ERROR
+/// <msg>` line relays the child's own typed failure.
+fn read_lines_until(
+    lines: &Receiver<String>,
+    role: &str,
     stop: &str,
+    timeout: Duration,
     mut f: impl FnMut(&str) -> Result<()>,
 ) -> Result<()> {
+    let deadline = Instant::now() + timeout;
     loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line).map_err(|e| peer_err(endpoint, e))?;
-        if n == 0 {
-            return Err(peer_err(endpoint, format!("peer exited before sending {stop}")));
+        match lines.recv_deadline(deadline) {
+            Ok(line) => {
+                if line == stop {
+                    return Ok(());
+                }
+                if let Some(msg) = line.strip_prefix("ERROR ") {
+                    return Err(RuntimeError::Peer { role: role.to_string(), reason: msg.into() });
+                }
+                f(&line)?;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(RuntimeError::Peer {
+                    role: role.to_string(),
+                    reason: format!("timed out waiting for {stop}"),
+                });
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(RuntimeError::Peer {
+                    role: role.to_string(),
+                    reason: format!("exited before sending {stop}"),
+                });
+            }
         }
-        let line = line.trim_end();
-        if line == stop {
-            return Ok(());
-        }
-        if let Some(msg) = line.strip_prefix("ERROR ") {
-            return Err(peer_err(endpoint, msg));
-        }
-        f(line)?;
     }
 }
 
@@ -361,21 +439,235 @@ fn validate_launch(cfg: &HierarchyConfig) -> Result<()> {
     Ok(())
 }
 
-/// One spawned role process and its stdio endpoints.
-struct RoleProc {
+/// One supervised role process: the child, its stdin (handshake +
+/// `REWIRE` control lines), the bridged stdout line stream, and the
+/// liveness state the supervisor polls.
+struct Supervised {
     role: Role,
     child: Child,
     stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+    /// Non-heartbeat stdout lines, bridged off the reader thread.
+    lines: Receiver<String>,
+    reader: Option<JoinHandle<()>>,
+    /// Milliseconds since the run epoch of the child's last `HB` line.
+    beat: Arc<AtomicU64>,
+    /// False once killed (by chaos, by the hang detector) or reaped.
+    alive: bool,
+    /// Spawn generation: 0 for the original process, +1 per respawn.
+    generation: u32,
 }
 
-impl Drop for RoleProc {
+impl Supervised {
+    /// SIGKILLs the child and reaps it; the stdout reader drains to EOF.
+    fn kill_now(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.alive = false;
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Supervised {
     fn drop(&mut self) {
-        // Only reached without a clean wait() on error paths: don't leave
+        // Only reached with a live child on error paths: don't leave
         // orphan processes serving sockets.
         let _ = self.child.kill();
         let _ = self.child.wait();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
     }
+}
+
+/// Spawns one role process, starts its stdout bridge (heartbeat lines
+/// update `beat`; everything else queues for the supervisor), and sends
+/// the `ROLE` + manifest preamble.
+fn spawn_supervised(
+    node_exe: &Path,
+    role: Role,
+    manifest: &str,
+    epoch: Instant,
+    generation: u32,
+) -> Result<Supervised> {
+    let label = role.label();
+    let mut child = Command::new(node_exe)
+        .arg("host")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| peer_err(&label, format!("spawn failed: {e}")))?;
+    let mut stdin = child.stdin.take().ok_or_else(|| peer_err(&label, "no stdin pipe"))?;
+    let stdout = child.stdout.take().ok_or_else(|| peer_err(&label, "no stdout"))?;
+    let beat = Arc::new(AtomicU64::new(epoch.elapsed().as_millis() as u64));
+    let (tx, lines) = unbounded();
+    let beat_cell = Arc::clone(&beat);
+    let reader = std::thread::spawn(move || {
+        let mut r = BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match r.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            let t = line.trim_end();
+            if t.starts_with("HB ") {
+                beat_cell.store(epoch.elapsed().as_millis() as u64, Ordering::Release);
+            } else if tx.send(t.to_string()).is_err() {
+                return;
+            }
+        }
+    });
+    write!(stdin, "ROLE {}\n{manifest}END\n", role.token())
+        .and_then(|()| stdin.flush())
+        .map_err(|e| peer_err(&label, e))?;
+    Ok(Supervised {
+        role,
+        child,
+        stdin,
+        lines,
+        reader: Some(reader),
+        beat,
+        alive: true,
+        generation,
+    })
+}
+
+/// The supervisor's per-role death/respawn/staleness counters
+/// (`proc.{role}.kills` / `.respawns` / `.heartbeat_misses`).
+struct RoleCounters {
+    kills: Arc<Counter>,
+    respawns: Arc<Counter>,
+    hb_misses: Arc<Counter>,
+}
+
+impl RoleCounters {
+    fn for_role(obs: &RunObs, label: &str) -> Self {
+        RoleCounters {
+            kills: obs.registry().counter(&format!("proc.{label}.kills")),
+            respawns: obs.registry().counter(&format!("proc.{label}.respawns")),
+            hb_misses: obs.registry().counter(&format!("proc.{label}.heartbeat_misses")),
+        }
+    }
+}
+
+/// Sends one `REWIRE <name> <addr>` control line to a surviving role.
+fn rewire(procs: &mut [Supervised], role: &Role, name: &str, addr: SocketAddr) -> Result<()> {
+    if let Some(p) = procs.iter_mut().find(|p| p.role == *role && p.alive) {
+        writeln!(p.stdin, "REWIRE {name} {addr}")
+            .and_then(|()| p.stdin.flush())
+            .map_err(|e| peer_err(&p.role.label(), e))?;
+    }
+    Ok(())
+}
+
+/// Respawns a dead role: spawn + full re-handshake with the same
+/// manifest (plus a per-generation `tseq_base`), then re-point every
+/// surviving sender — the launcher's own via its [`RedialHandle`], the
+/// other roles' via `REWIRE` lines — at the role's freshly bound ports.
+/// The restarted role rejoins at whatever sample the orchestrator drives
+/// next; samples lost while it was down stay typed as timeouts.
+#[allow(clippy::too_many_arguments)]
+fn respawn_role(
+    node_exe: &Path,
+    role: &Role,
+    base_manifest: &str,
+    epoch: Instant,
+    transport: TransportConfig,
+    table: &[LinkSpec],
+    addrs: &mut HashMap<String, InboxBinding>,
+    ack_map: &mut HashMap<String, InboxBinding>,
+    procs: &mut [Supervised],
+    launcher_redial: &RedialHandle,
+) -> Result<()> {
+    let label = role.label();
+    let idx = procs
+        .iter()
+        .position(|p| p.role == *role)
+        .ok_or_else(|| peer_err(&label, "respawn of a role that was never launched"))?;
+    let generation = procs[idx].generation + 1;
+    let tseq_base = generation.wrapping_mul(TSEQ_GENERATION_STRIDE);
+    let manifest = format!("{base_manifest}tseq_base={tseq_base}\n");
+    let mut p = spawn_supervised(node_exe, role.clone(), &manifest, epoch, generation)?;
+
+    // Re-handshake: the same four phases as launch, against live maps.
+    let mut moved: Vec<(String, InboxBinding)> = Vec::new();
+    read_lines_until(&p.lines, &label, "BOUND", PHASE_TIMEOUT, |line| {
+        if let Some((name, binding)) = parse_addr_line(line, "PORT ", transport)? {
+            moved.push((name.to_string(), binding));
+        }
+        Ok(())
+    })?;
+    for (name, binding) in &moved {
+        addrs.insert(name.clone(), binding.clone());
+    }
+    let mut msg = String::new();
+    for (name, binding) in addrs.iter() {
+        if let Some(addr) = binding.addr() {
+            msg.push_str(&format!("ADDR {name} {addr}\n"));
+        }
+    }
+    msg.push_str("SENDERS\n");
+    p.stdin
+        .write_all(msg.as_bytes())
+        .and_then(|()| p.stdin.flush())
+        .map_err(|e| peer_err(&label, e))?;
+    let mut moved_acks: Vec<(String, InboxBinding)> = Vec::new();
+    read_lines_until(&p.lines, &label, "ACKBOUND", PHASE_TIMEOUT, |line| {
+        if let Some((name, binding)) = parse_addr_line(line, "PORT ack:", transport)? {
+            moved_acks.push((name.to_string(), binding));
+        }
+        Ok(())
+    })?;
+    for (name, binding) in &moved_acks {
+        ack_map.insert(name.clone(), binding.clone());
+    }
+    let mut msg = String::new();
+    for (name, binding) in ack_map.iter() {
+        if let Some(addr) = binding.addr() {
+            msg.push_str(&format!("ACK {name} {addr}\n"));
+        }
+    }
+    msg.push_str("GO\n");
+    p.stdin
+        .write_all(msg.as_bytes())
+        .and_then(|()| p.stdin.flush())
+        .map_err(|e| peer_err(&label, e))?;
+    p.beat.store(epoch.elapsed().as_millis() as u64, Ordering::Release);
+
+    // Re-point the survivors: data links into the role's moved inboxes,
+    // and the ack return paths of the links the role sends (their
+    // receivers hold the matching `ack:{link}` senders).
+    for spec in table {
+        if let Some((_, binding)) = moved.iter().find(|(n, _)| *n == spec.inbox) {
+            if let Some(addr) = binding.addr() {
+                match &spec.sender {
+                    Host::Launcher => {
+                        launcher_redial.redial(&spec.name, addr);
+                    }
+                    Host::Role(r) if r != role => rewire(procs, r, &spec.name, addr)?,
+                    Host::Role(_) => {}
+                }
+            }
+        }
+        if let Some((_, binding)) = moved_acks.iter().find(|(n, _)| *n == spec.name) {
+            if let Some(addr) = binding.addr() {
+                let ack_name = format!("ack:{}", spec.name);
+                match &spec.receiver {
+                    Host::Launcher => {
+                        launcher_redial.redial(&ack_name, addr);
+                    }
+                    Host::Role(r) if r != role => rewire(procs, r, &ack_name, addr)?,
+                    Host::Role(_) => {}
+                }
+            }
+        }
+    }
+    procs[idx] = p;
+    Ok(())
 }
 
 /// Runs the hierarchy as real OS processes on localhost: one process per
@@ -387,14 +679,18 @@ impl Drop for RoleProc {
 /// of the same configuration.
 ///
 /// `cfg.transport` must be a socket transport; elastic orchestration,
-/// streaming, fault injection and static device failures are rejected
-/// (they are in-process features).
+/// streaming, link fault injection and static device failures are
+/// rejected (they are in-process features). Process chaos
+/// (`cfg.proc_chaos`) and socket chaos (`cfg.socket_chaos`) are this
+/// runner's own fault model: seeded role kills/respawns and seeded
+/// datagram/stream mangling, supervised end to end.
 ///
 /// # Errors
 ///
 /// Returns typed configuration errors for unsupported configurations,
-/// and transport errors when spawning, the handshake, or a socket
-/// operation fails.
+/// transport errors when spawning or a socket operation fails, and
+/// [`RuntimeError::Peer`] when a role process hangs past a handshake,
+/// telemetry or reap deadline (the launcher kills it first).
 pub fn launch(
     node_exe: &Path,
     model_cfg: &DdnnConfig,
@@ -408,6 +704,7 @@ pub fn launch(
     let topology = Topology::from_partition(&partition);
     let num_devices = topology.num_devices();
     validate_run(num_devices, device_views, labels, cfg)?;
+    cfg.proc_chaos.validate(topology.tiers.len())?;
     let n_samples = labels.len();
     let clock = SimClock::start();
     let obs = Arc::new(RunObs::new(&cfg.obs));
@@ -419,39 +716,23 @@ pub fn launch(
         Arc::clone(&obs),
         cfg.transport,
     );
+    factory.set_socket_chaos(cfg.socket_chaos);
     let table = link_table(&topology);
     let manifest = encode_role_manifest(&topology.config, cfg);
+    let epoch = Instant::now();
 
-    // Spawn one process per role.
+    // Spawn one supervised process per role.
     let mut roles = vec![Role::Devices, Role::Gateway];
     roles.extend((0..topology.tiers.len()).map(Role::Tier));
-    let mut procs: Vec<RoleProc> = Vec::new();
+    let mut procs: Vec<Supervised> = Vec::new();
     for role in roles {
-        let endpoint = role.token();
-        let mut child = Command::new(node_exe)
-            .arg("host")
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .map_err(|e| peer_err(&endpoint, format!("spawn failed: {e}")))?;
-        let stdin = child.stdin.take().ok_or_else(|| peer_err(&endpoint, "no stdin pipe"))?;
-        let stdout =
-            BufReader::new(child.stdout.take().ok_or_else(|| peer_err(&endpoint, "no stdout"))?);
-        procs.push(RoleProc { role, child, stdin, stdout });
-    }
-    for p in &mut procs {
-        let endpoint = p.role.token();
-        write!(p.stdin, "ROLE {endpoint}\n{manifest}END\n")
-            .and_then(|()| p.stdin.flush())
-            .map_err(|e| peer_err(&endpoint, e))?;
+        procs.push(spawn_supervised(node_exe, role, &manifest, epoch, 0)?);
     }
 
     // Phase A: collect every role's inbox addresses, add the launcher's.
     let mut addrs: HashMap<String, InboxBinding> = HashMap::new();
-    for p in &mut procs {
-        let endpoint = p.role.token();
-        read_until(&mut p.stdout, &endpoint, "BOUND", |line| {
+    for p in &procs {
+        read_lines_until(&p.lines, &p.role.label(), "BOUND", PHASE_TIMEOUT, |line| {
             if let Some((name, binding)) = parse_addr_line(line, "PORT ", cfg.transport)? {
                 addrs.insert(name.to_string(), binding);
             }
@@ -477,7 +758,7 @@ pub fn launch(
         capture_tx.push(s);
     }
     for p in &mut procs {
-        let endpoint = p.role.token();
+        let label = p.role.label();
         let mut msg = String::new();
         for (name, binding) in &addrs {
             if let Some(addr) = binding.addr() {
@@ -488,14 +769,13 @@ pub fn launch(
         p.stdin
             .write_all(msg.as_bytes())
             .and_then(|()| p.stdin.flush())
-            .map_err(|e| peer_err(&endpoint, e))?;
+            .map_err(|e| peer_err(&label, e))?;
     }
 
     // Phase B: collect ack-inbox addresses; wire the launcher's own
     // inbound ARQ links (the verdict links into the orchestrator inbox).
-    for p in &mut procs {
-        let endpoint = p.role.token();
-        read_until(&mut p.stdout, &endpoint, "ACKBOUND", |line| {
+    for p in &procs {
+        read_lines_until(&p.lines, &p.role.label(), "ACKBOUND", PHASE_TIMEOUT, |line| {
             if let Some((name, binding)) = parse_addr_line(line, "PORT ack:", cfg.transport)? {
                 ack_map.insert(name.to_string(), binding);
             }
@@ -515,7 +795,7 @@ pub fn launch(
         }
     }
     for p in &mut procs {
-        let endpoint = p.role.token();
+        let label = p.role.label();
         let mut msg = String::new();
         for (name, binding) in &ack_map {
             if let Some(addr) = binding.addr() {
@@ -526,7 +806,10 @@ pub fn launch(
         p.stdin
             .write_all(msg.as_bytes())
             .and_then(|()| p.stdin.flush())
-            .map_err(|e| peer_err(&endpoint, e))?;
+            .map_err(|e| peer_err(&label, e))?;
+        // The handshake (which includes the child's model rebuild) does
+        // not count as heartbeat staleness.
+        p.beat.store(epoch.elapsed().as_millis() as u64, Ordering::Release);
     }
 
     // Drive the samples exactly like the in-process orchestrator, with
@@ -543,6 +826,18 @@ pub fn launch(
         ms
     };
     let arq_states = std::mem::take(&mut factory.arq_states);
+    let redial = factory.redial_handle();
+    let mut chaos_events: Vec<ProcChaosEvent> = cfg.proc_chaos.events.clone();
+    chaos_events.sort_by_key(|e| e.at_sample);
+    let counters: HashMap<String, RoleCounters> = procs
+        .iter()
+        .map(|p| {
+            let label = p.role.label();
+            let c = RoleCounters::for_role(&obs, &label);
+            (label, c)
+        })
+        .collect();
+    let hb_ms = RoleExtras::default().heartbeat_ms;
     let pump_stop = AtomicBool::new(false);
     let mut tallies: Option<RunTallies> = None;
     std::thread::scope(|scope| -> Result<()> {
@@ -550,10 +845,92 @@ pub fn launch(
         if !arq_states.is_empty() {
             scope.spawn(|| run_retransmit_pump(&arq_states, &pump_stop));
         }
+        // Each capture round doubles as a supervision tick: fire the
+        // chaos events due at this sample, then poll every live child's
+        // exit status and heartbeat age. Dead roles are not special-cased
+        // anywhere downstream — their silence folds into the same
+        // deadline degradation as in-process loss.
+        let mut next_event = 0usize;
         let send_captures = |i: usize| -> Result<()> {
+            let seq = i as u64;
+            while next_event < chaos_events.len() && chaos_events[next_event].at_sample <= seq {
+                let ev = chaos_events[next_event];
+                next_event += 1;
+                let role = Role::of_target(ev.role);
+                let label = role.label();
+                match ev.action {
+                    ProcAction::Kill => {
+                        if let Some(p) = procs.iter_mut().find(|p| p.role == role && p.alive) {
+                            p.kill_now();
+                            if let Some(c) = counters.get(&label) {
+                                c.kills.incr();
+                            }
+                            obs.emit(|| ObsEvent::ProcKilled {
+                                role: label.clone(),
+                                at_sample: seq,
+                            });
+                        }
+                    }
+                    ProcAction::Respawn => {
+                        respawn_role(
+                            node_exe,
+                            &role,
+                            &manifest,
+                            epoch,
+                            cfg.transport,
+                            &table,
+                            &mut addrs,
+                            &mut ack_map,
+                            &mut procs,
+                            &redial,
+                        )?;
+                        if let Some(c) = counters.get(&label) {
+                            c.respawns.incr();
+                        }
+                        obs.emit(|| ObsEvent::ProcRespawned {
+                            role: label.clone(),
+                            at_sample: seq,
+                        });
+                    }
+                }
+            }
+            let now_ms = epoch.elapsed().as_millis() as u64;
+            for p in procs.iter_mut() {
+                if !p.alive {
+                    continue;
+                }
+                let label = p.role.label();
+                if let Ok(Some(_)) = p.child.try_wait() {
+                    // Died on its own: reap, and degrade like a kill.
+                    p.alive = false;
+                    if let Some(h) = p.reader.take() {
+                        let _ = h.join();
+                    }
+                    if let Some(c) = counters.get(&label) {
+                        c.kills.incr();
+                    }
+                    obs.emit(|| ObsEvent::ProcKilled { role: label.clone(), at_sample: seq });
+                    continue;
+                }
+                let stale = now_ms.saturating_sub(p.beat.load(Ordering::Acquire));
+                if stale > MISS_PERIODS * hb_ms {
+                    if let Some(c) = counters.get(&label) {
+                        c.hb_misses.incr();
+                    }
+                    if stale > HEARTBEAT_HANG.as_millis() as u64 {
+                        // Alive but silent for seconds: a wedged process
+                        // is as gone as a dead one.
+                        p.kill_now();
+                        if let Some(c) = counters.get(&label) {
+                            c.kills.incr();
+                        }
+                        obs.emit(|| ObsEvent::ProcKilled { role: label.clone(), at_sample: seq });
+                    }
+                }
+            }
             for (d, cap) in capture_tx.iter().enumerate() {
                 let view = device_views[d].index_axis0(i)?;
-                cap.send(&Frame::new(i as u64, NodeId::Orchestrator, Payload::Capture { view }))?;
+                cap.send(&Frame::new(seq, NodeId::Orchestrator, Payload::Capture { view }))?;
             }
             Ok(())
         };
@@ -570,23 +947,36 @@ pub fn launch(
         )?;
         pump_stop.store(true, Ordering::Release);
 
-        // Orderly shutdown, devices first. Real UDP can drop a datagram
-        // outright, and a lost shutdown frame would hang a role forever —
-        // repeat it; extra shutdowns land unread in a dead node's inbox.
-        let repeats = if cfg.transport == TransportConfig::Udp { 3 } else { 1 };
+        // Orderly shutdown, devices first — skipping dead roles (a TCP
+        // connect to a killed process's port would error, and nobody is
+        // listening anyway). Real UDP can drop a datagram outright, and a
+        // lost shutdown frame would hang a role forever — repeat it;
+        // extra shutdowns land unread in a dead node's inbox. Under
+        // socket chaos the drop odds compound, so repeat harder.
+        let alive = |role: Role| procs.iter().any(|p| p.role == role && p.alive);
+        let repeats = match (cfg.transport, cfg.socket_chaos.is_active()) {
+            (TransportConfig::Udp, true) => 8,
+            (TransportConfig::Udp, false) => 3,
+            _ => 1,
+        };
         for _ in 0..repeats {
             for cap in &capture_tx {
                 cap.send(&Frame::new(0, NodeId::Orchestrator, Payload::Shutdown))?;
             }
-            let gw = addrs.get("gateway").ok_or_else(|| {
-                peer_err("gateway", "no advertised address for the gateway inbox")
-            })?;
-            factory.shutdown_sender(gw, "orchestrator->gateway")?.send(&Frame::new(
-                0,
-                NodeId::Orchestrator,
-                Payload::Shutdown,
-            ))?;
-            for spec in &topology.tiers {
+            if alive(Role::Gateway) {
+                let gw = addrs.get("gateway").ok_or_else(|| {
+                    peer_err("gateway", "no advertised address for the gateway inbox")
+                })?;
+                factory.shutdown_sender(gw, "orchestrator->gateway")?.send(&Frame::new(
+                    0,
+                    NodeId::Orchestrator,
+                    Payload::Shutdown,
+                ))?;
+            }
+            for (k, spec) in topology.tiers.iter().enumerate() {
+                if !alive(Role::Tier(k)) {
+                    continue;
+                }
                 let to = addrs.get(&spec.name).ok_or_else(|| {
                     peer_err(&spec.name, "no advertised address for a tier inbox")
                 })?;
@@ -615,8 +1005,13 @@ pub fn launch(
         link_stats.iter().map(|(n, s)| (n.clone(), Arc::clone(s))).collect();
     let mut node_reports: Vec<NodeReport> = Vec::new();
     for p in &mut procs {
-        let endpoint = p.role.token();
-        read_until(&mut p.stdout, &endpoint, "DONE", |line| {
+        if !p.alive {
+            // A killed role's telemetry died with it; its links keep
+            // their zeroed placeholders so the report shape is stable.
+            continue;
+        }
+        let endpoint = p.role.label();
+        read_lines_until(&p.lines, &endpoint, "DONE", PHASE_TIMEOUT, |line| {
             if line.starts_with("LINK ") {
                 fold_link_line(line, &by_name)?;
             } else if line.starts_with("NODE ") {
@@ -630,9 +1025,33 @@ pub fn launch(
             cells.ack_bytes.add(stats.ack_bytes.get());
         }
     }
+    // Bounded reap: a role that printed DONE but will not exit (wedged
+    // destructor, leaked thread) must not hang the launcher forever.
     for p in &mut procs {
-        let endpoint = p.role.token();
-        let status = p.child.wait().map_err(|e| peer_err(&endpoint, e))?;
+        if !p.alive {
+            continue;
+        }
+        let endpoint = p.role.label();
+        let reap_deadline = Instant::now() + REAP_GRACE;
+        let status = loop {
+            match p.child.try_wait().map_err(|e| peer_err(&endpoint, e))? {
+                Some(status) => break status,
+                None if Instant::now() >= reap_deadline => {
+                    p.kill_now();
+                    return Err(peer_err(
+                        &endpoint,
+                        format!(
+                            "role process did not exit within {REAP_GRACE:?} after DONE; killed"
+                        ),
+                    ));
+                }
+                None => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        p.alive = false;
+        if let Some(h) = p.reader.take() {
+            let _ = h.join();
+        }
         if !status.success() {
             return Err(peer_err(&endpoint, format!("role process exited with {status}")));
         }
@@ -653,50 +1072,82 @@ pub fn launch(
 /// of the `ddnn-node host` subcommand. Reads the role assignment and
 /// manifest, performs the socket handshake, runs the role's nodes until
 /// the orchestrator's shutdown, and reports link/node telemetry back.
+/// After `GO` it also emits `HB <n>` heartbeat lines (so the launcher
+/// can tell a busy role from a wedged one) and answers `REWIRE` control
+/// lines by re-pointing the named sender at a respawned peer's port.
 ///
 /// # Errors
 ///
 /// Any failure is also written to stdout as an `ERROR <msg>` line (so
 /// the launcher sees it) before being returned.
 pub fn host_role() -> Result<()> {
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut input = stdin.lock();
-    let mut out = stdout.lock();
-    let result = host_role_io(&mut input, &mut out);
+    host_role_io(BufReader::new(std::io::stdin()), std::io::stdout())
+}
+
+fn host_role_io<I, O>(input: I, out: O) -> Result<()>
+where
+    I: BufRead + Send + 'static,
+    O: Write + Send + 'static,
+{
+    // Stdout is shared between the handshake/telemetry writer and the
+    // heartbeat thread; the mutex keeps whole lines atomic.
+    let out = Arc::new(Mutex::new(out));
+    let result = run_role(input, &out);
     if let Err(e) = &result {
-        let _ = writeln!(out, "ERROR {e}");
-        let _ = out.flush();
+        let mut o = out.lock();
+        let _ = writeln!(o, "ERROR {e}");
+        let _ = o.flush();
     }
     result
 }
 
-fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
-    let io_err = |e: std::io::Error| peer_err("launcher", e);
-    let read_line = |input: &mut dyn BufRead| -> Result<String> {
-        let mut line = String::new();
-        let n = input.read_line(&mut line).map_err(io_err)?;
-        if n == 0 {
-            return Err(peer_err("launcher", "stdin closed mid-handshake"));
+/// Serves launcher control lines for the rest of the run. Today that is
+/// `REWIRE <link|ack:link> <ip:port>`: a peer was respawned on a fresh
+/// port, so re-point the named sender's dial at it.
+fn control_loop(input: impl BufRead, redial: &RedialHandle) {
+    for line in input.lines() {
+        let Ok(line) = line else { return };
+        if let Some(rest) = line.trim_end().strip_prefix("REWIRE ") {
+            if let Some((name, addr)) = rest.rsplit_once(' ') {
+                if let Ok(addr) = addr.parse::<SocketAddr>() {
+                    redial.redial(name, addr);
+                }
+            }
         }
-        Ok(line.trim_end().to_string())
-    };
+    }
+}
+
+fn read_control_line(input: &mut impl BufRead) -> Result<String> {
+    let mut line = String::new();
+    let n = input.read_line(&mut line).map_err(|e| peer_err("launcher", e))?;
+    if n == 0 {
+        return Err(peer_err("launcher", "stdin closed mid-handshake"));
+    }
+    Ok(line.trim_end().to_string())
+}
+
+fn run_role<I, O>(mut input: I, out: &Arc<Mutex<O>>) -> Result<()>
+where
+    I: BufRead + Send + 'static,
+    O: Write + Send + 'static,
+{
+    let io_err = |e: std::io::Error| peer_err("launcher", e);
 
     // Role + manifest.
-    let role_line = read_line(input)?;
+    let role_line = read_control_line(&mut input)?;
     let role = Role::parse(role_line.strip_prefix("ROLE ").ok_or_else(|| {
         RuntimeError::Protocol { reason: format!("expected ROLE line, got {role_line:?}") }
     })?)?;
     let mut manifest = String::new();
     loop {
-        let line = read_line(input)?;
+        let line = read_control_line(&mut input)?;
         if line == "END" {
             break;
         }
         manifest.push_str(&line);
         manifest.push('\n');
     }
-    let (model_cfg, cfg) = decode_role_manifest(&manifest)?;
+    let (model_cfg, cfg, extras) = decode_role_manifest(&manifest)?;
 
     // Rebuild this role's slice of the run: same seed, same weights,
     // same blanks as every other process.
@@ -716,6 +1167,11 @@ fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
         Arc::clone(&obs),
         cfg.transport,
     );
+    factory.set_socket_chaos(cfg.socket_chaos);
+    // A respawned role numbers its ARQ frames from a fresh generation
+    // base so surviving receivers rebase instead of treating its frames
+    // as ancient duplicates.
+    factory.set_tseq_base(extras.tseq_base);
     let table = link_table(&topology);
     let me = Host::Role(role.clone());
 
@@ -726,15 +1182,18 @@ fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
         let addr = binding
             .addr()
             .ok_or_else(|| peer_err(&name, "socket transport produced an addressless binding"))?;
-        writeln!(out, "PORT {name} {addr}").map_err(io_err)?;
+        writeln!(out.lock(), "PORT {name} {addr}").map_err(io_err)?;
         inboxes.insert(name, inbox);
     }
-    writeln!(out, "BOUND").and_then(|()| out.flush()).map_err(io_err)?;
+    {
+        let mut o = out.lock();
+        writeln!(o, "BOUND").and_then(|()| o.flush()).map_err(io_err)?;
+    }
 
     // Learn where every inbox lives.
     let mut addrs: HashMap<String, InboxBinding> = HashMap::new();
     loop {
-        let line = read_line(input)?;
+        let line = read_control_line(&mut input)?;
         if line == "SENDERS" {
             break;
         }
@@ -760,17 +1219,20 @@ fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
             let addr = binding.addr().ok_or_else(|| {
                 peer_err(&spec.name, "socket transport produced an addressless ack binding")
             })?;
-            writeln!(out, "PORT ack:{} {addr}", spec.name).map_err(io_err)?;
+            writeln!(out.lock(), "PORT ack:{} {addr}", spec.name).map_err(io_err)?;
         }
         senders.insert(spec.name.clone(), s);
     }
-    writeln!(out, "ACKBOUND").and_then(|()| out.flush()).map_err(io_err)?;
+    {
+        let mut o = out.lock();
+        writeln!(o, "ACKBOUND").and_then(|()| o.flush()).map_err(io_err)?;
+    }
 
     // Learn the ack inboxes and wire the receive side of inbound ARQ
     // links before any node starts consuming frames.
     let mut acks: HashMap<String, InboxBinding> = HashMap::new();
     loop {
-        let line = read_line(input)?;
+        let line = read_control_line(&mut input)?;
         if line == "GO" {
             break;
         }
@@ -798,6 +1260,38 @@ fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
         }
     }
 
+    // From here the launcher may send REWIRE lines at any time: hand
+    // stdin to a control thread (detached — it dies with the process)
+    // and start heartbeating so the launcher can tell a busy role from
+    // a dead one.
+    let redial = factory.redial_handle();
+    std::thread::Builder::new()
+        .name("ddnn-control".into())
+        .spawn(move || control_loop(input, &redial))
+        .map_err(io_err)?;
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_thread = {
+        let out = Arc::clone(out);
+        let stop = Arc::clone(&hb_stop);
+        let period = Duration::from_millis(extras.heartbeat_ms.max(1));
+        std::thread::Builder::new()
+            .name("ddnn-heartbeat".into())
+            .spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    {
+                        let mut o = out.lock();
+                        if writeln!(o, "HB {n}").and_then(|()| o.flush()).is_err() {
+                            return; // launcher is gone; nobody to reassure
+                        }
+                    }
+                    n += 1;
+                    std::thread::sleep(period);
+                }
+            })
+            .map_err(io_err)?
+    };
+
     // Run the role's nodes until the orchestrator's shutdown frames.
     let missing = |what: &str| RuntimeError::Topology {
         reason: format!("role {} is missing {what}", role.token()),
@@ -805,7 +1299,7 @@ fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
     let arq_states = std::mem::take(&mut factory.arq_states);
     let pump_stop = AtomicBool::new(false);
     let mut node_reports: Vec<NodeReport> = Vec::new();
-    std::thread::scope(|scope| -> Result<()> {
+    let ran = std::thread::scope(|scope| -> Result<()> {
         let _pump_guard = PumpStopGuard(&pump_stop);
         if !arq_states.is_empty() {
             scope.spawn(|| run_retransmit_pump(&arq_states, &pump_stop));
@@ -930,16 +1424,20 @@ fn host_role_io(input: &mut impl BufRead, out: &mut impl Write) -> Result<()> {
             })??);
         }
         Ok(())
-    })?;
+    });
+    hb_stop.store(true, Ordering::Release);
+    let _ = hb_thread.join();
+    ran?;
     factory.shutdown_transport();
 
     // Report what this role measured.
+    let mut o = out.lock();
     for (name, stats) in &reported {
-        writeln!(out, "{}", fmt_link_line(name, stats)).map_err(io_err)?;
+        writeln!(o, "{}", fmt_link_line(name, stats)).map_err(io_err)?;
     }
     for report in &node_reports {
-        writeln!(out, "{}", fmt_node_line(report)).map_err(io_err)?;
+        writeln!(o, "{}", fmt_node_line(report)).map_err(io_err)?;
     }
-    writeln!(out, "DONE").and_then(|()| out.flush()).map_err(io_err)?;
+    writeln!(o, "DONE").and_then(|()| o.flush()).map_err(io_err)?;
     Ok(())
 }

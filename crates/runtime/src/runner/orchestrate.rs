@@ -73,6 +73,20 @@ pub(super) fn validate_run(
             });
         }
     }
+    cfg.socket_chaos.validate()?;
+    if cfg.socket_chaos.is_active() {
+        if !cfg.transport.is_socket() {
+            return Err(RuntimeError::Config {
+                reason: "socket chaos needs a socket transport (set cfg.transport to tcp or udp)"
+                    .to_string(),
+            });
+        }
+        if cfg.deadlines.is_none() {
+            return Err(RuntimeError::Config {
+                reason: "socket chaos requires deadlines (set cfg.deadlines)".to_string(),
+            });
+        }
+    }
     if cfg.transport.is_socket() {
         // Socket reads are deadline-budgeted timed polls; without
         // deadlines the receive loops would rely on channel-disconnect

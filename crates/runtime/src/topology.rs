@@ -10,7 +10,7 @@
 //! assembles arbitrary chains.
 
 use crate::error::{Result, RuntimeError};
-use crate::fault::{DeadlineConfig, FaultPlan, StreamConfig};
+use crate::fault::{DeadlineConfig, FaultPlan, ProcChaosPlan, SocketChaosPlan, StreamConfig};
 use crate::link::LatencyModel;
 use crate::message::NodeId;
 use crate::obs::ObsConfig;
@@ -70,6 +70,17 @@ pub struct HierarchyConfig {
     /// [`ReliabilityConfig::arq`] to recover real datagram loss).
     /// Socket transports require `deadlines`.
     pub transport: TransportConfig,
+    /// Real process-level chaos for the multi-process launcher: scheduled
+    /// SIGKILLs and respawns of role processes. The default
+    /// ([`ProcChaosPlan::none`]) schedules nothing; an active plan is
+    /// launcher-only (the in-process runners reject it) and requires
+    /// `deadlines`.
+    pub proc_chaos: ProcChaosPlan,
+    /// Seeded chaos at the socket boundary of the real-FD transports
+    /// (UDP drop/duplicate/delay, mid-stream TCP severs). The default
+    /// ([`SocketChaosPlan::none`]) injects nothing; an active plan
+    /// requires a socket transport and `deadlines`.
+    pub socket_chaos: SocketChaosPlan,
 }
 
 impl Default for HierarchyConfig {
@@ -87,6 +98,8 @@ impl Default for HierarchyConfig {
             elastic: None,
             stream: None,
             transport: TransportConfig::Channel,
+            proc_chaos: ProcChaosPlan::none(),
+            socket_chaos: SocketChaosPlan::none(),
         }
     }
 }
@@ -392,16 +405,47 @@ pub(crate) fn encode_role_manifest(model: &DdnnConfig, cfg: &HierarchyConfig) ->
     writeln!(s, "buffer_frames={}", arq.buffer_frames).unwrap();
     writeln!(s, "max_age_ms={}", arq.max_age_ms).unwrap();
     writeln!(s, "transport={}", cfg.transport.name()).unwrap();
+    if cfg.socket_chaos.is_active() {
+        let sc = &cfg.socket_chaos;
+        writeln!(s, "socket_chaos_seed={}", sc.seed).unwrap();
+        writeln!(s, "socket_chaos_drop={:08x}", sc.drop_prob.to_bits()).unwrap();
+        writeln!(s, "socket_chaos_dup={:08x}", sc.duplicate_prob.to_bits()).unwrap();
+        writeln!(s, "socket_chaos_delay_ms={}", sc.delay_ms).unwrap();
+        writeln!(s, "socket_chaos_sever={:08x}", sc.sever_prob.to_bits()).unwrap();
+    }
     s
 }
 
-/// Decodes a role manifest back into the model geometry and the
-/// hierarchy configuration a role host runs under.
+/// Per-spawn runtime parameters a role host reads from *optional*
+/// manifest keys the launcher appends: the ARQ transport-sequence base of
+/// this process generation (so a respawned sender's fresh frames are not
+/// mistaken for duplicates of its predecessor's), and the heartbeat
+/// cadence of the supervision protocol. Absent keys keep the defaults, so
+/// pre-supervision manifests still decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RoleExtras {
+    /// Starting offset of every ARQ sender's transport sequence space.
+    pub(crate) tseq_base: u32,
+    /// Milliseconds between `HB` heartbeat lines on the role's stdout.
+    pub(crate) heartbeat_ms: u64,
+}
+
+impl Default for RoleExtras {
+    fn default() -> Self {
+        RoleExtras { tseq_base: 0, heartbeat_ms: 50 }
+    }
+}
+
+/// Decodes a role manifest back into the model geometry, the hierarchy
+/// configuration a role host runs under, and the per-spawn
+/// [`RoleExtras`].
 ///
 /// # Errors
 ///
 /// Returns a protocol error for missing keys or malformed values.
-pub(crate) fn decode_role_manifest(text: &str) -> Result<(DdnnConfig, HierarchyConfig)> {
+pub(crate) fn decode_role_manifest(
+    text: &str,
+) -> Result<(DdnnConfig, HierarchyConfig, RoleExtras)> {
     let mut map: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
     for line in text.lines() {
         let line = line.trim();
@@ -480,6 +524,35 @@ pub(crate) fn decode_role_manifest(text: &str) -> Result<(DdnnConfig, HierarchyC
         },
         ..ReliabilityConfig::default()
     };
+    // Optional keys: absent in pre-supervision manifests, so every one
+    // falls back to its default instead of erroring.
+    let opt_num = |k: &str, default: u64| -> Result<u64> {
+        match map.get(k) {
+            Some(v) => num(k, v),
+            None => Ok(default),
+        }
+    };
+    let opt_f32_bits = |k: &str| -> Result<f32> {
+        match map.get(k) {
+            Some(v) => {
+                u32::from_str_radix(v, 16).map(f32::from_bits).map_err(|_| RuntimeError::Protocol {
+                    reason: format!("manifest key {k:?} has malformed f32 bits {v:?}"),
+                })
+            }
+            None => Ok(0.0),
+        }
+    };
+    let socket_chaos = SocketChaosPlan {
+        seed: opt_num("socket_chaos_seed", 0)?,
+        drop_prob: opt_f32_bits("socket_chaos_drop")?,
+        duplicate_prob: opt_f32_bits("socket_chaos_dup")?,
+        delay_ms: opt_num("socket_chaos_delay_ms", 0)? as u32,
+        sever_prob: opt_f32_bits("socket_chaos_sever")?,
+    };
+    let extras = RoleExtras {
+        tseq_base: opt_num("tseq_base", 0)? as u32,
+        heartbeat_ms: opt_num("heartbeat_ms", RoleExtras::default().heartbeat_ms)?,
+    };
     let cfg = HierarchyConfig {
         local_threshold: ExitThreshold::new(f32_bits("local_threshold")?),
         edge_threshold: ExitThreshold::new(f32_bits("edge_threshold")?),
@@ -491,9 +564,10 @@ pub(crate) fn decode_role_manifest(text: &str) -> Result<(DdnnConfig, HierarchyC
         }),
         reliability,
         transport: get("transport")?.parse()?,
+        socket_chaos,
         ..HierarchyConfig::default()
     };
-    Ok((model, cfg))
+    Ok((model, cfg, extras))
 }
 
 #[cfg(test)]
@@ -508,7 +582,7 @@ mod tests {
             num_devices: 2,
             device_filters: 2,
             cloud_filters: [4, 8],
-            edge: edge.then(|| EdgeConfig { filters: 4, agg: AggregationScheme::Concat }),
+            edge: edge.then_some(EdgeConfig { filters: 4, agg: AggregationScheme::Concat }),
             ..DdnnConfig::default()
         };
         Ddnn::new(cfg).partition()
@@ -570,6 +644,37 @@ mod tests {
             .terminal_tier("mid", agg2, convs2, exit2)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn manifest_round_trips_socket_chaos_and_extras() {
+        let model = partition(true).config.clone();
+        let cfg = HierarchyConfig {
+            deadlines: Some(DeadlineConfig::fast()),
+            transport: crate::transport::TransportConfig::Tcp,
+            socket_chaos: SocketChaosPlan {
+                seed: 99,
+                drop_prob: 0.125,
+                duplicate_prob: 0.0625,
+                delay_ms: 2,
+                sever_prob: 0.25,
+            },
+            ..HierarchyConfig::default()
+        };
+        let mut manifest = encode_role_manifest(&model, &cfg);
+        manifest.push_str("tseq_base=1048576\nheartbeat_ms=25\n");
+        let (m2, c2, extras) = decode_role_manifest(&manifest).unwrap();
+        assert_eq!(m2.num_devices, model.num_devices);
+        assert_eq!(c2.socket_chaos, cfg.socket_chaos, "chaos probs must survive as exact bits");
+        assert_eq!(extras.tseq_base, 1048576);
+        assert_eq!(extras.heartbeat_ms, 25);
+        // A pre-supervision manifest (no optional keys) still decodes,
+        // with inactive chaos and default extras.
+        let plain = encode_role_manifest(&model, &HierarchyConfig::default());
+        assert!(!plain.contains("socket_chaos"));
+        let (_, c3, e3) = decode_role_manifest(&plain).unwrap();
+        assert!(!c3.socket_chaos.is_active());
+        assert_eq!(e3, RoleExtras::default());
     }
 
     #[test]

@@ -344,7 +344,7 @@ fn degradation_has_no_cliff_as_churn_intensifies() {
     // bounded detection losses, never a collapse.
     let (_model, topology) = relay_chain();
     let views = random_views(16, 1, 64);
-    let clean = run_relay(&topology, &views, &vec![0usize; 16], vec![], None);
+    let clean = run_relay(&topology, &views, &[0usize; 16], vec![], None);
     let labels = clean.predictions.clone();
     let light = run_relay(
         &topology,

@@ -27,7 +27,7 @@ fn random_views(n: usize, devices: usize, seed: u64) -> Vec<Tensor> {
 /// Generous deadlines: degradation machinery active, nothing close enough
 /// to expire on a fault-free run, so verdicts must be unchanged.
 fn matrix_deadlines() -> Option<DeadlineConfig> {
-    std::env::var("DDNN_MATRIX_DEADLINES").is_ok().then(|| DeadlineConfig {
+    std::env::var("DDNN_MATRIX_DEADLINES").is_ok().then_some(DeadlineConfig {
         aggregation_ms: 60_000,
         watchdog_ms: 120_000,
         max_retries: 2,
@@ -40,7 +40,7 @@ fn model_of(devices: usize, edge: bool) -> Ddnn {
         num_devices: devices,
         device_filters: 2,
         cloud_filters: [4, 8],
-        edge: edge.then(|| EdgeConfig { filters: 4, agg: AggregationScheme::Concat }),
+        edge: edge.then_some(EdgeConfig { filters: 4, agg: AggregationScheme::Concat }),
         seed: 21,
         ..DdnnConfig::default()
     })

@@ -120,6 +120,24 @@ bench-transport:
 bench-transport-smoke:
     cargo run --release -p ddnn-bench --bin transport -- --smoke
 
+# Supervised process-chaos smoke: the seeded kill/respawn/socket-chaos
+# suite, then a live SIGKILL demo (kill the gateway, respawn the devices)
+# driven through the binary itself.
+proc-chaos-smoke:
+    cargo test -p ddnn-runtime --test proc_chaos_tests -q
+    cargo run --release -p ddnn-runtime --bin ddnn-node -- demo --transport tcp --samples 8 --kill gateway@3
+    cargo run --release -p ddnn-runtime --bin ddnn-node -- demo --transport udp --samples 8 --kill devices@2 --respawn-after 3
+
+# Graceful degradation vs kill set (fault-free -> kill-all -> respawn)
+# on TCP and UDP+ARQ -> results/BENCH_proc_chaos.json
+bench-proc-chaos:
+    cargo build --release -p ddnn-runtime --bin ddnn-node
+    cargo run --release -p ddnn-bench --bin proc_chaos
+
+bench-proc-chaos-smoke:
+    cargo build --release -p ddnn-runtime --bin ddnn-node
+    cargo run --release -p ddnn-bench --bin proc_chaos -- --smoke
+
 # Experiment runners tee stderr to results/*.err; an empty .err means
 # the run was clean and the file is noise. Drop the stragglers.
 results-clean:
