@@ -23,7 +23,7 @@ fn main() {
         let mut m = IndividualModel::new(4, 3, 1000 + d as u64);
         m.train(&ctx.train_views[d], &ctx.train_labels, &train_cfg).expect("individual training");
         let acc = accuracy(&m.predict(&ctx.test_views[d]).expect("predict"), &ctx.test_labels);
-        eprintln!("individual device {}: {:.1}%", d + 1, acc * 100.0);
+        ddnn_bench::progress!("individual device {}: {:.1}%", d + 1, acc * 100.0);
         individual.push((d, acc));
     }
     // Worst-to-best device order, as the paper plots.
@@ -38,7 +38,7 @@ fn main() {
         let trained =
             train_and_evaluate(&sub, cfg, &train_cfg, ExitThreshold::default()).expect("training");
         let added = order[k - 1];
-        eprintln!(
+        ddnn_bench::progress!(
             "k={k} (added device {}): local {:.1}% cloud {:.1}% overall {:.1}%",
             added.0 + 1,
             trained.exit_accuracies.local * 100.0,

@@ -36,7 +36,7 @@ fn main() {
         let comm = CommCostModel::from_config(trained.model.config());
         let bytes = comm.bytes_per_sample(e.local_exit_fraction);
         let mem = trained.model.device_memory_bytes();
-        eprintln!(
+        ddnn_bench::progress!(
             "f={f}: mem {mem} B, T={:.3}, local exit {:.1}%, overall {:.1}%",
             best.0.value(),
             e.local_exit_fraction * 100.0,

@@ -36,7 +36,7 @@ fn main() {
             ExitThreshold::default(),
         )
         .expect("training");
-        eprintln!(
+        ddnn_bench::progress!(
             "{}-{}: local {:.1}% cloud {:.1}%",
             local,
             cloud,

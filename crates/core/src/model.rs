@@ -6,6 +6,7 @@ use crate::aggregation::{AggregationScheme, FeatureAggregator, VectorAggregator}
 use crate::block::{ConvPBlock, ExitHead, Precision};
 use crate::entropy::{normalized_entropy_rows, ExitPolicy, ExitThreshold};
 use ddnn_nn::{Layer, Mode, Param};
+use ddnn_tensor::conv::Conv2dSpec;
 use ddnn_tensor::rng::rng_from_seed;
 use ddnn_tensor::{parallel, Result, Tensor, TensorError};
 
@@ -19,6 +20,19 @@ pub const DEVICE_MAP_SIZE: usize = INPUT_SIZE / 2;
 /// dataset's blank-grey encoding, which is what gives DDNN its automatic
 /// fault tolerance (paper §IV-G).
 pub const BLANK_INPUT_VALUE: f32 = 0.5;
+
+/// Spatial edge length after one paper pool (3×3, stride 2, pad 1) over a
+/// square `size`×`size` map, validated through
+/// [`Conv2dSpec::checked_output_size`] so degenerate geometry panics here
+/// with a typed [`TensorError`] message instead of silently mis-sizing an
+/// exit head downstream.
+fn pooled_size(size: usize) -> usize {
+    let (oh, ow) = Conv2dSpec::paper_pool()
+        .checked_output_size(size, size)
+        .unwrap_or_else(|e| panic!("paper pool over {size}x{size}: {e}"));
+    debug_assert_eq!(oh, ow, "square input pools to a square output");
+    oh
+}
 
 /// Configuration of an optional edge (fog) tier between devices and cloud
 /// (configurations (d)/(e) of Fig. 2).
@@ -229,8 +243,12 @@ impl Ddnn {
             (0..n).map(|_| ExitHead::new(map_elems, c, Precision::Binary, &mut rng)).collect();
         let local_agg = VectorAggregator::new(config.local_agg, n, c, &mut rng);
 
-        let half = DEVICE_MAP_SIZE / 2; // 8
-        let quarter = half / 2; // 4
+        // Spatial sizes after each cloud/edge ConvP pool, derived from the
+        // actual pooling spec (not a hard-coded `/2`) so a degenerate
+        // geometry shows up here as a typed `InvalidGeometry` error rather
+        // than as a silently wrong exit-head width downstream.
+        let half = pooled_size(DEVICE_MAP_SIZE); // 8
+        let quarter = pooled_size(half); // 4
         let (edge, cloud_agg, cloud_convs, cloud_head_in) = if let Some(ec) = config.edge {
             let mut edge_agg = FeatureAggregator::new(ec.agg, n);
             let edge_in = edge_agg.output_channels(f);
@@ -746,6 +764,15 @@ fn reshape_like_output(g: &Tensor, conv: &ConvPBlock) -> Result<Tensor> {
 mod tests {
     use super::*;
     use ddnn_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn map_sizes_follow_the_pool_spec() {
+        // The device-map constant and the cloud-section halvings must agree
+        // with what the paper's pooling geometry actually produces.
+        assert_eq!(pooled_size(INPUT_SIZE), DEVICE_MAP_SIZE);
+        assert_eq!(pooled_size(DEVICE_MAP_SIZE), 8);
+        assert_eq!(pooled_size(8), 4);
+    }
 
     fn small_config() -> DdnnConfig {
         DdnnConfig {

@@ -164,8 +164,11 @@ impl TierSection for FeatureSection {
         // into one (B, C, H, W) tensor, then run aggregation, the ConvP
         // chain and the exit head once over the whole batch. Each batch
         // row's arithmetic is independent, so per-sample logits and maps
-        // equal the one-at-a-time path — the gain is amortized bit-packing
-        // and one kernel pass instead of B.
+        // equal the one-at-a-time path. The binarized convs lower the
+        // whole stacked batch to one `BinaryConvPlan` (tensor crate):
+        // the weight matrix is packed and the geometry resolved once,
+        // then the B samples stream through the fused pack-and-popcount
+        // kernel — this drain is what makes micro-batching pay.
         let num_sources = batch[0].len();
         let mut per_source = Vec::with_capacity(num_sources);
         for s in 0..num_sources {

@@ -35,6 +35,7 @@
 use crate::conv::{check_nchw, Conv2dSpec};
 use crate::error::{Result, TensorError};
 use crate::parallel;
+use crate::simd::{self, SimdTier};
 use crate::tensor::Tensor;
 
 /// Bits per storage word.
@@ -44,6 +45,28 @@ const WORD_BITS: usize = 64;
 /// the worker pool (same rationale as the f32 kernel's threshold, scaled:
 /// a word op covers 64 multiply–accumulates).
 const PAR_BITOP_THRESHOLD: usize = 1 << 20;
+
+/// Minimum tap-product count before a *batched* convolution fans samples
+/// out across the worker pool. Cross-sample fan-out pays a pool dispatch
+/// and loses the shared scratch; below this the serial stream (one
+/// scratch, warm caches) wins, so the bar is higher than the in-sample
+/// pixel-partition threshold.
+const BATCH_PAR_THRESHOLD: usize = 8 * PAR_BITOP_THRESHOLD;
+
+/// Output pixels assembled per inner-loop iteration of the fused planar
+/// conv kernel. Eight `u64` lanes fill one AVX-512 register (two AVX2
+/// registers), so the per-lane extract loops vectorize to `vpsrlvq`.
+const CONV_TILE: usize = 8;
+
+/// Reusable buffers for the fused conv kernel, so streaming a batch
+/// through one plan allocates once instead of per sample.
+#[derive(Default)]
+struct ConvScratch {
+    /// Packed input rows, one pad-shifted word per `(channel, row)`.
+    plane: Vec<u64>,
+    /// Pixel-major `(pixels, f)` staging for the output transpose.
+    pm: Vec<f32>,
+}
 
 /// Branchless scalar packing of up to 64 values: bit `i` is set iff
 /// `chunk[i] > 0.0` (ordered compare — false for NaN and both zeros).
@@ -82,15 +105,109 @@ fn pack_word64(chunk: &[f32]) -> u64 {
     pack_word_partial(chunk)
 }
 
-/// Whether the CPU has the `popcnt` instruction. The x86-64 *baseline*
-/// does not include it, so `u64::count_ones()` in ordinary code lowers to
-/// a ~12-op bit dance; the XNOR kernels dispatch once per output block to
-/// a `#[target_feature(enable = "popcnt")]` clone when the probe passes
-/// (the probe result is cached by the standard library).
+/// AVX clone of [`pack_word64`]: 8 sign tests per `vcmpps`/`vmovmskps`
+/// pair. `_CMP_LT_OQ` is the same ordered `0 < x` compare, so NaN and
+/// ±0.0 still pack as `−1`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn pack_word64_avx(chunk: &[f32]) -> u64 {
+    debug_assert_eq!(chunk.len(), WORD_BITS);
+    use std::arch::x86_64::{
+        _mm256_cmp_ps, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_setzero_ps, _CMP_LT_OQ,
+    };
+    let zero = _mm256_setzero_ps();
+    let mut word = 0u64;
+    for g in 0..WORD_BITS / 8 {
+        let v = _mm256_loadu_ps(chunk.as_ptr().add(g * 8));
+        word |= (_mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(zero, v)) as u32 as u64) << (g * 8);
+    }
+    word
+}
+
+/// SSE2 packing of a *partial* group (`len < 64`): 4-wide compares over
+/// the whole 4-chunks, scalar for the remainder. Same ordered `0 < x`
+/// predicate as every other packer.
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
-fn has_popcnt() -> bool {
-    std::arch::is_x86_feature_detected!("popcnt")
+fn pack_partial_sse2(chunk: &[f32]) -> u64 {
+    // SAFETY: SSE2 is part of the x86-64 baseline, and each 4-wide load
+    // stays inside the whole 4-chunks of the slice.
+    unsafe {
+        use std::arch::x86_64::{_mm_cmplt_ps, _mm_loadu_ps, _mm_movemask_ps, _mm_setzero_ps};
+        let zero = _mm_setzero_ps();
+        let mut word = 0u64;
+        let n4 = chunk.len() / 4 * 4;
+        for g in (0..n4).step_by(4) {
+            let v = _mm_loadu_ps(chunk.as_ptr().add(g));
+            word |= (_mm_movemask_ps(_mm_cmplt_ps(zero, v)) as u64) << g;
+        }
+        word | (pack_word_partial(&chunk[n4..]) << n4)
+    }
+}
+
+/// AVX clone of [`pack_partial_sse2`]: 8-wide compares, SSE2/scalar tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn pack_partial_avx(chunk: &[f32]) -> u64 {
+    use std::arch::x86_64::{
+        _mm256_cmp_ps, _mm256_loadu_ps, _mm256_movemask_ps, _mm256_setzero_ps, _CMP_LT_OQ,
+    };
+    let zero = _mm256_setzero_ps();
+    let mut word = 0u64;
+    let n8 = chunk.len() / 8 * 8;
+    for g in (0..n8).step_by(8) {
+        let v = _mm256_loadu_ps(chunk.as_ptr().add(g));
+        word |= (_mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(zero, v)) as u32 as u64) << g;
+    }
+    word | (pack_partial_sse2(&chunk[n8..]) << n8)
+}
+
+/// Packs up to 64 values with the widest compare the tier allows. Used by
+/// the fused conv kernel, whose planar rows are usually narrower than a
+/// word (a 16-pixel-wide feature map packs 6 144 elements per sample —
+/// scalar packing was the second-largest cost of the whole conv).
+#[inline(always)]
+fn pack_row_tier(chunk: &[f32], tier: SimdTier) -> u64 {
+    if chunk.len() == WORD_BITS {
+        return pack_word_tier(chunk, tier);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        match tier {
+            SimdTier::Scalar => pack_word_partial(chunk),
+            SimdTier::Sse2 => pack_partial_sse2(chunk),
+            // SAFETY: callers resolve the tier through `simd::active_tier`,
+            // which clamps to CPU support.
+            SimdTier::Avx2 | SimdTier::Avx512 => unsafe { pack_partial_avx(chunk) },
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = tier;
+        pack_word_partial(chunk)
+    }
+}
+
+/// Packs one full 64-element group with the instruction set of the given
+/// dispatch tier. All tiers implement the identical strictly-positive sign
+/// predicate; they differ only in compare width.
+#[inline(always)]
+fn pack_word_tier(chunk: &[f32], tier: SimdTier) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match tier {
+            SimdTier::Scalar => pack_word_partial(chunk),
+            SimdTier::Sse2 => pack_word64(chunk),
+            // SAFETY: callers resolve the tier through `simd::active_tier`
+            // (or pass `detected_tier`), which clamps to CPU support.
+            SimdTier::Avx2 | SimdTier::Avx512 => unsafe { pack_word64_avx(chunk) },
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = tier;
+        pack_word_partial(chunk)
+    }
 }
 
 /// A ±1 matrix packed one bit per element into row-major `u64` words.
@@ -132,6 +249,13 @@ impl BitMatrix {
     /// Packs `rows * cols` row-major values by the same sign convention as
     /// [`BitMatrix::pack`], without requiring a rank-2 tensor.
     pub(crate) fn pack_slice(data: &[f32], rows: usize, cols: usize) -> BitMatrix {
+        Self::pack_slice_tier(data, rows, cols, simd::active_tier())
+    }
+
+    /// [`BitMatrix::pack_slice`] with an explicitly resolved dispatch tier
+    /// (entry points resolve once and thread the tier down, so overrides
+    /// reach pool workers).
+    fn pack_slice_tier(data: &[f32], rows: usize, cols: usize, tier: SimdTier) -> BitMatrix {
         let mut m = BitMatrix::zeros(rows, cols);
         let wpr = m.words_per_row;
         for r in 0..rows {
@@ -139,7 +263,7 @@ impl BitMatrix {
             let dst = &mut m.words[r * wpr..(r + 1) * wpr];
             let mut chunks = src.chunks_exact(WORD_BITS);
             for (w, chunk) in dst.iter_mut().zip(&mut chunks) {
-                *w = pack_word64(chunk);
+                *w = pack_word_tier(chunk, tier);
             }
             let rem = chunks.remainder();
             if !rem.is_empty() {
@@ -214,8 +338,9 @@ impl BitMatrix {
             });
         }
         let (m, n) = (self.rows, rhs.rows);
+        let tier = simd::active_tier();
         let mut out = vec![0.0f32; m * n];
-        let kernel = |r0: usize, chunk: &mut [f32]| self.xnor_block(rhs, r0, chunk);
+        let kernel = |r0: usize, chunk: &mut [f32]| self.xnor_block(tier, rhs, r0, chunk);
         if m * n * self.cols >= PAR_BITOP_THRESHOLD && parallel::num_threads() > 1 {
             parallel::par_item_chunks_mut(&mut out, n, kernel);
         } else {
@@ -250,15 +375,38 @@ impl BitMatrix {
         self.xnor_block_generic(rhs, r0, chunk)
     }
 
-    /// Runtime-dispatched unmasked XNOR block.
-    #[inline]
-    fn xnor_block(&self, rhs: &BitMatrix, r0: usize, chunk: &mut [f32]) {
-        #[cfg(target_arch = "x86_64")]
-        if has_popcnt() {
-            // SAFETY: guarded by the runtime feature probe.
-            return unsafe { self.xnor_block_popcnt(rhs, r0, chunk) };
-        }
+    /// AVX2 clone: the compiler vectorizes the word loop's `count_ones`
+    /// reduction with the `vpshufb` nibble-LUT idiom.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn xnor_block_avx2(&self, rhs: &BitMatrix, r0: usize, chunk: &mut [f32]) {
         self.xnor_block_generic(rhs, r0, chunk)
+    }
+
+    /// AVX-512 clone: VPOPCNTDQ gives a native 8×64-bit `vpopcntq`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+    unsafe fn xnor_block_avx512(&self, rhs: &BitMatrix, r0: usize, chunk: &mut [f32]) {
+        self.xnor_block_generic(rhs, r0, chunk)
+    }
+
+    /// Tier-dispatched unmasked XNOR block. `tier` must come from
+    /// [`simd::active_tier`] (clamped to CPU support).
+    #[inline]
+    fn xnor_block(&self, tier: SimdTier, rhs: &BitMatrix, r0: usize, chunk: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier is clamped to the detected CPU features.
+        match tier {
+            SimdTier::Scalar => self.xnor_block_generic(rhs, r0, chunk),
+            SimdTier::Sse2 => unsafe { self.xnor_block_popcnt(rhs, r0, chunk) },
+            SimdTier::Avx2 => unsafe { self.xnor_block_avx2(rhs, r0, chunk) },
+            SimdTier::Avx512 => unsafe { self.xnor_block_avx512(rhs, r0, chunk) },
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = tier;
+            self.xnor_block_generic(rhs, r0, chunk)
+        }
     }
 
     /// Masked XNOR–popcount GEMM for zero-padded operands: positions where
@@ -284,17 +432,25 @@ impl BitMatrix {
             .map(|j| mask.row(j).iter().map(|w| w.count_ones() as i32).sum())
             .collect();
         let mut out = vec![0.0f32; self.rows * rhs.rows];
-        self.xnor_masked_into(rhs, mask, &valid, &mut out);
+        self.xnor_masked_into(simd::active_tier(), rhs, mask, &valid, &mut out);
         Tensor::from_vec(out, [self.rows, rhs.rows])
     }
 
     /// Shape-unchecked core of [`BitMatrix::xnor_matmul_masked`], writing
     /// into a caller-provided buffer (used by the conv lowering, whose
     /// shapes are consistent by construction).
-    fn xnor_masked_into(&self, rhs: &BitMatrix, mask: &BitMatrix, valid: &[i32], out: &mut [f32]) {
+    fn xnor_masked_into(
+        &self,
+        tier: SimdTier,
+        rhs: &BitMatrix,
+        mask: &BitMatrix,
+        valid: &[i32],
+        out: &mut [f32],
+    ) {
         let n = rhs.rows;
-        let kernel =
-            |r0: usize, chunk: &mut [f32]| self.xnor_masked_block(rhs, mask, valid, r0, chunk);
+        let kernel = |r0: usize, chunk: &mut [f32]| {
+            self.xnor_masked_block(tier, rhs, mask, valid, r0, chunk)
+        };
         if self.rows * n * self.cols >= PAR_BITOP_THRESHOLD && parallel::num_threads() > 1 {
             parallel::par_item_chunks_mut(out, n, kernel);
         } else {
@@ -339,9 +495,10 @@ impl BitMatrix {
         self.xnor_masked_block_generic(rhs, mask, valid, r0, chunk)
     }
 
-    /// Runtime-dispatched masked XNOR block.
-    #[inline]
-    fn xnor_masked_block(
+    /// AVX2 clone of [`BitMatrix::xnor_masked_block_generic`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn xnor_masked_block_avx2(
         &self,
         rhs: &BitMatrix,
         mask: &BitMatrix,
@@ -349,12 +506,49 @@ impl BitMatrix {
         r0: usize,
         chunk: &mut [f32],
     ) {
-        #[cfg(target_arch = "x86_64")]
-        if has_popcnt() {
-            // SAFETY: guarded by the runtime feature probe.
-            return unsafe { self.xnor_masked_block_popcnt(rhs, mask, valid, r0, chunk) };
-        }
         self.xnor_masked_block_generic(rhs, mask, valid, r0, chunk)
+    }
+
+    /// AVX-512 VPOPCNTDQ clone of [`BitMatrix::xnor_masked_block_generic`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+    unsafe fn xnor_masked_block_avx512(
+        &self,
+        rhs: &BitMatrix,
+        mask: &BitMatrix,
+        valid: &[i32],
+        r0: usize,
+        chunk: &mut [f32],
+    ) {
+        self.xnor_masked_block_generic(rhs, mask, valid, r0, chunk)
+    }
+
+    /// Tier-dispatched masked XNOR block.
+    #[inline]
+    fn xnor_masked_block(
+        &self,
+        tier: SimdTier,
+        rhs: &BitMatrix,
+        mask: &BitMatrix,
+        valid: &[i32],
+        r0: usize,
+        chunk: &mut [f32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier is clamped to the detected CPU features.
+        match tier {
+            SimdTier::Scalar => self.xnor_masked_block_generic(rhs, mask, valid, r0, chunk),
+            SimdTier::Sse2 => unsafe { self.xnor_masked_block_popcnt(rhs, mask, valid, r0, chunk) },
+            SimdTier::Avx2 => unsafe { self.xnor_masked_block_avx2(rhs, mask, valid, r0, chunk) },
+            SimdTier::Avx512 => unsafe {
+                self.xnor_masked_block_avx512(rhs, mask, valid, r0, chunk)
+            },
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = tier;
+            self.xnor_masked_block_generic(rhs, mask, valid, r0, chunk)
+        }
     }
 }
 
@@ -618,6 +812,443 @@ pub fn bit_im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<(Vec<BitMatrix>, 
     Ok((patches, geometry_mask(c, h, w, spec, oh, ow)))
 }
 
+/// A prepared binary convolution: weights packed once, geometry resolved
+/// once, then any number of same-shaped ±1 samples streamed through the
+/// fused pack-and-popcount kernel.
+///
+/// The fused kernel never materialises the packed column matrix of
+/// [`bit_im2col`]: each output pixel's bit row is assembled tile-by-tile
+/// into a words-per-patch scratch (a handful of `u64`s, L1-resident) and
+/// immediately dotted against every filter via the word-transposed weight
+/// copy, so the inner loop vectorizes across filters under the wider
+/// [`SimdTier`]s. Interior pixels — the vast majority — skip the padding
+/// mask entirely; border pixels assemble a mask row from precomputed
+/// per-`oy`/per-`ox` validity words. Inputs wider than one word fall back
+/// to the two-phase lowering ([`pack_patches`] + masked GEMM), which
+/// handles arbitrary geometry.
+///
+/// Outputs are exact integers either way, bit-identical to the f32 sign
+/// path and to the two-phase reference on every dispatch tier.
+#[derive(Debug, Clone)]
+pub struct BinaryConvPlan {
+    /// Packed `(f, c*kh*kw)` weights in `(ch, ky, kx)` tap order.
+    wbits: BitMatrix,
+    spec: Conv2dSpec,
+    c: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+    oh: usize,
+    ow: usize,
+    /// Whether the single-word-wide fused kernel applies.
+    planar: bool,
+    /// Planar: bit `ky` of `ymasks[oy]` is set iff input row
+    /// `oy*stride + ky - padding` is in bounds.
+    ymasks: Vec<u64>,
+    /// Planar: bit `kx` of `xmasks[ox]` is set iff input column
+    /// `ox*stride + kx - padding` is in bounds.
+    xmasks: Vec<u64>,
+    /// Planar: border output pixels (those with any out-of-bounds tap)
+    /// as `(pixel index, mask-combo index)` pairs, row-major order.
+    border: Vec<(u32, u32)>,
+    /// Planar: additive border corrections, laid out `[fi][combo]`:
+    /// `valid + 2·popcount(w AND NOT mask) − kk` turns the unmasked
+    /// XNOR identity into the masked one (see `conv_sample`).
+    deltas_t: Vec<i64>,
+    /// Number of distinct `(ymask, xmask)` border combos.
+    ncombos: usize,
+    /// General fallback: the full per-pixel validity mask…
+    mask: Option<BitMatrix>,
+    /// …and its per-pixel popcounts.
+    valid: Vec<i32>,
+}
+
+impl BinaryConvPlan {
+    /// Prepares a plan for convolving `(n, c, h, w)` ±1 inputs with the
+    /// given sign-packed weight tensor (`(f, c, kh, kw)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-rank-4 weight, a kernel size differing
+    /// from `spec`, or degenerate geometry.
+    pub fn new(weight: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Result<BinaryConvPlan> {
+        let (f, c, kh, kw) = check_nchw(weight, "binary_conv_plan")?;
+        if kh != spec.kernel_h || kw != spec.kernel_w {
+            return Err(TensorError::ShapeMismatch {
+                lhs: weight.dims().to_vec(),
+                rhs: vec![f, c, spec.kernel_h, spec.kernel_w],
+                op: "binary_conv_plan",
+            });
+        }
+        let (oh, ow) = spec.checked_output_size(h, w)?;
+        let kk = c * kh * kw;
+        let wbits = BitMatrix::pack_slice(weight.data(), f, kk);
+        let wpk = wbits.words_per_row;
+        // The fused kernel pre-shifts each packed input row left by `pad`
+        // so a tap group for output column `ox` is always
+        // `(row >> ox*stride) & kmask` with an in-range shift count —
+        // that needs the padded row (w + 2*pad bits of addressable
+        // positions) to fit one word.
+        let planar = w + 2 * spec.padding <= WORD_BITS && kw < WORD_BITS && kh < WORD_BITS;
+        let mut plan = BinaryConvPlan {
+            wbits,
+            spec: *spec,
+            c,
+            h,
+            w,
+            f,
+            oh,
+            ow,
+            planar,
+            ymasks: Vec::new(),
+            xmasks: Vec::new(),
+            border: Vec::new(),
+            deltas_t: Vec::new(),
+            ncombos: 0,
+            mask: None,
+            valid: Vec::new(),
+        };
+        if planar {
+            plan.ymasks = (0..oh)
+                .map(|oy| {
+                    let mut m = 0u64;
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        m |= u64::from(iy >= 0 && iy < h as isize) << ky;
+                    }
+                    m
+                })
+                .collect();
+            plan.xmasks = (0..ow)
+                .map(|ox| {
+                    let mut m = 0u64;
+                    for kx in 0..kw {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        m |= u64::from(ix >= 0 && ix < w as isize) << kx;
+                    }
+                    m
+                })
+                .collect();
+            // Pre-shifted rows put a zero bit at every out-of-bounds tap,
+            // so the kernel can run the *unmasked* identity everywhere and
+            // border pixels are repaired afterwards by a per-(masks, fi)
+            // additive delta:
+            //
+            //   popcount(p^w) = popcount((p^w)&m) + popcount(w & !m)
+            //   masked = valid − 2·popcount((p^w)&m)
+            //          = (kk − 2·popcount(p^w)) + (valid + 2·corr − kk)
+            //
+            // with `corr = popcount(w & !m)` (p is zero wherever m is).
+            let full_y = (1u64 << kh) - 1;
+            let full_x = (1u64 << kw) - 1;
+            let mut combos: Vec<(u64, u64)> = Vec::new();
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let pair = (plan.ymasks[oy], plan.xmasks[ox]);
+                    if pair == (full_y, full_x) {
+                        continue;
+                    }
+                    let cb = match combos.iter().position(|&p| p == pair) {
+                        Some(i) => i,
+                        None => {
+                            combos.push(pair);
+                            combos.len() - 1
+                        }
+                    };
+                    plan.border.push(((oy * ow + ox) as u32, cb as u32));
+                }
+            }
+            plan.ncombos = combos.len();
+            plan.deltas_t = vec![0i64; f * combos.len()];
+            let mut maskrow = vec![0u64; wpk];
+            for (cb, &(ym, xm)) in combos.iter().enumerate() {
+                maskrow.fill(0);
+                let mut mb = RowBits { words: &mut maskrow, cur: 0, tap: 0 };
+                for _ch in 0..c {
+                    for ky in 0..kh {
+                        mb.push_group(if (ym >> ky) & 1 == 1 { xm } else { 0 }, kw);
+                    }
+                }
+                mb.finish();
+                let valid = c as i64 * i64::from(ym.count_ones()) * i64::from(xm.count_ones());
+                for fi in 0..f {
+                    let corr: i64 = plan
+                        .wbits
+                        .row(fi)
+                        .iter()
+                        .zip(maskrow.iter())
+                        .map(|(&wv, &m)| i64::from((wv & !m).count_ones()))
+                        .sum();
+                    plan.deltas_t[fi * combos.len() + cb] = valid + 2 * corr - kk as i64;
+                }
+            }
+        } else {
+            let mask = geometry_mask(c, h, w, spec, oh, ow);
+            plan.valid = (0..oh * ow)
+                .map(|j| mask.row(j).iter().map(|v| v.count_ones() as i32).sum())
+                .collect();
+            plan.mask = Some(mask);
+        }
+        Ok(plan)
+    }
+
+    /// Output spatial size.
+    pub fn output_size(&self) -> (usize, usize) {
+        (self.oh, self.ow)
+    }
+
+    /// Number of output filters.
+    pub fn filters(&self) -> usize {
+        self.f
+    }
+
+    /// Runs the plan over an NCHW batch, streaming each sample through the
+    /// fused kernel (batch elements fan out across the worker pool; a
+    /// single sample pixel-partitions instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` is not rank 4 or its `(c, h, w)` differ
+    /// from the plan's.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor> {
+        let (n, c, h, w) = check_nchw(input, "binary_conv2d")?;
+        if c != self.c || h != self.h || w != self.w {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.dims().to_vec(),
+                rhs: vec![n, self.c, self.h, self.w],
+                op: "binary_conv2d",
+            });
+        }
+        let tier = simd::active_tier();
+        let fp = self.f * self.oh * self.ow;
+        let chw = c * h * w;
+        let mut out = vec![0.0f32; n * fp];
+        let data = input.data();
+        if n > 1 && self.batch_work(n) >= BATCH_PAR_THRESHOLD && parallel::num_threads() > 1 {
+            parallel::par_item_chunks_mut(&mut out, fp, |b0, chunk| {
+                let mut scratch = ConvScratch::default();
+                for (bi, res) in chunk.chunks_mut(fp).enumerate() {
+                    self.conv_sample(tier, &data[(b0 + bi) * chw..][..chw], res, &mut scratch);
+                }
+            });
+        } else {
+            let mut scratch = ConvScratch::default();
+            for (b, res) in out.chunks_mut(fp).enumerate() {
+                self.conv_sample(tier, &data[b * chw..][..chw], res, &mut scratch);
+            }
+        }
+        Tensor::from_vec(out, [n, self.f, self.oh, self.ow])
+    }
+
+    /// Tap-product count for an `n`-sample batch — the fan-out gate.
+    fn batch_work(&self, n: usize) -> usize {
+        n * self.f * self.oh * self.ow * self.c * self.spec.kernel_h * self.spec.kernel_w
+    }
+
+    /// Convolves one `(c, h, w)` sample into its `(f, oh*ow)` output
+    /// slice. Parallelises over pixel tiles when called outside the pool
+    /// with enough work; inside pool workers this degenerates to the
+    /// serial loop (the nesting guard makes `num_threads()` report 1), so
+    /// every element is always computed by the same instruction sequence.
+    fn conv_sample(
+        &self,
+        tier: SimdTier,
+        data: &[f32],
+        out: &mut [f32],
+        scratch: &mut ConvScratch,
+    ) {
+        let pixels = self.oh * self.ow;
+        if !self.planar {
+            let patches = pack_patches(data, self.c, self.h, self.w, &self.spec, self.oh, self.ow);
+            let mask = self.mask.as_ref().expect("general path carries a mask");
+            self.wbits.xnor_masked_into(tier, &patches, mask, &self.valid, out);
+            return;
+        }
+        // Pack each input row into one word, pre-shifted by the padding so
+        // the tap group for column `ox` is always `(row >> ox*stride)` —
+        // the only pass over the f32s. The shift also lands a zero bit at
+        // every out-of-bounds tap (left-pad taps read the low zeros, right
+        // ones read past the packed width), which is what lets the kernel
+        // below skip masking entirely.
+        scratch.plane.clear();
+        scratch.plane.resize(self.c * self.h, 0);
+        for (r, bits) in scratch.plane.iter_mut().enumerate() {
+            *bits = pack_row_tier(&data[r * self.w..][..self.w], tier) << self.spec.padding;
+        }
+        let plane_bits: &[u64] = &scratch.plane;
+        if self.batch_work(1) >= PAR_BITOP_THRESHOLD && parallel::num_threads() > 1 {
+            // Pixel-major scratch (pixels, f): workers own contiguous pixel
+            // ranges, then one serial transpose lands the (f, pixels)
+            // layout. Same arithmetic as the serial path — only the store
+            // order differs — so results stay bit-identical.
+            scratch.pm.clear();
+            scratch.pm.resize(pixels * self.f, 0.0);
+            let pm = &mut scratch.pm[..];
+            parallel::par_item_chunks_mut(pm, self.f, |j0, chunk| {
+                self.conv_pixels(tier, plane_bits, j0, chunk, false);
+            });
+            for j in 0..pixels {
+                for fi in 0..self.f {
+                    out[fi * pixels + j] = pm[j * self.f + fi];
+                }
+            }
+        } else {
+            self.conv_pixels(tier, plane_bits, 0, out, true);
+        }
+        // Border repair: the kernel ran the unmasked identity everywhere;
+        // add the precomputed per-(masks, filter) delta on the few pixels
+        // whose receptive field leaves the input. Both operands are exact
+        // small integers, so the f32 add is exact and the result matches
+        // the masked identity bit for bit.
+        if !self.border.is_empty() {
+            for fi in 0..self.f {
+                let drow = &self.deltas_t[fi * self.ncombos..][..self.ncombos];
+                let orow = &mut out[fi * pixels..][..pixels];
+                for &(j, cb) in &self.border {
+                    orow[j as usize] += drow[cb as usize] as f32;
+                }
+            }
+        }
+    }
+
+    /// The fused planar kernel over output pixels `j0..j0 + dst.len()/f`.
+    ///
+    /// Works one output row at a time: the y-validity test is hoisted out
+    /// of the pixel loop by materializing `srow` — the pad-shifted source
+    /// word per `(channel, ky)` group, zero for out-of-bounds rows — then
+    /// patch rows for [`CONV_TILE`] pixels are assembled together and
+    /// dotted against every filter with the *unmasked* XNOR identity
+    /// (invalid taps carry zero bits; `conv_sample` repairs the border
+    /// afterwards). The per-lane loops have fixed trip counts, which is
+    /// the shape LLVM turns into variable-shift (`vpsrlvq`) and 8-lane
+    /// popcount (`vpopcntq`) SIMD under the AVX2/AVX-512 clones; every
+    /// tier runs this same body, so outputs are identical by construction.
+    ///
+    /// With `direct` set, `dst` is the whole `(f, oh*ow)` output and tile
+    /// results store straight into their final planes; otherwise `dst` is
+    /// a pixel-major `(span, f)` chunk (the parallel path's layout).
+    #[inline(always)]
+    fn conv_pixels_generic(&self, plane_bits: &[u64], j0: usize, dst: &mut [f32], direct: bool) {
+        const TILE: usize = CONV_TILE;
+        let (kh, kw) = (self.spec.kernel_h, self.spec.kernel_w);
+        let (stride, pad) = (self.spec.stride, self.spec.padding as isize);
+        let kmask = (1u64 << kw) - 1;
+        let kk = (self.c * kh * kw) as i64;
+        let f = self.f;
+        let groups = self.c * kh;
+        let span = dst.len() / f;
+        let end = j0 + span;
+        let mut srow = vec![0u64; groups];
+        let mut patchv = vec![0u64; self.wbits.words_per_row * TILE];
+        let mut j = j0;
+        while j < end {
+            let oy = j / self.ow;
+            let row_end = ((oy + 1) * self.ow).min(end);
+            let ymask = self.ymasks[oy];
+            let iy0 = (oy * stride) as isize - pad;
+            for ch in 0..self.c {
+                let prows = &plane_bits[ch * self.h..][..self.h];
+                for ky in 0..kh {
+                    srow[ch * kh + ky] = if (ymask >> ky) & 1 == 1 {
+                        prows[(iy0 + ky as isize) as usize]
+                    } else {
+                        0
+                    };
+                }
+            }
+            while j < row_end {
+                let ox = j % self.ow;
+                let nl = TILE.min(row_end - j);
+                // Per-lane shift counts; tail lanes repeat the last valid
+                // pixel (their results are discarded below), so every
+                // shift stays in range — the planar bound guarantees
+                // `ox*stride + kw <= w + 2*pad <= 64`.
+                let mut sx = [0u32; TILE];
+                for (l, s) in sx.iter_mut().enumerate() {
+                    *s = ((ox + l.min(nl - 1)) * stride) as u32;
+                }
+                patchv.fill(0);
+                for (g, &s) in srow.iter().enumerate() {
+                    let bit = g * kw;
+                    let (tw, tb) = (bit >> 6, (bit & 63) as u32);
+                    let pv = &mut patchv[tw * TILE..][..TILE];
+                    for (l, p) in pv.iter_mut().enumerate() {
+                        *p |= ((s >> sx[l]) & kmask) << tb;
+                    }
+                    if tb as usize + kw > 64 {
+                        // The group straddles a word boundary: spill the
+                        // high taps into the next word.
+                        let pv2 = &mut patchv[(tw + 1) * TILE..][..TILE];
+                        for (l, p) in pv2.iter_mut().enumerate() {
+                            *p |= ((s >> sx[l]) & kmask) >> (64 - tb);
+                        }
+                    }
+                }
+                for fi in 0..f {
+                    let wrow = self.wbits.row(fi);
+                    let mut acc = [0i64; TILE];
+                    for (wi, &wv) in wrow.iter().enumerate() {
+                        let pv = &patchv[wi * TILE..][..TILE];
+                        for (a, &p) in acc.iter_mut().zip(pv) {
+                            *a += i64::from((p ^ wv).count_ones());
+                        }
+                    }
+                    if direct {
+                        let orow = &mut dst[fi * span + j..][..nl];
+                        for (o, &a) in orow.iter_mut().zip(acc.iter()) {
+                            *o = (kk - 2 * a) as f32;
+                        }
+                    } else {
+                        for (l, &a) in acc.iter().take(nl).enumerate() {
+                            dst[(j - j0 + l) * f + fi] = (kk - 2 * a) as f32;
+                        }
+                    }
+                }
+                j += nl;
+            }
+        }
+    }
+
+    /// `popcnt` clone of [`BinaryConvPlan::conv_pixels_generic`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "popcnt")]
+    unsafe fn conv_pixels_popcnt(&self, plane_bits: &[u64], j0: usize, dst: &mut [f32], d: bool) {
+        self.conv_pixels_generic(plane_bits, j0, dst, d)
+    }
+
+    /// AVX2 clone: tile assembly vectorizes to `vpsrlvq`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn conv_pixels_avx2(&self, plane_bits: &[u64], j0: usize, dst: &mut [f32], d: bool) {
+        self.conv_pixels_generic(plane_bits, j0, dst, d)
+    }
+
+    /// AVX-512 VPOPCNTDQ clone: `vpopcntq` across the 8 tile lanes.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512bw,avx512vpopcntdq,popcnt")]
+    unsafe fn conv_pixels_avx512(&self, plane_bits: &[u64], j0: usize, dst: &mut [f32], d: bool) {
+        self.conv_pixels_generic(plane_bits, j0, dst, d)
+    }
+
+    /// Tier-dispatched fused planar kernel.
+    #[inline]
+    fn conv_pixels(&self, tier: SimdTier, plane_bits: &[u64], j0: usize, dst: &mut [f32], d: bool) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier is clamped to the detected CPU features.
+        match tier {
+            SimdTier::Scalar => self.conv_pixels_generic(plane_bits, j0, dst, d),
+            SimdTier::Sse2 => unsafe { self.conv_pixels_popcnt(plane_bits, j0, dst, d) },
+            SimdTier::Avx2 => unsafe { self.conv_pixels_avx2(plane_bits, j0, dst, d) },
+            SimdTier::Avx512 => unsafe { self.conv_pixels_avx512(plane_bits, j0, dst, d) },
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = tier;
+            self.conv_pixels_generic(plane_bits, j0, dst, d)
+        }
+    }
+}
+
 /// Binary 2-D convolution: the XNOR–popcount equivalent of
 /// [`crate::conv::conv2d`] for ±1 input and binarized weights.
 ///
@@ -625,41 +1256,97 @@ pub fn bit_im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<(Vec<BitMatrix>, 
 /// master weights can be passed directly. On valid operands the result is
 /// bit-identical to `conv2d(input, &binarize(weight), spec)`.
 ///
+/// Builds a [`BinaryConvPlan`] and streams the batch through it: weights
+/// are packed once per call and bit-packing is fused into the conv inner
+/// loop, so a multi-sample batch (the runtime's micro-batched tiers) pays
+/// the weight and geometry setup once.
+///
 /// # Errors
 ///
 /// Returns an error for non-rank-4 operands, mismatched channel counts or
 /// degenerate geometry.
 pub fn binary_conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
-    let (n, c, h, w) = check_nchw(input, "binary_conv2d")?;
-    let (f, wc, kh, kw) = check_nchw(weight, "binary_conv2d")?;
-    if wc != c || kh != spec.kernel_h || kw != spec.kernel_w {
+    let (_, c, h, w) = check_nchw(input, "binary_conv2d")?;
+    let (_, wc, _, _) = check_nchw(weight, "binary_conv2d")?;
+    if wc != c {
         return Err(TensorError::ShapeMismatch {
             lhs: input.dims().to_vec(),
             rhs: weight.dims().to_vec(),
             op: "binary_conv2d",
         });
     }
-    let (oh, ow) = spec.checked_output_size(h, w)?;
-    let kk = c * kh * kw;
-    let pixels = oh * ow;
-    let wbits = BitMatrix::pack_slice(weight.data(), f, kk);
-    let mask = geometry_mask(c, h, w, spec, oh, ow);
-    let valid: Vec<i32> =
-        (0..pixels).map(|j| mask.row(j).iter().map(|v| v.count_ones() as i32).sum()).collect();
-    let data = input.data();
-    let mut out = vec![0.0f32; n * f * pixels];
-    // Batch fan-out mirrors the f32 conv2d; within a worker the masked
-    // XNOR GEMM runs serially (nesting guard), and for n == 1 the GEMM
-    // itself row-partitions.
-    parallel::par_item_chunks_mut(&mut out, f * pixels, |b0, chunk| {
-        for (bi, res) in chunk.chunks_mut(f * pixels).enumerate() {
-            let b = b0 + bi;
-            let patches =
-                pack_patches(&data[b * c * h * w..(b + 1) * c * h * w], c, h, w, spec, oh, ow);
-            wbits.xnor_masked_into(&patches, &mask, &valid, res);
+    BinaryConvPlan::new(weight, spec, h, w)?.run(input)
+}
+
+/// Batched binary convolution over independent `(c, h, w)` samples: packs
+/// the shared weight matrix once, then streams every sample through the
+/// fused kernel, fanning the samples out across the worker pool.
+///
+/// This is the entry point for the runtime's micro-batch drain: `inputs`
+/// are the per-sample feature maps a tier dequeued, and each output is the
+/// corresponding `(f, oh, ow)` map, bit-identical to convolving that
+/// sample alone.
+///
+/// # Errors
+///
+/// Returns an error if any input is not rank 3, the samples disagree in
+/// shape, the channel count mismatches the weight, or the geometry is
+/// degenerate.
+pub fn binary_conv2d_batch(
+    inputs: &[Tensor],
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Vec<Tensor>> {
+    let Some(first) = inputs.first() else {
+        return Ok(Vec::new());
+    };
+    for t in inputs {
+        if t.rank() != 3 {
+            return Err(TensorError::RankMismatch { expected: 3, actual: t.rank() });
         }
-    });
-    Tensor::from_vec(out, [n, f, oh, ow])
+        if t.dims() != first.dims() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: first.dims().to_vec(),
+                rhs: t.dims().to_vec(),
+                op: "binary_conv2d_batch",
+            });
+        }
+    }
+    let (c, h, w) = (first.dims()[0], first.dims()[1], first.dims()[2]);
+    if c == 0 || h == 0 || w == 0 {
+        return Err(TensorError::Empty { op: "binary_conv2d_batch" });
+    }
+    let plan = BinaryConvPlan::new(weight, spec, h, w)?;
+    if plan.c != c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: first.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+            op: "binary_conv2d_batch",
+        });
+    }
+    let tier = simd::active_tier();
+    let (f, oh, ow) = (plan.f, plan.oh, plan.ow);
+    let fp = f * oh * ow;
+    if plan.batch_work(inputs.len()) >= BATCH_PAR_THRESHOLD && parallel::num_threads() > 1 {
+        parallel::par_map_indexed(inputs.len(), |i| {
+            let mut scratch = ConvScratch::default();
+            let mut res = vec![0.0f32; fp];
+            plan.conv_sample(tier, inputs[i].data(), &mut res, &mut scratch);
+            Tensor::from_vec(res, [f, oh, ow])
+        })
+        .into_iter()
+        .collect()
+    } else {
+        let mut scratch = ConvScratch::default();
+        inputs
+            .iter()
+            .map(|x| {
+                let mut res = vec![0.0f32; fp];
+                plan.conv_sample(tier, x.data(), &mut res, &mut scratch);
+                Tensor::from_vec(res, [f, oh, ow])
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

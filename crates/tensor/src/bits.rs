@@ -4,6 +4,14 @@
 //! element — to the cloud aggregator (paper §III-E, Eq. 1 counts `f·o/8`
 //! bytes for `f` filters of `o` bits each). This module packs a ±1 tensor
 //! into that wire representation and unpacks it back.
+//!
+//! The sign rule here — strictly positive → `1`, zero/negative → `0` —
+//! is the same one the compute-side [`crate::bitmatrix`] kernels use for
+//! their LSB-first `u64` words, so wire bytes and XNOR–popcount operands
+//! agree bit for bit (property-tested in `tests/properties.rs`). The
+//! wire format is MSB-first per *byte* and never SIMD-dispatched: packets
+//! must be byte-identical across hosts regardless of the
+//! [`crate::simd`] tier the compute kernels picked.
 
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;

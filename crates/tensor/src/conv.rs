@@ -45,9 +45,14 @@ impl Conv2dSpec {
     /// Output spatial size for an `(h, w)` input.
     ///
     /// Assumes the geometry is valid (the kernel fits in the padded input
-    /// and the stride is non-zero); the fallible kernels below go through
+    /// and the stride is non-zero). Every fallible kernel entry point —
+    /// the f32 conv/pool/im2col family below, the bit-packed
+    /// [`crate::bitmatrix::bit_im2col`], and the fused
+    /// [`crate::bitmatrix::BinaryConvPlan`] — goes through
     /// [`Conv2dSpec::checked_output_size`] instead, which rejects
-    /// degenerate geometries rather than silently clamping them.
+    /// degenerate geometries rather than silently clamping them; this raw
+    /// variant is only for contexts where the geometry was already
+    /// validated (or is a compile-time paper constant).
     pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
         let oh = (h + 2 * self.padding).saturating_sub(self.kernel_h) / self.stride.max(1) + 1;
         let ow = (w + 2 * self.padding).saturating_sub(self.kernel_w) / self.stride.max(1) + 1;

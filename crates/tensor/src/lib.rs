@@ -19,6 +19,8 @@
 //!   GEMM and bit-packed `im2col`, the binary inference fast path;
 //! * [`parallel`] — deterministic scoped-thread data parallelism
 //!   (`DDNN_THREADS`) used by the f32 and binary kernels alike;
+//! * [`simd`] — runtime SIMD dispatch tiers (`DDNN_SIMD`) selecting the
+//!   scalar/SSE2/AVX2/AVX-512 clones of the bit-packed kernels;
 //! * [`rng`] — deterministic, seedable random tensor generation.
 //!
 //! ## Example
@@ -47,9 +49,11 @@ mod ops;
 pub mod parallel;
 pub mod rng;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use bitmatrix::BitMatrix;
 pub use error::{Result, TensorError};
 pub use shape::Shape;
+pub use simd::SimdTier;
 pub use tensor::Tensor;

@@ -1,0 +1,158 @@
+//! Property tests pinning the binary-convolution equivalence contract:
+//! the fused plan ([`binary_conv2d`]), the explicit batched entry point
+//! ([`binary_conv2d_batch`]) and the two-phase [`bit_im2col`] + masked
+//! XNOR GEMM reference must all be **bit-identical** to the f32 sign-path
+//! convolution — across odd geometries (patch widths off word boundaries,
+//! padding/stride combinations), batch sizes 1..8, and every SIMD
+//! dispatch tier the machine supports.
+//!
+//! Tiers are pinned with the thread-local [`simd::with_tier`] override
+//! rather than `DDNN_SIMD`, so concurrently running tests cannot race on
+//! process-global environment state.
+
+use ddnn_tensor::bitmatrix::{binary_conv2d, binary_conv2d_batch, bit_im2col};
+use ddnn_tensor::conv::{conv2d, Conv2dSpec};
+use ddnn_tensor::rng::rng_from_seed;
+use ddnn_tensor::{simd, BitMatrix, Tensor};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// The paper's strictly-positive sign binarization (`nn::binarize`).
+fn binarize(t: &Tensor) -> Tensor {
+    t.map(|x| if x > 0.0 { 1.0 } else { -1.0 })
+}
+
+fn random_signs(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed);
+    Tensor::from_fn(dims.to_vec(), |_| if rng.gen::<f32>() > 0.5 { 1.0 } else { -1.0 })
+}
+
+/// Random float weights (not pre-binarized): the kernels must pack by
+/// sign themselves, including the zero → −1 convention.
+fn random_weights(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = rng_from_seed(seed ^ 0x5eed);
+    Tensor::from_fn(dims.to_vec(), |_| rng.gen::<f32>() * 2.0 - 1.0)
+}
+
+/// The pre-fusion two-phase lowering, reconstructed from public API:
+/// materialize the whole packed column matrix per sample, then run the
+/// masked XNOR GEMM against the packed weights.
+fn two_phase_reference(x: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let (n, f) = (x.dims()[0], weight.dims()[0]);
+    let kk: usize = weight.dims()[1..].iter().product();
+    let (oh, ow) = spec.checked_output_size(x.dims()[2], x.dims()[3]).expect("valid geometry");
+    let (patches, mask) = bit_im2col(x, spec).expect("bit_im2col");
+    let w2 = weight.reshape([f, kk]).expect("weight reshape");
+    let wbits = BitMatrix::pack(&w2).expect("weight pack");
+    let mut out = Vec::with_capacity(n * f * oh * ow);
+    for p in &patches {
+        let per = wbits.xnor_matmul_masked(p, &mask).expect("masked gemm");
+        out.extend_from_slice(per.data());
+    }
+    Tensor::from_vec(out, [n, f, oh, ow]).expect("assemble")
+}
+
+/// Asserts all binary paths equal the f32 sign path on every supported
+/// tier; panics (failing the enclosing property case) on divergence.
+fn check_all_paths(x: &Tensor, weight: &Tensor, spec: &Conv2dSpec) {
+    let expect = conv2d(x, &binarize(weight), spec).expect("f32 conv");
+    let reference = two_phase_reference(x, weight, spec);
+    assert_eq!(&reference, &expect, "two-phase bit_im2col path diverged from f32");
+    let n = x.dims()[0];
+    let samples: Vec<Tensor> = (0..n)
+        .map(|b| {
+            let dims = &x.dims()[1..];
+            let chw: usize = dims.iter().product();
+            Tensor::from_vec(x.data()[b * chw..(b + 1) * chw].to_vec(), dims.to_vec())
+                .expect("sample slice")
+        })
+        .collect();
+    for tier in simd::supported_tiers() {
+        let fused = simd::with_tier(tier, || binary_conv2d(x, weight, spec).expect("fused conv"));
+        assert_eq!(&fused, &expect, "fused conv diverged from f32 on tier {}", tier.name());
+        let batched = simd::with_tier(tier, || {
+            binary_conv2d_batch(&samples, weight, spec).expect("batched conv")
+        });
+        assert_eq!(batched.len(), n);
+        let pix: usize = expect.dims()[2] * expect.dims()[3];
+        let f = expect.dims()[1];
+        for (b, out) in batched.iter().enumerate() {
+            assert_eq!(out.dims(), &[f, expect.dims()[2], expect.dims()[3]]);
+            assert_eq!(
+                out.data(),
+                &expect.data()[b * f * pix..(b + 1) * f * pix],
+                "batched sample {} diverged from f32 on tier {}",
+                b,
+                tier.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    // Small geometries: kernel/stride/padding combinations with patch
+    // widths `c*kh*kw` landing on and off `u64` word boundaries, batch
+    // sizes 1..8. Each case sweeps every supported tier internally.
+    // Geometries where the kernel overhangs the padded input are skipped.
+    #[test]
+    fn binary_conv_paths_agree(
+        n in 1usize..=8,
+        c in 1usize..=9,
+        f in 1usize..=6,
+        hw in 3usize..=10,
+        kernel in 1usize..=3,
+        stride in 1usize..=2,
+        padding in 0usize..=2,
+        seed in 0u64..1000,
+    ) {
+        let spec = Conv2dSpec::new(2 * kernel - 1, stride, padding); // 1, 3, 5
+        if spec.checked_output_size(hw, hw).is_ok() {
+            let x = random_signs(&[n, c, hw, hw], seed);
+            let w = random_weights(&[f, c, spec.kernel_h, spec.kernel_w], seed);
+            check_all_paths(&x, &w, &spec);
+        }
+    }
+
+    // Channel counts straddling the 64-bit word boundary with a 1×1
+    // kernel: `kk = c` exercises the tail-word masking exactly at, just
+    // below and just above one word.
+    #[test]
+    fn binary_conv_tail_word_masking(
+        c in 62usize..=66,
+        n in 1usize..=3,
+        seed in 0u64..200,
+    ) {
+        let spec = Conv2dSpec::new(1, 1, 0);
+        let x = random_signs(&[n, c, 4, 4], seed);
+        let w = random_weights(&[3, c, 1, 1], seed);
+        check_all_paths(&x, &w, &spec);
+    }
+
+    // Inputs wider than one 64-bit word take the general (non-planar)
+    // fallback inside the plan; it must stay equivalent too.
+    #[test]
+    fn binary_conv_wide_input_fallback(
+        w in 63usize..=70,
+        n in 1usize..=2,
+        seed in 0u64..100,
+    ) {
+        let spec = Conv2dSpec::paper_conv();
+        let x = random_signs(&[n, 2, 5, w], seed);
+        let wt = random_weights(&[3, 2, 3, 3], seed);
+        check_all_paths(&x, &wt, &spec);
+    }
+}
+
+/// The paper's exact cloud-tier shape at batch 8 — the micro-batch drain
+/// case the streaming engine produces — deterministically, on every tier.
+#[test]
+fn paper_shape_batch8_all_tiers() {
+    let spec = Conv2dSpec::paper_conv();
+    let x = random_signs(&[8, 24, 16, 16], 7);
+    let w = random_weights(&[16, 24, 3, 3], 7);
+    let expect = conv2d(&x, &binarize(&w), &spec).expect("f32 conv");
+    for tier in simd::supported_tiers() {
+        let got = simd::with_tier(tier, || binary_conv2d(&x, &w, &spec).expect("fused"));
+        assert_eq!(got, expect, "tier {}", tier.name());
+    }
+}
